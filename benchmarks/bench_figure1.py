@@ -1,0 +1,21 @@
+"""Regenerates Figure 1: the verified architecture graph + DOT export."""
+
+import pytest
+
+from repro.eval import figure1
+
+
+@pytest.mark.table("Fig.1")
+def test_figure1_regeneration(benchmark):
+    data = benchmark(figure1.compute)
+    assert data["problems"] == []
+    assert "digraph titancfi" in data["dot"]
+    print()
+    print(data["dot"])
+
+
+@pytest.mark.table("Fig.1")
+def test_architecture_verification(benchmark):
+    graph = figure1.build_graph()
+    problems = benchmark(lambda: figure1.verify(graph))
+    assert problems == []

@@ -1,0 +1,42 @@
+"""Regenerates Table I: firmware cost breakdown on the Ibex ISS."""
+
+import pytest
+
+from repro.eval import table1
+from repro.eval.firmware_analysis import FirmwareAnalyzer, analyze_all, check_latency
+
+
+@pytest.mark.table("I")
+def test_table1_regeneration(benchmark):
+    """Full Table I: all variants, calls and returns, printed report."""
+    results = benchmark.pedantic(analyze_all, rounds=1, iterations=1)
+    # Paper headline: IRQ check costs 258-276 cycles per CF operation.
+    assert 230 <= results["irq"]["call"].total_cycles <= 290
+    assert 240 <= results["irq"]["return"].total_cycles <= 300
+    print()
+    print(table1.render({"results": results, "derived": {
+        "latencies": {v: check_latency(results, v) for v in results},
+        "polling_saving_percent": 100.0 * (1 - check_latency(results, "polling")
+                                           / check_latency(results, "irq")),
+        "optimized_saving_percent": 100.0 * (1 - check_latency(results, "optimized")
+                                             / check_latency(results, "irq")),
+    }}))
+
+
+@pytest.mark.table("I")
+def test_single_irq_check_latency(benchmark):
+    """Microbenchmark: one IRQ-variant call check end to end."""
+    analyzer = FirmwareAnalyzer("irq")
+
+    def one_check():
+        return analyzer.measure("call").total_cycles
+
+    cycles = benchmark(one_check)
+    assert 230 <= cycles <= 290
+
+
+@pytest.mark.table("I")
+def test_single_polling_check_latency(benchmark):
+    analyzer = FirmwareAnalyzer("polling")
+    cycles = benchmark(lambda: analyzer.measure("call").total_cycles)
+    assert 80 <= cycles <= 120

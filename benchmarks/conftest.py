@@ -1,0 +1,14 @@
+"""Benchmark-harness configuration.
+
+Every ``bench_table*.py`` regenerates one table of the paper; the
+pytest-benchmark timings measure the harness itself, while the printed
+output (run with ``-s``) is the paper-versus-measured table.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "table(name): marks which paper table a bench regenerates"
+    )

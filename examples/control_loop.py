@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Domain example: a protected control loop (the paper's motivation).
+
+The paper's intro targets "security-critical systems such as industrial
+controllers and autonomous vehicles" — firmware that runs a periodic
+sense → compute → actuate loop and parses external input.  This example
+runs such a loop on the protected SoC:
+
+* a PI-style controller tracks a setpoint over memory-mapped "sensor"
+  samples (a table in DRAM, as a DMA'd sensor ring would be);
+* every iteration makes several calls/returns, all checked by the RoT;
+* a second run simulates exploitation of the *input parser* — the saved
+  return address is overwritten mid-loop — and shows detection before
+  the actuator output diverges further.
+
+Run:  python examples/control_loop.py
+"""
+
+from repro.core.config import TitanCfiConfig
+from repro.firmware.shadow_stack import FirmwareLayout, shadow_stack_firmware
+from repro.isa.asm import Assembler
+from repro.system.sim import SystemSimulator
+from repro.system.soc import build_soc
+
+ITERATIONS = 8
+
+
+def control_program(addresses, attack: bool) -> "Program":
+    """Sense→compute→actuate loop; optionally smashes a return address."""
+    smash = """
+            # exploit: the "parser" overruns its buffer into the saved ra
+            la   t2, hijack
+            sd   t2, 8(sp)
+    """ if attack else ""
+    return Assembler(xlen=64).assemble(
+        f"""
+        .equ STACK_TOP, {addresses.dram_base + 0xF0_0000:#x}
+        .equ ACTUATOR,  {addresses.dram_base + 0xE0_0000:#x}
+        main:
+            la   sp, STACK_TOP
+            li   s0, {ITERATIONS}     # loop count
+            li   s1, 0                # integral term
+            li   s2, 50               # setpoint
+            la   s3, samples
+            la   s4, ACTUATOR
+        loop:
+            lw   a0, 0(s3)            # sense
+            addi s3, s3, 4
+            call parse_input          # (the vulnerable step)
+            call compute_command      # PI update
+            sw   a0, 0(s4)            # actuate
+            addi s0, s0, -1
+            bnez s0, loop
+            li   a0, 0x42
+            ebreak
+
+        parse_input:
+            addi sp, sp, -16
+            sd   ra, 8(sp)
+            andi a0, a0, 0xff         # "sanitise" the sample
+            {smash}
+            ld   ra, 8(sp)
+            addi sp, sp, 16
+            ret
+
+        compute_command:              # err = setpoint - sample
+            sub  t0, s2, a0
+            add  s1, s1, t0           # integral += err
+            srai t1, s1, 2            # ki * integral
+            add  a0, t0, t1           # command = err + ki*integral
+            ret
+
+        hijack:                       # attacker payload: slam the actuator
+            li   t0, 0x7fffffff
+            sw   t0, 0(s4)
+            li   a0, 0x666
+            ebreak
+
+        .align 3
+        samples: .word 48, 51, 49, 52, 50, 47, 53, 50, 50, 50
+        """,
+        base=addresses.dram_base,
+    )
+
+
+def run(attack: bool):
+    soc = build_soc(cfi_config=TitanCfiConfig(queue_depth=8))
+    firmware = shadow_stack_firmware("polling", FirmwareLayout(soc.addresses))
+    soc.load_firmware(firmware.data)
+    soc.load_host_program(control_program(soc.addresses, attack))
+    report = SystemSimulator(soc).run()
+    actuator = soc.host_map.read(soc.addresses.dram_base + 0xE0_0000, 4)
+    return report, actuator, soc
+
+
+def main() -> None:
+    report, actuator, soc = run(attack=False)
+    print("=== clean control loop ===")
+    print(f"iterations completed, final actuator command: {actuator}")
+    print(f"CF events checked by the RoT: {report.cfi['checks_completed']}, "
+          f"violations: {report.cfi['violations']}")
+    assert not report.detected
+
+    print()
+    report, actuator, soc = run(attack=True)
+    print("=== compromised input parser ===")
+    print(f"detected: {report.detected}")
+    print(f"violation: {report.violation}")
+    assert report.detected
+    print()
+    print("The hijacked return was flagged by the shadow-stack firmware in")
+    print("the RoT; the platform runtime can quench the actuator before the")
+    print("vehicle acts on a forged command.")
+
+
+if __name__ == "__main__":
+    main()

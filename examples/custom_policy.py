@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The "any policy in software" claim: a forward-edge policy, no HW change.
+
+TitanCFI's pitch over hardware monitors (paper §II) is that the policy
+is firmware: swapping enforcement logic costs a C (here: Python model)
+rewrite, not an RTL respin.  This example takes the same commit-log
+stream the filters produce and runs TWO policies over it:
+
+* the shadow stack (backward edges), and
+* a label-based forward-edge policy that only admits indirect transfers
+  landing on registered function entry points,
+
+then shows a jump-table corruption that the shadow stack misses but the
+forward-edge policy catches.
+
+Run:  python examples/custom_policy.py
+"""
+
+from repro.attacks.programs import indirect_jump_program
+from repro.core.filter import CfiFilter
+from repro.cva6.scoreboard import ScoreboardEntry
+from repro.firmware.policies import (
+    CheckResult,
+    CompositePolicy,
+    ForwardEdgePolicy,
+    ShadowStackPolicy,
+)
+from repro.hart.core import Hart
+from repro.hart.ports import MapPort
+from repro.hart.timing import Cva6Timing
+from repro.mem.map import MemoryMap
+from repro.mem.memory import Ram
+from repro.system.addresses import AddressMap
+
+
+def commit_logs(program, addresses):
+    """Run a program on a bare CVA6 ISS and collect its commit logs."""
+    bus = MemoryMap("host")
+    bus.add(addresses.dram_base, Ram(addresses.dram_size), name="dram")
+    bus.write_bytes(program.base, program.data)
+    hart = Hart(MapPort(bus), Cva6Timing(), xlen=64, reset_pc=program.base)
+    cfi_filter = CfiFilter()
+    logs = []
+    while not hart.halted:
+        entry = ScoreboardEntry.from_step(hart.step())
+        log = cfi_filter.examine(entry)
+        if log is not None:
+            logs.append(log)
+    return logs, hart
+
+
+def main() -> None:
+    addresses = AddressMap()
+
+    for corrupt in (False, True):
+        program = indirect_jump_program(addresses, corrupt=corrupt)
+        logs, hart = commit_logs(program, addresses)
+
+        shadow = ShadowStackPolicy()
+        forward = ForwardEdgePolicy({program.symbols["handler"]})
+        composite = CompositePolicy([shadow, forward])
+        verdicts = [composite.check(log) for log in logs]
+
+        label = "corrupted jump table" if corrupt else "legitimate dispatch"
+        flagged = CheckResult.VIOLATION in verdicts
+        print(f"{label}:")
+        print(f"  commit logs checked:        {len(logs)}")
+        print(f"  shadow stack violations:    {shadow.stats.violations}")
+        print(f"  forward-edge violations:    {forward.stats.violations}")
+        print(f"  composite verdict:          "
+              f"{'VIOLATION' if flagged else 'clean'}")
+        print(f"  a0 after run:               {hart.regs.read(10):#x}")
+        print()
+        if corrupt:
+            assert flagged and shadow.stats.violations == 0
+        else:
+            assert not flagged
+
+    print("The jump-table corruption is invisible to return-address")
+    print("protection but caught by the forward-edge policy - swapped in")
+    print("with zero hardware change, as §II argues.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that ``pip install -e . --no-build-isolation`` (and the legacy
+``python setup.py develop``) work on machines without the ``wheel``
+package — e.g. air-gapped evaluation environments.
+"""
+
+from setuptools import setup
+
+setup()

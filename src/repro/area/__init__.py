@@ -1,0 +1,14 @@
+"""Structural FPGA-area model (the substitution for Vivado synthesis)."""
+
+from repro.area.model import AreaEstimate, ComponentArea, estimate_cfi_stage, estimate_mailbox
+from repro.area.catalog import HOST_BASELINE, SOC_BASELINE, PAPER_DELTAS
+
+__all__ = [
+    "AreaEstimate",
+    "ComponentArea",
+    "estimate_cfi_stage",
+    "estimate_mailbox",
+    "HOST_BASELINE",
+    "SOC_BASELINE",
+    "PAPER_DELTAS",
+]

@@ -1,0 +1,26 @@
+"""Published FPGA-utilisation numbers (paper Table IV).
+
+Baselines are the reference SoC synthesised *without* TitanCFI on the
+VCU118; deltas are the published additions.  These are reproduction
+targets for :mod:`repro.area.model`, not inputs to it.
+"""
+
+from __future__ import annotations
+
+#: Host-core (CVA6) baseline resources, w/o CFI.
+HOST_BASELINE = {"lut": 5.02e4, "reg": 3.04e4, "bram": 66}
+
+#: Whole-SoC baseline resources, w/o CFI.
+SOC_BASELINE = {"lut": 4.41e5, "reg": 2.57e5, "bram": 268}
+
+#: Published TitanCFI additions (Δ columns of Table IV).
+PAPER_DELTAS = {
+    "host": {"lut": 1.16e3, "reg": 1.77e3, "bram": 0},
+    "soc": {"lut": 1.33e3, "reg": 2.19e3, "bram": 0},
+}
+
+#: Published overhead percentages (the "Overhead" column).
+PAPER_OVERHEAD_PERCENT = {
+    "host": {"lut": 2.3, "reg": 5.8},
+    "soc": {"lut": 0.3, "reg": 0.9},
+}

@@ -1,0 +1,18 @@
+"""Attack scenarios: the code-reuse attacks TitanCFI exists to stop (§I, §VI)."""
+
+from repro.attacks.programs import (
+    benign_program,
+    deep_recursion_program,
+    rop_program,
+    indirect_jump_program,
+)
+from repro.attacks.rop import AttackOutcome, run_attack_scenario
+
+__all__ = [
+    "benign_program",
+    "deep_recursion_program",
+    "rop_program",
+    "indirect_jump_program",
+    "AttackOutcome",
+    "run_attack_scenario",
+]

@@ -1,0 +1,149 @@
+"""Victim and attack programs for the CVA6 host core.
+
+All programs are RV64 assembly for the host DRAM base, end in
+``ebreak`` and leave a result in ``a0`` so tests can verify semantic
+outcomes (did the gadget run?) independently of CFI detection.
+"""
+
+from __future__ import annotations
+
+from repro.isa.asm import Assembler, Program
+from repro.system.addresses import AddressMap
+
+#: Value the attacker's gadget writes into a0 when it executes.
+GADGET_MARKER = 0x666
+#: Value a clean victim run leaves in a0.
+CLEAN_MARKER = 0x42
+
+
+def _assemble(source: str, addresses: AddressMap) -> Program:
+    return Assembler(xlen=64).assemble(source, base=addresses.dram_base)
+
+
+def benign_program(addresses: AddressMap) -> Program:
+    """A well-behaved workload: nested calls, loops, indirect call."""
+    return _assemble(
+        f"""
+        .equ STACK_TOP, {addresses.dram_base + 0xF0_0000:#x}
+        main:
+            la   sp, STACK_TOP
+            li   s0, 5              # loop counter
+            li   s1, 0              # accumulator
+        loop:
+            mv   a0, s0
+            call square
+            add  s1, s1, a0
+            addi s0, s0, -1
+            bnez s0, loop
+            # indirect call through a function pointer
+            la   t1, finalize
+            jalr ra, 0(t1)
+            li   a0, {CLEAN_MARKER:#x}
+            ebreak
+
+        square:
+            addi sp, sp, -16
+            sd   ra, 8(sp)
+            call identity           # nested call
+            mul  a0, a0, a0
+            ld   ra, 8(sp)
+            addi sp, sp, 16
+            ret
+
+        identity:
+            ret
+
+        finalize:
+            mv   a1, s1
+            ret
+        """,
+        addresses,
+    )
+
+
+def rop_program(addresses: AddressMap) -> Program:
+    """A stack smash redirecting a return into an attacker gadget.
+
+    ``victim`` saves its return address to the stack; the "overflow"
+    (modelled as a direct overwrite, as a buffer overflow would achieve)
+    replaces it with the gadget's address before the epilogue reloads it.
+    """
+    return _assemble(
+        f"""
+        .equ STACK_TOP, {addresses.dram_base + 0xF0_0000:#x}
+        main:
+            la   sp, STACK_TOP
+            call victim
+            li   a0, {CLEAN_MARKER:#x}
+            ebreak
+
+        victim:
+            addi sp, sp, -32
+            sd   ra, 24(sp)
+            # ... vulnerable buffer write: the attacker-controlled input
+            # overruns into the saved return address slot ...
+            la   t1, gadget
+            sd   t1, 24(sp)
+            ld   ra, 24(sp)
+            addi sp, sp, 32
+            ret                      # diverted: returns into the gadget
+
+        gadget:
+            li   a0, {GADGET_MARKER:#x}
+            ebreak
+        """,
+        addresses,
+    )
+
+
+def deep_recursion_program(addresses: AddressMap, depth: int = 64) -> Program:
+    """Recursion deeper than a small shadow stack — exercises the
+    authenticated spill/restore path (§VI)."""
+    return _assemble(
+        f"""
+        .equ STACK_TOP, {addresses.dram_base + 0xF0_0000:#x}
+        main:
+            la   sp, STACK_TOP
+            li   a0, {depth}
+            call recurse
+            li   a0, {CLEAN_MARKER:#x}
+            ebreak
+
+        recurse:
+            addi sp, sp, -16
+            sd   ra, 8(sp)
+            beqz a0, base_case
+            addi a0, a0, -1
+            call recurse
+        base_case:
+            ld   ra, 8(sp)
+            addi sp, sp, 16
+            ret
+        """,
+        addresses,
+    )
+
+
+def indirect_jump_program(addresses: AddressMap, corrupt: bool = False) -> Program:
+    """A jump-table dispatch; with ``corrupt=True`` the table entry is
+    overwritten to a non-entry address (forward-edge attack)."""
+    target = "gadget" if corrupt else "handler"
+    return _assemble(
+        f"""
+        .equ STACK_TOP, {addresses.dram_base + 0xF0_0000:#x}
+        main:
+            la   sp, STACK_TOP
+            la   t1, {target}
+            jr   t1                  # indirect dispatch
+            ebreak
+
+        handler:
+            li   a0, {CLEAN_MARKER:#x}
+            ebreak
+
+        gadget:
+            li   a0, {GADGET_MARKER:#x}
+            ebreak
+        """,
+        addresses,
+    )

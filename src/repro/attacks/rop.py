@@ -1,0 +1,79 @@
+"""Attack-scenario driver: run a victim on the full co-simulated SoC.
+
+Ties everything together: assembles a victim program, boots the real
+shadow-stack firmware in the RoT, runs the co-simulation, and reports
+whether TitanCFI detected the attack and whether the gadget's side
+effects were architecturally visible (they are with a deep queue —
+detection is asynchronous; with ``blocking=True`` the gadget never
+retires, paper Table II's configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.attacks.programs import GADGET_MARKER
+from repro.core.config import TitanCfiConfig
+from repro.errors import CfiViolation
+from repro.firmware.shadow_stack import FirmwareLayout, shadow_stack_firmware
+from repro.isa.asm import Program
+from repro.system.sim import SimulationReport, SystemSimulator
+from repro.system.soc import TitanCfiSoc, build_soc
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of one attack run.
+
+    Attributes:
+        detected: TitanCFI flagged a violation.
+        violation: the violation object (kind, pc, addresses).
+        gadget_executed: the attacker payload's marker reached a0.
+        report: the full simulation report.
+    """
+
+    detected: bool
+    violation: Optional[CfiViolation]
+    gadget_executed: bool
+    report: SimulationReport
+
+
+def run_attack_scenario(
+    program: Program,
+    firmware_variant: str = "irq",
+    queue_depth: int = 8,
+    blocking: bool = False,
+    fabric: str = "standard",
+    max_cycles: int = 10_000_000,
+    soc: Optional[TitanCfiSoc] = None,
+) -> AttackOutcome:
+    """Run ``program`` on a TitanCFI-protected SoC.
+
+    Args:
+        program: host program (e.g. from :mod:`repro.attacks.programs`).
+        firmware_variant: ``"irq"`` or ``"polling"``.
+        queue_depth: CFI queue depth (8 = Table III, 1 = Table II).
+        blocking: stall per check (with depth 1, the Table II config).
+        fabric: RoT interconnect profile.
+        max_cycles: co-simulation bound.
+        soc: pre-built SoC override (advanced use).
+    """
+    if soc is None:
+        config = TitanCfiConfig(queue_depth=queue_depth, blocking=blocking)
+        soc = build_soc(cfi_config=config, fabric=fabric)
+        firmware = shadow_stack_firmware(
+            firmware_variant, FirmwareLayout(soc.addresses)
+        )
+        soc.load_firmware(firmware.data)
+    soc.load_host_program(program)
+
+    simulator = SystemSimulator(soc)
+    report = simulator.run(max_cycles=max_cycles)
+    gadget_executed = soc.cva6.regs.read(10) == GADGET_MARKER
+    return AttackOutcome(
+        detected=report.detected,
+        violation=report.violation,
+        gadget_executed=gadget_executed,
+        report=report,
+    )

@@ -1,0 +1,21 @@
+"""State-of-the-art baselines TitanCFI is compared against (paper §II, §V).
+
+Each module carries (i) the published numbers the paper itself compares
+against — runtime slowdowns and FPGA resources taken from the cited
+works — and (ii) a small parametric model of the mechanism, so the
+benches can show *why* the trade-offs differ (e.g. DExIE's clock-
+frequency penalty versus TitanCFI's stall cycles).
+"""
+
+from repro.baselines.dexie import DexieModel, DEXIE_AREA, DEXIE_SLOWDOWNS
+from repro.baselines.fixer import FixerModel, FIXER_REPORTED_OVERHEAD_PERCENT
+from repro.baselines.phmon import PhmonModel
+
+__all__ = [
+    "DexieModel",
+    "DEXIE_AREA",
+    "DEXIE_SLOWDOWNS",
+    "FixerModel",
+    "FIXER_REPORTED_OVERHEAD_PERCENT",
+    "PhmonModel",
+]

@@ -1,0 +1,45 @@
+"""FIXER baseline (De et al., DATE 2019) — ISA-extension CFI.
+
+FIXER adds custom opcodes (via RoCC) driving a shadow stack and jump
+table in a coprocessor.  Protected binaries must be recompiled; each
+call/return executes one extra custom instruction.  The authors report
+a flat ≈1.5% runtime overhead without a per-benchmark breakdown —
+TitanCFI's Table II carries it as "2" against the RISC-V-Tests rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The single overhead figure FIXER's authors report.
+FIXER_REPORTED_OVERHEAD_PERCENT = 1.5
+
+#: The value TitanCFI's Table II prints for the [6] column.
+FIXER_TABLE2_VALUE = 2.0
+
+
+@dataclass(frozen=True)
+class FixerModel:
+    """Parametric model of ISA-extension CFI.
+
+    Attributes:
+        extra_instructions_per_cf: custom opcodes inserted per
+            call/return (1 for FIXER's shadow-stack path).
+        extra_cycles_per_instruction: cost of each custom opcode
+            (RoCC queue push, non-blocking).
+        requires_recompilation: legacy binaries are unprotected — the
+            deployment property TitanCFI §II contrasts against.
+    """
+
+    extra_instructions_per_cf: int = 1
+    extra_cycles_per_instruction: int = 1
+    requires_recompilation: bool = True
+
+    def slowdown_percent(self, cycles: float, cf_count: float) -> float:
+        """Instruction-insertion overhead for a workload."""
+        extra = cf_count * self.extra_instructions_per_cf * self.extra_cycles_per_instruction
+        return 100.0 * extra / cycles
+
+    def protects_legacy_binaries(self) -> bool:
+        """False: FIXER needs sources rebuilt with its toolchain."""
+        return not self.requires_recompilation

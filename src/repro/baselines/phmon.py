@@ -1,0 +1,68 @@
+"""PHMon baseline (Delshadtehrani et al., USENIX Security 2020).
+
+PHMon is a programmable hardware monitor: a *match unit* snoops the
+commit stream for configured patterns and an *action unit* executes
+small programmed actions.  TitanCFI §II contrasts it on two axes:
+
+* the action unit is not a general-purpose core, limiting policies;
+* CFI metadata lives in OS-reserved virtual memory pages — an OS
+  compromise can forge it, whereas TitanCFI keeps metadata in the RoT
+  (or MAC-authenticated when spilled).
+
+The model here exists for the security-comparison example and tests;
+PHMon publishes ≈0.94% average overhead for its shadow-stack use case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.commit_log import CommitLog
+
+PHMON_REPORTED_OVERHEAD_PERCENT = 0.94
+
+
+@dataclass
+class MatchRule:
+    """One match-unit entry: predicate over a commit log + action id."""
+
+    name: str
+    predicate: Callable[[CommitLog], bool]
+    action: str
+
+
+@dataclass
+class PhmonModel:
+    """Match-unit + action-unit functional model.
+
+    Attributes:
+        rules: configured match entries.
+        metadata_in_protected_memory: False — the OS, not hardware,
+            guards PHMon's metadata pages (the §II security contrast).
+    """
+
+    rules: List[MatchRule] = field(default_factory=list)
+    metadata_in_protected_memory: bool = False
+    matches: int = 0
+
+    def add_rule(self, name: str, predicate: Callable[[CommitLog], bool], action: str) -> None:
+        """Program one match-unit entry."""
+        self.rules.append(MatchRule(name, predicate, action))
+
+    def observe(self, log: CommitLog) -> Optional[Tuple[str, str]]:
+        """Feed one commit log; returns (rule, action) on a match."""
+        for rule in self.rules:
+            if rule.predicate(log):
+                self.matches += 1
+                return rule.name, rule.action
+        return None
+
+    def metadata_forgeable_after_os_breach(self) -> bool:
+        """True: reserved-page metadata offers no authenticity after an
+        OS compromise (TitanCFI authenticates with RoT-held keys)."""
+        return not self.metadata_in_protected_memory
+
+    def slowdown_percent(self, cycles: float, cf_count: float) -> float:
+        """Published average overhead (the monitor rarely stalls)."""
+        return PHMON_REPORTED_OVERHEAD_PERCENT

@@ -1,0 +1,29 @@
+"""Benchmark catalog: EmBench-IoT and RISC-V-Tests workload statistics.
+
+Each entry carries the statistics the paper publishes for it (total
+cycles and retired control-flow instruction count — Table III columns
+2-3) plus the published slowdowns used as reproduction targets, and the
+DExIE/FIXER comparison values of Table II.
+"""
+
+from repro.bench_catalog.catalog import (
+    Benchmark,
+    EMBENCH,
+    RISCV_TESTS,
+    ALL_BENCHMARKS,
+    TABLE2_BENCHMARKS,
+    benchmark,
+)
+from repro.bench_catalog.calibration import CalibratedTrace, calibrate, calibrate_all
+
+__all__ = [
+    "Benchmark",
+    "EMBENCH",
+    "RISCV_TESTS",
+    "ALL_BENCHMARKS",
+    "TABLE2_BENCHMARKS",
+    "benchmark",
+    "CalibratedTrace",
+    "calibrate",
+    "calibrate_all",
+]

@@ -1,0 +1,50 @@
+"""Configuration record for a TitanCFI instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TitanCfiConfig:
+    """Parameters of the CFI stage and its mailbox path.
+
+    Attributes:
+        queue_depth: CFI queue capacity.  The paper evaluates depth 1
+            (Table II, worst-case stall-per-instruction) and depth 8
+            (Table III).
+        commit_ports: CVA6 commit-port count; the reference core has 2,
+            and TitanCFI instantiates one CFI filter per port (§IV-B1).
+        mailbox_base: SoC address of the CFI mailbox.
+        raise_on_violation: when True the log writer raises
+            :class:`repro.errors.CfiViolation` on a bad verdict (the
+            paper's "triggers an exception"); when False it latches
+            the fault flag instead (for statistics runs).
+        blocking: when True the commit stage stalls after *every*
+            control-flow retirement until its check completes — the
+            paper's Table II configuration ("stalling the core as soon
+            as a single control flow instruction is retired").  This
+            also makes detection synchronous: no instruction after a
+            violating transfer can retire.
+    """
+
+    queue_depth: int = 8
+    commit_ports: int = 2
+    mailbox_base: int = 0x9000_0000
+    raise_on_violation: bool = True
+    blocking: bool = False
+
+    def __post_init__(self):
+        if self.queue_depth < 1:
+            raise ConfigError("queue_depth must be >= 1")
+        if self.commit_ports < 1:
+            raise ConfigError("commit_ports must be >= 1")
+
+
+#: Check latencies measured by the firmware analysis (paper §V-C): the
+#: average of one call and one return check for each firmware variant.
+CHECK_LATENCY_IRQ = 267
+CHECK_LATENCY_POLLING = 112
+CHECK_LATENCY_OPTIMIZED = 73

@@ -1,0 +1,189 @@
+"""The CFI log writer FSM (paper §IV-B3).
+
+The log writer pops commit logs from the CFI queue and transmits them to
+the CFI mailbox over the SoC AXI interconnect, splitting the 224-bit
+packet into 64-bit beats.  The final transaction sets the doorbell;
+the FSM then parks in a wait state until the RoT firmware asserts the
+completion wire, reads the verdict back from the mailbox, and raises an
+exception on any control-flow violation.
+
+States::
+
+    IDLE ──queue non-empty & mailbox ready──▶ WRITE (payload + doorbell)
+    WRITE ──last beat sent──────────────────▶ WAIT
+    WAIT  ──completion wire────────────────▶ CHECK (read verdict)
+    CHECK ──verdict ok──────────────────────▶ IDLE
+          └─verdict violation───────────────▶ fault (exception to commit)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.commit_log import COMMIT_LOG_BYTES, CommitLog
+from repro.core.queue import CfiQueue
+from repro.errors import CfiViolation
+from repro.soc.axi import AxiXbar
+from repro.soc.mailbox import Mailbox, VERDICT_OK
+
+
+class WriterState(enum.Enum):
+    """Log-writer FSM states."""
+
+    IDLE = "idle"
+    WRITE = "write"
+    WAIT = "wait"
+    CHECK = "check"
+
+
+@dataclass
+class WriterStats:
+    """Lifetime statistics of the log writer."""
+
+    logs_sent: int = 0
+    checks_completed: int = 0
+    violations: int = 0
+    busy_cycles: int = 0
+    wait_cycles: int = 0
+    check_latencies: List[int] = field(default_factory=list)
+
+    @property
+    def mean_check_latency(self) -> float:
+        """Average pop→verdict latency in cycles (0 when no checks ran)."""
+        if not self.check_latencies:
+            return 0.0
+        return sum(self.check_latencies) / len(self.check_latencies)
+
+
+class LogWriter:
+    """Cycle-stepped log-writer FSM.
+
+    Args:
+        axi: host-domain crossbar used for mailbox traffic.
+        mailbox: the CFI mailbox device (for the completion wire and
+            ready signal, which are direct wires, not bus reads).
+        mailbox_base: AXI address of the mailbox data file.
+        queue: the CFI queue to drain.
+        master: AXI master identity of the CFI stage.
+        raise_on_violation: raise :class:`CfiViolation` from
+            :meth:`tick` on a bad verdict (else latch :attr:`fault`).
+    """
+
+    def __init__(
+        self,
+        axi: AxiXbar,
+        mailbox: Mailbox,
+        mailbox_base: int,
+        queue: CfiQueue,
+        master: str = "cfi-stage",
+        raise_on_violation: bool = True,
+    ):
+        self.axi = axi
+        self.mailbox = mailbox
+        self.mailbox_base = mailbox_base
+        self.queue = queue
+        self.master = master
+        self.raise_on_violation = raise_on_violation
+        self.state = WriterState.IDLE
+        self.stats = WriterStats()
+        self.fault: Optional[CfiViolation] = None
+        self.current_log: Optional[CommitLog] = None
+        self._countdown = 0
+        self._check_started = 0
+        self.now = 0
+
+    # -- helpers -------------------------------------------------------------
+
+    def _begin_write(self) -> None:
+        log = self.queue.pop()
+        self.current_log = log
+        self._check_started = self.now
+        # The payload moves as ceil(28/8) = 4 beats; the doorbell write is
+        # a separate single-beat transaction (the paper's "final AXI
+        # transaction sets the doorbell interrupt register").
+        payload_cycles = self.axi.write(self.master, self.mailbox_base, log.pack())
+        doorbell_cycles = self.axi.timings.transaction_cycles(8)
+        self._countdown = payload_cycles + doorbell_cycles
+        self.state = WriterState.WRITE
+
+    def _ring_doorbell(self) -> None:
+        offset = self.mailbox.layout.doorbell_offset
+        self.axi.write_int(self.master, self.mailbox_base + offset, 8, 1)
+        self.state = WriterState.WAIT
+
+    def _begin_check(self) -> None:
+        # Completion is a wire into the commit stage: consume it, then
+        # fetch the verdict from the first mailbox entry over AXI.
+        self.mailbox.completion_pending = False
+        self._countdown = self.axi.timings.transaction_cycles(8)
+        self.state = WriterState.CHECK
+
+    def _finish_check(self) -> None:
+        verdict, _ = self.axi.read_int(self.master, self.mailbox_base, 8)
+        log = self.current_log
+        self.current_log = None
+        self.stats.checks_completed += 1
+        self.stats.check_latencies.append(self.now - self._check_started)
+        self.state = WriterState.IDLE
+        if verdict != VERDICT_OK:
+            self.stats.violations += 1
+            assert log is not None
+            violation = CfiViolation(
+                kind=log.kind.value,
+                expected=None,
+                actual=log.target,
+                pc=log.pc,
+            )
+            self.fault = violation
+            if self.raise_on_violation:
+                raise violation
+
+    # -- cycle step -------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance the FSM by one cycle."""
+        self.now += 1
+        if self.state is WriterState.IDLE:
+            if not self.queue.empty and self.mailbox.ready:
+                self._begin_write()
+            return
+        if self.state is WriterState.WRITE:
+            self.stats.busy_cycles += 1
+            self._countdown -= 1
+            if self._countdown <= 0:
+                self._ring_doorbell()
+                self.stats.logs_sent += 1
+            return
+        if self.state is WriterState.WAIT:
+            self.stats.wait_cycles += 1
+            if self.mailbox.completion_pending:
+                self._begin_check()
+            return
+        if self.state is WriterState.CHECK:
+            self.stats.busy_cycles += 1
+            self._countdown -= 1
+            if self._countdown <= 0:
+                self._finish_check()
+            return
+
+    @property
+    def idle(self) -> bool:
+        """True when no check is in flight."""
+        return self.state is WriterState.IDLE
+
+    def drain(self, max_cycles: int = 1_000_000) -> int:
+        """Tick until the queue is empty and the FSM is idle.
+
+        Only usable when the mailbox is serviced by a zero-time
+        responder (unit tests); the co-simulator interleaves ticks with
+        the Ibex ISS instead.  Returns the cycles consumed.
+        """
+        spent = 0
+        while not (self.idle and self.queue.empty):
+            self.tick()
+            spent += 1
+            if spent > max_cycles:
+                raise RuntimeError("log writer failed to drain")
+        return spent

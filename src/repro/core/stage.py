@@ -1,0 +1,101 @@
+"""The assembled CFI stage: filters → queue controller → queue → writer.
+
+This is the block Figure 1 draws inside the CVA6 box.  The commit stage
+offers every retiring scoreboard entry; the stage filters them, pushes
+CFI-relevant commit logs into the queue (stalling the core per the
+queue-controller rules) and drains the queue through the log writer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.commit_log import CommitLog
+from repro.core.config import TitanCfiConfig
+from repro.core.filter import CfiFilter
+from repro.core.log_writer import LogWriter
+from repro.core.queue import CfiQueue, QueueController
+from repro.cva6.scoreboard import ScoreboardEntry
+from repro.soc.axi import AxiXbar
+from repro.soc.mailbox import Mailbox
+
+
+class CfiStage:
+    """TitanCFI's addition to the CVA6 commit stage (paper Fig. 1, right).
+
+    Args:
+        axi: host-domain crossbar (mailbox path).
+        mailbox: the CFI mailbox device.
+        config: stage parameters.
+    """
+
+    def __init__(self, axi: AxiXbar, mailbox: Mailbox, config: Optional[TitanCfiConfig] = None):
+        self.config = config or TitanCfiConfig()
+        self.filters = [CfiFilter(i) for i in range(self.config.commit_ports)]
+        self.queue = CfiQueue(self.config.queue_depth)
+        self.controller = QueueController(self.queue)
+        self.writer = LogWriter(
+            axi,
+            mailbox,
+            self.config.mailbox_base,
+            self.queue,
+            raise_on_violation=self.config.raise_on_violation,
+        )
+
+    def offer(self, entries: List[Optional[ScoreboardEntry]]) -> int:
+        """Present one cycle's retiring entries (one slot per port).
+
+        Returns the number of leading entries allowed to retire this
+        cycle; fewer than ``len(entries)`` means the commit stage must
+        stall the remainder (and replay them next cycle).
+        """
+        if len(entries) > self.config.commit_ports:
+            raise ValueError(
+                f"{len(entries)} entries offered to a "
+                f"{self.config.commit_ports}-port CFI stage"
+            )
+        logs: List[Optional[CommitLog]] = [
+            self.filters[i].examine(entry) for i, entry in enumerate(entries)
+        ]
+        return self.controller.arbitrate(logs)
+
+    def examine_port(self, port: int, entry: Optional[ScoreboardEntry]) -> Optional[CommitLog]:
+        """Run one port's filter only (no queue push).
+
+        The commit stage uses this to obtain the commit log once, then
+        replays :meth:`try_push` while stalled — so filter statistics
+        count each instruction exactly once.
+        """
+        return self.filters[port].examine(entry)
+
+    def try_push(self, log: CommitLog) -> bool:
+        """Attempt a single-port push through the queue controller."""
+        return self.controller.arbitrate([log]) == 1
+
+    def tick(self) -> None:
+        """Advance the log writer by one cycle."""
+        self.writer.tick()
+
+    @property
+    def quiescent(self) -> bool:
+        """True when no log is queued or in flight."""
+        return self.queue.empty and self.writer.idle
+
+    @property
+    def violation(self):
+        """Latched CFI fault, if any."""
+        return self.writer.fault
+
+    def stats_summary(self) -> dict:
+        """Aggregated statistics for reports and tests."""
+        return {
+            "examined": sum(f.stats.examined for f in self.filters),
+            "selected": sum(f.stats.selected for f in self.filters),
+            "full_stalls": self.controller.stats.full_stalls,
+            "conflict_stalls": self.controller.stats.conflict_stalls,
+            "logs_sent": self.writer.stats.logs_sent,
+            "checks_completed": self.writer.stats.checks_completed,
+            "violations": self.writer.stats.violations,
+            "mean_check_latency": self.writer.stats.mean_check_latency,
+            "queue_high_water": self.queue.high_water,
+        }

@@ -1,0 +1,10 @@
+"""CVA6 host-core model: scoreboard entries and the two-port commit stage.
+
+The execution engine itself lives in :mod:`repro.hart`; this package adds
+the commit-side interface TitanCFI taps into (paper §III-A / §IV-B).
+"""
+
+from repro.cva6.scoreboard import ScoreboardEntry
+from repro.cva6.commit import CommitStage
+
+__all__ = ["ScoreboardEntry", "CommitStage"]

@@ -1,0 +1,87 @@
+"""The CVA6 commit stage, extended with the TitanCFI tap (paper §IV-B).
+
+The commit stage wraps the host hart.  Each time the co-simulator lets
+it advance, it retires one instruction, runs the retiring scoreboard
+entry through the CFI stage's filter, and — when the CFI queue cannot
+accept a control-flow log — *inhibits commit*: the hart is held (a skid
+buffer keeps the filtered log) and stall cycles accumulate until the
+queue drains.  This reproduces the paper's queue-full stall behaviour
+at instruction granularity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.cva6.scoreboard import ScoreboardEntry
+from repro.hart.core import Hart, StepResult
+
+if TYPE_CHECKING:  # break the core ↔ cva6 import cycle (types only)
+    from repro.core.commit_log import CommitLog
+    from repro.core.stage import CfiStage
+
+
+class CommitStage:
+    """Commit-side binding between a host hart and the CFI stage.
+
+    Args:
+        hart: the CVA6 instruction-set simulator.
+        cfi_stage: the TitanCFI stage, or ``None`` for an unprotected
+            baseline core (used to measure raw execution time).
+    """
+
+    def __init__(self, hart: Hart, cfi_stage: "Optional[CfiStage]" = None):
+        self.hart = hart
+        self.cfi = cfi_stage
+        self.stall_cycles = 0
+        self.retired = 0
+        self._skid: "Optional[CommitLog]" = None
+        self._blocked = False
+
+    @property
+    def stalled(self) -> bool:
+        """True while commit is inhibited by the CFI queue."""
+        return self._skid is not None or self._blocked
+
+    def try_advance(self) -> Optional[StepResult]:
+        """Advance by one instruction if commit is not inhibited.
+
+        Returns the hart's step result, or ``None`` for a stall cycle
+        (the caller charges exactly one cycle for the latter).
+        """
+        if self._blocked:
+            # Blocking mode: wait for the in-flight check to finish.
+            if not self.cfi.quiescent:
+                self.stall_cycles += 1
+                return None
+            self._blocked = False
+
+        if self._skid is not None:
+            if not self.cfi.try_push(self._skid):
+                self.stall_cycles += 1
+                return None
+            # The queue accepted the held log this cycle; the stalled
+            # instruction retires now and the pipeline resumes next cycle
+            # (keeps the one-push-per-cycle queue invariant).
+            self._skid = None
+            self.stall_cycles += 1
+            if self.cfi.config.blocking:
+                self._blocked = True
+            return None
+
+        result = self.hart.step()
+        entry = ScoreboardEntry.from_step(result)
+        if entry is not None:
+            self.retired += 1
+            if self.cfi is not None:
+                log = self.cfi.examine_port(0, entry)
+                if log is not None:
+                    if not self.cfi.try_push(log):
+                        # Queue full: hold commit of this instruction until
+                        # a slot frees (the paper's "inhibits the CVA6
+                        # commit stage, which eventually results in
+                        # stalling the core").
+                        self._skid = log
+                    elif self.cfi.config.blocking:
+                        self._blocked = True
+        return result

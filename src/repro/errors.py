@@ -1,0 +1,143 @@
+"""Exception hierarchy for the TitanCFI reproduction.
+
+Every error raised by the package derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class IsaError(ReproError):
+    """Base class for ISA-level problems (encode/decode/assemble)."""
+
+
+class DecodeError(IsaError):
+    """An instruction word could not be decoded.
+
+    Attributes:
+        word: the raw instruction bits that failed to decode.
+        pc: optional program counter for diagnostics.
+    """
+
+    def __init__(self, message: str, word: int = 0, pc: "int | None" = None):
+        super().__init__(message)
+        self.word = word
+        self.pc = pc
+
+
+class EncodeError(IsaError):
+    """Operands were out of range or otherwise unencodable."""
+
+
+class AssemblerError(IsaError):
+    """A source-level assembly error (bad mnemonic, unknown label...).
+
+    Attributes:
+        line: 1-based source line where the error occurred, if known.
+    """
+
+    def __init__(self, message: str, line: "int | None" = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class MemoryError_(ReproError):
+    """Base class for memory-system errors (named to avoid shadowing the
+    builtin :class:`MemoryError`)."""
+
+
+class AccessFault(MemoryError_):
+    """A load/store/fetch targeted an unmapped or protected address.
+
+    Attributes:
+        address: the faulting address.
+        access: one of ``"read"``, ``"write"``, ``"fetch"``.
+    """
+
+    def __init__(self, address: int, access: str = "read", message: str = ""):
+        detail = message or f"{access} access fault at {address:#x}"
+        super().__init__(detail)
+        self.address = address
+        self.access = access
+
+
+class AlignmentFault(MemoryError_):
+    """A bus access violated the natural alignment required by a device."""
+
+    def __init__(self, address: int, size: int):
+        super().__init__(f"misaligned {size}-byte access at {address:#x}")
+        self.address = address
+        self.size = size
+
+
+class EccError(MemoryError_):
+    """An uncorrectable ECC error was detected on a protected memory."""
+
+
+class SimulationError(ReproError):
+    """The co-simulation reached an inconsistent or unsupported state."""
+
+
+class TrapError(SimulationError):
+    """A hart raised a trap the simulation chose not to handle.
+
+    Attributes:
+        cause: RISC-V mcause code.
+        pc: faulting program counter.
+    """
+
+    def __init__(self, cause: int, pc: int, message: str = ""):
+        detail = message or f"unhandled trap cause={cause} at pc={pc:#x}"
+        super().__init__(detail)
+        self.cause = cause
+        self.pc = pc
+
+
+class CfiViolation(ReproError):
+    """The CFI policy detected a control-flow violation.
+
+    Attributes:
+        kind: violation category (e.g. ``"return-mismatch"``).
+        expected: expected target (policy-dependent), or ``None``.
+        actual: observed target, or ``None``.
+        pc: pc of the offending control-flow instruction, or ``None``.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        expected: "int | None" = None,
+        actual: "int | None" = None,
+        pc: "int | None" = None,
+    ):
+        parts = [f"CFI violation: {kind}"]
+        if pc is not None:
+            parts.append(f"at pc={pc:#x}")
+        if expected is not None:
+            parts.append(f"expected={expected:#x}")
+        if actual is not None:
+            parts.append(f"actual={actual:#x}")
+        super().__init__(" ".join(parts))
+        self.kind = kind
+        self.expected = expected
+        self.actual = actual
+        self.pc = pc
+
+
+class ProtocolError(ReproError):
+    """A bus/mailbox protocol rule was violated (e.g. writing a busy
+    mailbox or popping an empty FIFO)."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration was supplied to a component."""
+
+
+class CalibrationError(ReproError):
+    """The trace-model calibration failed to converge."""

@@ -1,0 +1,5 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Each module exposes ``compute()`` returning structured results and
+``main()`` printing the paper-style table next to the published values.
+"""

@@ -1,0 +1,56 @@
+"""Plain-text table rendering for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(text.rjust(widths[i]) for i, text in enumerate(parts))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "-"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def paper_vs_measured(paper: Optional[float], measured: float) -> str:
+    """Compact "paper/measured" cell."""
+    left = "-" if paper is None else f"{paper:g}"
+    right = "-" if abs(measured) < 0.5 else f"{measured:.0f}"
+    return f"{left}/{right}"
+
+
+def scientific(value: float) -> str:
+    """Paper-style scientific notation (2.51E+6)."""
+    return f"{value:.2E}"

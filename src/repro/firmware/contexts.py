@@ -1,0 +1,187 @@
+"""Per-thread CFI contexts (the paper's §V-C / §VII future work).
+
+Two extensions the paper sketches are implemented here as policy-layer
+features, with no hardware change — which is the point of enforcing CFI
+in RoT firmware:
+
+* **per-thread enforcement** — one shadow stack per protected thread,
+  switched by an explicit context-switch notification (in deployment:
+  an SCMI message from the OS scheduler to the RoT);
+* **selective protection** — only threads registered as *protected*
+  (the paper: "processes exposed at the boundary of the system, dealing
+  with potentially tainted data") are checked; the rest flow through
+  unchecked, eliminating their overhead entirely.
+
+Inactive contexts beyond the resident limit are evicted to untrusted
+memory under an HMAC tag, extending §VI's authenticated-spill scheme
+from stack pages to whole contexts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.commit_log import CommitLog
+from repro.errors import CfiViolation, ConfigError
+from repro.firmware.policies import CheckResult, ShadowStackPolicy
+from repro.opentitan.crypto.accel import HmacAccelerator
+from repro.opentitan.crypto.hmac import constant_time_equal
+
+
+@dataclass
+class ContextStats:
+    """Bookkeeping of a :class:`CfiContextManager`."""
+
+    switches: int = 0
+    checks: int = 0
+    skipped_unprotected: int = 0
+    evictions: int = 0
+    activations: int = 0
+    violations: int = 0
+
+
+class CfiContextManager:
+    """Multiplexes shadow-stack state across threads.
+
+    Args:
+        resident_limit: contexts kept live in (modelled) RoT scratchpad;
+            beyond it, least-recently-used contexts are evicted under an
+            HMAC tag (128 KiB of scratchpad cannot hold "tens of
+            processes", §VI).
+        stack_capacity: per-context resident shadow-stack entries.
+        accel: shared HMAC accelerator (cycle accounting).
+        key: device key used for context eviction tags.
+    """
+
+    def __init__(
+        self,
+        resident_limit: int = 4,
+        stack_capacity: int = 256,
+        accel: Optional[HmacAccelerator] = None,
+        key: bytes = b"titancfi-context-key",
+    ):
+        if resident_limit < 1:
+            raise ConfigError("resident_limit must be >= 1")
+        self.resident_limit = resident_limit
+        self.stack_capacity = stack_capacity
+        self.accel = accel or HmacAccelerator()
+        self.key = key
+        self._protected: Dict[int, bool] = {}
+        self._resident: Dict[int, ShadowStackPolicy] = {}
+        self._evicted: Dict[int, Tuple[bytes, bytes]] = {}
+        self._lru: List[int] = []
+        self._current: Optional[int] = None
+        self.stats = ContextStats()
+
+    # -- thread registration --------------------------------------------------
+
+    def register(self, thread_id: int, protected: bool = True) -> None:
+        """Declare a thread; only protected threads are enforced."""
+        if thread_id in self._protected:
+            raise ConfigError(f"thread {thread_id} already registered")
+        self._protected[thread_id] = protected
+
+    def is_protected(self, thread_id: int) -> bool:
+        """Whether ``thread_id`` is under enforcement."""
+        return self._protected.get(thread_id, False)
+
+    @property
+    def current_thread(self) -> Optional[int]:
+        """The thread whose control flow is currently being checked."""
+        return self._current
+
+    @property
+    def resident_threads(self) -> List[int]:
+        """Thread ids with live scratchpad state."""
+        return list(self._resident)
+
+    # -- context switching ------------------------------------------------------
+
+    def switch_to(self, thread_id: int) -> None:
+        """Scheduler notification: subsequent commit logs belong to
+        ``thread_id``.  Activates (possibly restoring) its context."""
+        if thread_id not in self._protected:
+            raise ConfigError(f"thread {thread_id} was never registered")
+        self.stats.switches += 1
+        self._current = thread_id
+        if self._protected[thread_id]:
+            self._activate(thread_id)
+
+    def _activate(self, thread_id: int) -> None:
+        if thread_id in self._resident:
+            self._touch(thread_id)
+            return
+        self.stats.activations += 1
+        if thread_id in self._evicted:
+            policy = self._restore(thread_id)
+        else:
+            policy = ShadowStackPolicy(
+                capacity=self.stack_capacity, accel=self.accel, key=self.key
+            )
+        self._make_room()
+        self._resident[thread_id] = policy
+        self._touch(thread_id)
+
+    def _touch(self, thread_id: int) -> None:
+        if thread_id in self._lru:
+            self._lru.remove(thread_id)
+        self._lru.append(thread_id)
+
+    def _make_room(self) -> None:
+        while len(self._resident) >= self.resident_limit:
+            victim = self._lru.pop(0)
+            self._evict(victim)
+
+    # -- authenticated eviction ----------------------------------------------------
+
+    def _evict(self, thread_id: int) -> None:
+        policy = self._resident.pop(thread_id)
+        blob = policy._pack(policy.stack)
+        tag = self.accel.compute_hmac(self.key, thread_id.to_bytes(8, "little") + blob)
+        self._evicted[thread_id] = (blob, tag)
+        self.stats.evictions += 1
+
+    def _restore(self, thread_id: int) -> ShadowStackPolicy:
+        blob, tag = self._evicted.pop(thread_id)
+        fresh = self.accel.compute_hmac(
+            self.key, thread_id.to_bytes(8, "little") + blob
+        )
+        if not constant_time_equal(fresh, tag):
+            self.stats.violations += 1
+            raise CfiViolation("context-tamper", pc=None)
+        policy = ShadowStackPolicy(
+            capacity=self.stack_capacity, accel=self.accel, key=self.key
+        )
+        policy.stack = ShadowStackPolicy._unpack(blob)
+        return policy
+
+    def tamper_evicted(self, thread_id: int, byte: int = 0) -> None:
+        """Corrupt an evicted context blob (attack-simulation hook)."""
+        blob, tag = self._evicted[thread_id]
+        damaged = bytearray(blob or b"\x00")
+        damaged[byte % len(damaged)] ^= 0xFF
+        self._evicted[thread_id] = (bytes(damaged), tag)
+
+    # -- the policy interface --------------------------------------------------------
+
+    def check(self, log: CommitLog) -> CheckResult:
+        """Enforce the current thread's policy on one commit log."""
+        if self._current is None:
+            raise ConfigError("no thread scheduled; call switch_to() first")
+        if not self._protected[self._current]:
+            self.stats.skipped_unprotected += 1
+            return CheckResult.OK
+        self.stats.checks += 1
+        verdict = self._resident[self._current].check(log)
+        if verdict is CheckResult.VIOLATION:
+            self.stats.violations += 1
+        return verdict
+
+    def depth_of(self, thread_id: int) -> int:
+        """Protected call depth of a thread (resident or evicted)."""
+        if thread_id in self._resident:
+            return self._resident[thread_id].depth
+        if thread_id in self._evicted:
+            return len(self._evicted[thread_id][0]) // 8
+        return 0

@@ -1,0 +1,220 @@
+"""Python-level reference CFI policies.
+
+These are executable specifications of the firmware's behaviour, used
+three ways:
+
+* differential testing — the assembly firmware and the reference policy
+  must return the same verdict on the same commit-log stream;
+* the trace-driven overhead model, which needs policy semantics without
+  paying for instruction-level simulation;
+* the paper's "any policy in software" claim — the forward-edge policy
+  demonstrates a second policy with zero hardware change.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Set, Tuple
+
+from repro.core.commit_log import CommitLog
+from repro.errors import ConfigError
+from repro.isa.cflow import CfKind
+from repro.opentitan.crypto.accel import HmacAccelerator
+from repro.opentitan.crypto.hmac import constant_time_equal
+
+
+class CheckResult(enum.Enum):
+    """Verdict of one policy check (the value written to MB_RESULT)."""
+
+    OK = 0
+    VIOLATION = 1
+
+
+class Policy(Protocol):
+    """A CFI enforcement policy running in the RoT."""
+
+    def check(self, log: CommitLog) -> CheckResult:
+        """Process one commit log; returns the verdict."""
+        ...
+
+
+@dataclass
+class PolicyStats:
+    """Counters every policy keeps."""
+
+    checks: int = 0
+    calls: int = 0
+    returns: int = 0
+    indirect_jumps: int = 0
+    violations: int = 0
+    spills: int = 0
+    restores: int = 0
+
+
+class ShadowStackPolicy:
+    """Return-address protection via a shadow stack (paper §V-B).
+
+    The resident stack lives in (modelled) RoT scratchpad; on overflow
+    the oldest ``spill_entries`` are MAC'd with the HMAC accelerator and
+    moved to untrusted memory, mirroring the assembly firmware.  Restore
+    verifies the tag; any mismatch (tampering) is a violation.
+
+    Args:
+        capacity: resident stack entries before a spill.
+        spill_entries: entries moved per spill.
+        accel: HMAC accelerator (shared with the RoT model when used
+            inside the SoC; a private one otherwise).
+        key: MAC key held in tamper-proof storage.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        spill_entries: Optional[int] = None,
+        accel: Optional[HmacAccelerator] = None,
+        key: bytes = b"titancfi-device-key",
+    ):
+        if capacity < 2:
+            raise ConfigError("shadow stack capacity must be >= 2")
+        self.capacity = capacity
+        self.spill_entries = spill_entries or capacity // 2
+        if not 0 < self.spill_entries <= capacity:
+            raise ConfigError("spill_entries must be in (0, capacity]")
+        self.accel = accel or HmacAccelerator()
+        self.key = key
+        self.stack: List[int] = []
+        #: Untrusted spill storage: list of (packed entries, tag).
+        self.spill_area: List[Tuple[bytes, bytes]] = []
+        self.stats = PolicyStats()
+
+    # -- helpers --------------------------------------------------------------
+
+    @staticmethod
+    def _pack(entries: List[int]) -> bytes:
+        return b"".join(e.to_bytes(8, "little") for e in entries)
+
+    @staticmethod
+    def _unpack(blob: bytes) -> List[int]:
+        return [
+            int.from_bytes(blob[i : i + 8], "little") for i in range(0, len(blob), 8)
+        ]
+
+    def _spill(self) -> None:
+        victim = self.stack[: self.spill_entries]
+        self.stack = self.stack[self.spill_entries :]
+        blob = self._pack(victim)
+        tag = self.accel.compute_hmac(self.key, blob)
+        self.spill_area.append((blob, tag))
+        self.stats.spills += 1
+
+    def _restore(self) -> bool:
+        """Pull the newest spill block back; False on tag mismatch."""
+        blob, tag = self.spill_area.pop()
+        fresh = self.accel.compute_hmac(self.key, blob)
+        if not constant_time_equal(fresh, tag):
+            return False
+        self.stack = self._unpack(blob) + self.stack
+        self.stats.restores += 1
+        return True
+
+    # -- policy interface ---------------------------------------------------------
+
+    def check(self, log: CommitLog) -> CheckResult:
+        """Shadow-stack semantics for one control-flow event."""
+        self.stats.checks += 1
+        kind = log.kind
+        if kind is CfKind.CALL:
+            self.stats.calls += 1
+            if len(self.stack) >= self.capacity:
+                self._spill()
+            self.stack.append(log.next_address)
+            return CheckResult.OK
+        if kind is CfKind.RETURN:
+            self.stats.returns += 1
+            if not self.stack:
+                if not self.spill_area or not self._restore():
+                    self.stats.violations += 1
+                    return CheckResult.VIOLATION
+            expected = self.stack.pop()
+            if expected != log.target:
+                self.stats.violations += 1
+                return CheckResult.VIOLATION
+            return CheckResult.OK
+        if kind is CfKind.INDIRECT_JUMP:
+            # Return-address protection does not constrain forward edges.
+            self.stats.indirect_jumps += 1
+            return CheckResult.OK
+        return CheckResult.OK
+
+    @property
+    def depth(self) -> int:
+        """Total protected depth (resident + spilled)."""
+        return len(self.stack) + sum(
+            len(blob) // 8 for blob, _ in self.spill_area
+        )
+
+    def tamper_spill(self, block: int = -1, byte: int = 0) -> None:
+        """Corrupt one spilled byte (attack-simulation hook)."""
+        blob, tag = self.spill_area[block]
+        damaged = bytearray(blob)
+        damaged[byte] ^= 0xFF
+        self.spill_area[block] = (bytes(damaged), tag)
+
+
+class ForwardEdgePolicy:
+    """Label-based forward-edge CFI (the paper's "any policy" claim).
+
+    Indirect transfers (indirect calls and jumps) must land on an
+    address registered as a valid entry point.  Returns are ignored —
+    compose with :class:`ShadowStackPolicy` for full coverage.
+    """
+
+    def __init__(self, valid_targets: Optional[Set[int]] = None):
+        self.valid_targets: Set[int] = set(valid_targets or ())
+        self.stats = PolicyStats()
+
+    def allow(self, target: int) -> None:
+        """Register a legitimate entry point."""
+        self.valid_targets.add(target)
+
+    def check(self, log: CommitLog) -> CheckResult:
+        self.stats.checks += 1
+        kind = log.kind
+        if kind is CfKind.INDIRECT_JUMP:
+            self.stats.indirect_jumps += 1
+            if log.target not in self.valid_targets:
+                self.stats.violations += 1
+                return CheckResult.VIOLATION
+            return CheckResult.OK
+        if kind is CfKind.CALL:
+            self.stats.calls += 1
+            # Only *indirect* calls (JALR) are constrained; direct JAL
+            # targets are immediate-encoded and statically verified.
+            if (log.encoding & 0x7F) == 0x67 and log.target not in self.valid_targets:
+                self.stats.violations += 1
+                return CheckResult.VIOLATION
+            return CheckResult.OK
+        if kind is CfKind.RETURN:
+            self.stats.returns += 1
+        return CheckResult.OK
+
+
+class CompositePolicy:
+    """Run several policies on each log; any violation wins."""
+
+    def __init__(self, policies: List[Policy]):
+        if not policies:
+            raise ConfigError("composite policy needs at least one member")
+        self.policies = policies
+        self.stats = PolicyStats()
+
+    def check(self, log: CommitLog) -> CheckResult:
+        self.stats.checks += 1
+        verdict = CheckResult.OK
+        for policy in self.policies:
+            if policy.check(log) is CheckResult.VIOLATION:
+                verdict = CheckResult.VIOLATION
+        if verdict is CheckResult.VIOLATION:
+            self.stats.violations += 1
+        return verdict

@@ -1,0 +1,27 @@
+"""Instruction-set simulation: architectural state, execution, timing.
+
+One execution engine (:class:`repro.hart.core.Hart`) serves both cores of
+the reference SoC; they differ only in XLEN, bus port and timing model:
+
+* CVA6 — RV64, AXI-attached, :class:`repro.hart.timing.Cva6Timing`;
+* Ibex — RV32, TL-UL-attached, :class:`repro.hart.timing.IbexTiming`.
+"""
+
+from repro.hart.state import CsrFile, RegisterFile
+from repro.hart.core import Hart, StepEvent, StepResult
+from repro.hart.ports import BusPort, MapPort, TlulPort
+from repro.hart.timing import Cva6Timing, IbexTiming, TimingModel
+
+__all__ = [
+    "CsrFile",
+    "RegisterFile",
+    "Hart",
+    "StepEvent",
+    "StepResult",
+    "BusPort",
+    "MapPort",
+    "TlulPort",
+    "Cva6Timing",
+    "IbexTiming",
+    "TimingModel",
+]

@@ -1,0 +1,532 @@
+"""The RISC-V hart execution engine.
+
+One :class:`Hart` instance models one core.  Execution is functional
+(architectural state only) with cycle accounting delegated to a
+:class:`repro.hart.timing.TimingModel`; memory goes through a
+:class:`repro.hart.ports.BusPort`.  Machine-mode traps, external
+interrupts and WFI sleep are implemented because the TitanCFI firmware
+protocol depends on them (doorbell interrupt → ISR → mret → sleep).
+
+Every :meth:`Hart.step` returns a :class:`StepResult` describing the
+retired instruction — pc, encoding, fall-through and actual next pc —
+which is exactly the scoreboard information the CVA6 commit stage hands
+to the CFI filters (paper §IV-B1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import AccessFault, DecodeError, SimulationError, TrapError
+from repro.hart.ports import BusPort
+from repro.hart.state import CsrFile, RegisterFile
+from repro.hart.timing import TimingModel
+from repro.isa import opcodes as op
+from repro.isa.decode import Instruction, decode, is_compressed_word
+from repro.utils.bits import mask, sext
+
+
+class StepEvent(enum.Enum):
+    """What happened during one step."""
+
+    RETIRED = "retired"            # a normal instruction retired
+    INTERRUPT = "interrupt"        # trap entry for an external interrupt
+    TRAP = "trap"                  # synchronous trap entry
+    MRET = "mret"                  # return from trap
+    WFI_SLEEP = "wfi-sleep"        # wfi retired, hart went to sleep
+    SLEEPING = "sleeping"          # hart idle, nothing pending
+    WAKE = "wake"                  # wake event consumed (wake_cycles)
+    HALT = "halt"                  # ecall/ebreak with no handler
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of one :meth:`Hart.step`.
+
+    Attributes:
+        event: what happened.
+        pc: pc of the retired instruction (or the sleeping/trap pc).
+        insn: the retired instruction, or ``None`` for non-retiring steps.
+        fall_through: ``pc + insn.length`` (the commit log's *next
+            address* field), or ``pc`` for non-retiring steps.
+        next_pc: architecturally next pc (branch/jump target if taken).
+        taken: for branches/jumps, whether control transferred.
+        cycles: cycles charged to this step.
+        mem_address: effective address for loads/stores, else ``None``.
+    """
+
+    event: StepEvent
+    pc: int
+    insn: Optional[Instruction]
+    fall_through: int
+    next_pc: int
+    taken: bool
+    cycles: int
+    mem_address: Optional[int] = None
+
+
+class Hart:
+    """A single RISC-V hart.
+
+    Args:
+        bus: load/store/fetch port.
+        timing: per-instruction cycle model.
+        xlen: 32 or 64.
+        reset_pc: initial program counter.
+        external_irq: level callback for the external interrupt line
+            (typically ``plic.irq_line``); ``None`` means tied low.
+        name: diagnostic name.
+        hartid: value of the ``mhartid`` CSR.
+    """
+
+    def __init__(
+        self,
+        bus: BusPort,
+        timing: TimingModel,
+        xlen: int = 32,
+        reset_pc: int = 0,
+        external_irq: Optional[Callable[[], bool]] = None,
+        name: str = "hart",
+        hartid: int = 0,
+    ):
+        if xlen not in (32, 64):
+            raise ValueError(f"xlen must be 32 or 64, got {xlen}")
+        self.bus = bus
+        self.timing = timing
+        self.xlen = xlen
+        self.name = name
+        self.pc = reset_pc & mask(xlen)
+        self.regs = RegisterFile(xlen)
+        self.csrs = CsrFile(xlen, hartid=hartid)
+        self.csrs.bind_hart(self)
+        self.external_irq = external_irq or (lambda: False)
+        self.cycle = 0
+        self.instret = 0
+        self.sleeping = False
+        self.halted = False
+        self._decode_cache: Dict[int, Instruction] = {}
+        self._mask = mask(xlen)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _sx(self, value: int) -> int:
+        """Value of a register interpreted as signed XLEN-bit."""
+        return sext(value, self.xlen)
+
+    def _fetch(self) -> Instruction:
+        low, _ = self.bus.fetch(self.pc, 2)
+        if is_compressed_word(low):
+            word = low
+        else:
+            high, _ = self.bus.fetch(self.pc + 2, 2)
+            word = low | (high << 16)
+        cached = self._decode_cache.get(word)
+        if cached is not None:
+            return cached
+        insn = decode(word, xlen=self.xlen)
+        self._decode_cache[word] = insn
+        return insn
+
+    def _interrupt_pending(self) -> bool:
+        mie = self.csrs.read(op.CSR_MIE)
+        return bool(mie & op.MIE_MEIE) and self.external_irq()
+
+    # -- trap entry/exit ------------------------------------------------------------
+
+    def _enter_trap(self, cause: int, interrupt: bool, tval: int = 0) -> StepResult:
+        handler = self.csrs.enter_trap(self.pc, cause, interrupt, tval)
+        if handler == 0:
+            # No trap vector installed: treat as a halt so victim programs
+            # and tests don't spin at address zero.
+            self.halted = True
+            self.cycle += 1
+            return StepResult(
+                event=StepEvent.HALT,
+                pc=self.pc,
+                insn=None,
+                fall_through=self.pc,
+                next_pc=self.pc,
+                taken=False,
+                cycles=1,
+            )
+        previous_pc = self.pc
+        self.pc = handler
+        cycles = self.timing.trap_entry_cycles
+        self.cycle += cycles
+        return StepResult(
+            event=StepEvent.INTERRUPT if interrupt else StepEvent.TRAP,
+            pc=previous_pc,
+            insn=None,
+            fall_through=previous_pc,
+            next_pc=handler,
+            taken=True,
+            cycles=cycles,
+        )
+
+    # -- main step -------------------------------------------------------------------
+
+    def step(self) -> StepResult:
+        """Advance the hart by one instruction (or one idle/wake event)."""
+        if self.halted:
+            raise SimulationError(f"{self.name}: step() after halt")
+
+        if self.sleeping:
+            if self._interrupt_pending():
+                self.sleeping = False
+                cycles = self.timing.wake_cycles
+                self.cycle += cycles
+                return StepResult(
+                    event=StepEvent.WAKE,
+                    pc=self.pc,
+                    insn=None,
+                    fall_through=self.pc,
+                    next_pc=self.pc,
+                    taken=False,
+                    cycles=cycles,
+                )
+            self.cycle += 1
+            return StepResult(
+                event=StepEvent.SLEEPING,
+                pc=self.pc,
+                insn=None,
+                fall_through=self.pc,
+                next_pc=self.pc,
+                taken=False,
+                cycles=1,
+            )
+
+        if self.csrs.mie_enabled and self._interrupt_pending():
+            return self._enter_trap(op.CAUSE_MACHINE_EXTERNAL_IRQ, interrupt=True)
+
+        pc = self.pc
+        try:
+            insn = self._fetch()
+        except DecodeError as exc:
+            exc.pc = pc
+            return self._enter_trap(op.CAUSE_ILLEGAL_INSTRUCTION, False, tval=exc.word)
+        except AccessFault:
+            return self._enter_trap(op.CAUSE_FETCH_ACCESS, False, tval=pc)
+
+        fall_through = (pc + insn.length) & self._mask
+        try:
+            outcome = self._execute(insn, pc, fall_through)
+        except TrapError as exc:
+            return self._enter_trap(exc.cause, False, tval=0)
+        except AccessFault as exc:
+            cause = op.CAUSE_STORE_ACCESS if exc.access == "write" else op.CAUSE_LOAD_ACCESS
+            return self._enter_trap(cause, False, tval=exc.address)
+
+        event, next_pc, taken, mem_cycles, mem_address = outcome
+        if event is StepEvent.HALT:
+            self.halted = True
+            self.cycle += 1
+            return StepResult(
+                event=event, pc=pc, insn=insn, fall_through=fall_through,
+                next_pc=pc, taken=False, cycles=1, mem_address=None,
+            )
+
+        cycles = self.timing.cycles_for(insn, taken, mem_cycles)
+        self.pc = next_pc
+        self.cycle += cycles
+        self.instret += 1
+        if event is StepEvent.WFI_SLEEP:
+            self.sleeping = True
+        return StepResult(
+            event=event,
+            pc=pc,
+            insn=insn,
+            fall_through=fall_through,
+            next_pc=next_pc,
+            taken=taken,
+            cycles=cycles,
+            mem_address=mem_address,
+        )
+
+    # -- execution of one decoded instruction -------------------------------------------
+
+    def _execute(self, insn: Instruction, pc: int, fall_through: int):
+        """Execute ``insn``; returns (event, next_pc, taken, mem_cycles, mem_addr)."""
+        m = insn.mnemonic
+        handler = _EXEC_TABLE.get(m)
+        if handler is None:
+            raise TrapError(op.CAUSE_ILLEGAL_INSTRUCTION, pc, f"unimplemented {m}")
+        return handler(self, insn, pc, fall_through)
+
+    # Individual semantic helpers (kept as methods for state access) ----------------
+
+    def _load(self, address: int, size: int, signed: bool) -> tuple:
+        value, cycles = self.bus.read(address & self._mask, size)
+        if signed:
+            value = sext(value, size * 8) & self._mask
+        return value, cycles
+
+    def _store(self, address: int, size: int, value: int) -> int:
+        return self.bus.write(address & self._mask, size, value & mask(size * 8))
+
+    # -- batch running ------------------------------------------------------------------
+
+    def run(
+        self,
+        max_steps: int = 1_000_000,
+        until: Optional[Callable[[StepResult], bool]] = None,
+        collect: bool = False,
+    ) -> List[StepResult]:
+        """Step until halt, ``until`` returns True, or ``max_steps``.
+
+        Args:
+            max_steps: hard step bound (guards infinite loops in tests).
+            until: optional stop predicate evaluated on each result.
+            collect: when True, every StepResult is returned (memory-heavy
+                for long runs; default returns only the last).
+
+        Returns:
+            the collected results (or a one-element list of the last).
+        """
+        results: List[StepResult] = []
+        last: Optional[StepResult] = None
+        for _ in range(max_steps):
+            if self.halted:
+                break
+            last = self.step()
+            if collect:
+                results.append(last)
+            if last.event is StepEvent.HALT:
+                break
+            if until is not None and until(last):
+                break
+        else:
+            raise SimulationError(f"{self.name}: run() exceeded {max_steps} steps")
+        if not collect and last is not None:
+            results.append(last)
+        return results
+
+
+# ------------------------------------------------------------------------------
+# Execution table.  Handlers return (event, next_pc, taken, mem_cycles, mem_addr).
+# ------------------------------------------------------------------------------
+
+def _alu_op(compute):
+    def run(hart: Hart, insn: Instruction, pc: int, fall_through: int):
+        hart.regs.write(insn.rd, compute(hart, insn))
+        return (StepEvent.RETIRED, fall_through, False, 0, None)
+
+    return run
+
+
+def _make_exec_table():
+    table = {}
+
+    # -- U-type ---------------------------------------------------------------
+    table["lui"] = _alu_op(lambda h, i: (i.imm << 12) & h._mask)
+
+    def auipc(h, i, pc, ft):
+        h.regs.write(i.rd, (pc + (i.imm << 12)) & h._mask)
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    table["auipc"] = auipc
+
+    # -- jumps ------------------------------------------------------------------
+    def jal(h, i, pc, ft):
+        h.regs.write(i.rd, ft)
+        target = (pc + i.imm) & h._mask
+        return (StepEvent.RETIRED, target, True, 0, None)
+
+    def jalr(h, i, pc, ft):
+        target = (h.regs.read(i.rs1) + i.imm) & h._mask & ~1
+        h.regs.write(i.rd, ft)
+        return (StepEvent.RETIRED, target, True, 0, None)
+
+    table["jal"] = jal
+    table["jalr"] = jalr
+
+    # -- branches ----------------------------------------------------------------
+    def branch(cond):
+        def run(h, i, pc, ft):
+            taken = cond(h, i)
+            next_pc = (pc + i.imm) & h._mask if taken else ft
+            return (StepEvent.RETIRED, next_pc, taken, 0, None)
+
+        return run
+
+    table["beq"] = branch(lambda h, i: h.regs.read(i.rs1) == h.regs.read(i.rs2))
+    table["bne"] = branch(lambda h, i: h.regs.read(i.rs1) != h.regs.read(i.rs2))
+    table["blt"] = branch(lambda h, i: h._sx(h.regs.read(i.rs1)) < h._sx(h.regs.read(i.rs2)))
+    table["bge"] = branch(lambda h, i: h._sx(h.regs.read(i.rs1)) >= h._sx(h.regs.read(i.rs2)))
+    table["bltu"] = branch(lambda h, i: h.regs.read(i.rs1) < h.regs.read(i.rs2))
+    table["bgeu"] = branch(lambda h, i: h.regs.read(i.rs1) >= h.regs.read(i.rs2))
+
+    # -- loads ---------------------------------------------------------------------
+    def load(size, signed):
+        def run(h, i, pc, ft):
+            address = (h.regs.read(i.rs1) + i.imm) & h._mask
+            value, cycles = h._load(address, size, signed)
+            h.regs.write(i.rd, value)
+            return (StepEvent.RETIRED, ft, False, cycles, address)
+
+        return run
+
+    table["lb"] = load(1, True)
+    table["lh"] = load(2, True)
+    table["lw"] = load(4, True)
+    table["ld"] = load(8, True)
+    table["lbu"] = load(1, False)
+    table["lhu"] = load(2, False)
+    table["lwu"] = load(4, False)
+
+    # -- stores -----------------------------------------------------------------------
+    def store(size):
+        def run(h, i, pc, ft):
+            address = (h.regs.read(i.rs1) + i.imm) & h._mask
+            cycles = h._store(address, size, h.regs.read(i.rs2))
+            return (StepEvent.RETIRED, ft, False, cycles, address)
+
+        return run
+
+    table["sb"] = store(1)
+    table["sh"] = store(2)
+    table["sw"] = store(4)
+    table["sd"] = store(8)
+
+    # -- immediate ALU -------------------------------------------------------------------
+    table["addi"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) + i.imm) & h._mask)
+    table["slti"] = _alu_op(lambda h, i: int(h._sx(h.regs.read(i.rs1)) < i.imm))
+    table["sltiu"] = _alu_op(lambda h, i: int(h.regs.read(i.rs1) < (i.imm & h._mask)))
+    table["xori"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) ^ i.imm) & h._mask)
+    table["ori"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) | i.imm) & h._mask)
+    table["andi"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) & i.imm) & h._mask)
+    table["slli"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) << i.imm) & h._mask)
+    table["srli"] = _alu_op(lambda h, i: h.regs.read(i.rs1) >> i.imm)
+    table["srai"] = _alu_op(lambda h, i: (h._sx(h.regs.read(i.rs1)) >> i.imm) & h._mask)
+
+    # -- register ALU -----------------------------------------------------------------------
+    def shamt(h, value):
+        return value & (h.xlen - 1)
+
+    table["add"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) + h.regs.read(i.rs2)) & h._mask)
+    table["sub"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) - h.regs.read(i.rs2)) & h._mask)
+    table["sll"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) << shamt(h, h.regs.read(i.rs2))) & h._mask)
+    table["slt"] = _alu_op(lambda h, i: int(h._sx(h.regs.read(i.rs1)) < h._sx(h.regs.read(i.rs2))))
+    table["sltu"] = _alu_op(lambda h, i: int(h.regs.read(i.rs1) < h.regs.read(i.rs2)))
+    table["xor"] = _alu_op(lambda h, i: h.regs.read(i.rs1) ^ h.regs.read(i.rs2))
+    table["srl"] = _alu_op(lambda h, i: h.regs.read(i.rs1) >> shamt(h, h.regs.read(i.rs2)))
+    table["sra"] = _alu_op(lambda h, i: (h._sx(h.regs.read(i.rs1)) >> shamt(h, h.regs.read(i.rs2))) & h._mask)
+    table["or"] = _alu_op(lambda h, i: h.regs.read(i.rs1) | h.regs.read(i.rs2))
+    table["and"] = _alu_op(lambda h, i: h.regs.read(i.rs1) & h.regs.read(i.rs2))
+
+    # -- RV64 W-forms ---------------------------------------------------------------------------
+    def w_result(h, value):
+        return sext(value & mask(32), 32) & h._mask
+
+    table["addiw"] = _alu_op(lambda h, i: w_result(h, h.regs.read(i.rs1) + i.imm))
+    table["slliw"] = _alu_op(lambda h, i: w_result(h, h.regs.read(i.rs1) << i.imm))
+    table["srliw"] = _alu_op(lambda h, i: w_result(h, (h.regs.read(i.rs1) & mask(32)) >> i.imm))
+    table["sraiw"] = _alu_op(lambda h, i: w_result(h, sext(h.regs.read(i.rs1) & mask(32), 32) >> i.imm))
+    table["addw"] = _alu_op(lambda h, i: w_result(h, h.regs.read(i.rs1) + h.regs.read(i.rs2)))
+    table["subw"] = _alu_op(lambda h, i: w_result(h, h.regs.read(i.rs1) - h.regs.read(i.rs2)))
+    table["sllw"] = _alu_op(lambda h, i: w_result(h, h.regs.read(i.rs1) << (h.regs.read(i.rs2) & 31)))
+    table["srlw"] = _alu_op(lambda h, i: w_result(h, (h.regs.read(i.rs1) & mask(32)) >> (h.regs.read(i.rs2) & 31)))
+    table["sraw"] = _alu_op(lambda h, i: w_result(h, sext(h.regs.read(i.rs1) & mask(32), 32) >> (h.regs.read(i.rs2) & 31)))
+
+    # -- M extension -------------------------------------------------------------------------------
+    def signed_pair(h, i):
+        return h._sx(h.regs.read(i.rs1)), h._sx(h.regs.read(i.rs2))
+
+    def div_signed(a, b):
+        if b == 0:
+            return -1
+        quotient = abs(a) // abs(b)
+        return -quotient if (a < 0) != (b < 0) else quotient
+
+    def rem_signed(a, b):
+        if b == 0:
+            return a
+        return a - div_signed(a, b) * b
+
+    table["mul"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) * h.regs.read(i.rs2)) & h._mask)
+    table["mulh"] = _alu_op(lambda h, i: ((signed_pair(h, i)[0] * signed_pair(h, i)[1]) >> h.xlen) & h._mask)
+    table["mulhsu"] = _alu_op(lambda h, i: ((h._sx(h.regs.read(i.rs1)) * h.regs.read(i.rs2)) >> h.xlen) & h._mask)
+    table["mulhu"] = _alu_op(lambda h, i: ((h.regs.read(i.rs1) * h.regs.read(i.rs2)) >> h.xlen) & h._mask)
+    table["div"] = _alu_op(lambda h, i: div_signed(*signed_pair(h, i)) & h._mask)
+    table["divu"] = _alu_op(
+        lambda h, i: (h._mask if h.regs.read(i.rs2) == 0 else h.regs.read(i.rs1) // h.regs.read(i.rs2)) & h._mask
+    )
+    table["rem"] = _alu_op(lambda h, i: rem_signed(*signed_pair(h, i)) & h._mask)
+    table["remu"] = _alu_op(
+        lambda h, i: (h.regs.read(i.rs1) if h.regs.read(i.rs2) == 0 else h.regs.read(i.rs1) % h.regs.read(i.rs2)) & h._mask
+    )
+    table["mulw"] = _alu_op(lambda h, i: w_result(h, h.regs.read(i.rs1) * h.regs.read(i.rs2)))
+    table["divw"] = _alu_op(
+        lambda h, i: w_result(h, div_signed(sext(h.regs.read(i.rs1) & mask(32), 32), sext(h.regs.read(i.rs2) & mask(32), 32)))
+    )
+    table["divuw"] = _alu_op(
+        lambda h, i: w_result(
+            h,
+            mask(32) if (h.regs.read(i.rs2) & mask(32)) == 0
+            else (h.regs.read(i.rs1) & mask(32)) // (h.regs.read(i.rs2) & mask(32)),
+        )
+    )
+    table["remw"] = _alu_op(
+        lambda h, i: w_result(h, rem_signed(sext(h.regs.read(i.rs1) & mask(32), 32), sext(h.regs.read(i.rs2) & mask(32), 32)))
+    )
+    table["remuw"] = _alu_op(
+        lambda h, i: w_result(
+            h,
+            (h.regs.read(i.rs1) & mask(32)) if (h.regs.read(i.rs2) & mask(32)) == 0
+            else (h.regs.read(i.rs1) & mask(32)) % (h.regs.read(i.rs2) & mask(32)),
+        )
+    )
+
+    # -- Zicsr ----------------------------------------------------------------------------------------
+    def csr_op(write_value):
+        def run(h, i, pc, ft):
+            old = h.csrs.read(i.csr)
+            new = write_value(h, i, old)
+            if new is not None:
+                h.csrs.write(i.csr, new)
+            h.regs.write(i.rd, old)
+            return (StepEvent.RETIRED, ft, False, 0, None)
+
+        return run
+
+    table["csrrw"] = csr_op(lambda h, i, old: h.regs.read(i.rs1))
+    table["csrrs"] = csr_op(lambda h, i, old: (old | h.regs.read(i.rs1)) if i.rs1 else None)
+    table["csrrc"] = csr_op(lambda h, i, old: (old & ~h.regs.read(i.rs1)) if i.rs1 else None)
+    table["csrrwi"] = csr_op(lambda h, i, old: i.imm)
+    table["csrrsi"] = csr_op(lambda h, i, old: (old | i.imm) if i.imm else None)
+    table["csrrci"] = csr_op(lambda h, i, old: (old & ~i.imm) if i.imm else None)
+
+    # -- system -------------------------------------------------------------------------------------------
+    def mret(h, i, pc, ft):
+        resume = h.csrs.exit_trap()
+        return (StepEvent.MRET, resume, True, 0, None)
+
+    def wfi(h, i, pc, ft):
+        return (StepEvent.WFI_SLEEP, ft, False, 0, None)
+
+    def ecall(h, i, pc, ft):
+        if h.csrs.read(op.CSR_MTVEC) == 0:
+            return (StepEvent.HALT, pc, False, 0, None)
+        raise TrapError(op.CAUSE_ECALL_M, pc)
+
+    def ebreak(h, i, pc, ft):
+        # Semihosting-style termination: programs in this reproduction end
+        # with ebreak, so it always halts rather than trapping (the CFI
+        # firmware never executes one).
+        return (StepEvent.HALT, pc, False, 0, None)
+
+    def fence(h, i, pc, ft):
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    table["mret"] = mret
+    table["wfi"] = wfi
+    table["ecall"] = ecall
+    table["ebreak"] = ebreak
+    table["fence"] = fence
+    table["fence.i"] = fence
+
+    return table
+
+
+_EXEC_TABLE = _make_exec_table()

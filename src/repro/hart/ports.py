@@ -1,0 +1,79 @@
+"""Bus ports: how a hart's loads, stores and fetches reach the fabric.
+
+The two cores of the reference SoC sit on different fabrics — CVA6 on
+the AXI side (modelled here as direct memory-map access with region
+latencies) and Ibex behind OpenTitan's TL-UL crossbar.  A common
+:class:`BusPort` protocol hides that from the execution engine; every
+access returns the cycles it consumed so the timing model can charge
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Tuple
+
+from repro.mem.map import MemoryMap
+from repro.soc.tilelink import TlulXbar
+
+
+class BusPort(Protocol):
+    """Load/store/fetch interface given to a :class:`repro.hart.core.Hart`."""
+
+    def read(self, address: int, size: int) -> Tuple[int, int]:
+        """Data read; returns ``(value, cycles)``."""
+        ...
+
+    def write(self, address: int, size: int, value: int) -> int:
+        """Data write; returns cycles."""
+        ...
+
+    def fetch(self, address: int, size: int) -> Tuple[int, int]:
+        """Instruction fetch; returns ``(value, cycles)``."""
+        ...
+
+
+class MapPort:
+    """Direct memory-map port (CVA6 host-domain view).
+
+    Access cost is the mapped region's latency — the host crossbar's
+    contribution is folded into those latencies by the SoC builder.
+    """
+
+    def __init__(self, memory_map: MemoryMap):
+        self.map = memory_map
+
+    def read(self, address: int, size: int) -> Tuple[int, int]:
+        value = self.map.read(address, size)
+        return value, self.map.latency(address)
+
+    def write(self, address: int, size: int, value: int) -> int:
+        self.map.write(address, size, value)
+        return self.map.latency(address)
+
+    def fetch(self, address: int, size: int) -> Tuple[int, int]:
+        value = self.map.fetch(address, size)
+        return value, self.map.latency(address)
+
+
+class TlulPort:
+    """TL-UL crossbar port (Ibex's view inside OpenTitan).
+
+    Fetches bypass the timed data path: Ibex's prefetch buffer hides
+    instruction-memory latency for the straight-line firmware we model,
+    and the paper's cycle accounting charges fetch stalls to the
+    instruction itself (via the timing model), not to the bus.
+    """
+
+    def __init__(self, xbar: TlulXbar, master: str = "ibex"):
+        self.xbar = xbar
+        self.master = master
+
+    def read(self, address: int, size: int) -> Tuple[int, int]:
+        return self.xbar.read(self.master, address, size)
+
+    def write(self, address: int, size: int, value: int) -> int:
+        return self.xbar.write(self.master, address, size, value)
+
+    def fetch(self, address: int, size: int) -> Tuple[int, int]:
+        value = self.xbar.map.fetch(address, size)
+        return value, 0

@@ -1,0 +1,133 @@
+"""Static per-instruction timing models for the two cores.
+
+The reproduction replaces RTL cycle accuracy with calibrated static
+models (see DESIGN.md §2).  Costs are charged per *retired* instruction:
+
+* :class:`IbexTiming` follows the public Ibex documentation for the
+  3-stage, single-issue core (taken branches 3 cycles, jumps 2, loads
+  and stores dominated by the TL-UL round trip) and reproduces the
+  paper's §V-B measurements: ~5-cycle scratchpad accesses and a
+  45-cycle doorbell-to-wakeup latency.
+* :class:`Cva6Timing` approximates the 6-stage application core: most
+  integer ops single-cycle, a branch-resolution penalty on taken
+  branches, memory at region latency.
+
+Memory-access instructions are charged exactly the cycles their bus
+port reports, so fabric configuration (standard vs. the paper's
+"Optimized" low-latency interconnect) flows straight into firmware
+cycle counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.isa.decode import Instruction
+
+_LOADS = frozenset({"lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"})
+_STORES = frozenset({"sb", "sh", "sw", "sd"})
+_BRANCHES = frozenset({"beq", "bne", "blt", "bge", "bltu", "bgeu"})
+_JUMPS = frozenset({"jal", "jalr"})
+_MUL = frozenset({"mul", "mulh", "mulhsu", "mulhu", "mulw"})
+_DIV = frozenset({"div", "divu", "rem", "remu", "divw", "divuw", "remw", "remuw"})
+_CSR = frozenset({"csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci"})
+
+
+class TimingModel(Protocol):
+    """Cycle cost of one retired instruction."""
+
+    #: Cycles from a pending wake event to the first fetched instruction.
+    wake_cycles: int
+    #: Pipeline cost of entering a trap/interrupt handler.
+    trap_entry_cycles: int
+
+    def cycles_for(self, insn: Instruction, taken: bool, mem_cycles: int) -> int:
+        """Cycles charged for ``insn``.
+
+        Args:
+            insn: the retired instruction.
+            taken: for branches, whether the branch was taken.
+            mem_cycles: bus-reported cycles for loads/stores (0 otherwise).
+        """
+        ...
+
+
+@dataclass
+class IbexTiming:
+    """Ibex (RV32IMC, 3-stage, low gate count) static timing.
+
+    ``wake_cycles`` reproduces the paper's measured 45 cycles from the
+    doorbell interrupt to Ibex leaving sleep (§V-B).
+    """
+
+    alu_cycles: int = 1
+    taken_branch_cycles: int = 3
+    untaken_branch_cycles: int = 1
+    jump_cycles: int = 2
+    mul_cycles: int = 1          # single-cycle multiplier configuration
+    div_cycles: int = 37         # iterative divider
+    csr_cycles: int = 1
+    mret_cycles: int = 4
+    trap_entry_cycles: int = 3
+    wake_cycles: int = 45
+
+    def cycles_for(self, insn: Instruction, taken: bool, mem_cycles: int) -> int:
+        m = insn.mnemonic
+        if m in _LOADS or m in _STORES:
+            # The TL-UL port reports the full round trip; charge it as-is.
+            return max(1, mem_cycles)
+        if m in _BRANCHES:
+            return self.taken_branch_cycles if taken else self.untaken_branch_cycles
+        if m in _JUMPS:
+            return self.jump_cycles
+        if m in _MUL:
+            return self.mul_cycles
+        if m in _DIV:
+            return self.div_cycles
+        if m in _CSR:
+            return self.csr_cycles
+        if m == "mret":
+            return self.mret_cycles
+        return self.alu_cycles
+
+
+@dataclass
+class Cva6Timing:
+    """CVA6 (RV64GC, 6-stage, single-issue) static timing."""
+
+    alu_cycles: int = 1
+    taken_branch_cycles: int = 3  # average resolution penalty
+    untaken_branch_cycles: int = 1
+    jump_cycles: int = 1          # direct jumps are predicted
+    jalr_cycles: int = 3          # indirect targets resolve in EX
+    load_base_cycles: int = 1
+    store_base_cycles: int = 1
+    mul_cycles: int = 2
+    div_cycles: int = 20
+    csr_cycles: int = 1
+    mret_cycles: int = 5
+    trap_entry_cycles: int = 5
+    wake_cycles: int = 10
+
+    def cycles_for(self, insn: Instruction, taken: bool, mem_cycles: int) -> int:
+        m = insn.mnemonic
+        if m in _LOADS:
+            return self.load_base_cycles + mem_cycles
+        if m in _STORES:
+            return self.store_base_cycles + mem_cycles
+        if m in _BRANCHES:
+            return self.taken_branch_cycles if taken else self.untaken_branch_cycles
+        if m == "jal":
+            return self.jump_cycles
+        if m == "jalr":
+            return self.jalr_cycles
+        if m in _MUL:
+            return self.mul_cycles
+        if m in _DIV:
+            return self.div_cycles
+        if m in _CSR:
+            return self.csr_cycles
+        if m == "mret":
+            return self.mret_cycles
+        return self.alu_cycles

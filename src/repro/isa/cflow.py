@@ -1,0 +1,120 @@
+"""Control-flow classification of decoded instructions.
+
+This module encodes the rules the TitanCFI CFI filter applies in the CVA6
+commit stage (paper §IV-B1): select *indirect jumps*, *function returns*
+and *function calls* from the retired stream.  Classification follows the
+RISC-V ABI's link-register convention (unprivileged spec, table 2.1):
+
+* ``jal rd`` with ``rd ∈ {ra, t0}``                    → **call** (direct)
+* ``jalr rd, rs1`` with ``rd ∈ {ra, t0}``              → **call** (indirect)
+* ``jalr x0, rs1`` with ``rs1 ∈ {ra, t0}``             → **return**
+* any other ``jalr``                                   → **indirect jump**
+* ``jal x0``                                           → direct jump
+  (statically verifiable, *not* streamed to the RoT)
+* conditional branches                                 → direct,
+  not streamed (their targets are immediate-encoded)
+
+The same classification runs again, in software, inside the OpenTitan
+firmware when it parses the commit-log encoding — both sides share this
+module so a disagreement is impossible by construction, mirroring the
+paper where both sides operate on the same uncompressed encoding.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.isa.decode import Instruction, decode
+from repro.isa.registers import LINK_REGS
+
+
+class CfKind(enum.Enum):
+    """Category of a control-flow transfer, from the CFI policy's view."""
+
+    NONE = "none"                    # not a control-flow instruction
+    CALL = "call"                    # jal/jalr writing a link register
+    RETURN = "return"                # jalr x0 from a link register
+    INDIRECT_JUMP = "indirect-jump"  # other jalr
+    DIRECT_JUMP = "direct-jump"      # jal x0 (not CFI-relevant)
+    BRANCH = "branch"                # conditional branch (not CFI-relevant)
+
+    @property
+    def cfi_relevant(self) -> bool:
+        """True when the TitanCFI filter forwards this event to the RoT."""
+        return self in _CFI_RELEVANT
+
+
+_CFI_RELEVANT = frozenset({CfKind.CALL, CfKind.RETURN, CfKind.INDIRECT_JUMP})
+
+_BRANCH_MNEMONICS = frozenset({"beq", "bne", "blt", "bge", "bltu", "bgeu"})
+
+
+def classify(insn: Instruction) -> CfKind:
+    """Classify a decoded instruction per the rules above."""
+    if insn.mnemonic == "jal":
+        if insn.rd in LINK_REGS:
+            return CfKind.CALL
+        return CfKind.DIRECT_JUMP
+    if insn.mnemonic == "jalr":
+        rd = insn.rd or 0
+        rs1 = insn.rs1 or 0
+        if rd in LINK_REGS:
+            # Covers plain calls and co-routine style jalr ra, ra.
+            return CfKind.CALL
+        if rd == 0 and rs1 in LINK_REGS:
+            return CfKind.RETURN
+        return CfKind.INDIRECT_JUMP
+    if insn.mnemonic in _BRANCH_MNEMONICS:
+        return CfKind.BRANCH
+    return CfKind.NONE
+
+
+def classify_word(word: int, xlen: int = 64) -> CfKind:
+    """Classify a raw encoding; decode failures yield :attr:`CfKind.NONE`.
+
+    This is the firmware-side entry point: the Ibex ISR receives the raw
+    uncompressed encoding from the commit log and must never trap on it.
+    """
+    try:
+        insn = decode(word, xlen=xlen)
+    except Exception:
+        return CfKind.NONE
+    return classify(insn)
+
+
+def is_control_flow(insn: Instruction) -> bool:
+    """True for any transfer of control (including direct jumps/branches)."""
+    return classify(insn) is not CfKind.NONE
+
+
+def is_cfi_relevant(insn: Instruction) -> bool:
+    """True when the CFI filter must forward this instruction to the RoT."""
+    return classify(insn).cfi_relevant
+
+
+def is_call(insn: Instruction) -> bool:
+    """True for function calls (direct or indirect)."""
+    return classify(insn) is CfKind.CALL
+
+
+def is_return(insn: Instruction) -> bool:
+    """True for function returns."""
+    return classify(insn) is CfKind.RETURN
+
+
+def is_indirect_jump(insn: Instruction) -> bool:
+    """True for non-call, non-return indirect jumps."""
+    return classify(insn) is CfKind.INDIRECT_JUMP
+
+
+def expected_return_address(insn: Instruction, pc: int) -> Optional[int]:
+    """Return address a call at ``pc`` will push (``pc + length``).
+
+    Returns ``None`` when ``insn`` is not a call.  The shadow-stack policy
+    pushes exactly this value; the commit log's *next address* field
+    carries it (paper §IV-B1, field iii).
+    """
+    if not is_call(insn):
+        return None
+    return pc + insn.length

@@ -1,0 +1,546 @@
+"""RISC-V instruction decoder (RV32/RV64 I + M + C + Zicsr + machine mode).
+
+Compressed instructions are decoded by *expansion*: the 16-bit form is
+first rewritten into its architecturally-equivalent 32-bit encoding and
+that word is decoded.  The expanded word is kept on the
+:class:`Instruction` — the TitanCFI commit log transports exactly this
+"uncompressed binary encoding" (paper §IV-B1), so the expansion path is
+part of the system under reproduction, not a convenience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import DecodeError
+from repro.isa import opcodes as op
+from repro.isa.encode import (
+    encode_b,
+    encode_i,
+    encode_i_unsigned,
+    encode_j,
+    encode_r,
+    encode_s,
+    encode_shift,
+    encode_u,
+)
+from repro.utils.bits import bit, bits, sext
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction.
+
+    Attributes:
+        mnemonic: canonical (expanded) mnemonic, e.g. ``"jalr"``.
+        raw: the instruction bits as fetched (16 bits if compressed).
+        expanded: the 32-bit equivalent encoding (== ``raw`` if not
+            compressed).  This is the value the CFI filter places in the
+            commit log.
+        length: 2 for compressed, 4 otherwise.
+        rd/rs1/rs2: register operand indices, or ``None`` when the format
+            has no such operand.
+        imm: decoded immediate (sign-extended), or ``None``.
+        csr: CSR address for Zicsr instructions, or ``None``.
+        compressed_mnemonic: original RVC mnemonic (e.g. ``"c.jr"``), or
+            ``None`` when the instruction was not compressed.
+    """
+
+    mnemonic: str
+    raw: int
+    expanded: int
+    length: int
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: Optional[int] = None
+    csr: Optional[int] = None
+    compressed_mnemonic: Optional[str] = None
+
+    @property
+    def compressed(self) -> bool:
+        """True when the fetched encoding was 16-bit."""
+        return self.length == 2
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.isa.disasm import disassemble
+
+        return disassemble(self)
+
+
+def is_compressed_word(word: int) -> bool:
+    """True when the low 16 bits encode a compressed instruction."""
+    return (word & 0b11) != op.C_UNCOMPRESSED
+
+
+def instruction_length(word: int) -> int:
+    """Length in bytes implied by the low bits of a fetched word."""
+    return 2 if is_compressed_word(word) else 4
+
+
+# --------------------------------------------------------------------------
+# 32-bit decode.
+# --------------------------------------------------------------------------
+
+_LOAD_MNEMONICS = {
+    op.F3_LB: "lb",
+    op.F3_LH: "lh",
+    op.F3_LW: "lw",
+    op.F3_LD: "ld",
+    op.F3_LBU: "lbu",
+    op.F3_LHU: "lhu",
+    op.F3_LWU: "lwu",
+}
+_STORE_MNEMONICS = {
+    op.F3_SB: "sb",
+    op.F3_SH: "sh",
+    op.F3_SW: "sw",
+    op.F3_SD: "sd",
+}
+_BRANCH_MNEMONICS = {
+    op.F3_BEQ: "beq",
+    op.F3_BNE: "bne",
+    op.F3_BLT: "blt",
+    op.F3_BGE: "bge",
+    op.F3_BLTU: "bltu",
+    op.F3_BGEU: "bgeu",
+}
+_OP_IMM_MNEMONICS = {
+    op.F3_ADD_SUB: "addi",
+    op.F3_SLT: "slti",
+    op.F3_SLTU: "sltiu",
+    op.F3_XOR: "xori",
+    op.F3_OR: "ori",
+    op.F3_AND: "andi",
+}
+_OP_MNEMONICS = {
+    (op.F7_BASE, op.F3_ADD_SUB): "add",
+    (op.F7_SUB_SRA, op.F3_ADD_SUB): "sub",
+    (op.F7_BASE, op.F3_SLL): "sll",
+    (op.F7_BASE, op.F3_SLT): "slt",
+    (op.F7_BASE, op.F3_SLTU): "sltu",
+    (op.F7_BASE, op.F3_XOR): "xor",
+    (op.F7_BASE, op.F3_SRL_SRA): "srl",
+    (op.F7_SUB_SRA, op.F3_SRL_SRA): "sra",
+    (op.F7_BASE, op.F3_OR): "or",
+    (op.F7_BASE, op.F3_AND): "and",
+    (op.F7_MULDIV, op.F3_MUL): "mul",
+    (op.F7_MULDIV, op.F3_MULH): "mulh",
+    (op.F7_MULDIV, op.F3_MULHSU): "mulhsu",
+    (op.F7_MULDIV, op.F3_MULHU): "mulhu",
+    (op.F7_MULDIV, op.F3_DIV): "div",
+    (op.F7_MULDIV, op.F3_DIVU): "divu",
+    (op.F7_MULDIV, op.F3_REM): "rem",
+    (op.F7_MULDIV, op.F3_REMU): "remu",
+}
+_OP32_MNEMONICS = {
+    (op.F7_BASE, op.F3_ADD_SUB): "addw",
+    (op.F7_SUB_SRA, op.F3_ADD_SUB): "subw",
+    (op.F7_BASE, op.F3_SLL): "sllw",
+    (op.F7_BASE, op.F3_SRL_SRA): "srlw",
+    (op.F7_SUB_SRA, op.F3_SRL_SRA): "sraw",
+    (op.F7_MULDIV, op.F3_MUL): "mulw",
+    (op.F7_MULDIV, op.F3_DIV): "divw",
+    (op.F7_MULDIV, op.F3_DIVU): "divuw",
+    (op.F7_MULDIV, op.F3_REM): "remw",
+    (op.F7_MULDIV, op.F3_REMU): "remuw",
+}
+_CSR_MNEMONICS = {
+    op.F3_CSRRW: "csrrw",
+    op.F3_CSRRS: "csrrs",
+    op.F3_CSRRC: "csrrc",
+    op.F3_CSRRWI: "csrrwi",
+    op.F3_CSRRSI: "csrrsi",
+    op.F3_CSRRCI: "csrrci",
+}
+
+
+def _imm_i(word: int) -> int:
+    return sext(bits(word, 31, 20), 12)
+
+
+def _imm_s(word: int) -> int:
+    return sext((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12)
+
+
+def _imm_b(word: int) -> int:
+    value = (
+        (bit(word, 31) << 12)
+        | (bit(word, 7) << 11)
+        | (bits(word, 30, 25) << 5)
+        | (bits(word, 11, 8) << 1)
+    )
+    return sext(value, 13)
+
+
+def _imm_u(word: int) -> int:
+    return sext(bits(word, 31, 12), 20)
+
+
+def _imm_j(word: int) -> int:
+    value = (
+        (bit(word, 31) << 20)
+        | (bits(word, 19, 12) << 12)
+        | (bit(word, 20) << 11)
+        | (bits(word, 30, 21) << 1)
+    )
+    return sext(value, 21)
+
+
+def _decode32(word: int, xlen: int, raw: int, length: int, cm: Optional[str]) -> Instruction:
+    """Decode a 32-bit instruction word.
+
+    ``raw``/``length``/``cm`` carry the original compressed form when the
+    word came out of the RVC expander.
+    """
+    opcode = bits(word, 6, 0)
+    rd = bits(word, 11, 7)
+    funct3 = bits(word, 14, 12)
+    rs1 = bits(word, 19, 15)
+    rs2 = bits(word, 24, 20)
+    funct7 = bits(word, 31, 25)
+
+    def make(mnemonic: str, **fields) -> Instruction:
+        return Instruction(
+            mnemonic=mnemonic,
+            raw=raw,
+            expanded=word,
+            length=length,
+            compressed_mnemonic=cm,
+            **fields,
+        )
+
+    if opcode == op.OP_LUI:
+        return make("lui", rd=rd, imm=_imm_u(word))
+    if opcode == op.OP_AUIPC:
+        return make("auipc", rd=rd, imm=_imm_u(word))
+    if opcode == op.OP_JAL:
+        return make("jal", rd=rd, imm=_imm_j(word))
+    if opcode == op.OP_JALR:
+        if funct3 != 0:
+            raise DecodeError(f"bad JALR funct3={funct3}", word)
+        return make("jalr", rd=rd, rs1=rs1, imm=_imm_i(word))
+    if opcode == op.OP_BRANCH:
+        if funct3 not in _BRANCH_MNEMONICS:
+            raise DecodeError(f"bad branch funct3={funct3}", word)
+        return make(_BRANCH_MNEMONICS[funct3], rs1=rs1, rs2=rs2, imm=_imm_b(word))
+    if opcode == op.OP_LOAD:
+        if funct3 not in _LOAD_MNEMONICS:
+            raise DecodeError(f"bad load funct3={funct3}", word)
+        mnemonic = _LOAD_MNEMONICS[funct3]
+        if xlen == 32 and mnemonic in ("ld", "lwu"):
+            raise DecodeError(f"{mnemonic} is RV64-only", word)
+        return make(mnemonic, rd=rd, rs1=rs1, imm=_imm_i(word))
+    if opcode == op.OP_STORE:
+        if funct3 not in _STORE_MNEMONICS:
+            raise DecodeError(f"bad store funct3={funct3}", word)
+        mnemonic = _STORE_MNEMONICS[funct3]
+        if xlen == 32 and mnemonic == "sd":
+            raise DecodeError("sd is RV64-only", word)
+        return make(mnemonic, rs1=rs1, rs2=rs2, imm=_imm_s(word))
+    if opcode == op.OP_IMM:
+        if funct3 == op.F3_SLL:
+            shamt = bits(word, 25, 20) if xlen == 64 else bits(word, 24, 20)
+            top = bits(word, 31, 26) if xlen == 64 else funct7
+            if top != 0:
+                raise DecodeError("bad slli encoding", word)
+            return make("slli", rd=rd, rs1=rs1, imm=shamt)
+        if funct3 == op.F3_SRL_SRA:
+            shamt = bits(word, 25, 20) if xlen == 64 else bits(word, 24, 20)
+            top = bits(word, 31, 26) if xlen == 64 else funct7
+            arith_bit = 0b010000 if xlen == 64 else op.F7_SUB_SRA
+            if top == 0:
+                return make("srli", rd=rd, rs1=rs1, imm=shamt)
+            if top == arith_bit:
+                return make("srai", rd=rd, rs1=rs1, imm=shamt)
+            raise DecodeError("bad srli/srai encoding", word)
+        if funct3 in _OP_IMM_MNEMONICS:
+            return make(_OP_IMM_MNEMONICS[funct3], rd=rd, rs1=rs1, imm=_imm_i(word))
+        raise DecodeError(f"bad OP-IMM funct3={funct3}", word)
+    if opcode == op.OP_IMM_32:
+        if xlen != 64:
+            raise DecodeError("OP-IMM-32 is RV64-only", word)
+        if funct3 == op.F3_ADD_SUB:
+            return make("addiw", rd=rd, rs1=rs1, imm=_imm_i(word))
+        if funct3 == op.F3_SLL:
+            if funct7 != 0:
+                raise DecodeError("bad slliw encoding", word)
+            return make("slliw", rd=rd, rs1=rs1, imm=rs2)
+        if funct3 == op.F3_SRL_SRA:
+            if funct7 == op.F7_BASE:
+                return make("srliw", rd=rd, rs1=rs1, imm=rs2)
+            if funct7 == op.F7_SUB_SRA:
+                return make("sraiw", rd=rd, rs1=rs1, imm=rs2)
+            raise DecodeError("bad srliw/sraiw encoding", word)
+        raise DecodeError(f"bad OP-IMM-32 funct3={funct3}", word)
+    if opcode == op.OP_REG:
+        key = (funct7, funct3)
+        if key not in _OP_MNEMONICS:
+            raise DecodeError(f"bad OP funct7={funct7:#04x} funct3={funct3}", word)
+        return make(_OP_MNEMONICS[key], rd=rd, rs1=rs1, rs2=rs2)
+    if opcode == op.OP_REG_32:
+        if xlen != 64:
+            raise DecodeError("OP-32 is RV64-only", word)
+        key = (funct7, funct3)
+        if key not in _OP32_MNEMONICS:
+            raise DecodeError(f"bad OP-32 funct7={funct7:#04x} funct3={funct3}", word)
+        return make(_OP32_MNEMONICS[key], rd=rd, rs1=rs1, rs2=rs2)
+    if opcode == op.OP_MISC_MEM:
+        if funct3 == 0b000:
+            return make("fence", rd=rd, rs1=rs1, imm=_imm_i(word))
+        if funct3 == 0b001:
+            return make("fence.i", rd=rd, rs1=rs1, imm=_imm_i(word))
+        raise DecodeError(f"bad MISC-MEM funct3={funct3}", word)
+    if opcode == op.OP_SYSTEM:
+        if funct3 == op.F3_PRIV:
+            imm12 = bits(word, 31, 20)
+            if rd != 0 or rs1 != 0:
+                raise DecodeError("bad SYSTEM encoding", word)
+            if imm12 == op.IMM12_ECALL:
+                return make("ecall")
+            if imm12 == op.IMM12_EBREAK:
+                return make("ebreak")
+            if imm12 == op.IMM12_MRET:
+                return make("mret")
+            if imm12 == op.IMM12_WFI:
+                return make("wfi")
+            raise DecodeError(f"unsupported SYSTEM imm12={imm12:#x}", word)
+        if funct3 in _CSR_MNEMONICS:
+            csr = bits(word, 31, 20)
+            # For immediate forms rs1 is a 5-bit zero-extended immediate.
+            if funct3 in (op.F3_CSRRWI, op.F3_CSRRSI, op.F3_CSRRCI):
+                return make(_CSR_MNEMONICS[funct3], rd=rd, imm=rs1, csr=csr)
+            return make(_CSR_MNEMONICS[funct3], rd=rd, rs1=rs1, csr=csr)
+        raise DecodeError(f"bad SYSTEM funct3={funct3}", word)
+    raise DecodeError(f"unsupported opcode {opcode:#04x}", word)
+
+
+# --------------------------------------------------------------------------
+# Compressed expansion.
+# --------------------------------------------------------------------------
+
+
+def _creg(field: int) -> int:
+    """Map a 3-bit compressed register field to x8..x15."""
+    return 8 + field
+
+
+def expand_compressed(hword: int, xlen: int) -> Tuple[int, str]:
+    """Expand a 16-bit RVC instruction into its 32-bit equivalent.
+
+    Returns:
+        ``(word32, rvc_mnemonic)``.
+
+    Raises:
+        DecodeError: for illegal or unsupported (e.g. floating-point)
+            compressed encodings.
+    """
+    hword &= 0xFFFF
+    if hword == 0:
+        raise DecodeError("illegal compressed instruction 0x0000", hword)
+    quadrant = bits(hword, 1, 0)
+    funct3 = bits(hword, 15, 13)
+
+    if quadrant == op.C_QUADRANT0:
+        return _expand_q0(hword, funct3, xlen)
+    if quadrant == op.C_QUADRANT1:
+        return _expand_q1(hword, funct3, xlen)
+    if quadrant == op.C_QUADRANT2:
+        return _expand_q2(hword, funct3, xlen)
+    raise DecodeError("not a compressed instruction", hword)
+
+
+def _expand_q0(hword: int, funct3: int, xlen: int) -> Tuple[int, str]:
+    rd_p = _creg(bits(hword, 4, 2))
+    rs1_p = _creg(bits(hword, 9, 7))
+    if funct3 == 0b000:
+        # c.addi4spn: addi rd', x2, nzuimm
+        nzuimm = (
+            (bits(hword, 10, 7) << 6)
+            | (bits(hword, 12, 11) << 4)
+            | (bit(hword, 5) << 3)
+            | (bit(hword, 6) << 2)
+        )
+        if nzuimm == 0:
+            raise DecodeError("c.addi4spn with zero immediate", hword)
+        return encode_i(op.OP_IMM, op.F3_ADD_SUB, rd_p, 2, nzuimm), "c.addi4spn"
+    if funct3 == 0b010:
+        # c.lw: lw rd', uimm(rs1')
+        uimm = (bit(hword, 5) << 6) | (bits(hword, 12, 10) << 3) | (bit(hword, 6) << 2)
+        return encode_i(op.OP_LOAD, op.F3_LW, rd_p, rs1_p, uimm), "c.lw"
+    if funct3 == 0b011 and xlen == 64:
+        # c.ld: ld rd', uimm(rs1')
+        uimm = (bits(hword, 6, 5) << 6) | (bits(hword, 12, 10) << 3)
+        return encode_i(op.OP_LOAD, op.F3_LD, rd_p, rs1_p, uimm), "c.ld"
+    if funct3 == 0b110:
+        # c.sw: sw rs2', uimm(rs1')
+        uimm = (bit(hword, 5) << 6) | (bits(hword, 12, 10) << 3) | (bit(hword, 6) << 2)
+        return encode_s(op.OP_STORE, op.F3_SW, rs1_p, rd_p, uimm), "c.sw"
+    if funct3 == 0b111 and xlen == 64:
+        # c.sd: sd rs2', uimm(rs1')
+        uimm = (bits(hword, 6, 5) << 6) | (bits(hword, 12, 10) << 3)
+        return encode_s(op.OP_STORE, op.F3_SD, rs1_p, rd_p, uimm), "c.sd"
+    raise DecodeError(f"unsupported C0 funct3={funct3}", hword)
+
+
+def _expand_q1(hword: int, funct3: int, xlen: int) -> Tuple[int, str]:
+    rd = bits(hword, 11, 7)
+    rd_p = _creg(bits(hword, 9, 7))
+    rs2_p = _creg(bits(hword, 4, 2))
+    imm6 = sext((bit(hword, 12) << 5) | bits(hword, 6, 2), 6)
+    if funct3 == 0b000:
+        # c.nop / c.addi
+        name = "c.nop" if rd == 0 else "c.addi"
+        return encode_i(op.OP_IMM, op.F3_ADD_SUB, rd, rd, imm6), name
+    if funct3 == 0b001:
+        if xlen == 32:
+            return encode_j(op.OP_JAL, 1, _cj_offset(hword)), "c.jal"
+        if rd == 0:
+            raise DecodeError("reserved c.addiw with rd=0", hword)
+        return encode_i(op.OP_IMM_32, op.F3_ADD_SUB, rd, rd, imm6), "c.addiw"
+    if funct3 == 0b010:
+        # c.li: addi rd, x0, imm
+        return encode_i(op.OP_IMM, op.F3_ADD_SUB, rd, 0, imm6), "c.li"
+    if funct3 == 0b011:
+        if rd == 2:
+            # c.addi16sp
+            nzimm = sext(
+                (bit(hword, 12) << 9)
+                | (bits(hword, 4, 3) << 7)
+                | (bit(hword, 5) << 6)
+                | (bit(hword, 2) << 5)
+                | (bit(hword, 6) << 4),
+                10,
+            )
+            if nzimm == 0:
+                raise DecodeError("c.addi16sp with zero immediate", hword)
+            return encode_i(op.OP_IMM, op.F3_ADD_SUB, 2, 2, nzimm), "c.addi16sp"
+        if imm6 == 0:
+            raise DecodeError("c.lui with zero immediate", hword)
+        return encode_u(op.OP_LUI, rd, imm6), "c.lui"
+    if funct3 == 0b100:
+        sub = bits(hword, 11, 10)
+        if sub == 0b00 or sub == 0b01:
+            shamt = (bit(hword, 12) << 5) | bits(hword, 6, 2)
+            if xlen == 32 and shamt >= 32:
+                raise DecodeError("RV32 compressed shift >= 32", hword)
+            funct7 = op.F7_BASE if sub == 0b00 else op.F7_SUB_SRA
+            name = "c.srli" if sub == 0b00 else "c.srai"
+            return (
+                encode_shift(op.OP_IMM, op.F3_SRL_SRA, funct7, rd_p, rd_p, shamt, xlen),
+                name,
+            )
+        if sub == 0b10:
+            return encode_i(op.OP_IMM, op.F3_AND, rd_p, rd_p, imm6), "c.andi"
+        # sub == 0b11: register-register group
+        group = bits(hword, 6, 5)
+        if bit(hword, 12) == 0:
+            table = {
+                0b00: (op.F7_SUB_SRA, op.F3_ADD_SUB, "c.sub"),
+                0b01: (op.F7_BASE, op.F3_XOR, "c.xor"),
+                0b10: (op.F7_BASE, op.F3_OR, "c.or"),
+                0b11: (op.F7_BASE, op.F3_AND, "c.and"),
+            }
+            funct7, f3, name = table[group]
+            return encode_r(op.OP_REG, f3, funct7, rd_p, rd_p, rs2_p), name
+        if xlen == 64 and group == 0b00:
+            return encode_r(op.OP_REG_32, op.F3_ADD_SUB, op.F7_SUB_SRA, rd_p, rd_p, rs2_p), "c.subw"
+        if xlen == 64 and group == 0b01:
+            return encode_r(op.OP_REG_32, op.F3_ADD_SUB, op.F7_BASE, rd_p, rd_p, rs2_p), "c.addw"
+        raise DecodeError("reserved C1 ALU encoding", hword)
+    if funct3 == 0b101:
+        return encode_j(op.OP_JAL, 0, _cj_offset(hword)), "c.j"
+    if funct3 == 0b110 or funct3 == 0b111:
+        offset = sext(
+            (bit(hword, 12) << 8)
+            | (bits(hword, 6, 5) << 6)
+            | (bit(hword, 2) << 5)
+            | (bits(hword, 11, 10) << 3)
+            | (bits(hword, 4, 3) << 1),
+            9,
+        )
+        f3 = op.F3_BEQ if funct3 == 0b110 else op.F3_BNE
+        name = "c.beqz" if funct3 == 0b110 else "c.bnez"
+        return encode_b(op.OP_BRANCH, f3, rd_p, 0, offset), name
+    raise DecodeError(f"unsupported C1 funct3={funct3}", hword)
+
+
+def _cj_offset(hword: int) -> int:
+    """Decode the scrambled 11-bit offset of c.j / c.jal."""
+    return sext(
+        (bit(hword, 12) << 11)
+        | (bit(hword, 8) << 10)
+        | (bits(hword, 10, 9) << 8)
+        | (bit(hword, 6) << 7)
+        | (bit(hword, 7) << 6)
+        | (bit(hword, 2) << 5)
+        | (bit(hword, 11) << 4)
+        | (bits(hword, 5, 3) << 1),
+        12,
+    )
+
+
+def _expand_q2(hword: int, funct3: int, xlen: int) -> Tuple[int, str]:
+    rd = bits(hword, 11, 7)
+    rs2 = bits(hword, 6, 2)
+    if funct3 == 0b000:
+        shamt = (bit(hword, 12) << 5) | bits(hword, 6, 2)
+        if xlen == 32 and shamt >= 32:
+            raise DecodeError("RV32 compressed shift >= 32", hword)
+        return (
+            encode_shift(op.OP_IMM, op.F3_SLL, op.F7_BASE, rd, rd, shamt, xlen),
+            "c.slli",
+        )
+    if funct3 == 0b010:
+        if rd == 0:
+            raise DecodeError("reserved c.lwsp with rd=0", hword)
+        uimm = (bits(hword, 3, 2) << 6) | (bit(hword, 12) << 5) | (bits(hword, 6, 4) << 2)
+        return encode_i(op.OP_LOAD, op.F3_LW, rd, 2, uimm), "c.lwsp"
+    if funct3 == 0b011 and xlen == 64:
+        if rd == 0:
+            raise DecodeError("reserved c.ldsp with rd=0", hword)
+        uimm = (bits(hword, 4, 2) << 6) | (bit(hword, 12) << 5) | (bits(hword, 6, 5) << 3)
+        return encode_i(op.OP_LOAD, op.F3_LD, rd, 2, uimm), "c.ldsp"
+    if funct3 == 0b100:
+        if bit(hword, 12) == 0:
+            if rs2 == 0:
+                if rd == 0:
+                    raise DecodeError("reserved c.jr with rs1=0", hword)
+                return encode_i(op.OP_JALR, 0, 0, rd, 0), "c.jr"
+            return encode_r(op.OP_REG, op.F3_ADD_SUB, op.F7_BASE, rd, 0, rs2), "c.mv"
+        if rs2 == 0:
+            if rd == 0:
+                return encode_i_unsigned(op.OP_SYSTEM, op.F3_PRIV, 0, 0, op.IMM12_EBREAK), "c.ebreak"
+            return encode_i(op.OP_JALR, 0, 1, rd, 0), "c.jalr"
+        return encode_r(op.OP_REG, op.F3_ADD_SUB, op.F7_BASE, rd, rd, rs2), "c.add"
+    if funct3 == 0b110:
+        uimm = (bits(hword, 8, 7) << 6) | (bits(hword, 12, 9) << 2)
+        return encode_s(op.OP_STORE, op.F3_SW, 2, rs2, uimm), "c.swsp"
+    if funct3 == 0b111 and xlen == 64:
+        uimm = (bits(hword, 9, 7) << 6) | (bits(hword, 12, 10) << 3)
+        return encode_s(op.OP_STORE, op.F3_SD, 2, rs2, uimm), "c.sdsp"
+    raise DecodeError(f"unsupported C2 funct3={funct3}", hword)
+
+
+def decode(word: int, xlen: int = 64) -> Instruction:
+    """Decode a fetched instruction word.
+
+    Args:
+        word: raw bits; only the low 16 are used for compressed forms.
+        xlen: 32 or 64 — affects RV64-only encodings and shift widths.
+
+    Returns:
+        a populated :class:`Instruction`.
+
+    Raises:
+        DecodeError: for illegal or unsupported encodings.
+    """
+    if xlen not in (32, 64):
+        raise ValueError(f"xlen must be 32 or 64, got {xlen}")
+    if is_compressed_word(word):
+        hword = word & 0xFFFF
+        word32, rvc_name = expand_compressed(hword, xlen)
+        return _decode32(word32, xlen, raw=hword, length=2, cm=rvc_name)
+    word &= 0xFFFFFFFF
+    return _decode32(word, xlen, raw=word, length=4, cm=None)

@@ -1,0 +1,65 @@
+"""Minimal RISC-V disassembler for diagnostics and trace dumps.
+
+Prints the *expanded* form of compressed instructions with a ``c.``-name
+annotation, matching how the commit log transports them.
+"""
+
+from __future__ import annotations
+
+from repro.isa.decode import Instruction
+from repro.isa.registers import abi_name
+
+_LOADS = {"lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"}
+_STORES = {"sb", "sh", "sw", "sd"}
+_BRANCHES = {"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+_R_TYPE = {
+    "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+    "addw", "subw", "sllw", "srlw", "sraw",
+    "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+    "mulw", "divw", "divuw", "remw", "remuw",
+}
+_I_ALU = {"addi", "slti", "sltiu", "xori", "ori", "andi", "addiw"}
+_SHIFTS = {"slli", "srli", "srai", "slliw", "srliw", "sraiw"}
+_CSR_REG = {"csrrw", "csrrs", "csrrc"}
+_CSR_IMM = {"csrrwi", "csrrsi", "csrrci"}
+_BARE = {"ecall", "ebreak", "mret", "wfi", "fence", "fence.i"}
+
+
+def disassemble(insn: Instruction) -> str:
+    """Render ``insn`` as assembly text (expanded form)."""
+    text = _render(insn)
+    if insn.compressed_mnemonic:
+        return f"{text}  # {insn.compressed_mnemonic}"
+    return text
+
+
+def _render(insn: Instruction) -> str:
+    m = insn.mnemonic
+    rd = abi_name(insn.rd) if insn.rd is not None else "?"
+    rs1 = abi_name(insn.rs1) if insn.rs1 is not None else "?"
+    rs2 = abi_name(insn.rs2) if insn.rs2 is not None else "?"
+    imm = insn.imm if insn.imm is not None else 0
+
+    if m in _BARE:
+        return m
+    if m in ("lui", "auipc"):
+        return f"{m} {rd}, {imm:#x}"
+    if m == "jal":
+        return f"{m} {rd}, {imm}"
+    if m == "jalr":
+        return f"{m} {rd}, {imm}({rs1})"
+    if m in _BRANCHES:
+        return f"{m} {rs1}, {rs2}, {imm}"
+    if m in _LOADS:
+        return f"{m} {rd}, {imm}({rs1})"
+    if m in _STORES:
+        return f"{m} {rs2}, {imm}({rs1})"
+    if m in _I_ALU or m in _SHIFTS:
+        return f"{m} {rd}, {rs1}, {imm}"
+    if m in _R_TYPE:
+        return f"{m} {rd}, {rs1}, {rs2}"
+    if m in _CSR_REG:
+        return f"{m} {rd}, {insn.csr:#x}, {rs1}"
+    if m in _CSR_IMM:
+        return f"{m} {rd}, {insn.csr:#x}, {imm}"
+    return f"{m} (raw={insn.raw:#x})"

@@ -1,0 +1,19 @@
+"""Memory-system substrate: devices, maps, ECC and scrambling models."""
+
+from repro.mem.memory import Ram, Rom, SparseMemory
+from repro.mem.map import AccessObserver, BusAccess, MappedDevice, MemoryMap, Region
+from repro.mem.ecc import SecdedCodec
+from repro.mem.scramble import ScrambledMemory
+
+__all__ = [
+    "Ram",
+    "Rom",
+    "SparseMemory",
+    "AccessObserver",
+    "BusAccess",
+    "MappedDevice",
+    "MemoryMap",
+    "Region",
+    "SecdedCodec",
+    "ScrambledMemory",
+]

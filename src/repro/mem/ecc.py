@@ -1,0 +1,141 @@
+"""SECDED (single-error-correct, double-error-detect) Hamming codec.
+
+OpenTitan's embedded flash and SRAM protect every word with an
+ECC (paper §III-B: "embedded flash memory enhanced with Error Correcting
+Code").  This module implements the classic Hamming(39,32) + overall
+parity scheme used functionally by :class:`repro.mem.scramble` backed
+memories and exercised by the fault-injection tests.
+
+Codeword layout (39 bits): 32 data bits | 6 Hamming parity bits |
+1 overall parity bit (MSB).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import EccError
+
+_DATA_BITS = 32
+_PARITY_BITS = 6
+_CODE_BITS = _DATA_BITS + _PARITY_BITS + 1  # + overall parity
+
+
+def _parity_positions() -> List[List[int]]:
+    """For each of the 6 Hamming parity bits, the data-bit indices it covers.
+
+    Data bits are placed at the non-power-of-two positions of a classic
+    Hamming code over positions 1..38.
+    """
+    # Position (1-based) of each data bit inside the Hamming codeword.
+    data_positions: List[int] = []
+    position = 1
+    while len(data_positions) < _DATA_BITS:
+        if position & (position - 1):  # not a power of two
+            data_positions.append(position)
+        position += 1
+    covers: List[List[int]] = [[] for _ in range(_PARITY_BITS)]
+    for data_index, pos in enumerate(data_positions):
+        for parity_index in range(_PARITY_BITS):
+            if pos & (1 << parity_index):
+                covers[parity_index].append(data_index)
+    return covers
+
+
+_COVERS = _parity_positions()
+_DATA_POSITIONS: List[int] = []
+_pos = 1
+while len(_DATA_POSITIONS) < _DATA_BITS:
+    if _pos & (_pos - 1):
+        _DATA_POSITIONS.append(_pos)
+    _pos += 1
+_POSITION_TO_DATA = {pos: i for i, pos in enumerate(_DATA_POSITIONS)}
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of decoding one codeword.
+
+    Attributes:
+        data: the (possibly corrected) 32-bit data word.
+        corrected: True when a single-bit error was repaired.
+    """
+
+    data: int
+    corrected: bool
+
+
+class SecdedCodec:
+    """Hamming(39,32) SECDED encoder/decoder with error statistics."""
+
+    def __init__(self):
+        self.corrections = 0
+        self.detections = 0
+
+    @staticmethod
+    def encode(data: int) -> int:
+        """Encode a 32-bit ``data`` word into a 39-bit codeword."""
+        data &= 0xFFFFFFFF
+        parity = 0
+        for parity_index in range(_PARITY_BITS):
+            bit_value = 0
+            for data_index in _COVERS[parity_index]:
+                bit_value ^= (data >> data_index) & 1
+            parity |= bit_value << parity_index
+        codeword = data | (parity << _DATA_BITS)
+        overall = bin(codeword).count("1") & 1
+        return codeword | (overall << (_CODE_BITS - 1))
+
+    def decode(self, codeword: int) -> DecodeResult:
+        """Decode and correct a 39-bit codeword.
+
+        Raises:
+            EccError: when two bit errors are detected (uncorrectable).
+        """
+        codeword &= (1 << _CODE_BITS) - 1
+        data = codeword & 0xFFFFFFFF
+        stored_parity = (codeword >> _DATA_BITS) & ((1 << _PARITY_BITS) - 1)
+        stored_overall = (codeword >> (_CODE_BITS - 1)) & 1
+
+        syndrome = 0
+        for parity_index in range(_PARITY_BITS):
+            bit_value = 0
+            for data_index in _COVERS[parity_index]:
+                bit_value ^= (data >> data_index) & 1
+            if bit_value != ((stored_parity >> parity_index) & 1):
+                syndrome |= 1 << parity_index
+
+        overall_now = bin(codeword & ((1 << (_CODE_BITS - 1)) - 1)).count("1") & 1
+        overall_error = overall_now != stored_overall
+
+        if syndrome == 0 and not overall_error:
+            return DecodeResult(data=data, corrected=False)
+
+        if overall_error:
+            # Odd number of flipped bits => single-bit error, correctable.
+            self.corrections += 1
+            if syndrome == 0:
+                # The overall parity bit itself flipped; data is intact.
+                return DecodeResult(data=data, corrected=True)
+            if syndrome in _POSITION_TO_DATA:
+                corrected = data ^ (1 << _POSITION_TO_DATA[syndrome])
+                return DecodeResult(data=corrected, corrected=True)
+            # A Hamming parity bit flipped; data is intact.
+            return DecodeResult(data=data, corrected=True)
+
+        # Even number of errors with nonzero syndrome: uncorrectable.
+        self.detections += 1
+        raise EccError(f"uncorrectable double-bit error (syndrome={syndrome:#x})")
+
+    @staticmethod
+    def flip_bit(codeword: int, position: int) -> int:
+        """Flip one bit of a codeword (fault injection helper)."""
+        if not 0 <= position < _CODE_BITS:
+            raise ValueError(f"bit position out of range: {position}")
+        return codeword ^ (1 << position)
+
+    @staticmethod
+    def codeword_bits() -> int:
+        """Width of a codeword in bits (39)."""
+        return _CODE_BITS

@@ -1,0 +1,202 @@
+"""Address map binding devices into a hart's or bus master's view.
+
+Every region carries an access *latency* (cycles per access) and a *tag*.
+The latency feeds the instruction-set simulators' timing models; the tag
+feeds the Table I classification, which splits firmware memory cycles
+into RoT-private versus SoC accesses exactly as the paper does.
+
+An optional :class:`AccessObserver` receives every access — the firmware
+analysis harness installs one to count accesses and cycles per region
+tag without touching the firmware itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Protocol, Tuple
+
+from repro.errors import AccessFault, ConfigError
+
+
+class MappedDevice(Protocol):
+    """Protocol every bus-attachable device implements."""
+
+    size: int
+
+    def read(self, offset: int, size: int) -> int:
+        """Read ``size`` bytes at device-relative ``offset``."""
+        ...
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        """Write ``size`` bytes at device-relative ``offset``."""
+        ...
+
+
+@dataclass(frozen=True)
+class Region:
+    """One mapped window.
+
+    Attributes:
+        base: first absolute address of the window.
+        size: window length in bytes.
+        device: target device (offsets are window-relative).
+        latency: cycles consumed by one access through this window.
+        tag: classification label (e.g. ``"rot-sram"``, ``"soc"``).
+        name: diagnostic name.
+    """
+
+    base: int
+    size: int
+    device: MappedDevice
+    latency: int = 1
+    tag: str = "untagged"
+    name: str = "region"
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped address."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """True when ``address`` falls inside this window."""
+        return self.base <= address < self.end
+
+
+@dataclass(frozen=True)
+class BusAccess:
+    """A record of one completed bus access, passed to observers."""
+
+    kind: str        # "read" | "write" | "fetch"
+    address: int
+    size: int
+    value: int
+    latency: int
+    tag: str
+
+
+AccessObserver = Callable[[BusAccess], None]
+
+
+class MemoryMap:
+    """Routes absolute addresses to mapped devices.
+
+    Args:
+        name: diagnostic name (which master's view this is).
+    """
+
+    def __init__(self, name: str = "bus"):
+        self.name = name
+        self._regions: List[Region] = []
+        self._observers: List[AccessObserver] = []
+
+    # -- construction -------------------------------------------------------
+
+    def add(
+        self,
+        base: int,
+        device: MappedDevice,
+        *,
+        size: Optional[int] = None,
+        latency: int = 1,
+        tag: str = "untagged",
+        name: str = "region",
+    ) -> Region:
+        """Map ``device`` at ``base``; rejects overlapping windows."""
+        window = size if size is not None else device.size
+        if window <= 0:
+            raise ConfigError(f"{name}: region size must be positive")
+        region = Region(base, window, device, latency, tag, name)
+        for existing in self._regions:
+            if region.base < existing.end and existing.base < region.end:
+                raise ConfigError(
+                    f"{self.name}: {name} [{base:#x}, {region.end:#x}) overlaps "
+                    f"{existing.name} [{existing.base:#x}, {existing.end:#x})"
+                )
+        self._regions.append(region)
+        self._regions.sort(key=lambda r: r.base)
+        return region
+
+    def observe(self, observer: AccessObserver) -> None:
+        """Register an access observer (fired after every access)."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: AccessObserver) -> None:
+        """Unregister a previously-added observer."""
+        self._observers.remove(observer)
+
+    # -- lookup --------------------------------------------------------------
+
+    @property
+    def regions(self) -> Tuple[Region, ...]:
+        """All mapped regions, sorted by base address."""
+        return tuple(self._regions)
+
+    def region_for(self, address: int) -> Region:
+        """Region containing ``address``; raises :class:`AccessFault`."""
+        for region in self._regions:
+            if region.contains(address):
+                return region
+        raise AccessFault(address, "read", f"{self.name}: unmapped address {address:#x}")
+
+    def latency(self, address: int) -> int:
+        """Access latency at ``address`` (cycles)."""
+        return self.region_for(address).latency
+
+    def tag(self, address: int) -> str:
+        """Classification tag at ``address``."""
+        return self.region_for(address).tag
+
+    # -- access --------------------------------------------------------------
+
+    def _notify(self, access: BusAccess) -> None:
+        for observer in self._observers:
+            observer(access)
+
+    def read(self, address: int, size: int, kind: str = "read") -> int:
+        """Read ``size`` bytes; returns the little-endian value."""
+        region = self._region_checked(address, size, kind)
+        value = region.device.read(address - region.base, size)
+        self._notify(BusAccess(kind, address, size, value, region.latency, region.tag))
+        return value
+
+    def write(self, address: int, size: int, value: int) -> None:
+        """Write ``size`` bytes of ``value``."""
+        region = self._region_checked(address, size, "write")
+        region.device.write(address - region.base, size, value)
+        self._notify(BusAccess("write", address, size, value, region.latency, region.tag))
+
+    def fetch(self, address: int, size: int) -> int:
+        """Instruction fetch (reported to observers as ``fetch``)."""
+        return self.read(address, size, kind="fetch")
+
+    def read_bytes(self, address: int, count: int) -> bytes:
+        """Bulk read for program loading and inspection (single region)."""
+        region = self._region_checked(address, count, "read")
+        offset = address - region.base
+        return bytes(
+            region.device.read(offset + i, 1) for i in range(count)
+        )
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Bulk write for program loading (single region, no observer)."""
+        region = self._region_checked(address, len(data), "write")
+        offset = address - region.base
+        loader = getattr(region.device, "load", None)
+        if loader is not None:
+            loader(offset, data)
+            return
+        for i, byte in enumerate(data):
+            region.device.write(offset + i, 1, byte)
+
+    def _region_checked(self, address: int, size: int, kind: str) -> Region:
+        try:
+            region = self.region_for(address)
+        except AccessFault:
+            raise AccessFault(address, kind, f"{self.name}: unmapped {kind} at {address:#x}")
+        if address + size > region.end:
+            raise AccessFault(
+                address, kind,
+                f"{self.name}: {kind} of {size} bytes at {address:#x} crosses "
+                f"region {region.name} boundary",
+            )
+        return region

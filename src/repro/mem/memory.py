@@ -1,0 +1,123 @@
+"""Byte-addressable memory devices.
+
+:class:`SparseMemory` backs large address spaces without allocating them
+eagerly (page-granular, dict-of-bytearrays).  :class:`Ram` and
+:class:`Rom` wrap it with bounds and writability semantics and implement
+the device protocol consumed by :class:`repro.mem.map.MemoryMap`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import AccessFault
+
+
+class SparseMemory:
+    """Page-granular sparse byte store.
+
+    Unbacked reads return zero, like initialised SRAM in the simulators
+    this reproduces.
+    """
+
+    PAGE_BITS = 12
+    PAGE_SIZE = 1 << PAGE_BITS
+
+    def __init__(self):
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, address: int, create: bool) -> Optional[bytearray]:
+        index = address >> self.PAGE_BITS
+        page = self._pages.get(index)
+        if page is None and create:
+            page = bytearray(self.PAGE_SIZE)
+            self._pages[index] = page
+        return page
+
+    def read_bytes(self, address: int, count: int) -> bytes:
+        """Read ``count`` bytes starting at ``address``."""
+        out = bytearray(count)
+        done = 0
+        while done < count:
+            offset = (address + done) & (self.PAGE_SIZE - 1)
+            chunk = min(count - done, self.PAGE_SIZE - offset)
+            page = self._page(address + done, create=False)
+            if page is not None:
+                out[done : done + chunk] = page[offset : offset + chunk]
+            done += chunk
+        return bytes(out)
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Write ``data`` starting at ``address``."""
+        done = 0
+        count = len(data)
+        while done < count:
+            offset = (address + done) & (self.PAGE_SIZE - 1)
+            chunk = min(count - done, self.PAGE_SIZE - offset)
+            page = self._page(address + done, create=True)
+            assert page is not None
+            page[offset : offset + chunk] = data[done : done + chunk]
+            done += chunk
+
+    def read_int(self, address: int, size: int) -> int:
+        """Read a little-endian integer of ``size`` bytes."""
+        return int.from_bytes(self.read_bytes(address, size), "little")
+
+    def write_int(self, address: int, size: int, value: int) -> None:
+        """Write a little-endian integer of ``size`` bytes."""
+        self.write_bytes(address, (value & ((1 << (size * 8)) - 1)).to_bytes(size, "little"))
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes of backing storage currently allocated."""
+        return len(self._pages) * self.PAGE_SIZE
+
+
+class Ram:
+    """Bounded read/write memory device.
+
+    Args:
+        size: capacity in bytes; accesses beyond it fault.
+        name: diagnostic name used in fault messages.
+    """
+
+    def __init__(self, size: int, name: str = "ram"):
+        if size <= 0:
+            raise ValueError(f"RAM size must be positive, got {size}")
+        self.size = size
+        self.name = name
+        self._store = SparseMemory()
+
+    def _check(self, offset: int, count: int, access: str) -> None:
+        if offset < 0 or offset + count > self.size:
+            raise AccessFault(offset, access, f"{self.name}: {access} beyond size {self.size:#x}")
+
+    def read(self, offset: int, size: int) -> int:
+        """Device-protocol read of ``size`` bytes at ``offset``."""
+        self._check(offset, size, "read")
+        return self._store.read_int(offset, size)
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        """Device-protocol write of ``size`` bytes at ``offset``."""
+        self._check(offset, size, "write")
+        self._store.write_int(offset, size, value)
+
+    def load(self, offset: int, data: bytes) -> None:
+        """Bulk image load (program loading); bypasses no checks."""
+        self._check(offset, len(data), "write")
+        self._store.write_bytes(offset, data)
+
+    def dump(self, offset: int, count: int) -> bytes:
+        """Bulk read for inspection."""
+        self._check(offset, count, "read")
+        return self._store.read_bytes(offset, count)
+
+
+class Rom(Ram):
+    """Read-only memory: CPU writes fault, :meth:`load` still works."""
+
+    def __init__(self, size: int, name: str = "rom"):
+        super().__init__(size, name)
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        raise AccessFault(offset, "write", f"{self.name}: write to read-only memory")

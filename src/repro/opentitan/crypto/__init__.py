@@ -1,0 +1,14 @@
+"""Cryptographic accelerators: from-scratch SHA-256 and HMAC.
+
+OpenTitan's crypto blocks "efficiently execute compute-intensive
+security primitives, such as ... hash calculation" (paper §III-B);
+TitanCFI uses them to authenticate shadow-stack pages spilled to
+untrusted SoC memory (§VI).  Both primitives are implemented from
+scratch (no hashlib) and validated against independent test vectors.
+"""
+
+from repro.opentitan.crypto.sha256 import sha256
+from repro.opentitan.crypto.hmac import hmac_sha256
+from repro.opentitan.crypto.accel import HmacAccelerator
+
+__all__ = ["sha256", "hmac_sha256", "HmacAccelerator"]

@@ -1,0 +1,27 @@
+"""HMAC-SHA256 (RFC 2104) on top of the from-scratch SHA-256."""
+
+from __future__ import annotations
+
+from repro.opentitan.crypto.sha256 import sha256
+
+_BLOCK = 64
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 tag of ``message`` under ``key`` (32 bytes)."""
+    if len(key) > _BLOCK:
+        key = sha256(key)
+    key = key.ljust(_BLOCK, b"\x00")
+    inner = bytes(k ^ 0x36 for k in key)
+    outer = bytes(k ^ 0x5C for k in key)
+    return sha256(outer + sha256(inner + message))
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Length-safe constant-time comparison for tag verification."""
+    if len(a) != len(b):
+        return False
+    difference = 0
+    for x, y in zip(a, b):
+        difference |= x ^ y
+    return difference == 0

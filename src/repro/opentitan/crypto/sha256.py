@@ -1,0 +1,77 @@
+"""SHA-256 implemented from scratch (FIPS 180-4).
+
+Kept dependency-free so the RoT model is self-contained; tested against
+the FIPS test vectors and cross-checked property-style in the suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_K = [
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5, 0x3956C25B, 0x59F111F1,
+    0x923F82A4, 0xAB1C5ED5, 0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174, 0xE49B69C1, 0xEFBE4786,
+    0x0FC19DC6, 0x240CA1CC, 0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7, 0xC6E00BF3, 0xD5A79147,
+    0x06CA6351, 0x14292967, 0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85, 0xA2BFE8A1, 0xA81A664B,
+    0xC24B8B70, 0xC76C51A3, 0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5, 0x391C0CB3, 0x4ED8AA4A,
+    0x5B9CCA4F, 0x682E6FF3, 0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+]
+
+_H0 = [
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+]
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotr(value: int, count: int) -> int:
+    return ((value >> count) | (value << (32 - count))) & _MASK
+
+
+def _pad(message: bytes) -> bytes:
+    length_bits = len(message) * 8
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded)) % 64)
+    padded += length_bits.to_bytes(8, "big")
+    return padded
+
+
+def _compress(state: List[int], block: bytes) -> List[int]:
+    w = [int.from_bytes(block[i : i + 4], "big") for i in range(0, 64, 4)]
+    for t in range(16, 64):
+        s0 = _rotr(w[t - 15], 7) ^ _rotr(w[t - 15], 18) ^ (w[t - 15] >> 3)
+        s1 = _rotr(w[t - 2], 17) ^ _rotr(w[t - 2], 19) ^ (w[t - 2] >> 10)
+        w.append((w[t - 16] + s0 + w[t - 7] + s1) & _MASK)
+
+    a, b, c, d, e, f, g, h = state
+    for t in range(64):
+        big_s1 = _rotr(e, 6) ^ _rotr(e, 11) ^ _rotr(e, 25)
+        ch = (e & f) ^ (~e & g)
+        temp1 = (h + big_s1 + ch + _K[t] + w[t]) & _MASK
+        big_s0 = _rotr(a, 2) ^ _rotr(a, 13) ^ _rotr(a, 22)
+        maj = (a & b) ^ (a & c) ^ (b & c)
+        temp2 = (big_s0 + maj) & _MASK
+        h, g, f, e = g, f, e, (d + temp1) & _MASK
+        d, c, b, a = c, b, a, (temp1 + temp2) & _MASK
+
+    return [
+        (state[0] + a) & _MASK, (state[1] + b) & _MASK,
+        (state[2] + c) & _MASK, (state[3] + d) & _MASK,
+        (state[4] + e) & _MASK, (state[5] + f) & _MASK,
+        (state[6] + g) & _MASK, (state[7] + h) & _MASK,
+    ]
+
+
+def sha256(message: bytes) -> bytes:
+    """SHA-256 digest of ``message`` (32 bytes)."""
+    state = list(_H0)
+    padded = _pad(message)
+    for offset in range(0, len(padded), 64):
+        state = _compress(state, padded[offset : offset + 64])
+    return b"".join(word.to_bytes(4, "big") for word in state)

@@ -1,0 +1,55 @@
+"""Memory-mapped register adapter for the PLIC model.
+
+Ibex firmware claims and completes interrupts through loads/stores; this
+device exposes the :class:`repro.soc.plic.Plic` protocol as registers:
+
+    0x00  CLAIM/COMPLETE   read → claim id; write id → complete
+    0x04  PENDING          read-only bitmask (bit N = source N)
+    0x08  ENABLE           write bitmask to enable sources; readable
+"""
+
+from __future__ import annotations
+
+from repro.errors import AccessFault
+from repro.soc.plic import Plic
+
+CLAIM_OFFSET = 0x00
+PENDING_OFFSET = 0x04
+ENABLE_OFFSET = 0x08
+
+
+class PlicDevice:
+    """Device-protocol wrapper around a :class:`Plic` instance."""
+
+    size = 0x100
+
+    def __init__(self, plic: Plic):
+        self.plic = plic
+        self._enable_mask = 0
+
+    def read(self, offset: int, size: int) -> int:
+        if offset == CLAIM_OFFSET:
+            return self.plic.claim()
+        if offset == PENDING_OFFSET:
+            mask_value = 0
+            for source in range(1, self.plic.source_count + 1):
+                if self.plic.pending(source):
+                    mask_value |= 1 << source
+            return mask_value
+        if offset == ENABLE_OFFSET:
+            return self._enable_mask
+        raise AccessFault(offset, "read", f"plic: no register at {offset:#x}")
+
+    def write(self, offset: int, size: int, value: int) -> None:
+        if offset == CLAIM_OFFSET:
+            self.plic.complete(value)
+            return
+        if offset == ENABLE_OFFSET:
+            self._enable_mask = value
+            for source in range(1, self.plic.source_count + 1):
+                if value & (1 << source):
+                    self.plic.enable(source)
+                else:
+                    self.plic.disable(source)
+            return
+        raise AccessFault(offset, "write", f"plic: no register at {offset:#x}")

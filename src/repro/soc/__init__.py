@@ -1,0 +1,29 @@
+"""SoC fabric substrate: AXI, TileLink-UL, bridges, mailboxes, PLIC, PMP.
+
+Mirrors the communication architecture of the reference SoC (paper §III):
+an AXI4 crossbar in the host domain, a TileLink-UL fabric inside
+OpenTitan, a TL↔AXI bridge between them, SCMI-style mailboxes, and a
+PLIC per interrupt domain.
+"""
+
+from repro.soc.axi import AxiTimings, AxiXbar, BusStats
+from repro.soc.tilelink import TlulTimings, TlulXbar
+from repro.soc.bridge import Tl2AxiBridge
+from repro.soc.mailbox import CfiMailbox, Mailbox, MailboxLayout
+from repro.soc.plic import Plic
+from repro.soc.pmp import IoPmp, PmpRule
+
+__all__ = [
+    "AxiTimings",
+    "AxiXbar",
+    "BusStats",
+    "TlulTimings",
+    "TlulXbar",
+    "Tl2AxiBridge",
+    "CfiMailbox",
+    "Mailbox",
+    "MailboxLayout",
+    "Plic",
+    "IoPmp",
+    "PmpRule",
+]

@@ -1,0 +1,117 @@
+"""Platform-Level Interrupt Controller (PLIC) model.
+
+Both interrupt domains of the reference SoC — the host PLIC in front of
+CVA6 and the OpenTitan PLIC in front of Ibex (paper Fig. 1) — are
+instances of this class.  The model implements the level-triggered
+gateway + claim/complete protocol subset that the CFI firmware uses:
+
+* a source's *level* is driven by its device (e.g. the CFI mailbox
+  doorbell),
+* a raised level latches a pending bit through the gateway,
+* the target claims the highest-priority pending enabled source, which
+  masks re-latching until completion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import ConfigError, ProtocolError
+
+
+class Plic:
+    """A single-target PLIC with ``source_count`` level-triggered inputs.
+
+    Source IDs are 1-based; 0 means "no interrupt", as in the spec.
+    """
+
+    def __init__(self, source_count: int, name: str = "plic"):
+        if source_count < 1:
+            raise ConfigError("PLIC needs at least one source")
+        self.name = name
+        self.source_count = source_count
+        self._levels: Dict[int, bool] = {s: False for s in self._sources()}
+        self._pending: Dict[int, bool] = {s: False for s in self._sources()}
+        self._enabled: Dict[int, bool] = {s: False for s in self._sources()}
+        self._priority: Dict[int, int] = {s: 1 for s in self._sources()}
+        self._in_service: Optional[int] = None
+
+    def _sources(self):
+        return range(1, self.source_count + 1)
+
+    def _check_source(self, source: int) -> None:
+        if not 1 <= source <= self.source_count:
+            raise ConfigError(f"{self.name}: source {source} out of range")
+
+    # -- configuration ---------------------------------------------------------
+
+    def enable(self, source: int) -> None:
+        """Enable ``source`` toward the target."""
+        self._check_source(source)
+        self._enabled[source] = True
+
+    def disable(self, source: int) -> None:
+        """Mask ``source``."""
+        self._check_source(source)
+        self._enabled[source] = False
+
+    def set_priority(self, source: int, priority: int) -> None:
+        """Set a source's priority (higher wins arbitration)."""
+        self._check_source(source)
+        if priority < 0:
+            raise ConfigError("priority must be non-negative")
+        self._priority[source] = priority
+
+    # -- gateway ----------------------------------------------------------------
+
+    def set_level(self, source: int, level: bool) -> None:
+        """Drive a source's level line (called by devices)."""
+        self._check_source(source)
+        self._levels[source] = level
+        if level and self._in_service != source:
+            self._pending[source] = True
+        if not level and self._in_service != source:
+            # Level-triggered gateway: dropping the line clears pending
+            # unless the interrupt is currently being serviced.
+            self._pending[source] = False
+
+    # -- target interface ---------------------------------------------------------
+
+    @property
+    def irq_line(self) -> bool:
+        """Level of the external-interrupt wire into the core."""
+        return any(
+            self._pending[s] and self._enabled[s] and self._priority[s] > 0
+            for s in self._sources()
+        )
+
+    def claim(self) -> int:
+        """Claim the highest-priority pending enabled source (0 if none)."""
+        best = 0
+        best_priority = 0
+        for source in self._sources():
+            if not (self._pending[source] and self._enabled[source]):
+                continue
+            if self._priority[source] > best_priority:
+                best, best_priority = source, self._priority[source]
+        if best:
+            self._pending[best] = False
+            self._in_service = best
+        return best
+
+    def complete(self, source: int) -> None:
+        """Signal end of service for a previously-claimed source."""
+        self._check_source(source)
+        if self._in_service != source:
+            raise ProtocolError(
+                f"{self.name}: completion for source {source} which is not in service"
+            )
+        self._in_service = None
+        if self._levels[source]:
+            # Line still high: re-latch immediately (level semantics).
+            self._pending[source] = True
+
+    def pending(self, source: int) -> bool:
+        """Pending state of ``source`` (test hook)."""
+        self._check_source(source)
+        return self._pending[source]

@@ -1,0 +1,112 @@
+"""IOPMP-style bus guard protecting address windows per master.
+
+Paper §VI assumes "the CFI Mailbox cannot be tampered by other entities
+in the SoC", enforced with RISC-V PMP-style protection so that "issuing
+loads or stores to any address within the protected range results in an
+access fault exception".  :class:`IoPmp` models that: rules bind an
+address window to the set of masters allowed through; anything else
+faults.  The fault-injection tests in ``tests/soc`` and the security
+example drive this directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List
+
+from repro.errors import AccessFault, ConfigError
+
+
+@dataclass(frozen=True)
+class PmpRule:
+    """One protection rule.
+
+    Attributes:
+        base: first protected address.
+        size: window length in bytes.
+        allowed_masters: master names allowed to access the window.
+        name: diagnostic name.
+        allow_read/allow_write: which access kinds the allowed masters get.
+    """
+
+    base: int
+    size: int
+    allowed_masters: FrozenSet[str]
+    name: str = "pmp-rule"
+    allow_read: bool = True
+    allow_write: bool = True
+
+    @property
+    def end(self) -> int:
+        """One past the last protected address."""
+        return self.base + self.size
+
+    def overlaps(self, address: int, nbytes: int) -> bool:
+        """True when [address, address+nbytes) intersects the window."""
+        return address < self.end and self.base < address + nbytes
+
+
+class IoPmp:
+    """Ordered rule list; the first rule covering an access decides it.
+
+    Addresses not covered by any rule are unrestricted (matching PMP
+    behaviour with no matching entry in machine mode).
+    """
+
+    def __init__(self):
+        self._rules: List[PmpRule] = []
+        self.faults = 0
+
+    def protect(
+        self,
+        base: int,
+        size: int,
+        allowed_masters: Iterable[str],
+        *,
+        name: str = "pmp-rule",
+        allow_read: bool = True,
+        allow_write: bool = True,
+    ) -> PmpRule:
+        """Append a protection rule for [base, base+size)."""
+        if size <= 0:
+            raise ConfigError(f"{name}: protected window must be non-empty")
+        rule = PmpRule(
+            base=base,
+            size=size,
+            allowed_masters=frozenset(allowed_masters),
+            name=name,
+            allow_read=allow_read,
+            allow_write=allow_write,
+        )
+        self._rules.append(rule)
+        return rule
+
+    @property
+    def rules(self) -> List[PmpRule]:
+        """Installed rules, in priority order."""
+        return list(self._rules)
+
+    def check(self, master: str, address: int, nbytes: int, kind: str) -> None:
+        """Raise :class:`AccessFault` when the access violates a rule."""
+        for rule in self._rules:
+            if not rule.overlaps(address, nbytes):
+                continue
+            permitted = master in rule.allowed_masters and (
+                rule.allow_read if kind == "read" else rule.allow_write
+            )
+            if not permitted:
+                self.faults += 1
+                raise AccessFault(
+                    address,
+                    kind,
+                    f"{rule.name}: master {master!r} denied {kind} at {address:#x}",
+                )
+            return  # first matching rule decides
+
+    def allows(self, master: str, address: int, nbytes: int, kind: str) -> bool:
+        """Non-raising variant of :meth:`check`."""
+        try:
+            self.check(master, address, nbytes, kind)
+        except AccessFault:
+            return False
+        return True

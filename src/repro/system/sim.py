@@ -1,0 +1,123 @@
+"""Cycle-interleaved co-simulation of host core, CFI stage and RoT.
+
+The simulator advances a global cycle counter.  Each hart carries a
+cycle *debt*: after retiring an instruction costing N cycles it stays
+busy for N global ticks.  The CFI log-writer FSM ticks every cycle.
+This interleaving is what lets the reproduction observe the paper's
+end-to-end behaviour: CVA6 stalling on a full CFI queue while Ibex is
+still busy checking, the doorbell→wake latency, and the completion
+hand-back — all in one coherent timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import CfiViolation, SimulationError
+from repro.hart.core import StepEvent
+from repro.system.soc import TitanCfiSoc
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of one co-simulated run.
+
+    Attributes:
+        cycles: global cycles until the host halted (and the CFI path
+            drained).
+        host_instructions: instructions the host retired.
+        host_stall_cycles: cycles the commit stage was inhibited.
+        violation: the CFI violation that ended the run, if any.
+        cfi: CFI stage statistics summary (empty when CFI is absent).
+        ibex_instructions: instructions the RoT core retired.
+    """
+
+    cycles: int
+    host_instructions: int
+    host_stall_cycles: int
+    violation: Optional[CfiViolation]
+    cfi: Dict[str, object] = field(default_factory=dict)
+    ibex_instructions: int = 0
+
+    @property
+    def detected(self) -> bool:
+        """True when a CFI violation was flagged."""
+        return self.violation is not None
+
+
+class SystemSimulator:
+    """Drives a :class:`TitanCfiSoc` cycle by cycle."""
+
+    def __init__(self, soc: TitanCfiSoc, run_rot: bool = True):
+        self.soc = soc
+        self.run_rot = run_rot
+        self.now = 0
+        self._host_debt = 0
+        self._ibex_debt = 0
+        self.violation: Optional[CfiViolation] = None
+
+    def tick(self) -> None:
+        """Advance the whole platform by one cycle."""
+        self.now += 1
+
+        # Host side: commit stage (includes CFI stall protocol).
+        if self._host_debt > 0:
+            self._host_debt -= 1
+        elif not self.soc.cva6.halted:
+            result = self.soc.commit.try_advance()
+            if result is not None and result.cycles > 1:
+                self._host_debt = result.cycles - 1
+
+        # RoT side: Ibex services mailbox interrupts / polls.
+        if self.run_rot:
+            if self._ibex_debt > 0:
+                self._ibex_debt -= 1
+            elif not self.soc.rot.ibex.halted:
+                result = self.soc.rot.ibex.step()
+                if result.cycles > 1:
+                    self._ibex_debt = result.cycles - 1
+
+        # CFI log writer FSM (may raise CfiViolation on a bad verdict).
+        if self.soc.cfi_stage is not None:
+            self.soc.cfi_stage.tick()
+
+    def run(self, max_cycles: int = 10_000_000) -> SimulationReport:
+        """Run until the host halts and the CFI pipeline drains.
+
+        A CFI violation stops the run immediately and is reported, not
+        re-raised — detection is the expected outcome of attack runs.
+        """
+        try:
+            while self.now < max_cycles:
+                self.tick()
+                if self.soc.cva6.halted and self._quiescent():
+                    break
+            else:
+                raise SimulationError(
+                    f"co-simulation exceeded {max_cycles} cycles"
+                )
+        except CfiViolation as violation:
+            self.violation = violation
+        return self.report()
+
+    def _quiescent(self) -> bool:
+        if self.soc.cfi_stage is None:
+            return True
+        return self.soc.cfi_stage.quiescent and not self.soc.commit.stalled
+
+    def report(self) -> SimulationReport:
+        """Snapshot the run's statistics."""
+        cfi_stats: Dict[str, object] = {}
+        if self.soc.cfi_stage is not None:
+            cfi_stats = self.soc.cfi_stage.stats_summary()
+        return SimulationReport(
+            cycles=self.now,
+            host_instructions=self.soc.cva6.instret,
+            host_stall_cycles=self.soc.commit.stall_cycles,
+            violation=self.violation or (
+                self.soc.cfi_stage.violation if self.soc.cfi_stage else None
+            ),
+            cfi=cfi_stats,
+            ibex_instructions=self.soc.rot.ibex.instret,
+        )

@@ -1,0 +1,160 @@
+"""The full reference SoC with TitanCFI (paper Fig. 1, assembled).
+
+``build_soc`` wires every component the paper draws: CVA6 with the CFI
+stage tapped into its commit stage, the AXI host crossbar with an IOPMP
+guard on the CFI mailbox, both mailboxes, and the OpenTitan RoT behind
+the TL2AXI bridge with its PLIC listening to the CFI doorbell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import TitanCfiConfig
+from repro.core.stage import CfiStage
+from repro.cva6.commit import CommitStage
+from repro.hart.core import Hart
+from repro.hart.ports import MapPort
+from repro.hart.timing import Cva6Timing
+from repro.isa.asm import Program
+from repro.mem.map import MemoryMap
+from repro.mem.memory import Ram
+from repro.opentitan.rot import OpenTitan, RotConfig
+from repro.soc.axi import AxiTimings, AxiXbar
+from repro.soc.mailbox import CfiMailbox, Mailbox
+from repro.soc.pmp import IoPmp
+from repro.system.addresses import CFI_IRQ_SOURCE, SCMI_IRQ_SOURCE, AddressMap
+
+
+@dataclass(frozen=True)
+class FabricProfile:
+    """Named latency profile for the whole platform.
+
+    ``standard`` matches the reference SoC; ``optimized`` is the §V-B
+    proposal (low-latency RoT interconnect).
+    """
+
+    name: str = "standard"
+
+    def rot_config(self, wake_cycles: int = 45) -> RotConfig:
+        return RotConfig(fabric=self.name, wake_cycles=wake_cycles)
+
+
+class TitanCfiSoc:
+    """Handle to every component of a built system."""
+
+    def __init__(
+        self,
+        addresses: AddressMap,
+        host_map: MemoryMap,
+        axi: AxiXbar,
+        pmp: IoPmp,
+        dram: Ram,
+        cfi_mailbox: CfiMailbox,
+        scmi_mailbox: Mailbox,
+        rot: OpenTitan,
+        cva6: Hart,
+        cfi_stage: Optional[CfiStage],
+        commit: CommitStage,
+    ):
+        self.addresses = addresses
+        self.host_map = host_map
+        self.axi = axi
+        self.pmp = pmp
+        self.dram = dram
+        self.cfi_mailbox = cfi_mailbox
+        self.scmi_mailbox = scmi_mailbox
+        self.rot = rot
+        self.cva6 = cva6
+        self.cfi_stage = cfi_stage
+        self.commit = commit
+
+    def load_host_program(self, program: Program) -> None:
+        """Load a CVA6 program image and point the host core at it."""
+        self.host_map.write_bytes(program.base, program.data)
+        self.cva6.pc = program.base
+
+    def load_firmware(self, image: bytes) -> None:
+        """Load the CFI firmware into the RoT boot ROM."""
+        self.rot.load_firmware(image)
+
+
+def build_soc(
+    cfi_config: Optional[TitanCfiConfig] = None,
+    fabric: str = "standard",
+    addresses: Optional[AddressMap] = None,
+    protect_mailbox: bool = True,
+    with_cfi: bool = True,
+    wake_cycles: int = 45,
+) -> TitanCfiSoc:
+    """Assemble the reference SoC.
+
+    Args:
+        cfi_config: CFI stage parameters (defaults per the paper).
+        fabric: ``"standard"`` or ``"optimized"`` RoT interconnect.
+        addresses: alternative address map.
+        protect_mailbox: install the IOPMP rule restricting the CFI
+            mailbox to the CFI stage and the RoT (paper §VI).
+        with_cfi: when False, builds the unprotected baseline platform
+            (used to measure raw execution cycles).
+        wake_cycles: Ibex doorbell→wake latency.
+    """
+    amap = addresses or AddressMap()
+    config = cfi_config or TitanCfiConfig(mailbox_base=amap.cfi_mailbox_base)
+
+    host_map = MemoryMap("host")
+    dram = Ram(amap.dram_size, "dram")
+    cfi_mailbox = CfiMailbox()
+    scmi_mailbox = Mailbox(name="scmi-mailbox")
+    host_map.add(amap.dram_base, dram, latency=1, tag="dram", name="dram")
+    host_map.add(amap.cfi_mailbox_base, cfi_mailbox, latency=1,
+                 tag="cfi-mailbox", name="cfi-mailbox")
+    host_map.add(amap.scmi_mailbox_base, scmi_mailbox, latency=1,
+                 tag="scmi-mailbox", name="scmi-mailbox")
+
+    pmp = IoPmp()
+    if protect_mailbox:
+        pmp.protect(
+            amap.cfi_mailbox_base,
+            cfi_mailbox.size,
+            {"cfi-stage", "opentitan"},
+            name="cfi-mailbox-guard",
+        )
+
+    axi = AxiXbar(host_map, AxiTimings(), pmp=pmp, name="host-axi")
+
+    rot = OpenTitan(axi, addresses=amap,
+                    config=RotConfig(fabric=fabric, wake_cycles=wake_cycles))
+    # Doorbell level wire → RoT PLIC source (paper Fig. 1 "doorbell-cfi").
+    cfi_mailbox.doorbell_line = (
+        lambda level: rot.plic.set_level(CFI_IRQ_SOURCE, level)
+    )
+    scmi_mailbox.doorbell_line = (
+        lambda level: rot.plic.set_level(SCMI_IRQ_SOURCE, level)
+    )
+
+    cva6 = Hart(
+        MapPort(host_map),
+        Cva6Timing(),
+        xlen=64,
+        reset_pc=amap.dram_base,
+        name="cva6",
+    )
+
+    cfi_stage = CfiStage(axi, cfi_mailbox, config) if with_cfi else None
+    commit = CommitStage(cva6, cfi_stage)
+
+    return TitanCfiSoc(
+        addresses=amap,
+        host_map=host_map,
+        axi=axi,
+        pmp=pmp,
+        dram=dram,
+        cfi_mailbox=cfi_mailbox,
+        scmi_mailbox=scmi_mailbox,
+        rot=rot,
+        cva6=cva6,
+        cfi_stage=cfi_stage,
+        commit=commit,
+    )

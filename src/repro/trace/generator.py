@@ -1,0 +1,91 @@
+"""Synthetic commit-trace generators.
+
+The authors feed their model RTL traces we cannot have; these
+generators produce arrival processes with matching first-order
+statistics (total cycles, CF count — both published in Table III) and a
+tunable second-order structure:
+
+* :func:`uniform_trace` — evenly spread arrivals; correct for compute
+  kernels whose calls sit in regular loops (and for every benchmark in
+  the saturated or idle regimes, where burstiness is irrelevant);
+* :func:`burst_trace` — a fraction of the events arrive in dense
+  clusters (call-chain phases: parsing, sorting, recursion) separated
+  by quiet compute phases.  Two parameters — the burst fraction and the
+  in-burst gap — are calibrated per benchmark against the paper's IRQ
+  column (see :mod:`repro.bench_catalog.calibration`), then *validated*
+  by predicting the Polling/Optimized columns the fit never saw.
+
+Generators are deterministic (seeded) so every table regenerates
+identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import ConfigError
+
+
+def uniform_trace(total_cycles: int, cf_count: int) -> List[int]:
+    """Evenly spaced CF arrivals across the run."""
+    if cf_count <= 0:
+        return []
+    if total_cycles <= 0:
+        raise ConfigError("total_cycles must be positive")
+    gap = total_cycles / cf_count
+    return [int(gap * (i + 0.5)) for i in range(cf_count)]
+
+
+def burst_trace(
+    total_cycles: int,
+    cf_count: int,
+    burst_fraction: float,
+    in_burst_gap: int,
+    burst_size: int = 64,
+    seed: int = 0xC0FFEE,
+) -> List[int]:
+    """CF arrivals with a bursty component.
+
+    Args:
+        total_cycles: unprotected runtime.
+        cf_count: total CF events to place.
+        burst_fraction: fraction of events inside dense bursts (0..1).
+        in_burst_gap: cycles between consecutive events of a burst.
+        burst_size: events per burst.
+        seed: RNG seed for burst placement (deterministic).
+
+    Returns:
+        sorted arrival times.
+    """
+    if not 0.0 <= burst_fraction <= 1.0:
+        raise ConfigError("burst_fraction must be within [0, 1]")
+    if in_burst_gap < 1:
+        raise ConfigError("in_burst_gap must be >= 1")
+    if burst_size < 2:
+        raise ConfigError("burst_size must be >= 2")
+    if cf_count <= 0:
+        return []
+
+    rng = random.Random(seed)
+    burst_events = int(cf_count * burst_fraction)
+    uniform_events = cf_count - burst_events
+
+    arrivals = uniform_trace(total_cycles, uniform_events) if uniform_events else []
+
+    bursts = max(1, burst_events // burst_size) if burst_events else 0
+    placed = 0
+    for b in range(bursts):
+        size = min(burst_size, burst_events - placed)
+        if b == bursts - 1:
+            size = burst_events - placed
+        if size <= 0:
+            break
+        span = size * in_burst_gap
+        latest_start = max(1, total_cycles - span - 1)
+        start = rng.randrange(latest_start)
+        arrivals.extend(start + i * in_burst_gap for i in range(size))
+        placed += size
+
+    arrivals.sort()
+    return arrivals

@@ -1,0 +1,74 @@
+"""Structural area-model tests."""
+
+import pytest
+
+from repro.area.model import (
+    AreaEstimate,
+    breakdown,
+    estimate_cfi_stage,
+    estimate_mailbox,
+    filter_area,
+    log_writer_area,
+    mailbox_area,
+    queue_area,
+    total,
+)
+from repro.core.commit_log import COMMIT_LOG_BITS
+from repro.errors import ConfigError
+
+
+class TestPrimitives:
+    def test_estimate_addition(self):
+        a = AreaEstimate(10, 20, 1)
+        b = AreaEstimate(5, 5, 0)
+        combined = a + b
+        assert (combined.luts, combined.registers, combined.brams) == (15, 25, 1)
+
+    def test_queue_registers_scale_with_depth(self):
+        assert queue_area(8).estimate.registers > queue_area(1).estimate.registers
+
+    def test_queue_storage_dominated_by_log_width(self):
+        estimate = queue_area(8).estimate
+        assert estimate.registers >= 8 * COMMIT_LOG_BITS
+
+    def test_queue_depth_validation(self):
+        with pytest.raises(ConfigError):
+            queue_area(0)
+
+    def test_filter_is_mostly_combinational(self):
+        estimate = filter_area().estimate
+        assert estimate.luts > estimate.registers
+
+    def test_writer_has_no_full_log_latch(self):
+        assert log_writer_area().estimate.registers < COMMIT_LOG_BITS
+
+    def test_mailbox_storage(self):
+        assert mailbox_area().estimate.registers >= 4 * 64
+
+
+class TestStageComposition:
+    def test_two_filters_by_default(self):
+        names = [block.name for block in estimate_cfi_stage()]
+        assert names.count("cfi-filter") == 2
+
+    def test_breakdown_merges_duplicates(self):
+        merged = breakdown(estimate_cfi_stage())
+        assert "cfi-filter" in merged
+        assert merged["cfi-filter"].luts == 2 * filter_area().estimate.luts
+
+    def test_queue_dominates_registers_at_depth_8(self):
+        merged = breakdown(estimate_cfi_stage(queue_depth=8))
+        queue_regs = merged["cfi-queue"].registers
+        assert queue_regs > sum(
+            est.registers for name, est in merged.items() if name != "cfi-queue"
+        )
+
+    def test_soc_delta_adds_mailbox(self):
+        host = total(estimate_cfi_stage())
+        soc = host + total(estimate_mailbox())
+        assert soc.registers > host.registers
+        assert soc.luts > host.luts
+
+    def test_no_brams_anywhere(self):
+        assert total(estimate_cfi_stage()).brams == 0
+        assert total(estimate_mailbox()).brams == 0

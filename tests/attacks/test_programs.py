@@ -1,0 +1,72 @@
+"""Victim-program semantic tests (independent of CFI detection)."""
+
+import pytest
+
+from repro.attacks.programs import (
+    CLEAN_MARKER,
+    GADGET_MARKER,
+    benign_program,
+    deep_recursion_program,
+    indirect_jump_program,
+    rop_program,
+)
+from repro.hart.core import Hart
+from repro.hart.ports import MapPort
+from repro.hart.timing import Cva6Timing
+from repro.mem.map import MemoryMap
+from repro.mem.memory import Ram
+from repro.system.addresses import AddressMap
+
+
+@pytest.fixture(scope="module")
+def addresses():
+    return AddressMap()
+
+
+def run_bare(program, addresses, max_steps=200_000):
+    """Execute on an unprotected CVA6 ISS; return the hart."""
+    bus = MemoryMap("host")
+    bus.add(addresses.dram_base, Ram(addresses.dram_size), name="dram")
+    bus.write_bytes(program.base, program.data)
+    hart = Hart(MapPort(bus), Cva6Timing(), xlen=64, reset_pc=program.base)
+    hart.run(max_steps=max_steps)
+    return hart
+
+
+class TestBenign:
+    def test_completes_clean(self, addresses):
+        hart = run_bare(benign_program(addresses), addresses)
+        assert hart.regs.read(10) == CLEAN_MARKER
+
+    def test_accumulator_math(self, addresses):
+        """sum of squares 5..1 = 55, left in a1 by finalize."""
+        hart = run_bare(benign_program(addresses), addresses)
+        assert hart.regs.read(11) == 55
+
+
+class TestRop:
+    def test_unprotected_run_is_hijacked(self, addresses):
+        """Without CFI the diversion succeeds silently — the threat model."""
+        hart = run_bare(rop_program(addresses), addresses)
+        assert hart.regs.read(10) == GADGET_MARKER
+
+    def test_gadget_address_differs_from_return_site(self, addresses):
+        program = rop_program(addresses)
+        assert program.symbols["gadget"] != program.symbols["main"] + 12
+
+
+class TestRecursion:
+    @pytest.mark.parametrize("depth", [1, 8, 33])
+    def test_terminates_at_any_depth(self, addresses, depth):
+        hart = run_bare(deep_recursion_program(addresses, depth=depth), addresses)
+        assert hart.regs.read(10) == CLEAN_MARKER
+
+
+class TestIndirectJump:
+    def test_clean_dispatch(self, addresses):
+        hart = run_bare(indirect_jump_program(addresses, corrupt=False), addresses)
+        assert hart.regs.read(10) == CLEAN_MARKER
+
+    def test_corrupt_dispatch_reaches_gadget(self, addresses):
+        hart = run_bare(indirect_jump_program(addresses, corrupt=True), addresses)
+        assert hart.regs.read(10) == GADGET_MARKER

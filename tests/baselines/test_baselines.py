@@ -1,0 +1,67 @@
+"""Baseline-model tests: DExIE, FIXER, PHMon."""
+
+import pytest
+
+from repro.baselines.dexie import DEXIE_AREA, DEXIE_SLOWDOWNS, DexieModel
+from repro.baselines.fixer import FIXER_REPORTED_OVERHEAD_PERCENT, FixerModel
+from repro.baselines.phmon import PhmonModel
+from repro.core.commit_log import CommitLog
+from repro.isa.cflow import CfKind
+from repro.isa.encode import encode_i, encode_j
+from repro.isa import opcodes as op
+
+
+class TestDexie:
+    def test_published_values_returned(self):
+        model = DexieModel()
+        assert model.slowdown_percent(1e6, 100, published=DEXIE_SLOWDOWNS["edn"]) == 47
+
+    def test_clock_penalty_model_near_published(self):
+        """The parametric model should land near the ~48% the paper quotes."""
+        model = DexieModel()
+        estimate = model.slowdown_percent(2.51e6, 15)
+        assert estimate == pytest.approx(48, abs=4)
+
+    def test_area_overhead_72_percent(self):
+        assert DexieModel().area_overhead_percent == pytest.approx(72.1, abs=0.5)
+
+    def test_area_catalog_consistent(self):
+        assert DEXIE_AREA["lut_with_cfi"] > DEXIE_AREA["lut_base"]
+        assert DEXIE_AREA["bram_with_cfi"] - DEXIE_AREA["bram_base"] == 6
+
+
+class TestFixer:
+    def test_low_overhead_on_sparse_cf(self):
+        model = FixerModel()
+        # dhrystone: 2.25e4 extra ops over 4.57e5 cycles ≈ 4.9%
+        assert model.slowdown_percent(4.57e5, 2.25e4) == pytest.approx(4.9, abs=0.2)
+
+    def test_reported_constant(self):
+        assert FIXER_REPORTED_OVERHEAD_PERCENT == 1.5
+
+    def test_legacy_binaries_unprotected(self):
+        """The deployment contrast §II draws: FIXER needs recompilation."""
+        assert not FixerModel().protects_legacy_binaries()
+
+
+def return_log(target=0x2000):
+    return CommitLog(pc=0x1000, encoding=encode_i(op.OP_JALR, 0, 0, 1, 0),
+                     next_address=0x1004, target=target)
+
+
+class TestPhmon:
+    def test_match_unit_fires(self):
+        model = PhmonModel()
+        model.add_rule("returns", lambda log: log.kind is CfKind.RETURN, "check-stack")
+        assert model.observe(return_log()) == ("returns", "check-stack")
+        assert model.matches == 1
+
+    def test_no_match_returns_none(self):
+        model = PhmonModel()
+        model.add_rule("never", lambda log: False, "x")
+        assert model.observe(return_log()) is None
+
+    def test_security_contrast_with_titancfi(self):
+        """§II: PHMon metadata is forgeable after an OS breach; TitanCFI's
+        lives in the RoT (or is MAC-authenticated when spilled)."""
+        assert PhmonModel().metadata_forgeable_after_os_breach()

@@ -1,0 +1,100 @@
+"""Commit-log packet tests: the 224-bit wire format of §IV-B1."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.commit_log import (
+    COMMIT_LOG_BITS,
+    COMMIT_LOG_BYTES,
+    ENCODING_OFFSET,
+    NEXT_OFFSET,
+    PC_OFFSET,
+    TARGET_OFFSET,
+    CommitLog,
+)
+from repro.errors import ConfigError
+from repro.isa.cflow import CfKind
+from repro.isa.encode import encode_i, encode_j
+from repro.isa import opcodes as op
+
+
+def call_log(pc=0x1000):
+    return CommitLog(
+        pc=pc,
+        encoding=encode_j(op.OP_JAL, 1, 64),
+        next_address=pc + 4,
+        target=pc + 64,
+    )
+
+
+class TestPacketGeometry:
+    def test_width_is_224_bits(self):
+        assert COMMIT_LOG_BITS == 224
+        assert COMMIT_LOG_BYTES == 28
+
+    def test_field_offsets_are_word_aligned(self):
+        """Ibex must reach each field with one aligned 32-bit read."""
+        for offset in (PC_OFFSET, ENCODING_OFFSET, NEXT_OFFSET, TARGET_OFFSET):
+            assert offset % 4 == 0
+
+    def test_pack_length(self):
+        assert len(call_log().pack()) == COMMIT_LOG_BYTES
+
+    def test_fields_land_at_documented_offsets(self):
+        log = CommitLog(pc=0x1122334455667788, encoding=0xAABBCCDD,
+                        next_address=0x99, target=0x77)
+        packed = log.pack()
+        assert int.from_bytes(packed[PC_OFFSET:PC_OFFSET + 8], "little") == 0x1122334455667788
+        assert int.from_bytes(packed[ENCODING_OFFSET:ENCODING_OFFSET + 4], "little") == 0xAABBCCDD
+        assert int.from_bytes(packed[NEXT_OFFSET:NEXT_OFFSET + 8], "little") == 0x99
+        assert int.from_bytes(packed[TARGET_OFFSET:TARGET_OFFSET + 8], "little") == 0x77
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        log = call_log()
+        assert CommitLog.unpack(log.pack()) == log
+
+    def test_unpack_ignores_trailing_bytes(self):
+        log = call_log()
+        assert CommitLog.unpack(log.pack() + b"\x00" * 4) == log
+
+    def test_unpack_short_buffer_rejected(self):
+        with pytest.raises(ConfigError):
+            CommitLog.unpack(b"\x00" * 8)
+
+    @given(
+        pc=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        encoding=st.integers(min_value=0, max_value=(1 << 32) - 1),
+        next_address=st.integers(min_value=0, max_value=(1 << 64) - 1),
+        target=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    )
+    def test_roundtrip_property(self, pc, encoding, next_address, target):
+        log = CommitLog(pc=pc, encoding=encoding,
+                        next_address=next_address, target=target)
+        assert CommitLog.unpack(log.pack()) == log
+
+
+class TestValidation:
+    def test_oversized_pc_rejected(self):
+        with pytest.raises(ConfigError):
+            CommitLog(pc=1 << 64, encoding=0, next_address=0, target=0)
+
+    def test_oversized_encoding_rejected(self):
+        with pytest.raises(ConfigError):
+            CommitLog(pc=0, encoding=1 << 32, next_address=0, target=0)
+
+
+class TestKindDerivation:
+    def test_call_kind(self):
+        assert call_log().kind is CfKind.CALL
+
+    def test_return_kind(self):
+        log = CommitLog(pc=0, encoding=encode_i(op.OP_JALR, 0, 0, 1, 0),
+                        next_address=4, target=0x2000)
+        assert log.kind is CfKind.RETURN
+
+    def test_garbage_encoding_is_none(self):
+        log = CommitLog(pc=0, encoding=0xFFFFFFFF, next_address=4, target=0)
+        assert log.kind is CfKind.NONE

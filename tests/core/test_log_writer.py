@@ -1,0 +1,163 @@
+"""Log-writer FSM tests: the §IV-B3 state machine against a live mailbox."""
+
+import pytest
+
+from repro.core.commit_log import CommitLog
+from repro.core.log_writer import LogWriter, WriterState
+from repro.core.queue import CfiQueue
+from repro.errors import CfiViolation
+from repro.isa.encode import encode_i, encode_j
+from repro.isa import opcodes as op
+from repro.mem.map import MemoryMap
+from repro.soc.axi import AxiXbar
+from repro.soc.mailbox import VERDICT_OK, VERDICT_VIOLATION, CfiMailbox
+
+MAILBOX_BASE = 0x9000_0000
+
+
+def make_writer(raise_on_violation=True, queue_depth=4):
+    bus = MemoryMap("host")
+    mailbox = CfiMailbox()
+    bus.add(MAILBOX_BASE, mailbox, name="cfi-mailbox")
+    axi = AxiXbar(bus)
+    queue = CfiQueue(queue_depth)
+    writer = LogWriter(axi, mailbox, MAILBOX_BASE, queue,
+                       raise_on_violation=raise_on_violation)
+    return writer, queue, mailbox
+
+
+def call_log(pc=0x1000):
+    return CommitLog(pc=pc, encoding=encode_j(op.OP_JAL, 1, 0x40),
+                     next_address=pc + 4, target=pc + 0x40)
+
+
+class TestFsmProgression:
+    def test_idle_with_empty_queue(self):
+        writer, _, _ = make_writer()
+        writer.tick()
+        assert writer.state is WriterState.IDLE
+
+    def test_write_phase_rings_doorbell(self):
+        writer, queue, mailbox = make_writer()
+        queue.push(call_log())
+        writer.tick()  # pops, enters WRITE
+        assert writer.state is WriterState.WRITE
+        for _ in range(100):
+            writer.tick()
+            if writer.state is WriterState.WAIT:
+                break
+        assert writer.state is WriterState.WAIT
+        assert mailbox.doorbell_pending
+        assert writer.stats.logs_sent == 1
+
+    def test_payload_lands_in_mailbox(self):
+        writer, queue, mailbox = make_writer()
+        log = call_log()
+        queue.push(log)
+        while writer.state is not WriterState.WAIT:
+            writer.tick()
+        assert CommitLog.unpack(mailbox.collect()) == log
+
+    def test_completion_releases_fsm(self):
+        writer, queue, mailbox = make_writer()
+        queue.push(call_log())
+        while writer.state is not WriterState.WAIT:
+            writer.tick()
+        mailbox.respond(VERDICT_OK)
+        for _ in range(100):
+            writer.tick()
+            if writer.state is WriterState.IDLE:
+                break
+        assert writer.state is WriterState.IDLE
+        assert writer.stats.checks_completed == 1
+
+    def test_wait_cycles_accumulate(self):
+        writer, queue, mailbox = make_writer()
+        queue.push(call_log())
+        while writer.state is not WriterState.WAIT:
+            writer.tick()
+        for _ in range(10):
+            writer.tick()
+        assert writer.stats.wait_cycles >= 10
+
+
+class TestVerdicts:
+    def _run_one(self, verdict, raise_on_violation=True):
+        writer, queue, mailbox = make_writer(raise_on_violation)
+        queue.push(call_log())
+        while writer.state is not WriterState.WAIT:
+            writer.tick()
+        mailbox.respond(verdict)
+        for _ in range(100):
+            writer.tick()
+            if writer.state is WriterState.IDLE:
+                break
+        return writer
+
+    def test_ok_verdict_no_fault(self):
+        writer = self._run_one(VERDICT_OK)
+        assert writer.fault is None
+        assert writer.stats.violations == 0
+
+    def test_violation_raises(self):
+        writer, queue, mailbox = make_writer(raise_on_violation=True)
+        queue.push(call_log())
+        while writer.state is not WriterState.WAIT:
+            writer.tick()
+        mailbox.respond(VERDICT_VIOLATION)
+        with pytest.raises(CfiViolation):
+            for _ in range(100):
+                writer.tick()
+
+    def test_violation_latched_when_not_raising(self):
+        writer = self._run_one(VERDICT_VIOLATION, raise_on_violation=False)
+        assert writer.fault is not None
+        assert writer.stats.violations == 1
+
+    def test_violation_carries_log_info(self):
+        writer = self._run_one(VERDICT_VIOLATION, raise_on_violation=False)
+        assert writer.fault.pc == 0x1000
+        assert writer.fault.kind == "call"
+
+
+class TestBackToBack:
+    def test_multiple_logs_processed_fifo(self):
+        writer, queue, mailbox = make_writer()
+        for pc in (0x1000, 0x2000, 0x3000):
+            queue.push(call_log(pc))
+        seen = []
+        for _ in range(2000):
+            writer.tick()
+            if writer.state is WriterState.WAIT and mailbox.doorbell_pending:
+                seen.append(CommitLog.unpack(mailbox.collect()).pc)
+                mailbox.respond(VERDICT_OK)
+            if writer.stats.checks_completed == 3:
+                break
+        assert seen == [0x1000, 0x2000, 0x3000]
+        assert writer.stats.checks_completed == 3
+
+    def test_latency_statistics(self):
+        writer, queue, mailbox = make_writer()
+        queue.push(call_log())
+        for _ in range(2000):
+            writer.tick()
+            if writer.state is WriterState.WAIT and mailbox.doorbell_pending:
+                mailbox.respond(VERDICT_OK)
+            if writer.stats.checks_completed:
+                break
+        assert writer.stats.mean_check_latency > 0
+        assert len(writer.stats.check_latencies) == 1
+
+
+class TestAxiTraffic:
+    def test_writer_is_its_own_master(self):
+        writer, queue, mailbox = make_writer()
+        queue.push(call_log())
+        while writer.state is not WriterState.WAIT:
+            writer.tick()
+        assert writer.axi.stats("cfi-stage").writes >= 2  # payload + doorbell
+
+    def test_payload_beats(self):
+        """A 28-byte log must cost 4 data beats on the 64-bit bus."""
+        writer, _, _ = make_writer()
+        assert writer.axi.timings.beats_for(28) == 4

@@ -1,0 +1,76 @@
+"""Scoreboard-entry construction from ISS step results."""
+
+from repro.cva6.scoreboard import ScoreboardEntry
+from repro.hart.core import Hart, StepEvent
+from repro.hart.ports import MapPort
+from repro.hart.timing import Cva6Timing
+from repro.isa.asm import Assembler
+from repro.mem.map import MemoryMap
+from repro.mem.memory import Ram
+
+
+def step_results(source, count=20):
+    bus = MemoryMap("t")
+    bus.add(0, Ram(0x10000), name="ram")
+    program = Assembler(xlen=64).assemble(source, base=0)
+    bus.write_bytes(0, program.data)
+    hart = Hart(MapPort(bus), Cva6Timing(), xlen=64)
+    results = []
+    for _ in range(count):
+        if hart.halted:
+            break
+        results.append(hart.step())
+    return results
+
+
+class TestFromStep:
+    def test_retired_instruction_becomes_entry(self):
+        results = step_results("addi a0, zero, 1\nebreak")
+        entry = ScoreboardEntry.from_step(results[0])
+        assert entry is not None
+        assert entry.pc == 0
+        assert entry.insn.mnemonic == "addi"
+        assert entry.fall_through == 4
+        assert entry.target == 4
+        assert not entry.taken
+        assert entry.valid
+
+    def test_call_entry_has_target_and_fallthrough(self):
+        results = step_results("call f\nebreak\nf: ret")
+        entry = ScoreboardEntry.from_step(results[0])
+        assert entry.taken
+        assert entry.fall_through == 4
+        assert entry.target == 8  # symbol f
+
+    def test_halt_produces_no_entry(self):
+        results = step_results("ebreak")
+        assert results[0].event is StepEvent.HALT
+        assert ScoreboardEntry.from_step(results[0]) is None
+
+    def test_taken_branch(self):
+        results = step_results(
+            """
+            li a0, 1
+            bnez a0, out
+            nop
+            out: ebreak
+            """
+        )
+        branch = next(r for r in results if r.insn and r.insn.mnemonic == "bne")
+        entry = ScoreboardEntry.from_step(branch)
+        assert entry.taken
+        assert entry.target != entry.fall_through
+
+    def test_untaken_branch(self):
+        results = step_results(
+            """
+            li a0, 0
+            bnez a0, out
+            nop
+            out: ebreak
+            """
+        )
+        branch = next(r for r in results if r.insn and r.insn.mnemonic == "bne")
+        entry = ScoreboardEntry.from_step(branch)
+        assert not entry.taken
+        assert entry.target == entry.fall_through

@@ -1,0 +1,41 @@
+"""Report-rendering helpers."""
+
+from repro.eval.report import paper_vs_measured, render_table, scientific
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_title_underlined(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_none_renders_as_dash(self):
+        text = render_table(["x"], [[None]])
+        assert text.splitlines()[-1].strip() == "-"
+
+    def test_float_formatting_tiers(self):
+        text = render_table(["x"], [[123.456], [12.34], [1.234], [0.0]])
+        rows = [line.strip() for line in text.splitlines()[2:]]
+        assert rows == ["123", "12.3", "1.23", "-"]
+
+
+class TestCells:
+    def test_paper_vs_measured_both(self):
+        assert paper_vs_measured(12, 11.6) == "12/12"
+
+    def test_paper_missing(self):
+        assert paper_vs_measured(None, 0.1) == "-/-"
+
+    def test_measured_zeroish(self):
+        assert paper_vs_measured(3, 0.2) == "3/-"
+
+    def test_scientific(self):
+        assert scientific(2.51e6) == "2.51E+06"

@@ -1,0 +1,148 @@
+"""Per-thread CFI context tests (the paper's future-work extension)."""
+
+import pytest
+
+from repro.core.commit_log import CommitLog
+from repro.errors import CfiViolation, ConfigError
+from repro.firmware.contexts import CfiContextManager
+from repro.firmware.policies import CheckResult
+from repro.isa.encode import encode_i, encode_j
+from repro.isa import opcodes as op
+
+
+def call_log(pc, target=0x9000):
+    return CommitLog(pc=pc, encoding=encode_j(op.OP_JAL, 1, 0x40),
+                     next_address=pc + 4, target=target)
+
+
+def return_log(target):
+    return CommitLog(pc=0x9000, encoding=encode_i(op.OP_JALR, 0, 0, 1, 0),
+                     next_address=0x9004, target=target)
+
+
+class TestRegistrationAndSwitching:
+    def test_switch_requires_registration(self):
+        manager = CfiContextManager()
+        with pytest.raises(ConfigError):
+            manager.switch_to(1)
+
+    def test_duplicate_registration_rejected(self):
+        manager = CfiContextManager()
+        manager.register(1)
+        with pytest.raises(ConfigError):
+            manager.register(1)
+
+    def test_check_requires_scheduled_thread(self):
+        manager = CfiContextManager()
+        manager.register(1)
+        with pytest.raises(ConfigError):
+            manager.check(call_log(0x1000))
+
+    def test_resident_limit_validation(self):
+        with pytest.raises(ConfigError):
+            CfiContextManager(resident_limit=0)
+
+
+class TestPerThreadIsolation:
+    def test_threads_have_independent_stacks(self):
+        manager = CfiContextManager()
+        manager.register(1)
+        manager.register(2)
+        manager.switch_to(1)
+        manager.check(call_log(0x1000))
+        manager.switch_to(2)
+        manager.check(call_log(0x2000))
+        # Thread 2 returning to thread 1's return address must violate.
+        assert manager.check(return_log(0x1004)) is CheckResult.VIOLATION
+        # Thread 1's own return is still fine.
+        manager.switch_to(1)
+        assert manager.check(return_log(0x1004)) is CheckResult.OK
+
+    def test_interleaved_schedule_clean(self):
+        manager = CfiContextManager()
+        for tid in (1, 2, 3):
+            manager.register(tid)
+        for tid in (1, 2, 3):
+            manager.switch_to(tid)
+            manager.check(call_log(0x1000 * tid))
+        for tid in (3, 1, 2):
+            manager.switch_to(tid)
+            assert manager.check(return_log(0x1000 * tid + 4)) is CheckResult.OK
+        assert manager.stats.violations == 0
+
+
+class TestSelectiveProtection:
+    def test_unprotected_thread_skipped(self):
+        manager = CfiContextManager()
+        manager.register(1, protected=False)
+        manager.switch_to(1)
+        # Even a wild return is not checked: the thread opted out.
+        assert manager.check(return_log(0xDEAD)) is CheckResult.OK
+        assert manager.stats.skipped_unprotected == 1
+        assert manager.stats.checks == 0
+
+    def test_unprotected_thread_costs_no_context(self):
+        manager = CfiContextManager(resident_limit=1)
+        manager.register(1, protected=False)
+        manager.switch_to(1)
+        assert manager.resident_threads == []
+
+
+class TestEvictionAndRestore:
+    def test_lru_eviction_beyond_resident_limit(self):
+        manager = CfiContextManager(resident_limit=2)
+        for tid in (1, 2, 3):
+            manager.register(tid)
+            manager.switch_to(tid)
+            manager.check(call_log(0x1000 * tid))
+        assert manager.stats.evictions == 1
+        assert 1 not in manager.resident_threads  # LRU victim
+
+    def test_restored_context_preserves_stack(self):
+        manager = CfiContextManager(resident_limit=2)
+        for tid in (1, 2, 3):
+            manager.register(tid)
+            manager.switch_to(tid)
+            manager.check(call_log(0x1000 * tid))
+        manager.switch_to(1)  # restore from authenticated storage
+        assert manager.check(return_log(0x1004)) is CheckResult.OK
+        assert manager.stats.violations == 0
+
+    def test_depth_tracked_through_eviction(self):
+        manager = CfiContextManager(resident_limit=1)
+        manager.register(1)
+        manager.register(2)
+        manager.switch_to(1)
+        manager.check(call_log(0x1000))
+        manager.check(call_log(0x1010))
+        manager.switch_to(2)  # evicts thread 1
+        assert manager.depth_of(1) == 2
+
+    def test_tampered_context_detected_on_restore(self):
+        manager = CfiContextManager(resident_limit=1)
+        manager.register(1)
+        manager.register(2)
+        manager.switch_to(1)
+        manager.check(call_log(0x1000))
+        manager.switch_to(2)  # evict thread 1
+        manager.tamper_evicted(1)
+        with pytest.raises(CfiViolation, match="context-tamper"):
+            manager.switch_to(1)
+
+    def test_hmac_cycles_charged(self):
+        manager = CfiContextManager(resident_limit=1)
+        manager.register(1)
+        manager.register(2)
+        manager.switch_to(1)
+        manager.check(call_log(0x1000))
+        manager.switch_to(2)
+        assert manager.accel.busy_cycles > 0
+
+
+class TestStats:
+    def test_switch_counting(self):
+        manager = CfiContextManager()
+        manager.register(1)
+        for _ in range(5):
+            manager.switch_to(1)
+        assert manager.stats.switches == 5

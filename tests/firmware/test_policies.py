@@ -1,0 +1,167 @@
+"""Reference-policy tests: shadow stack (incl. authenticated spill),
+forward-edge policy, composites, and hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.commit_log import CommitLog
+from repro.errors import ConfigError
+from repro.firmware.policies import (
+    CheckResult,
+    CompositePolicy,
+    ForwardEdgePolicy,
+    ShadowStackPolicy,
+)
+from repro.isa.encode import encode_i, encode_j
+from repro.isa import opcodes as op
+
+
+def call_log(pc, target):
+    return CommitLog(pc=pc, encoding=encode_j(op.OP_JAL, 1, 0x40),
+                     next_address=pc + 4, target=target)
+
+
+def indirect_call_log(pc, target):
+    return CommitLog(pc=pc, encoding=encode_i(op.OP_JALR, 0, 1, 10, 0),
+                     next_address=pc + 4, target=target)
+
+
+def return_log(pc, target):
+    return CommitLog(pc=pc, encoding=encode_i(op.OP_JALR, 0, 0, 1, 0),
+                     next_address=pc + 4, target=target)
+
+
+def jump_log(pc, target):
+    return CommitLog(pc=pc, encoding=encode_i(op.OP_JALR, 0, 0, 10, 0),
+                     next_address=pc + 4, target=target)
+
+
+class TestShadowStackBasics:
+    def test_matched_call_return_ok(self):
+        policy = ShadowStackPolicy()
+        assert policy.check(call_log(0x1000, 0x2000)) is CheckResult.OK
+        assert policy.check(return_log(0x2010, 0x1004)) is CheckResult.OK
+        assert policy.stats.violations == 0
+
+    def test_mismatched_return_violates(self):
+        policy = ShadowStackPolicy()
+        policy.check(call_log(0x1000, 0x2000))
+        assert policy.check(return_log(0x2010, 0xDEAD)) is CheckResult.VIOLATION
+
+    def test_underflow_violates(self):
+        policy = ShadowStackPolicy()
+        assert policy.check(return_log(0x2010, 0x1004)) is CheckResult.VIOLATION
+
+    def test_nested_calls_lifo(self):
+        policy = ShadowStackPolicy()
+        policy.check(call_log(0x1000, 0x2000))
+        policy.check(call_log(0x2000, 0x3000))
+        assert policy.check(return_log(0x3010, 0x2004)) is CheckResult.OK
+        assert policy.check(return_log(0x2010, 0x1004)) is CheckResult.OK
+
+    def test_out_of_order_return_violates(self):
+        policy = ShadowStackPolicy()
+        policy.check(call_log(0x1000, 0x2000))
+        policy.check(call_log(0x2000, 0x3000))
+        assert policy.check(return_log(0x3010, 0x1004)) is CheckResult.VIOLATION
+
+    def test_indirect_jump_unconstrained(self):
+        policy = ShadowStackPolicy()
+        assert policy.check(jump_log(0x1000, 0x9999)) is CheckResult.OK
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            ShadowStackPolicy(capacity=1)
+
+
+class TestAuthenticatedSpill:
+    def test_spill_and_restore_roundtrip(self):
+        policy = ShadowStackPolicy(capacity=4, spill_entries=2)
+        for i in range(6):  # overflows twice
+            policy.check(call_log(0x1000 + i * 0x10, 0x5000))
+        assert policy.stats.spills >= 1
+        for i in reversed(range(6)):
+            verdict = policy.check(return_log(0x5000, 0x1004 + i * 0x10))
+            assert verdict is CheckResult.OK, f"return {i} failed"
+        assert policy.stats.restores >= 1
+        assert policy.stats.violations == 0
+
+    def test_depth_counts_spilled(self):
+        policy = ShadowStackPolicy(capacity=4, spill_entries=2)
+        for i in range(6):
+            policy.check(call_log(0x1000 + i * 0x10, 0x5000))
+        assert policy.depth == 6
+
+    def test_tampered_spill_detected(self):
+        policy = ShadowStackPolicy(capacity=4, spill_entries=2)
+        for i in range(6):
+            policy.check(call_log(0x1000 + i * 0x10, 0x5000))
+        policy.tamper_spill(byte=3)
+        # Drain resident entries, then the tampered block must fail.
+        outcomes = [
+            policy.check(return_log(0x5000, 0x1004 + i * 0x10))
+            for i in reversed(range(6))
+        ]
+        assert CheckResult.VIOLATION in outcomes
+
+    def test_accelerator_charged(self):
+        policy = ShadowStackPolicy(capacity=4, spill_entries=2)
+        for i in range(6):
+            policy.check(call_log(0x1000 + i * 0x10, 0x5000))
+        assert policy.accel.busy_cycles > 0
+
+    @given(depth=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=20, deadline=None)
+    def test_lifo_invariant_across_spills(self, depth):
+        """Any clean call/return sequence passes, regardless of spills."""
+        policy = ShadowStackPolicy(capacity=8, spill_entries=4)
+        for i in range(depth):
+            policy.check(call_log(0x1000 + i * 4, 0x8000))
+        for i in reversed(range(depth)):
+            assert policy.check(return_log(0x8000, 0x1004 + i * 4)) is CheckResult.OK
+        assert policy.stats.violations == 0
+
+
+class TestForwardEdgePolicy:
+    def test_registered_target_ok(self):
+        policy = ForwardEdgePolicy({0x2000})
+        assert policy.check(jump_log(0x1000, 0x2000)) is CheckResult.OK
+
+    def test_unregistered_target_violates(self):
+        policy = ForwardEdgePolicy({0x2000})
+        assert policy.check(jump_log(0x1000, 0x2Fa0)) is CheckResult.VIOLATION
+
+    def test_indirect_call_constrained(self):
+        policy = ForwardEdgePolicy({0x2000})
+        assert policy.check(indirect_call_log(0x1000, 0x3000)) is CheckResult.VIOLATION
+        assert policy.check(indirect_call_log(0x1000, 0x2000)) is CheckResult.OK
+
+    def test_direct_call_unconstrained(self):
+        policy = ForwardEdgePolicy(set())
+        assert policy.check(call_log(0x1000, 0x7777)) is CheckResult.OK
+
+    def test_returns_ignored(self):
+        policy = ForwardEdgePolicy(set())
+        assert policy.check(return_log(0x1000, 0x7777)) is CheckResult.OK
+
+    def test_allow_registers_target(self):
+        policy = ForwardEdgePolicy()
+        policy.allow(0x4000)
+        assert policy.check(jump_log(0, 0x4000)) is CheckResult.OK
+
+
+class TestCompositePolicy:
+    def test_any_violation_wins(self):
+        shadow = ShadowStackPolicy()
+        forward = ForwardEdgePolicy({0x2000})
+        composite = CompositePolicy([shadow, forward])
+        assert composite.check(jump_log(0x1000, 0x9999)) is CheckResult.VIOLATION
+
+    def test_all_ok(self):
+        composite = CompositePolicy([ShadowStackPolicy(), ForwardEdgePolicy({0x2000})])
+        assert composite.check(call_log(0x1000, 0x2000)) is CheckResult.OK
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            CompositePolicy([])

@@ -1,0 +1,42 @@
+"""Shared fixtures: a minimal RV32 hart over a flat RAM."""
+
+import pytest
+
+from repro.hart.core import Hart
+from repro.hart.ports import MapPort
+from repro.hart.timing import IbexTiming
+from repro.isa.asm import assemble
+from repro.mem.map import MemoryMap
+from repro.mem.memory import Ram
+
+
+RAM_BASE = 0x0000_0000
+RAM_SIZE = 0x10000
+
+
+def build_hart(source, xlen=32, base=0, timing=None, external_irq=None):
+    """Assemble ``source``, load it at ``base`` and wrap a hart around it."""
+    bus = MemoryMap("test")
+    bus.add(RAM_BASE, Ram(RAM_SIZE, "ram"), latency=1, tag="ram", name="ram")
+    program = assemble(source, base=base, xlen=xlen)
+    bus.write_bytes(program.base, program.data)
+    hart = Hart(
+        MapPort(bus),
+        timing or IbexTiming(),
+        xlen=xlen,
+        reset_pc=base,
+        external_irq=external_irq,
+    )
+    return hart, bus, program
+
+
+@pytest.fixture
+def run_program():
+    """Run a program to completion and return the hart."""
+
+    def runner(source, xlen=32, max_steps=100_000, timing=None):
+        hart, _, _ = build_hart(source, xlen=xlen, timing=timing)
+        hart.run(max_steps=max_steps)
+        return hart
+
+    return runner

@@ -1,0 +1,319 @@
+"""Hart execution tests: programs assembled from source and run to halt."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.registers import reg_index
+from tests.hart.conftest import build_hart
+
+
+def reg(hart, name):
+    return hart.regs.read(reg_index(name))
+
+
+class TestArithmetic:
+    def test_addition_chain(self, run_program):
+        hart = run_program(
+            """
+            li a0, 10
+            li a1, 32
+            add a2, a0, a1
+            ebreak
+            """
+        )
+        assert reg(hart, "a2") == 42
+
+    def test_subtraction_wraps(self, run_program):
+        hart = run_program(
+            """
+            li a0, 0
+            li a1, 1
+            sub a2, a0, a1
+            ebreak
+            """
+        )
+        assert reg(hart, "a2") == 0xFFFFFFFF
+
+    def test_logic_ops(self, run_program):
+        hart = run_program(
+            """
+            li a0, 0xF0
+            li a1, 0x0F
+            or a2, a0, a1
+            and a3, a0, a1
+            xor a4, a0, a1
+            ebreak
+            """
+        )
+        assert reg(hart, "a2") == 0xFF
+        assert reg(hart, "a3") == 0
+        assert reg(hart, "a4") == 0xFF
+
+    def test_shifts(self, run_program):
+        hart = run_program(
+            """
+            li a0, 1
+            slli a1, a0, 31
+            srli a2, a1, 31
+            srai a3, a1, 31
+            ebreak
+            """
+        )
+        assert reg(hart, "a1") == 0x8000_0000
+        assert reg(hart, "a2") == 1
+        assert reg(hart, "a3") == 0xFFFF_FFFF
+
+    def test_slt_signed_unsigned(self, run_program):
+        hart = run_program(
+            """
+            li a0, -1
+            li a1, 1
+            slt a2, a0, a1
+            sltu a3, a0, a1
+            ebreak
+            """
+        )
+        assert reg(hart, "a2") == 1   # -1 < 1 signed
+        assert reg(hart, "a3") == 0   # 0xffffffff > 1 unsigned
+
+    def test_x0_stays_zero(self, run_program):
+        hart = run_program(
+            """
+            li a0, 7
+            add zero, a0, a0
+            mv a1, zero
+            ebreak
+            """
+        )
+        assert reg(hart, "a1") == 0
+
+
+class TestMultiplyDivide:
+    def test_mul(self, run_program):
+        hart = run_program("li a0, 7\nli a1, 6\nmul a2, a0, a1\nebreak")
+        assert reg(hart, "a2") == 42
+
+    def test_mulh_signed(self, run_program):
+        hart = run_program("li a0, -1\nli a1, -1\nmulh a2, a0, a1\nebreak")
+        assert reg(hart, "a2") == 0  # (-1 * -1) >> 32 == 0
+
+    def test_mulhu(self, run_program):
+        hart = run_program("li a0, -1\nli a1, -1\nmulhu a2, a0, a1\nebreak")
+        assert reg(hart, "a2") == 0xFFFF_FFFE
+
+    def test_div(self, run_program):
+        hart = run_program("li a0, -7\nli a1, 2\ndiv a2, a0, a1\nebreak")
+        assert reg(hart, "a2") == 0xFFFF_FFFD  # -3 (round toward zero)
+
+    def test_div_by_zero_gives_minus_one(self, run_program):
+        hart = run_program("li a0, 5\nli a1, 0\ndiv a2, a0, a1\nebreak")
+        assert reg(hart, "a2") == 0xFFFF_FFFF
+
+    def test_rem(self, run_program):
+        hart = run_program("li a0, -7\nli a1, 2\nrem a2, a0, a1\nebreak")
+        assert reg(hart, "a2") == 0xFFFF_FFFF  # -1
+
+    def test_rem_by_zero_gives_dividend(self, run_program):
+        hart = run_program("li a0, 5\nli a1, 0\nrem a2, a0, a1\nebreak")
+        assert reg(hart, "a2") == 5
+
+    def test_divu_by_zero(self, run_program):
+        hart = run_program("li a0, 5\nli a1, 0\ndivu a2, a0, a1\nebreak")
+        assert reg(hart, "a2") == 0xFFFF_FFFF
+
+
+class TestMemory:
+    def test_store_load_roundtrip(self, run_program):
+        hart = run_program(
+            """
+            li sp, 0x8000
+            li a0, 0x12345678
+            sw a0, -4(sp)
+            lw a1, -4(sp)
+            ebreak
+            """
+        )
+        assert reg(hart, "a1") == 0x12345678
+
+    def test_byte_sign_extension(self, run_program):
+        hart = run_program(
+            """
+            li sp, 0x8000
+            li a0, 0x80
+            sb a0, 0(sp)
+            lb a1, 0(sp)
+            lbu a2, 0(sp)
+            ebreak
+            """
+        )
+        assert reg(hart, "a1") == 0xFFFF_FF80
+        assert reg(hart, "a2") == 0x80
+
+    def test_halfword(self, run_program):
+        hart = run_program(
+            """
+            li sp, 0x8000
+            li a0, 0x8001
+            sh a0, 0(sp)
+            lh a1, 0(sp)
+            lhu a2, 0(sp)
+            ebreak
+            """
+        )
+        assert reg(hart, "a1") == 0xFFFF_8001
+        assert reg(hart, "a2") == 0x8001
+
+
+class TestControlFlow:
+    def test_loop_sums(self, run_program):
+        hart = run_program(
+            """
+            li a0, 0      # sum
+            li a1, 10     # counter
+            loop:
+            add a0, a0, a1
+            addi a1, a1, -1
+            bnez a1, loop
+            ebreak
+            """
+        )
+        assert reg(hart, "a0") == 55
+
+    def test_call_return(self, run_program):
+        hart = run_program(
+            """
+            li a0, 5
+            call double
+            ebreak
+            double:
+            add a0, a0, a0
+            ret
+            """
+        )
+        assert reg(hart, "a0") == 10
+
+    def test_nested_calls(self, run_program):
+        hart = run_program(
+            """
+            li sp, 0x8000
+            li a0, 3
+            call f
+            ebreak
+            f:
+            addi sp, sp, -8
+            sw ra, 0(sp)
+            call g
+            lw ra, 0(sp)
+            addi sp, sp, 8
+            addi a0, a0, 1
+            ret
+            g:
+            add a0, a0, a0
+            ret
+            """
+        )
+        assert reg(hart, "a0") == 7
+
+    def test_indirect_jump(self, run_program):
+        hart = run_program(
+            """
+            la t1, target
+            jr t1
+            li a0, 1      # skipped
+            ebreak
+            target:
+            li a0, 99
+            ebreak
+            """
+        )
+        assert reg(hart, "a0") == 99
+
+    def test_jalr_clears_lsb(self, run_program):
+        hart = run_program(
+            """
+            la t1, target+1
+            jalr zero, 0(t1)
+            ebreak
+            target:
+            li a0, 77
+            ebreak
+            """
+        )
+        assert reg(hart, "a0") == 77
+
+
+class TestRv64Execution:
+    def test_64bit_arithmetic(self, run_program):
+        hart = run_program(
+            """
+            li a0, 0x7fffffff
+            addi a0, a0, 1
+            ebreak
+            """,
+            xlen=64,
+        )
+        assert reg(hart, "a0") == 0x8000_0000  # no wrap on RV64
+
+    def test_addw_sign_extends(self, run_program):
+        hart = run_program(
+            """
+            li a0, 0x7fffffff
+            li a1, 1
+            addw a2, a0, a1
+            ebreak
+            """,
+            xlen=64,
+        )
+        assert reg(hart, "a2") == 0xFFFF_FFFF_8000_0000
+
+    def test_ld_sd(self, run_program):
+        hart = run_program(
+            """
+            li sp, 0x8000
+            li a0, 0x12345678
+            slli a0, a0, 16
+            sd a0, 0(sp)
+            ld a1, 0(sp)
+            ebreak
+            """,
+            xlen=64,
+        )
+        assert reg(hart, "a1") == 0x1234_5678_0000
+
+    def test_sraiw(self, run_program):
+        hart = run_program(
+            """
+            li a0, 0x80000000
+            sraiw a1, a0, 4
+            ebreak
+            """,
+            xlen=64,
+        )
+        assert reg(hart, "a1") == 0xFFFF_FFFF_F800_0000
+
+
+class TestCounters:
+    def test_instret_counts_retired(self, run_program):
+        hart = run_program("nop\nnop\nnop\nebreak")
+        assert hart.instret == 3  # ebreak halts without retiring
+
+    def test_cycles_accumulate(self, run_program):
+        hart = run_program("nop\nnop\nebreak")
+        assert hart.cycle >= 2
+
+    def test_mcycle_readable(self, run_program):
+        hart = run_program("csrr a0, mcycle\nebreak")
+        assert reg(hart, "a0") >= 0
+
+
+class TestRunGuards:
+    def test_runaway_raises(self):
+        hart, _, _ = build_hart("loop: j loop")
+        with pytest.raises(SimulationError, match="exceeded"):
+            hart.run(max_steps=100)
+
+    def test_step_after_halt_raises(self):
+        hart, _, _ = build_hart("ebreak")
+        hart.run()
+        with pytest.raises(SimulationError):
+            hart.step()

@@ -1,0 +1,135 @@
+"""Property tests: ISS arithmetic against Python reference semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hart.core import Hart
+from repro.hart.ports import MapPort
+from repro.hart.timing import IbexTiming
+from repro.isa.encode import encode_r, encode_i, encode_shift
+from repro.isa import opcodes as op
+from repro.mem.map import MemoryMap
+from repro.mem.memory import Ram
+from repro.utils.bits import mask, sext
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+u64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+def run_binop(word, a, b, xlen):
+    """Execute one R-type op with rs1=a, rs2=b; return rd."""
+    bus = MemoryMap("t")
+    ram = Ram(0x100)
+    bus.add(0, ram, name="ram")
+    ram.load(0, word.to_bytes(4, "little"))
+    hart = Hart(MapPort(bus), IbexTiming(), xlen=xlen)
+    hart.regs.write(1, a)
+    hart.regs.write(2, b)
+    hart.step()
+    return hart.regs.read(3)
+
+
+def binop_word(mnemonic_key):
+    table = {
+        "add": (op.F3_ADD_SUB, op.F7_BASE),
+        "sub": (op.F3_ADD_SUB, op.F7_SUB_SRA),
+        "xor": (op.F3_XOR, op.F7_BASE),
+        "and": (op.F3_AND, op.F7_BASE),
+        "or": (op.F3_OR, op.F7_BASE),
+        "sltu": (op.F3_SLTU, op.F7_BASE),
+        "slt": (op.F3_SLT, op.F7_BASE),
+        "mul": (op.F3_MUL, op.F7_MULDIV),
+        "divu": (op.F3_DIVU, op.F7_MULDIV),
+        "remu": (op.F3_REMU, op.F7_MULDIV),
+        "div": (op.F3_DIV, op.F7_MULDIV),
+        "rem": (op.F3_REM, op.F7_MULDIV),
+    }
+    f3, f7 = table[mnemonic_key]
+    return encode_r(op.OP_REG, f3, f7, 3, 1, 2)
+
+
+class TestRv32Properties:
+    @given(a=u32, b=u32)
+    @settings(max_examples=60, deadline=None)
+    def test_add_wraps(self, a, b):
+        assert run_binop(binop_word("add"), a, b, 32) == (a + b) & mask(32)
+
+    @given(a=u32, b=u32)
+    @settings(max_examples=60, deadline=None)
+    def test_sub_wraps(self, a, b):
+        assert run_binop(binop_word("sub"), a, b, 32) == (a - b) & mask(32)
+
+    @given(a=u32, b=u32)
+    @settings(max_examples=40, deadline=None)
+    def test_logic_ops(self, a, b):
+        assert run_binop(binop_word("xor"), a, b, 32) == a ^ b
+        assert run_binop(binop_word("and"), a, b, 32) == a & b
+        assert run_binop(binop_word("or"), a, b, 32) == a | b
+
+    @given(a=u32, b=u32)
+    @settings(max_examples=40, deadline=None)
+    def test_compares(self, a, b):
+        assert run_binop(binop_word("sltu"), a, b, 32) == int(a < b)
+        assert run_binop(binop_word("slt"), a, b, 32) == int(sext(a, 32) < sext(b, 32))
+
+    @given(a=u32, b=u32)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_low_half(self, a, b):
+        assert run_binop(binop_word("mul"), a, b, 32) == (a * b) & mask(32)
+
+    @given(a=u32, b=u32)
+    @settings(max_examples=40, deadline=None)
+    def test_divu_remu_euclid(self, a, b):
+        q = run_binop(binop_word("divu"), a, b, 32)
+        r = run_binop(binop_word("remu"), a, b, 32)
+        if b == 0:
+            assert q == mask(32) and r == a
+        else:
+            assert q == a // b and r == a % b
+            assert (q * b + r) & mask(32) == a
+
+    @given(a=u32, b=u32)
+    @settings(max_examples=40, deadline=None)
+    def test_div_rem_signed_identity(self, a, b):
+        """RISC-V: rounding toward zero, div*b + rem == dividend."""
+        q = sext(run_binop(binop_word("div"), a, b, 32), 32)
+        r = sext(run_binop(binop_word("rem"), a, b, 32), 32)
+        sa, sb = sext(a, 32), sext(b, 32)
+        if sb == 0:
+            assert q == -1 and r == sa
+        else:
+            assert (q * sb + r) == sa
+            assert abs(r) < abs(sb) or r == 0
+
+
+class TestRv64Properties:
+    @given(a=u64, b=u64)
+    @settings(max_examples=40, deadline=None)
+    def test_add_wraps_64(self, a, b):
+        assert run_binop(binop_word("add"), a, b, 64) == (a + b) & mask(64)
+
+    @given(a=u64, shamt=st.integers(min_value=0, max_value=63))
+    @settings(max_examples=40, deadline=None)
+    def test_srai_64(self, a, shamt):
+        word = encode_shift(op.OP_IMM, op.F3_SRL_SRA, op.F7_SUB_SRA, 3, 1, shamt, 64)
+        result = run_binop_imm(word, a, 64)
+        assert result == (sext(a, 64) >> shamt) & mask(64)
+
+    @given(a=u64, imm=st.integers(min_value=-2048, max_value=2047))
+    @settings(max_examples=40, deadline=None)
+    def test_addiw_sign_extends(self, a, imm):
+        word = encode_i(op.OP_IMM_32, op.F3_ADD_SUB, 3, 1, imm)
+        result = run_binop_imm(word, a, 64)
+        assert result == sext((a + imm) & mask(32), 32) & mask(64)
+
+
+def run_binop_imm(word, a, xlen):
+    bus = MemoryMap("t")
+    ram = Ram(0x100)
+    bus.add(0, ram, name="ram")
+    ram.load(0, word.to_bytes(4, "little"))
+    hart = Hart(MapPort(bus), IbexTiming(), xlen=xlen)
+    hart.regs.write(1, a)
+    hart.step()
+    return hart.regs.read(3)

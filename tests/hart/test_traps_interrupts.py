@@ -1,0 +1,249 @@
+"""Trap, interrupt and WFI tests — the machinery the CFI firmware rides on."""
+
+import pytest
+
+from repro.hart.core import StepEvent
+from repro.hart.timing import IbexTiming
+from repro.isa.registers import reg_index
+from tests.hart.conftest import build_hart
+
+
+def reg(hart, name):
+    return hart.regs.read(reg_index(name))
+
+
+TRAP_PROGRAM = """
+    # Install the handler, enable external interrupts, spin.
+    la t0, handler
+    csrw mtvec, t0
+    li t0, 0x800          # mie.MEIE
+    csrw mie, t0
+    csrsi mstatus, 8      # mstatus.MIE
+    li a0, 0
+    spin:
+    addi a1, a1, 1
+    bnez zero, spin       # never taken
+    j spin
+
+    .align 4
+    handler:
+    li a0, 0xAA
+    csrr a2, mcause
+    mret
+"""
+
+
+class TestExternalInterrupt:
+    def test_interrupt_taken_and_returns(self):
+        line = {"level": False}
+        hart, _, program = build_hart(
+            TRAP_PROGRAM, external_irq=lambda: line["level"]
+        )
+        # Run setup + a few spin iterations.
+        for _ in range(12):
+            hart.step()
+        assert reg(hart, "a0") == 0
+        line["level"] = True
+        result = hart.step()
+        assert result.event is StepEvent.INTERRUPT
+        assert result.next_pc == program.symbols["handler"]
+        # Execute the handler body.
+        line["level"] = False
+        events = [hart.step().event for _ in range(4)]
+        assert StepEvent.MRET in events
+        assert reg(hart, "a0") == 0xAA
+
+    def test_mcause_interrupt_bit(self):
+        line = {"level": True}
+        hart, _, _ = build_hart(TRAP_PROGRAM, external_irq=lambda: line["level"])
+        for _ in range(12):
+            hart.step()
+        line["level"] = False
+        for _ in range(4):
+            hart.step()
+        assert reg(hart, "a2") == (1 << 31) | 11
+
+    def test_masked_when_mie_clear(self):
+        line = {"level": True}
+        hart, _, _ = build_hart(
+            """
+            la t0, handler
+            csrw mtvec, t0
+            li t0, 0x800
+            csrw mie, t0
+            # mstatus.MIE deliberately left clear
+            li a0, 1
+            li a0, 2
+            li a0, 3
+            ebreak
+            handler:
+            li a0, 0xAA
+            mret
+            """,
+            external_irq=lambda: line["level"],
+        )
+        hart.run()
+        assert reg(hart, "a0") == 3  # never vectored
+
+    def test_masked_when_meie_clear(self):
+        line = {"level": True}
+        hart, _, _ = build_hart(
+            """
+            la t0, handler
+            csrw mtvec, t0
+            csrsi mstatus, 8
+            li a0, 1
+            li a0, 2
+            ebreak
+            handler:
+            li a0, 0xAA
+            mret
+            """,
+            external_irq=lambda: line["level"],
+        )
+        hart.run()
+        assert reg(hart, "a0") == 2
+
+    def test_mstatus_stacking(self):
+        """MIE is cleared on entry and restored by mret (MPIE dance)."""
+        line = {"level": False}
+        hart, _, _ = build_hart(TRAP_PROGRAM, external_irq=lambda: line["level"])
+        for _ in range(12):
+            hart.step()
+        line["level"] = True
+        result = hart.step()
+        assert result.event is StepEvent.INTERRUPT
+        assert not hart.csrs.mie_enabled  # masked inside handler
+        line["level"] = False
+        for _ in range(4):
+            hart.step()
+        assert hart.csrs.mie_enabled  # restored by mret
+
+
+class TestWfi:
+    WFI_PROGRAM = """
+        la t0, handler
+        csrw mtvec, t0
+        li t0, 0x800
+        csrw mie, t0
+        csrsi mstatus, 8
+        wfi
+        li a0, 7          # runs after wake + handler
+        ebreak
+        .align 4
+        handler:
+        li a1, 1
+        mret
+    """
+
+    def test_wfi_sleeps_until_interrupt(self):
+        line = {"level": False}
+        hart, _, _ = build_hart(self.WFI_PROGRAM, external_irq=lambda: line["level"])
+        events = []
+        for _ in range(10):
+            events.append(hart.step().event)
+            if events[-1] is StepEvent.WFI_SLEEP:
+                break
+        assert events[-1] is StepEvent.WFI_SLEEP
+        # Idle while the line is low.
+        assert hart.step().event is StepEvent.SLEEPING
+        assert hart.step().event is StepEvent.SLEEPING
+
+    def test_wake_consumes_wake_cycles(self):
+        line = {"level": False}
+        timing = IbexTiming(wake_cycles=45)
+        hart, _, _ = build_hart(
+            self.WFI_PROGRAM, timing=timing, external_irq=lambda: line["level"]
+        )
+        while hart.step().event is not StepEvent.WFI_SLEEP:
+            pass
+        line["level"] = True
+        result = hart.step()
+        assert result.event is StepEvent.WAKE
+        assert result.cycles == 45
+
+    def test_full_wake_handler_resume(self):
+        line = {"level": False}
+        hart, _, _ = build_hart(self.WFI_PROGRAM, external_irq=lambda: line["level"])
+        while hart.step().event is not StepEvent.WFI_SLEEP:
+            pass
+        line["level"] = True
+        assert hart.step().event is StepEvent.WAKE
+        result = hart.step()
+        assert result.event is StepEvent.INTERRUPT
+        line["level"] = False
+        hart.run()
+        assert reg(hart, "a0") == 7
+        assert reg(hart, "a1") == 1
+
+
+class TestSynchronousTraps:
+    def test_illegal_instruction_vectors(self):
+        hart, bus, program = build_hart(
+            """
+            la t0, handler
+            csrw mtvec, t0
+            .word 0x0000007b   # illegal opcode
+            ebreak
+            handler:
+            li a0, 0xE
+            csrr a1, mcause
+            ebreak
+            """
+        )
+        hart.run()
+        assert reg(hart, "a0") == 0xE
+        assert reg(hart, "a1") == 2  # illegal instruction
+
+    def test_load_fault_vectors(self):
+        hart, _, _ = build_hart(
+            """
+            la t0, handler
+            csrw mtvec, t0
+            li t1, 0x40000000   # unmapped
+            lw a0, 0(t1)
+            ebreak
+            handler:
+            csrr a1, mcause
+            ebreak
+            """
+        )
+        hart.run()
+        assert reg(hart, "a1") == 5  # load access fault
+
+    def test_store_fault_cause(self):
+        hart, _, _ = build_hart(
+            """
+            la t0, handler
+            csrw mtvec, t0
+            li t1, 0x40000000
+            sw a0, 0(t1)
+            ebreak
+            handler:
+            csrr a1, mcause
+            ebreak
+            """
+        )
+        hart.run()
+        assert reg(hart, "a1") == 7  # store access fault
+
+    def test_mepc_points_at_faulting_instruction(self):
+        hart, _, program = build_hart(
+            """
+            la t0, handler
+            csrw mtvec, t0
+            fault_here: .word 0x0000007b
+            ebreak
+            handler:
+            csrr a1, mepc
+            ebreak
+            """
+        )
+        hart.run()
+        assert reg(hart, "a1") == program.symbols["fault_here"]
+
+    def test_halt_without_handler(self):
+        hart, _, _ = build_hart("li a0, 1\necall")
+        result = hart.run()
+        assert hart.halted
+        assert reg(hart, "a0") == 1

@@ -1,0 +1,130 @@
+"""Tests for the control-flow classifier — the CFI filter's decision rules."""
+
+import pytest
+
+from repro.isa.cflow import (
+    CfKind,
+    classify,
+    classify_word,
+    expected_return_address,
+    is_call,
+    is_cfi_relevant,
+    is_control_flow,
+    is_indirect_jump,
+    is_return,
+)
+from repro.isa.decode import decode
+from repro.isa.encode import encode_i, encode_j
+from repro.isa import opcodes as op
+
+
+def jal(rd, offset=0):
+    return decode(encode_j(op.OP_JAL, rd, offset))
+
+
+def jalr(rd, rs1, offset=0):
+    return decode(encode_i(op.OP_JALR, 0, rd, rs1, offset))
+
+
+class TestCalls:
+    def test_jal_ra_is_call(self):
+        assert classify(jal(1)) is CfKind.CALL
+
+    def test_jal_t0_is_call(self):
+        """x5 is an ABI alternate link register."""
+        assert classify(jal(5)) is CfKind.CALL
+
+    def test_jalr_ra_is_call(self):
+        assert classify(jalr(1, 10)) is CfKind.CALL
+
+    def test_jalr_ra_from_ra_is_call(self):
+        """Co-routine style jalr ra, ra is a call per the ABI table."""
+        assert classify(jalr(1, 1)) is CfKind.CALL
+
+    def test_is_call_helper(self):
+        assert is_call(jal(1))
+        assert not is_call(jal(0))
+
+
+class TestReturns:
+    def test_jalr_zero_ra_is_return(self):
+        assert classify(jalr(0, 1)) is CfKind.RETURN
+
+    def test_jalr_zero_t0_is_return(self):
+        assert classify(jalr(0, 5)) is CfKind.RETURN
+
+    def test_compressed_ret(self):
+        insn = decode(0x8082, xlen=32)  # c.jr ra
+        assert classify(insn) is CfKind.RETURN
+
+    def test_is_return_helper(self):
+        assert is_return(jalr(0, 1))
+        assert not is_return(jalr(0, 10))
+
+
+class TestIndirectJumps:
+    def test_jalr_zero_other_is_indirect(self):
+        assert classify(jalr(0, 10)) is CfKind.INDIRECT_JUMP
+
+    def test_jalr_writing_non_link_is_indirect(self):
+        assert classify(jalr(6, 10)) is CfKind.INDIRECT_JUMP
+
+    def test_is_indirect_helper(self):
+        assert is_indirect_jump(jalr(0, 10))
+        assert not is_indirect_jump(jalr(0, 1))
+
+
+class TestNonCfiTransfers:
+    def test_jal_zero_is_direct_jump(self):
+        assert classify(jal(0)) is CfKind.DIRECT_JUMP
+        assert not classify(jal(0)).cfi_relevant
+
+    def test_branch_not_cfi_relevant(self):
+        insn = decode(0x00208463)  # beq
+        assert classify(insn) is CfKind.BRANCH
+        assert not classify(insn).cfi_relevant
+
+    def test_alu_is_none(self):
+        insn = decode(0x02A00093)  # addi
+        assert classify(insn) is CfKind.NONE
+        assert not is_control_flow(insn)
+
+
+class TestCfiRelevance:
+    """Exactly {call, return, indirect-jump} is streamed to the RoT."""
+
+    def test_relevant_set(self):
+        assert CfKind.CALL.cfi_relevant
+        assert CfKind.RETURN.cfi_relevant
+        assert CfKind.INDIRECT_JUMP.cfi_relevant
+        assert not CfKind.DIRECT_JUMP.cfi_relevant
+        assert not CfKind.BRANCH.cfi_relevant
+        assert not CfKind.NONE.cfi_relevant
+
+    def test_helper_matches_enum(self):
+        for insn in (jal(1), jalr(0, 1), jalr(0, 10), jal(0)):
+            assert is_cfi_relevant(insn) == classify(insn).cfi_relevant
+
+
+class TestClassifyWord:
+    """classify_word is the firmware-side parse of the commit-log encoding."""
+
+    def test_matches_instruction_classification(self):
+        for word in (0x00008067, 0x008000EF, 0x00208463):
+            assert classify_word(word) == classify(decode(word))
+
+    def test_never_raises_on_garbage(self):
+        assert classify_word(0xFFFFFFFF) is CfKind.NONE
+        assert classify_word(0x0000007B) is CfKind.NONE
+
+
+class TestExpectedReturnAddress:
+    def test_call_pushes_pc_plus_4(self):
+        assert expected_return_address(jal(1), 0x1000) == 0x1004
+
+    def test_compressed_call_pushes_pc_plus_2(self):
+        insn = decode(0x9082, xlen=32)  # c.jalr ra
+        assert expected_return_address(insn, 0x1000) == 0x1002
+
+    def test_non_call_returns_none(self):
+        assert expected_return_address(jalr(0, 1), 0x1000) is None

@@ -1,0 +1,90 @@
+"""Property tests: encode → decode round-trips for every format."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import opcodes as op
+from repro.isa.decode import decode
+from repro.isa.encode import (
+    encode_b,
+    encode_i,
+    encode_j,
+    encode_r,
+    encode_s,
+    encode_shift,
+    encode_u,
+)
+
+regs = st.integers(min_value=0, max_value=31)
+simm12 = st.integers(min_value=-2048, max_value=2047)
+
+
+@given(rd=regs, rs1=regs, rs2=regs)
+def test_r_type_roundtrip(rd, rs1, rs2):
+    word = encode_r(op.OP_REG, op.F3_ADD_SUB, op.F7_BASE, rd, rs1, rs2)
+    insn = decode(word)
+    assert insn.mnemonic == "add"
+    assert (insn.rd, insn.rs1, insn.rs2) == (rd, rs1, rs2)
+
+
+@given(rd=regs, rs1=regs, imm=simm12)
+def test_i_type_roundtrip(rd, rs1, imm):
+    word = encode_i(op.OP_IMM, op.F3_ADD_SUB, rd, rs1, imm)
+    insn = decode(word)
+    assert insn.mnemonic == "addi"
+    assert (insn.rd, insn.rs1, insn.imm) == (rd, rs1, imm)
+
+
+@given(rs1=regs, rs2=regs, imm=simm12)
+def test_s_type_roundtrip(rs1, rs2, imm):
+    word = encode_s(op.OP_STORE, op.F3_SW, rs1, rs2, imm)
+    insn = decode(word)
+    assert insn.mnemonic == "sw"
+    assert (insn.rs1, insn.rs2, insn.imm) == (rs1, rs2, imm)
+
+
+@given(
+    rs1=regs,
+    rs2=regs,
+    imm=st.integers(min_value=-2048, max_value=2047).map(lambda x: x * 2),
+)
+def test_b_type_roundtrip(rs1, rs2, imm):
+    word = encode_b(op.OP_BRANCH, op.F3_BEQ, rs1, rs2, imm)
+    insn = decode(word)
+    assert insn.mnemonic == "beq"
+    assert (insn.rs1, insn.rs2, insn.imm) == (rs1, rs2, imm)
+
+
+@given(rd=regs, imm=st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1))
+def test_u_type_roundtrip(rd, imm):
+    word = encode_u(op.OP_LUI, rd, imm)
+    insn = decode(word)
+    assert insn.mnemonic == "lui"
+    assert (insn.rd, insn.imm) == (rd, imm)
+
+
+@given(
+    rd=regs,
+    imm=st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1).map(lambda x: x * 2),
+)
+def test_j_type_roundtrip(rd, imm):
+    word = encode_j(op.OP_JAL, rd, imm)
+    insn = decode(word)
+    assert insn.mnemonic == "jal"
+    assert (insn.rd, insn.imm) == (rd, imm)
+
+
+@given(rd=regs, rs1=regs, shamt=st.integers(min_value=0, max_value=63))
+def test_shift_roundtrip_rv64(rd, rs1, shamt):
+    word = encode_shift(op.OP_IMM, op.F3_SRL_SRA, op.F7_SUB_SRA, rd, rs1, shamt, 64)
+    insn = decode(word, xlen=64)
+    assert insn.mnemonic == "srai"
+    assert (insn.rd, insn.rs1, insn.imm) == (rd, rs1, shamt)
+
+
+@given(rd=regs, rs1=regs, shamt=st.integers(min_value=0, max_value=31))
+def test_shift_roundtrip_rv32(rd, rs1, shamt):
+    word = encode_shift(op.OP_IMM, op.F3_SLL, op.F7_BASE, rd, rs1, shamt, 32)
+    insn = decode(word, xlen=32)
+    assert insn.mnemonic == "slli"
+    assert (insn.rd, insn.rs1, insn.imm) == (rd, rs1, shamt)

@@ -1,0 +1,79 @@
+"""SECDED codec tests, including exhaustive single-bit fault injection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EccError
+from repro.mem.ecc import SecdedCodec
+
+words = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestCleanPath:
+    def test_roundtrip_zero(self):
+        codec = SecdedCodec()
+        assert codec.decode(codec.encode(0)).data == 0
+
+    def test_roundtrip_ones(self):
+        codec = SecdedCodec()
+        assert codec.decode(codec.encode(0xFFFFFFFF)).data == 0xFFFFFFFF
+
+    @given(words)
+    def test_roundtrip_property(self, word):
+        codec = SecdedCodec()
+        result = codec.decode(codec.encode(word))
+        assert result.data == word
+        assert not result.corrected
+
+
+class TestSingleBitErrors:
+    @given(words, st.integers(min_value=0, max_value=SecdedCodec.codeword_bits() - 1))
+    def test_any_single_flip_corrected(self, word, position):
+        codec = SecdedCodec()
+        damaged = SecdedCodec.flip_bit(codec.encode(word), position)
+        result = codec.decode(damaged)
+        assert result.data == word
+        assert result.corrected
+
+    def test_exhaustive_positions_for_one_word(self):
+        codec = SecdedCodec()
+        word = 0xA5A5_5A5A
+        clean = codec.encode(word)
+        for position in range(SecdedCodec.codeword_bits()):
+            assert codec.decode(SecdedCodec.flip_bit(clean, position)).data == word
+
+    def test_correction_counter(self):
+        codec = SecdedCodec()
+        codec.decode(SecdedCodec.flip_bit(codec.encode(1), 0))
+        assert codec.corrections == 1
+
+
+class TestDoubleBitErrors:
+    @given(
+        words,
+        st.tuples(
+            st.integers(min_value=0, max_value=SecdedCodec.codeword_bits() - 1),
+            st.integers(min_value=0, max_value=SecdedCodec.codeword_bits() - 1),
+        ).filter(lambda pair: pair[0] != pair[1]),
+    )
+    def test_any_double_flip_detected(self, word, positions):
+        codec = SecdedCodec()
+        damaged = codec.encode(word)
+        for position in positions:
+            damaged = SecdedCodec.flip_bit(damaged, position)
+        with pytest.raises(EccError):
+            codec.decode(damaged)
+
+    def test_detection_counter(self):
+        codec = SecdedCodec()
+        damaged = SecdedCodec.flip_bit(SecdedCodec.flip_bit(codec.encode(7), 1), 5)
+        with pytest.raises(EccError):
+            codec.decode(damaged)
+        assert codec.detections == 1
+
+
+class TestHelpers:
+    def test_flip_bit_out_of_range(self):
+        with pytest.raises(ValueError):
+            SecdedCodec.flip_bit(0, SecdedCodec.codeword_bits())

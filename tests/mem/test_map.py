@@ -1,0 +1,102 @@
+"""Tests for the address map: routing, latency, tags, observers."""
+
+import pytest
+
+from repro.errors import AccessFault, ConfigError
+from repro.mem.map import BusAccess, MemoryMap
+from repro.mem.memory import Ram
+
+
+def make_map():
+    bus = MemoryMap("test-bus")
+    bus.add(0x1000, Ram(0x100, "sram"), latency=5, tag="rot-sram", name="sram")
+    bus.add(0x8000, Ram(0x100, "ddr"), latency=12, tag="soc", name="ddr")
+    return bus
+
+
+class TestRouting:
+    def test_read_write_through_map(self):
+        bus = make_map()
+        bus.write(0x1010, 4, 0xABCD)
+        assert bus.read(0x1010, 4) == 0xABCD
+
+    def test_offsets_are_region_relative(self):
+        bus = make_map()
+        bus.write(0x1000, 4, 7)
+        bus.write(0x8000, 4, 9)
+        assert bus.read(0x1000, 4) == 7
+        assert bus.read(0x8000, 4) == 9
+
+    def test_unmapped_faults(self):
+        with pytest.raises(AccessFault):
+            make_map().read(0x4000, 4)
+
+    def test_access_crossing_region_end_faults(self):
+        with pytest.raises(AccessFault, match="crosses"):
+            make_map().read(0x10FE, 4)
+
+    def test_overlap_rejected(self):
+        bus = make_map()
+        with pytest.raises(ConfigError, match="overlaps"):
+            bus.add(0x10F0, Ram(0x100), name="overlapping")
+
+    def test_regions_sorted(self):
+        bus = make_map()
+        bases = [r.base for r in bus.regions]
+        assert bases == sorted(bases)
+
+
+class TestLatencyAndTags:
+    def test_latency_lookup(self):
+        bus = make_map()
+        assert bus.latency(0x1000) == 5
+        assert bus.latency(0x8000) == 12
+
+    def test_tag_lookup(self):
+        bus = make_map()
+        assert bus.tag(0x1050) == "rot-sram"
+        assert bus.tag(0x8050) == "soc"
+
+
+class TestObservers:
+    def test_observer_sees_accesses(self):
+        bus = make_map()
+        log = []
+        bus.observe(log.append)
+        bus.write(0x1000, 4, 42)
+        bus.read(0x8000, 4)
+        assert len(log) == 2
+        first, second = log
+        assert isinstance(first, BusAccess)
+        assert first.kind == "write"
+        assert first.tag == "rot-sram"
+        assert first.latency == 5
+        assert second.kind == "read"
+        assert second.tag == "soc"
+
+    def test_fetch_kind(self):
+        bus = make_map()
+        log = []
+        bus.observe(log.append)
+        bus.fetch(0x1000, 4)
+        assert log[0].kind == "fetch"
+
+    def test_remove_observer(self):
+        bus = make_map()
+        log = []
+        bus.observe(log.append)
+        bus.remove_observer(log.append)
+        bus.read(0x1000, 4)
+        assert not log
+
+
+class TestBulkAccess:
+    def test_write_bytes_uses_loader(self):
+        bus = make_map()
+        bus.write_bytes(0x1000, b"\x01\x02\x03\x04")
+        assert bus.read(0x1000, 4) == 0x04030201
+
+    def test_read_bytes(self):
+        bus = make_map()
+        bus.write_bytes(0x1000, b"abcd")
+        assert bus.read_bytes(0x1000, 4) == b"abcd"

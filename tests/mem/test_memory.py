@@ -1,0 +1,94 @@
+"""Tests for sparse memory and RAM/ROM devices."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AccessFault
+from repro.mem.memory import Ram, Rom, SparseMemory
+
+
+class TestSparseMemory:
+    def test_uninitialised_reads_zero(self):
+        mem = SparseMemory()
+        assert mem.read_bytes(0x1234, 8) == bytes(8)
+
+    def test_write_read_roundtrip(self):
+        mem = SparseMemory()
+        mem.write_bytes(0x100, b"hello")
+        assert mem.read_bytes(0x100, 5) == b"hello"
+
+    def test_cross_page_access(self):
+        mem = SparseMemory()
+        boundary = SparseMemory.PAGE_SIZE - 2
+        mem.write_bytes(boundary, b"abcd")
+        assert mem.read_bytes(boundary, 4) == b"abcd"
+
+    def test_int_roundtrip(self):
+        mem = SparseMemory()
+        mem.write_int(0x40, 4, 0xDEADBEEF)
+        assert mem.read_int(0x40, 4) == 0xDEADBEEF
+
+    def test_int_is_little_endian(self):
+        mem = SparseMemory()
+        mem.write_int(0, 4, 0x11223344)
+        assert mem.read_bytes(0, 4) == bytes([0x44, 0x33, 0x22, 0x11])
+
+    def test_int_masks_to_width(self):
+        mem = SparseMemory()
+        mem.write_int(0, 1, 0x1FF)
+        assert mem.read_int(0, 1) == 0xFF
+
+    def test_sparse_allocation(self):
+        mem = SparseMemory()
+        mem.write_bytes(1 << 30, b"x")
+        assert mem.allocated_bytes == SparseMemory.PAGE_SIZE
+
+    @given(
+        address=st.integers(min_value=0, max_value=1 << 20),
+        data=st.binary(min_size=1, max_size=64),
+    )
+    def test_roundtrip_property(self, address, data):
+        mem = SparseMemory()
+        mem.write_bytes(address, data)
+        assert mem.read_bytes(address, len(data)) == data
+
+
+class TestRam:
+    def test_basic_rw(self):
+        ram = Ram(0x1000)
+        ram.write(0x10, 4, 0xCAFE)
+        assert ram.read(0x10, 4) == 0xCAFE
+
+    def test_out_of_bounds_read_faults(self):
+        with pytest.raises(AccessFault):
+            Ram(16).read(16, 1)
+
+    def test_straddling_end_faults(self):
+        with pytest.raises(AccessFault):
+            Ram(16).read(14, 4)
+
+    def test_negative_offset_faults(self):
+        with pytest.raises(AccessFault):
+            Ram(16).read(-1, 1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Ram(0)
+
+    def test_load_dump(self):
+        ram = Ram(64)
+        ram.load(8, b"program")
+        assert ram.dump(8, 7) == b"program"
+
+
+class TestRom:
+    def test_cpu_write_faults(self):
+        rom = Rom(64)
+        with pytest.raises(AccessFault, match="read-only"):
+            rom.write(0, 4, 1)
+
+    def test_image_load_allowed(self):
+        rom = Rom(64)
+        rom.load(0, b"\x13\x00\x00\x00")
+        assert rom.read(0, 4) == 0x13

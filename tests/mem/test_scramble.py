@@ -1,0 +1,87 @@
+"""Scrambled-memory (OpenTitan flash model) tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EccError
+from repro.mem.scramble import ScrambledMemory
+
+
+class TestFunctionalBehaviour:
+    def test_roundtrip_word(self):
+        flash = ScrambledMemory(1024)
+        flash.write(0, 4, 0xDEADBEEF)
+        assert flash.read(0, 4) == 0xDEADBEEF
+
+    def test_roundtrip_bytes(self):
+        flash = ScrambledMemory(1024)
+        flash.write(5, 1, 0xAB)
+        assert flash.read(5, 1) == 0xAB
+
+    def test_unwritten_reads_zero(self):
+        assert ScrambledMemory(1024).read(100, 4) == 0
+
+    def test_load_bulk(self):
+        flash = ScrambledMemory(1024)
+        flash.load(16, b"firmware")
+        assert bytes(flash.read(16 + i, 1) for i in range(8)) == b"firmware"
+
+    @given(
+        offset=st.integers(min_value=0, max_value=200),
+        value=st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, offset, value):
+        flash = ScrambledMemory(1024)
+        flash.write(offset, 4, value)
+        assert flash.read(offset, 4) == value
+
+
+class TestScrambling:
+    def test_stored_cells_differ_from_plaintext(self):
+        flash = ScrambledMemory(1024, key=0x1234)
+        flash.write(0, 4, 0xDEADBEEF)
+        cell = flash.physical_cell_of(0)
+        assert flash.raw_cell(cell) != 0xDEADBEEF
+
+    def test_different_keys_store_different_ciphertext(self):
+        a = ScrambledMemory(1024, key=1)
+        b = ScrambledMemory(1024, key=2)
+        a.write(0, 4, 0xCAFEBABE)
+        b.write(0, 4, 0xCAFEBABE)
+        assert a.raw_cell(a.physical_cell_of(0)) != b.raw_cell(b.physical_cell_of(0))
+
+    def test_address_permutation_is_injective(self):
+        flash = ScrambledMemory(4096, key=99)
+        words = flash.size // 4
+        cells = {flash.physical_cell_of(i * 4) for i in range(words)}
+        assert len(cells) == words
+
+    def test_permutation_stays_in_range(self):
+        flash = ScrambledMemory(4096, key=7)
+        words = flash.size // 4
+        for i in range(words):
+            assert 0 <= flash.physical_cell_of(i * 4) < words
+
+
+class TestEccIntegration:
+    def test_single_bit_upset_corrected(self):
+        flash = ScrambledMemory(1024)
+        flash.write(0, 4, 0x12345678)
+        flash.corrupt_cell(flash.physical_cell_of(0), 3)
+        assert flash.read(0, 4) == 0x12345678
+        assert flash.ecc_corrections == 1
+
+    def test_double_bit_upset_detected(self):
+        flash = ScrambledMemory(1024)
+        flash.write(0, 4, 0x12345678)
+        cell = flash.physical_cell_of(0)
+        flash.corrupt_cell(cell, 3)
+        flash.corrupt_cell(cell, 17)
+        with pytest.raises(EccError):
+            flash.read(0, 4)
+
+    def test_corrupting_unwritten_cell_rejected(self):
+        with pytest.raises(ValueError):
+            ScrambledMemory(1024).corrupt_cell(0, 0)

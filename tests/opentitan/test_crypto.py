@@ -1,0 +1,134 @@
+"""Crypto tests: SHA-256/HMAC against independent vectors + accel device."""
+
+import hashlib
+import hmac as stdlib_hmac
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opentitan.crypto.accel import (
+    CMD_HMAC,
+    CMD_OFFSET,
+    CMD_SHA256,
+    DIGEST_OFFSET,
+    KEY_OFFSET,
+    MSG_LEN_OFFSET,
+    MSG_OFFSET,
+    STATUS_OFFSET,
+    HmacAccelerator,
+)
+from repro.opentitan.crypto.hmac import constant_time_equal, hmac_sha256
+from repro.opentitan.crypto.sha256 import sha256
+
+
+class TestSha256Vectors:
+    """FIPS 180-4 test vectors."""
+
+    def test_empty(self):
+        assert sha256(b"").hex() == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_abc(self):
+        assert sha256(b"abc").hex() == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_two_block_message(self):
+        message = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert sha256(message).hex() == (
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        )
+
+    def test_exactly_one_block(self):
+        message = b"a" * 64
+        assert sha256(message) == hashlib.sha256(message).digest()
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=50)
+    def test_matches_hashlib(self, message):
+        assert sha256(message) == hashlib.sha256(message).digest()
+
+
+class TestHmacVectors:
+    def test_rfc4231_case1(self):
+        key = b"\x0b" * 20
+        tag = hmac_sha256(key, b"Hi There")
+        assert tag.hex() == (
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        )
+
+    def test_rfc4231_case2(self):
+        tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?")
+        assert tag.hex() == (
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        )
+
+    def test_long_key_hashed(self):
+        key = b"k" * 100  # > block size
+        message = b"data"
+        assert hmac_sha256(key, message) == stdlib_hmac.new(
+            key, message, hashlib.sha256
+        ).digest()
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(max_size=200))
+    @settings(max_examples=50)
+    def test_matches_stdlib(self, key, message):
+        assert hmac_sha256(key, message) == stdlib_hmac.new(
+            key, message, hashlib.sha256
+        ).digest()
+
+
+class TestConstantTimeEqual:
+    def test_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+
+    def test_unequal(self):
+        assert not constant_time_equal(b"abc", b"abd")
+
+    def test_length_mismatch(self):
+        assert not constant_time_equal(b"abc", b"abcd")
+
+
+class TestAcceleratorDevice:
+    def _stream(self, accel, message):
+        accel.write(MSG_LEN_OFFSET, 4, len(message))
+        padded = message + bytes(-len(message) % 4)
+        for i in range(0, len(padded), 4):
+            accel.write(MSG_OFFSET, 4, int.from_bytes(padded[i:i + 4], "little"))
+
+    def _digest(self, accel):
+        return b"".join(
+            accel.read(DIGEST_OFFSET + i, 4).to_bytes(4, "little") for i in range(0, 32, 4)
+        )
+
+    def test_sha256_via_registers(self):
+        accel = HmacAccelerator()
+        self._stream(accel, b"abc")
+        accel.write(CMD_OFFSET, 4, CMD_SHA256)
+        assert accel.read(STATUS_OFFSET, 4) == 1
+        assert self._digest(accel) == sha256(b"abc")
+
+    def test_hmac_via_registers(self):
+        accel = HmacAccelerator()
+        key = bytes(range(32))
+        for i in range(0, 32, 4):
+            accel.write(KEY_OFFSET + i, 4, int.from_bytes(key[i:i + 4], "little"))
+        self._stream(accel, b"msg!")
+        accel.write(CMD_OFFSET, 4, CMD_HMAC)
+        assert self._digest(accel) == hmac_sha256(key, b"msg!")
+
+    def test_cycle_cost_scales_with_blocks(self):
+        accel = HmacAccelerator(cycles_per_block=80)
+        self._stream(accel, b"x" * 64)
+        accel.write(CMD_OFFSET, 4, CMD_SHA256)
+        one_block = accel.busy_cycles
+        self._stream(accel, b"x" * 640)
+        accel.write(CMD_OFFSET, 4, CMD_SHA256)
+        assert accel.busy_cycles - one_block > one_block
+
+    def test_operations_counter(self):
+        accel = HmacAccelerator()
+        accel.compute_hmac(b"key", b"message")
+        assert accel.operations == 1

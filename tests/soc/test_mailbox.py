@@ -1,0 +1,127 @@
+"""Mailbox tests: register file, doorbell/completion protocol, verdicts."""
+
+import pytest
+
+from repro.errors import AccessFault, ProtocolError
+from repro.soc.mailbox import (
+    VERDICT_OK,
+    VERDICT_VIOLATION,
+    CfiMailbox,
+    Mailbox,
+    MailboxLayout,
+)
+
+
+class TestLayout:
+    def test_default_geometry(self):
+        layout = MailboxLayout()
+        assert layout.data_bytes == 32
+        assert layout.doorbell_offset == 32
+        assert layout.completion_offset == 40
+        assert layout.status_offset == 48
+        assert layout.total_bytes == 56
+
+    def test_cfi_mailbox_holds_commit_log(self):
+        mailbox = CfiMailbox()
+        assert mailbox.layout.data_bytes * 8 >= CfiMailbox.COMMIT_LOG_BITS
+
+
+class TestRegisterFile:
+    def test_data_rw(self):
+        mailbox = Mailbox()
+        mailbox.write(0, 8, 0x1122334455667788)
+        assert mailbox.read(0, 8) == 0x1122334455667788
+
+    def test_data_partial_width(self):
+        mailbox = Mailbox()
+        mailbox.write(4, 2, 0xBEEF)
+        assert mailbox.read(4, 2) == 0xBEEF
+
+    def test_read_crossing_data_file_faults(self):
+        mailbox = Mailbox()
+        with pytest.raises(AccessFault):
+            mailbox.read(mailbox.layout.data_bytes - 2, 4)
+
+    def test_unknown_offset_faults(self):
+        mailbox = Mailbox()
+        with pytest.raises(AccessFault):
+            mailbox.read(mailbox.layout.total_bytes + 8, 4)
+
+    def test_status_read_only(self):
+        mailbox = Mailbox()
+        with pytest.raises(AccessFault, match="read-only"):
+            mailbox.write(mailbox.layout.status_offset, 4, 1)
+
+
+class TestDoorbellProtocol:
+    def test_doorbell_fires_callback(self):
+        fired = []
+        mailbox = Mailbox(on_doorbell=lambda: fired.append(True))
+        mailbox.write(mailbox.layout.doorbell_offset, 4, 1)
+        assert fired == [True]
+        assert mailbox.doorbell_pending
+
+    def test_double_ring_is_protocol_error(self):
+        mailbox = Mailbox()
+        mailbox.write(mailbox.layout.doorbell_offset, 4, 1)
+        with pytest.raises(ProtocolError):
+            mailbox.write(mailbox.layout.doorbell_offset, 4, 1)
+
+    def test_write_zero_clears(self):
+        mailbox = Mailbox()
+        mailbox.write(mailbox.layout.doorbell_offset, 4, 1)
+        mailbox.write(mailbox.layout.doorbell_offset, 4, 0)
+        assert not mailbox.doorbell_pending
+
+    def test_status_reflects_flags(self):
+        mailbox = Mailbox()
+        mailbox.write(mailbox.layout.doorbell_offset, 4, 1)
+        assert mailbox.read(mailbox.layout.status_offset, 4) == 0b01
+        mailbox.write(mailbox.layout.completion_offset, 4, 1)
+        assert mailbox.read(mailbox.layout.status_offset, 4) == 0b11
+
+
+class TestCompletionWire:
+    def test_completion_fires_callback(self):
+        fired = []
+        mailbox = Mailbox(on_completion=lambda: fired.append(True))
+        mailbox.write(mailbox.layout.completion_offset, 4, 1)
+        assert fired == [True]
+
+
+class TestHandshakeHelpers:
+    def test_deposit_collect_respond_result(self):
+        mailbox = CfiMailbox()
+        payload = bytes(range(28)) + bytes(4)
+        mailbox.deposit(payload)
+        assert not mailbox.ready
+        assert mailbox.collect()[: len(payload)] == payload
+        mailbox.respond(VERDICT_VIOLATION)
+        assert mailbox.ready
+        assert mailbox.completion_pending
+        assert mailbox.result() == VERDICT_VIOLATION
+
+    def test_deposit_while_pending_rejected(self):
+        mailbox = CfiMailbox()
+        mailbox.deposit(b"\x01")
+        with pytest.raises(ProtocolError):
+            mailbox.deposit(b"\x02")
+
+    def test_oversized_payload_rejected(self):
+        mailbox = Mailbox()
+        with pytest.raises(Exception):
+            mailbox.deposit(bytes(mailbox.layout.data_bytes + 1))
+
+    def test_respond_ok(self):
+        mailbox = CfiMailbox()
+        mailbox.deposit(b"\x01")
+        mailbox.respond(VERDICT_OK)
+        assert mailbox.result() == VERDICT_OK
+
+    def test_counts(self):
+        mailbox = CfiMailbox()
+        for _ in range(3):
+            mailbox.deposit(b"\x01")
+            mailbox.respond(VERDICT_OK)
+        assert mailbox.doorbell_count == 3
+        assert mailbox.completion_count == 3

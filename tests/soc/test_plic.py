@@ -1,0 +1,103 @@
+"""PLIC tests: gateway, claim/complete, level semantics."""
+
+import pytest
+
+from repro.errors import ConfigError, ProtocolError
+from repro.soc.plic import Plic
+
+
+class TestBasicFlow:
+    def test_level_latches_pending(self):
+        plic = Plic(4)
+        plic.enable(2)
+        plic.set_level(2, True)
+        assert plic.pending(2)
+        assert plic.irq_line
+
+    def test_disabled_source_does_not_interrupt(self):
+        plic = Plic(4)
+        plic.set_level(2, True)
+        assert not plic.irq_line
+
+    def test_claim_returns_source_and_masks(self):
+        plic = Plic(4)
+        plic.enable(2)
+        plic.set_level(2, True)
+        assert plic.claim() == 2
+        assert not plic.irq_line
+
+    def test_claim_with_nothing_pending_returns_zero(self):
+        assert Plic(4).claim() == 0
+
+    def test_complete_relatches_if_level_high(self):
+        plic = Plic(4)
+        plic.enable(1)
+        plic.set_level(1, True)
+        plic.claim()
+        plic.complete(1)
+        assert plic.pending(1)  # line still high
+
+    def test_complete_after_level_drop_stays_clear(self):
+        plic = Plic(4)
+        plic.enable(1)
+        plic.set_level(1, True)
+        plic.claim()
+        plic.set_level(1, False)
+        plic.complete(1)
+        assert not plic.pending(1)
+
+
+class TestPriorities:
+    def test_highest_priority_claims_first(self):
+        plic = Plic(4)
+        for source in (1, 2):
+            plic.enable(source)
+            plic.set_level(source, True)
+        plic.set_priority(2, 7)
+        assert plic.claim() == 2
+
+    def test_priority_zero_masks(self):
+        plic = Plic(2)
+        plic.enable(1)
+        plic.set_priority(1, 0)
+        plic.set_level(1, True)
+        assert not plic.irq_line
+
+
+class TestProtocolErrors:
+    def test_complete_without_claim(self):
+        plic = Plic(2)
+        with pytest.raises(ProtocolError):
+            plic.complete(1)
+
+    def test_source_zero_invalid(self):
+        plic = Plic(2)
+        with pytest.raises(ConfigError):
+            plic.enable(0)
+
+    def test_source_out_of_range(self):
+        plic = Plic(2)
+        with pytest.raises(ConfigError):
+            plic.set_level(3, True)
+
+    def test_zero_sources_rejected(self):
+        with pytest.raises(ConfigError):
+            Plic(0)
+
+
+class TestLevelSemantics:
+    def test_drop_before_claim_clears_pending(self):
+        plic = Plic(1)
+        plic.enable(1)
+        plic.set_level(1, True)
+        plic.set_level(1, False)
+        assert not plic.pending(1)
+
+    def test_drop_during_service_keeps_claim_valid(self):
+        plic = Plic(1)
+        plic.enable(1)
+        plic.set_level(1, True)
+        assert plic.claim() == 1
+        plic.set_level(1, False)
+        plic.complete(1)
+        assert not plic.pending(1)

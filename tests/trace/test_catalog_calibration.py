@@ -1,0 +1,89 @@
+"""Catalog integrity and calibration quality tests."""
+
+import pytest
+
+from repro.bench_catalog.calibration import calibrate
+from repro.bench_catalog.catalog import (
+    ALL_BENCHMARKS,
+    EMBENCH,
+    RISCV_TESTS,
+    TABLE2_BENCHMARKS,
+    benchmark,
+)
+from repro.trace.model import simulate_trace
+
+
+class TestCatalogIntegrity:
+    def test_counts_match_paper(self):
+        assert len(EMBENCH) == 19
+        assert len(RISCV_TESTS) == 13
+        assert len(ALL_BENCHMARKS) == 32
+
+    def test_table2_rows(self):
+        names = {b.name for b in TABLE2_BENCHMARKS}
+        assert names == {
+            "aha-mont64", "edn", "matmult-int", "ud",
+            "rsort", "median", "qsort", "multiply", "dhrystone",
+        }
+
+    def test_lookup(self):
+        assert benchmark("dhrystone").cf_count == 22_500
+
+    def test_unknown_lookup(self):
+        with pytest.raises(KeyError):
+            benchmark("doom")
+
+    def test_statistics_positive(self):
+        for bench in ALL_BENCHMARKS:
+            assert bench.cycles > 0
+            assert bench.cf_count > 0
+
+    def test_dexie_rows_are_embench(self):
+        for bench in ALL_BENCHMARKS:
+            if bench.dexie_slowdown is not None:
+                assert bench.suite == "embench"
+
+    def test_fixer_rows_are_riscv_tests(self):
+        for bench in ALL_BENCHMARKS:
+            if bench.fixer_slowdown is not None:
+                assert bench.suite == "riscv-tests"
+
+
+class TestCalibrationQuality:
+    @pytest.mark.parametrize("name", ["dhrystone", "mm", "slre", "statemate"])
+    def test_saturated_benchmarks_need_no_fit(self, name):
+        cal = calibrate(benchmark(name))
+        assert not cal.fitted
+
+    @pytest.mark.parametrize("name", ["aha-mont64", "qrduino", "towers"])
+    def test_idle_benchmarks_need_no_fit(self, name):
+        cal = calibrate(benchmark(name))
+        assert not cal.fitted
+        assert cal.irq_error is not None and cal.irq_error <= 1.5
+
+    @pytest.mark.parametrize(
+        "name", ["huffbench", "picojpeg", "wikisort", "mt-matmul", "nbody"]
+    )
+    def test_bursty_benchmarks_fit_within_tolerance(self, name):
+        bench = benchmark(name)
+        cal = calibrate(bench)
+        assert cal.fitted
+        model = simulate_trace(
+            cal.arrivals(), bench.cycles, 267, queue_depth=8
+        ).slowdown_percent
+        assert model == pytest.approx(bench.paper_irq, abs=0.15 * bench.paper_irq + 2)
+
+    def test_calibration_validates_on_unfitted_columns(self):
+        """The polling column (never fitted) must land near the paper."""
+        bench = benchmark("nbody")
+        cal = calibrate(bench)
+        poll = simulate_trace(
+            cal.arrivals(), bench.cycles, 112, queue_depth=8
+        ).slowdown_percent
+        assert poll == pytest.approx(bench.paper_poll, rel=0.25)
+
+    def test_arrivals_match_catalog_statistics(self):
+        bench = benchmark("picojpeg")
+        arrivals = calibrate(bench).arrivals()
+        assert len(arrivals) == bench.cf_count
+        assert max(arrivals) <= bench.cycles
