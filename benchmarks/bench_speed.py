@@ -1,0 +1,183 @@
+"""Simulator throughput benchmark (simulated cycles/sec, host instr/sec).
+
+Measures the wall-clock speed of the two engines every experiment in
+this reproduction runs on:
+
+* **cosim** — full-platform co-simulation (CVA6 + CFI stage + Ibex)
+  over a representative victim-program mix, the engine behind the
+  attack runs, the ablations and Figure 1;
+* **firmware** — the Ibex-only measured-latency path behind Table I
+  (and therefore Table II's ``latencies="measured"`` mode).
+
+Run standalone to print a report and optionally refresh the committed
+snapshot::
+
+    PYTHONPATH=src python benchmarks/bench_speed.py            # print
+    PYTHONPATH=src python benchmarks/bench_speed.py --update   # + BENCH_speed.json
+    PYTHONPATH=src python benchmarks/bench_speed.py --smoke    # CI: one quick pass
+
+Under pytest the same workloads run through pytest-benchmark like the
+table benches.  The committed ``BENCH_speed.json`` snapshot records the
+trajectory across PRs; wall-clock numbers are machine-dependent, so the
+snapshot also stores the *simulated* totals, which must stay identical
+on any machine.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.attacks.programs import (
+    benign_program,
+    deep_recursion_program,
+    rop_program,
+)
+from repro.eval import table1
+from repro.firmware.shadow_stack import FirmwareLayout, shadow_stack_firmware
+from repro.system.sim import SystemSimulator
+from repro.system.soc import build_soc
+
+SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_speed.json"
+
+#: The co-simulated victim mix: (name, program builder, firmware variant).
+COSIM_WORKLOADS = (
+    ("benign", benign_program, "irq"),
+    ("deep-recursion", deep_recursion_program, "irq"),
+    ("rop", rop_program, "irq"),
+    ("benign-polling", benign_program, "polling"),
+)
+
+
+def _build_soc(program_builder, fw_variant):
+    soc = build_soc()
+    firmware = shadow_stack_firmware(fw_variant, FirmwareLayout(soc.addresses))
+    soc.load_firmware(firmware.data)
+    soc.load_host_program(program_builder(soc.addresses))
+    return soc
+
+
+def run_cosim_mix(event_driven: bool = True) -> dict:
+    """One pass over the co-simulated workload mix.
+
+    Returns simulated totals (cycles, instructions) so callers can
+    compute throughput and assert machine-independent invariance.
+    """
+    cycles = host_instructions = ibex_instructions = 0
+    for _name, builder, fw_variant in COSIM_WORKLOADS:
+        soc = _build_soc(builder, fw_variant)
+        report = SystemSimulator(soc, event_driven=event_driven).run()
+        cycles += report.cycles
+        host_instructions += report.host_instructions
+        ibex_instructions += report.ibex_instructions
+    return {
+        "cycles": cycles,
+        "host_instructions": host_instructions,
+        "ibex_instructions": ibex_instructions,
+    }
+
+
+def run_firmware_path() -> dict:
+    """One pass of the Table I measured-latency path (Ibex ISS only)."""
+    computed = table1.compute()
+    return {"latencies": computed["derived"]["latencies"]}
+
+
+def _timed(fn, min_seconds: float = 0.3, min_rounds: int = 3):
+    """Repeat ``fn`` until ``min_seconds`` of samples exist; return
+    (best-round seconds, last result)."""
+    rounds = []
+    result = None
+    while len(rounds) < min_rounds or sum(rounds) < min_seconds:
+        t0 = time.perf_counter()
+        result = fn()
+        rounds.append(time.perf_counter() - t0)
+    return min(rounds), result
+
+
+def measure() -> dict:
+    """Measure both engines; returns the snapshot payload."""
+    # Warm every cache first (decode, assembly, page allocations) so the
+    # numbers reflect steady-state throughput, as table sweeps see it.
+    run_cosim_mix()
+    run_firmware_path()
+
+    cosim_seconds, cosim_totals = _timed(run_cosim_mix)
+    firmware_seconds, _ = _timed(run_firmware_path)
+    # The host instruction throughput counts both cores' retired
+    # instructions: that is the work the interpreter actually performs.
+    executed = cosim_totals["host_instructions"] + cosim_totals["ibex_instructions"]
+    return {
+        "cosim": {
+            "workloads": [name for name, _, _ in COSIM_WORKLOADS],
+            "seconds_per_pass": round(cosim_seconds, 6),
+            "simulated_cycles": cosim_totals["cycles"],
+            "simulated_instructions": executed,
+            "cycles_per_sec": round(cosim_totals["cycles"] / cosim_seconds),
+            "instructions_per_sec": round(executed / cosim_seconds),
+        },
+        "firmware": {
+            "seconds_per_pass": round(firmware_seconds, 6),
+        },
+    }
+
+
+def render(payload: dict) -> str:
+    cosim = payload["cosim"]
+    lines = [
+        "Simulator throughput (bench_speed)",
+        f"  co-sim mix ({', '.join(cosim['workloads'])}):",
+        f"    {cosim['simulated_cycles']} cycles / pass in "
+        f"{cosim['seconds_per_pass'] * 1000:.1f} ms",
+        f"    {cosim['cycles_per_sec']:,} simulated cycles/sec",
+        f"    {cosim['instructions_per_sec']:,} simulated instructions/sec",
+        "  firmware measured-latency path (Table I):",
+        f"    {payload['firmware']['seconds_per_pass'] * 1000:.2f} ms / pass",
+    ]
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark entry points -------------------------------------------------
+
+
+def test_cosim_mix_throughput(benchmark):
+    run_cosim_mix()  # warm caches
+    totals = benchmark(run_cosim_mix)
+    assert totals["cycles"] > 0
+
+
+def test_firmware_path_throughput(benchmark):
+    run_firmware_path()
+    benchmark(run_firmware_path)
+
+
+def test_event_driven_totals_match_busy_loop():
+    """The fast path must not change a single simulated number."""
+    assert run_cosim_mix(event_driven=True) == run_cosim_mix(event_driven=False)
+
+
+# -- standalone CLI -----------------------------------------------------------------
+
+
+def main(argv) -> int:
+    if "--smoke" in argv:
+        # CI smoke: one pass of each engine, assert only invariants that
+        # hold on any machine.
+        totals = run_cosim_mix()
+        assert totals["cycles"] > 0 and totals["host_instructions"] > 0
+        assert run_cosim_mix(event_driven=False) == totals
+        run_firmware_path()
+        print("bench_speed smoke ok:", totals)
+        return 0
+    payload = measure()
+    print(render(payload))
+    if "--update" in argv:
+        SNAPSHOT.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"snapshot written to {SNAPSHOT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -173,6 +173,47 @@ class LogWriter:
         """True when no check is in flight."""
         return self.state is WriterState.IDLE
 
+    # -- event-driven fast path ---------------------------------------------------
+
+    #: Sentinel for "no state change can originate here" (the FSM is
+    #: waiting on an external signal, so someone else bounds the skip).
+    UNBOUNDED = 1 << 62
+
+    def skippable_cycles(self) -> int:
+        """Cycles :meth:`tick` can be fast-forwarded without any FSM
+        state transition (counters still advance — see :meth:`skip`).
+
+        Returns 0 when the very next tick does something interesting,
+        and :data:`UNBOUNDED` when the FSM is parked on an external
+        signal (doorbell service / queue push), which only another
+        component's activity can change.
+        """
+        if self.state is WriterState.IDLE:
+            if not self.queue.empty and self.mailbox.ready:
+                return 0
+            return self.UNBOUNDED
+        if self.state is WriterState.WAIT:
+            return 0 if self.mailbox.completion_pending else self.UNBOUNDED
+        # WRITE / CHECK: the countdown's final cycle transitions.
+        return max(0, self._countdown - 1)
+
+    def skip(self, cycles: int) -> None:
+        """Advance ``cycles`` pure-counter ticks in one jump.
+
+        The caller must not exceed :meth:`skippable_cycles`; per-cycle
+        statistics (``busy_cycles``, ``wait_cycles``, ``now``, the
+        countdown) advance exactly as ``cycles`` calls to :meth:`tick`
+        would have.
+        """
+        if cycles <= 0:
+            return
+        self.now += cycles
+        if self.state is WriterState.WAIT:
+            self.stats.wait_cycles += cycles
+        elif self.state is not WriterState.IDLE:
+            self.stats.busy_cycles += cycles
+            self._countdown -= cycles
+
     def drain(self, max_cycles: int = 1_000_000) -> int:
         """Tick until the queue is empty and the FSM is idle.
 

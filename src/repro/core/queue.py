@@ -57,6 +57,15 @@ class QueueController:
         self.queue = queue
         self.stats = StallStats()
 
+    def record_full_stall(self, cycles: int = 1) -> None:
+        """Account ``cycles`` of commit inhibition against a full queue.
+
+        The single bookkeeping point shared by :meth:`arbitrate` and the
+        commit stage's bulk/fast stall paths, so the per-cycle and
+        event-driven accountings cannot drift apart.
+        """
+        self.stats.full_stalls += cycles
+
     def arbitrate(self, logs: List[Optional[CommitLog]]) -> int:
         """Process one cycle's filter outputs.
 
@@ -83,7 +92,7 @@ class QueueController:
                 self.stats.total_offered -= 1  # will be re-offered
                 break
             if self.queue.full:
-                self.stats.full_stalls += 1
+                self.record_full_stall()
                 self.stats.total_offered -= 1  # will be re-offered
                 break
             self.queue.push(log)

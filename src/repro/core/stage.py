@@ -76,6 +76,38 @@ class CfiStage:
         """Advance the log writer by one cycle."""
         self.writer.tick()
 
+    def tick_n(self, cycles: int) -> None:
+        """Advance ``cycles`` cycles, jumping over idle stretches.
+
+        Exactly equivalent to ``cycles`` calls to :meth:`tick` — state
+        transitions land on the same cycle and every per-cycle statistic
+        (busy/wait counts, check latencies) matches — but stretches in
+        which the FSM provably cannot change state are applied in one
+        arithmetic step.
+
+        This is the standalone bulk API for external harnesses driving
+        the stage directly; the co-simulator instead interleaves
+        :meth:`skip` jumps with its own :meth:`tick` calls because it
+        must bound each jump by the harts' next events too.
+        """
+        writer = self.writer
+        while cycles > 0:
+            skip = min(cycles, writer.skippable_cycles())
+            if skip > 0:
+                writer.skip(skip)
+                cycles -= skip
+            if cycles > 0:
+                writer.tick()
+                cycles -= 1
+
+    def skippable_cycles(self) -> int:
+        """Cycles the stage can fast-forward with no state change."""
+        return self.writer.skippable_cycles()
+
+    def skip(self, cycles: int) -> None:
+        """Fast-forward ``cycles`` no-change cycles (see LogWriter.skip)."""
+        self.writer.skip(cycles)
+
     @property
     def quiescent(self) -> bool:
         """True when no log is queued or in flight."""

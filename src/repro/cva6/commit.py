@@ -43,6 +43,34 @@ class CommitStage:
         """True while commit is inhibited by the CFI queue."""
         return self._skid is not None or self._blocked
 
+    def stall_skippable(self) -> bool:
+        """True when :meth:`try_advance` would provably keep returning
+        ``None`` until the CFI stage next changes state.
+
+        Used by the event-driven co-simulator: a blocked commit waits on
+        writer quiescence, a skidded commit waits on a queue slot, and
+        both can only be released by a log-writer transition.
+        """
+        if self.cfi is None:
+            return False
+        if self._blocked:
+            return not self.cfi.quiescent
+        if self._skid is not None:
+            return self.cfi.queue.full
+        return False
+
+    def skip_stall(self, cycles: int) -> None:
+        """Account ``cycles`` inhibited cycles in one jump.
+
+        Exact bulk replay of that many stalled :meth:`try_advance`
+        calls: stall cycles accrue, and a skidded log re-offered against
+        a full queue counts one full-stall per cycle, as the queue
+        controller would have.
+        """
+        self.stall_cycles += cycles
+        if self._skid is not None:
+            self.cfi.controller.record_full_stall(cycles)
+
     def try_advance(self) -> Optional[StepResult]:
         """Advance by one instruction if commit is not inhibited.
 
@@ -57,6 +85,13 @@ class CommitStage:
             self._blocked = False
 
         if self._skid is not None:
+            if self.cfi.queue.full:
+                # Fast replay-fail: a single-port push against a full
+                # queue is exactly what the controller would reject;
+                # account the full-stall without the arbitration walk.
+                self.cfi.controller.record_full_stall()
+                self.stall_cycles += 1
+                return None
             if not self.cfi.try_push(self._skid):
                 self.stall_cycles += 1
                 return None

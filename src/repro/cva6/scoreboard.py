@@ -15,9 +15,12 @@ from repro.hart.core import StepEvent, StepResult
 from repro.isa.decode import Instruction
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ScoreboardEntry:
     """One retiring instruction as seen by a commit port.
+
+    Immutable by convention; ``slots`` (not ``frozen``) because one
+    entry is allocated per retired host instruction on the hot loop.
 
     Attributes:
         pc: program counter of the instruction.

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import AccessFault, DecodeError, SimulationError, TrapError
 from repro.hart.ports import BusPort
@@ -41,9 +41,14 @@ class StepEvent(enum.Enum):
     HALT = "halt"                  # ecall/ebreak with no handler
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class StepResult:
     """Outcome of one :meth:`Hart.step`.
+
+    Treated as immutable by convention; declared with ``slots`` rather
+    than ``frozen`` because one StepResult is allocated per simulated
+    instruction and the frozen ``__setattr__`` path dominates
+    allocation cost on the hot loop.
 
     Attributes:
         event: what happened.
@@ -102,36 +107,87 @@ class Hart:
         self.csrs = CsrFile(xlen, hartid=hartid)
         self.csrs.bind_hart(self)
         self.external_irq = external_irq or (lambda: False)
+        # An unwired interrupt line can never pend; skipping the CSR
+        # poll on every step matters for the host core's hot loop.
+        self._irq_wired = external_irq is not None
         self.cycle = 0
         self.instret = 0
         self.sleeping = False
         self.halted = False
-        self._decode_cache: Dict[int, Instruction] = {}
         self._mask = mask(xlen)
+        # Per-pc decoded-instruction cache: pc -> (insn, exec handler).
+        # A hit skips the bus fetch and the decode entirely; entries are
+        # flushed when a store lands in any page code was fetched from
+        # (see _note_store) or on fence.i.
+        self._pc_cache: Dict[int, Tuple[Instruction, Callable]] = {}
+        self._code_pages: set = set()
+        # Prefer a fabric-wide store hook (sees every master's writes);
+        # without one, fall back to watching this hart's own stores.
+        subscribe = getattr(bus, "on_store", None)
+        if subscribe is not None:
+            subscribe(self._note_store)
+            self._self_watch_stores = False
+        else:
+            self._self_watch_stores = True
 
     # -- helpers -----------------------------------------------------------------
+
+    _PAGE_BITS = 12
 
     def _sx(self, value: int) -> int:
         """Value of a register interpreted as signed XLEN-bit."""
         return sext(value, self.xlen)
 
-    def _fetch(self) -> Instruction:
-        low, _ = self.bus.fetch(self.pc, 2)
+    def _note_store(self, address: int, size: int) -> None:
+        """Store-hook: flush the pc cache when a write hits cached code."""
+        pages = self._code_pages
+        if not pages:
+            return
+        first = address >> self._PAGE_BITS
+        last = (address + size - 1) >> self._PAGE_BITS
+        if first in pages or (last != first and last in pages):
+            self._pc_cache.clear()
+            pages.clear()
+
+    def flush_fetch_cache(self) -> None:
+        """Drop every cached (pc → decoded instruction) entry."""
+        self._pc_cache.clear()
+        self._code_pages.clear()
+
+    def _fetch_decode(self, pc: int) -> Tuple[Instruction, Callable]:
+        """Fetch+decode miss handler; populates the pc cache."""
+        low, _ = self.bus.fetch(pc, 2)
         if is_compressed_word(low):
             word = low
         else:
-            high, _ = self.bus.fetch(self.pc + 2, 2)
+            high, _ = self.bus.fetch(pc + 2, 2)
             word = low | (high << 16)
-        cached = self._decode_cache.get(word)
-        if cached is not None:
-            return cached
         insn = decode(word, xlen=self.xlen)
-        self._decode_cache[word] = insn
-        return insn
+        handler = _EXEC_TABLE.get(insn.mnemonic)
+        entry = (insn, handler)
+        self._pc_cache[pc] = entry
+        self._code_pages.add(pc >> self._PAGE_BITS)
+        self._code_pages.add((pc + insn.length - 1) >> self._PAGE_BITS)
+        return entry
 
     def _interrupt_pending(self) -> bool:
         mie = self.csrs.read(op.CSR_MIE)
         return bool(mie & op.MIE_MEIE) and self.external_irq()
+
+    @property
+    def interrupt_pending(self) -> bool:
+        """Level of the (enabled) external interrupt into this hart."""
+        return self._interrupt_pending()
+
+    def sleep_for(self, cycles: int) -> None:
+        """Account ``cycles`` of WFI sleep in one jump.
+
+        Equivalent to ``cycles`` consecutive :meth:`step` calls while
+        :attr:`sleeping` with no interrupt pending — used by the
+        event-driven co-simulator to skip idle stretches without
+        perturbing the cycle counter.
+        """
+        self.cycle += cycles
 
     # -- trap entry/exit ------------------------------------------------------------
 
@@ -197,21 +253,28 @@ class Hart:
                 cycles=1,
             )
 
-        if self.csrs.mie_enabled and self._interrupt_pending():
+        if self._irq_wired and self.csrs.mie_enabled and self._interrupt_pending():
             return self._enter_trap(op.CAUSE_MACHINE_EXTERNAL_IRQ, interrupt=True)
 
         pc = self.pc
-        try:
-            insn = self._fetch()
-        except DecodeError as exc:
-            exc.pc = pc
-            return self._enter_trap(op.CAUSE_ILLEGAL_INSTRUCTION, False, tval=exc.word)
-        except AccessFault:
-            return self._enter_trap(op.CAUSE_FETCH_ACCESS, False, tval=pc)
+        entry = self._pc_cache.get(pc)
+        if entry is None:
+            try:
+                entry = self._fetch_decode(pc)
+            except DecodeError as exc:
+                exc.pc = pc
+                return self._enter_trap(op.CAUSE_ILLEGAL_INSTRUCTION, False, tval=exc.word)
+            except AccessFault:
+                return self._enter_trap(op.CAUSE_FETCH_ACCESS, False, tval=pc)
+        insn, handler = entry
 
         fall_through = (pc + insn.length) & self._mask
         try:
-            outcome = self._execute(insn, pc, fall_through)
+            if handler is None:
+                raise TrapError(
+                    op.CAUSE_ILLEGAL_INSTRUCTION, pc, f"unimplemented {insn.mnemonic}"
+                )
+            outcome = handler(self, insn, pc, fall_through)
         except TrapError as exc:
             return self._enter_trap(exc.cause, False, tval=0)
         except AccessFault as exc:
@@ -244,16 +307,6 @@ class Hart:
             mem_address=mem_address,
         )
 
-    # -- execution of one decoded instruction -------------------------------------------
-
-    def _execute(self, insn: Instruction, pc: int, fall_through: int):
-        """Execute ``insn``; returns (event, next_pc, taken, mem_cycles, mem_addr)."""
-        m = insn.mnemonic
-        handler = _EXEC_TABLE.get(m)
-        if handler is None:
-            raise TrapError(op.CAUSE_ILLEGAL_INSTRUCTION, pc, f"unimplemented {m}")
-        return handler(self, insn, pc, fall_through)
-
     # Individual semantic helpers (kept as methods for state access) ----------------
 
     def _load(self, address: int, size: int, signed: bool) -> tuple:
@@ -263,7 +316,10 @@ class Hart:
         return value, cycles
 
     def _store(self, address: int, size: int, value: int) -> int:
-        return self.bus.write(address & self._mask, size, value & mask(size * 8))
+        address &= self._mask
+        if self._self_watch_stores:
+            self._note_store(address, size)
+        return self.bus.write(address, size, value & mask(size * 8))
 
     # -- batch running ------------------------------------------------------------------
 
@@ -519,12 +575,19 @@ def _make_exec_table():
     def fence(h, i, pc, ft):
         return (StepEvent.RETIRED, ft, False, 0, None)
 
+    def fence_i(h, i, pc, ft):
+        # The architectural instruction-stream sync point: discard every
+        # cached fetch (the store-hook invalidation makes this redundant
+        # on the modelled fabrics, but custom ports may lack the hook).
+        h.flush_fetch_cache()
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
     table["mret"] = mret
     table["wfi"] = wfi
     table["ecall"] = ecall
     table["ebreak"] = ebreak
     table["fence"] = fence
-    table["fence.i"] = fence
+    table["fence.i"] = fence_i
 
     return table
 

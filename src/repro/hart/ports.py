@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Protocol, Tuple
 
-from repro.mem.map import MemoryMap
+from repro.mem.map import MemoryMap, StoreHook
 from repro.soc.tilelink import TlulXbar
 
 
@@ -29,6 +29,18 @@ class BusPort(Protocol):
 
     def fetch(self, address: int, size: int) -> Tuple[int, int]:
         """Instruction fetch; returns ``(value, cycles)``."""
+        ...
+
+    def on_store(self, hook: StoreHook) -> None:
+        """Subscribe to writes reaching fetchable memory.
+
+        The hook fires for *every* master's writes through the fabric
+        (including bulk image loads), which is what lets a hart keep a
+        per-pc decoded-instruction cache coherent with self-modifying
+        code and with foreign writers.  Optional — harts probe for it
+        with ``getattr`` and fall back to invalidating on their own
+        stores only.
+        """
         ...
 
 
@@ -54,6 +66,9 @@ class MapPort:
         value = self.map.fetch(address, size)
         return value, self.map.latency(address)
 
+    def on_store(self, hook: StoreHook) -> None:
+        self.map.add_store_hook(hook)
+
 
 class TlulPort:
     """TL-UL crossbar port (Ibex's view inside OpenTitan).
@@ -77,3 +92,6 @@ class TlulPort:
     def fetch(self, address: int, size: int) -> Tuple[int, int]:
         value = self.xbar.map.fetch(address, size)
         return value, 0
+
+    def on_store(self, hook: StoreHook) -> None:
+        self.xbar.map.add_store_hook(hook)

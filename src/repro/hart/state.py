@@ -110,7 +110,9 @@ class CsrFile:
     @property
     def mie_enabled(self) -> bool:
         """Global machine-interrupt-enable (mstatus.MIE)."""
-        return bool(self.mstatus & op.MSTATUS_MIE)
+        # Read the backing dict directly: this is polled once per
+        # simulated instruction by Hart.step.
+        return bool(self._values[op.CSR_MSTATUS] & op.MSTATUS_MIE)
 
     def enter_trap(self, pc: int, cause: int, interrupt: bool, tval: int = 0) -> int:
         """Perform trap-entry CSR side effects; returns the handler pc."""

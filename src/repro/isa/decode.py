@@ -6,12 +6,31 @@ that word is decoded.  The expanded word is kept on the
 :class:`Instruction` — the TitanCFI commit log transports exactly this
 "uncompressed binary encoding" (paper §IV-B1), so the expansion path is
 part of the system under reproduction, not a convenience.
+
+Decode cache
+------------
+
+:func:`decode` memoises successful decodes in a module-level dict keyed
+on ``(word, xlen)``.  The cache invariants are:
+
+* :class:`Instruction` is a frozen dataclass, so one cached instance can
+  safely be shared by every hart, the control-flow analyser and the
+  disassembler — decoding is a pure function of ``(word, xlen)``.
+* Keys are *normalised* words: the low 16 bits for compressed encodings,
+  the low 32 bits otherwise.  Two fetches that differ only in ignored
+  high bits therefore share one entry, which also keeps the cached
+  ``raw`` field exact.
+* Failed decodes are **not** cached: :class:`DecodeError` carries
+  per-site context (the faulting pc is attached by the hart), so every
+  illegal word takes the slow path and raises a fresh exception.
+* The cache is cleared when it exceeds ``DECODE_CACHE_LIMIT`` entries
+  (a fuzz-run guard; real programs hold a few hundred distinct words).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import DecodeError
 from repro.isa import opcodes as op
@@ -523,8 +542,36 @@ def _expand_q2(hword: int, funct3: int, xlen: int) -> Tuple[int, str]:
     raise DecodeError(f"unsupported C2 funct3={funct3}", hword)
 
 
+#: Decode-cache size guard; cleared wholesale when exceeded (only fuzz
+#: runs ever approach this — real firmware uses a few hundred words).
+DECODE_CACHE_LIMIT = 1 << 16
+
+_DECODE_CACHE: Dict[Tuple[int, int], Instruction] = {}
+
+
+def clear_decode_cache() -> None:
+    """Drop every memoised decode (tests and benchmarks)."""
+    _DECODE_CACHE.clear()
+
+
+def decode_cache_size() -> int:
+    """Number of distinct ``(word, xlen)`` entries currently cached."""
+    return len(_DECODE_CACHE)
+
+
+def _decode_slow(word: int, xlen: int) -> Instruction:
+    """The uncached decode path (cache-miss handler)."""
+    if is_compressed_word(word):
+        word32, rvc_name = expand_compressed(word, xlen)
+        return _decode32(word32, xlen, raw=word, length=2, cm=rvc_name)
+    return _decode32(word, xlen, raw=word, length=4, cm=None)
+
+
 def decode(word: int, xlen: int = 64) -> Instruction:
     """Decode a fetched instruction word.
+
+    Successful decodes are memoised (see the module docstring for the
+    cache invariants); the hot path is a single dict lookup.
 
     Args:
         word: raw bits; only the low 16 are used for compressed forms.
@@ -536,11 +583,15 @@ def decode(word: int, xlen: int = 64) -> Instruction:
     Raises:
         DecodeError: for illegal or unsupported encodings.
     """
+    word &= 0xFFFF if (word & 0b11) != op.C_UNCOMPRESSED else 0xFFFFFFFF
+    key = (word, xlen)
+    cached = _DECODE_CACHE.get(key)
+    if cached is not None:
+        return cached
     if xlen not in (32, 64):
         raise ValueError(f"xlen must be 32 or 64, got {xlen}")
-    if is_compressed_word(word):
-        hword = word & 0xFFFF
-        word32, rvc_name = expand_compressed(hword, xlen)
-        return _decode32(word32, xlen, raw=hword, length=2, cm=rvc_name)
-    word &= 0xFFFFFFFF
-    return _decode32(word, xlen, raw=word, length=4, cm=None)
+    insn = _decode_slow(word, xlen)
+    if len(_DECODE_CACHE) >= DECODE_CACHE_LIMIT:
+        _DECODE_CACHE.clear()
+    _DECODE_CACHE[key] = insn
+    return insn

@@ -76,6 +76,12 @@ class BusAccess:
 
 AccessObserver = Callable[[BusAccess], None]
 
+#: Lightweight write notification ``(address, size)`` — fired on every
+#: CPU/bus write and bulk image load.  Harts use this to invalidate
+#: their per-pc decoded-instruction caches when a store lands in a page
+#: they have executed from (self-modifying code).
+StoreHook = Callable[[int, int], None]
+
 
 class MemoryMap:
     """Routes absolute addresses to mapped devices.
@@ -88,6 +94,11 @@ class MemoryMap:
         self.name = name
         self._regions: List[Region] = []
         self._observers: List[AccessObserver] = []
+        self._store_hooks: List[StoreHook] = []
+        # Last-hit region memo: bus traffic is strongly clustered (code
+        # fetches, then a burst of data accesses), so remembering the
+        # previous region short-circuits the linear scan.
+        self._hot_region: Optional[Region] = None
 
     # -- construction -------------------------------------------------------
 
@@ -114,6 +125,7 @@ class MemoryMap:
                 )
         self._regions.append(region)
         self._regions.sort(key=lambda r: r.base)
+        self._hot_region = None
         return region
 
     def observe(self, observer: AccessObserver) -> None:
@@ -124,6 +136,15 @@ class MemoryMap:
         """Unregister a previously-added observer."""
         self._observers.remove(observer)
 
+    def add_store_hook(self, hook: StoreHook) -> None:
+        """Register a write-notification hook ``(address, size)``.
+
+        Unlike observers, store hooks see bulk loads too and carry no
+        :class:`BusAccess` allocation — they are cheap enough to leave
+        armed on the hot path.
+        """
+        self._store_hooks.append(hook)
+
     # -- lookup --------------------------------------------------------------
 
     @property
@@ -133,8 +154,12 @@ class MemoryMap:
 
     def region_for(self, address: int) -> Region:
         """Region containing ``address``; raises :class:`AccessFault`."""
+        hot = self._hot_region
+        if hot is not None and hot.base <= address < hot.end:
+            return hot
         for region in self._regions:
             if region.contains(address):
+                self._hot_region = region
                 return region
         raise AccessFault(address, "read", f"{self.name}: unmapped address {address:#x}")
 
@@ -156,14 +181,18 @@ class MemoryMap:
         """Read ``size`` bytes; returns the little-endian value."""
         region = self._region_checked(address, size, kind)
         value = region.device.read(address - region.base, size)
-        self._notify(BusAccess(kind, address, size, value, region.latency, region.tag))
+        if self._observers:
+            self._notify(BusAccess(kind, address, size, value, region.latency, region.tag))
         return value
 
     def write(self, address: int, size: int, value: int) -> None:
         """Write ``size`` bytes of ``value``."""
         region = self._region_checked(address, size, "write")
         region.device.write(address - region.base, size, value)
-        self._notify(BusAccess("write", address, size, value, region.latency, region.tag))
+        for hook in self._store_hooks:
+            hook(address, size)
+        if self._observers:
+            self._notify(BusAccess("write", address, size, value, region.latency, region.tag))
 
     def fetch(self, address: int, size: int) -> int:
         """Instruction fetch (reported to observers as ``fetch``)."""
@@ -173,6 +202,9 @@ class MemoryMap:
         """Bulk read for program loading and inspection (single region)."""
         region = self._region_checked(address, count, "read")
         offset = address - region.base
+        dumper = getattr(region.device, "dump", None)
+        if dumper is not None:
+            return dumper(offset, count)
         return bytes(
             region.device.read(offset + i, 1) for i in range(count)
         )
@@ -184,9 +216,11 @@ class MemoryMap:
         loader = getattr(region.device, "load", None)
         if loader is not None:
             loader(offset, data)
-            return
-        for i, byte in enumerate(data):
-            region.device.write(offset + i, 1, byte)
+        else:
+            for i, byte in enumerate(data):
+                region.device.write(offset + i, 1, byte)
+        for hook in self._store_hooks:
+            hook(address, len(data))
 
     def _region_checked(self, address: int, size: int, kind: str) -> Region:
         try:

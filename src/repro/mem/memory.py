@@ -22,6 +22,7 @@ class SparseMemory:
 
     PAGE_BITS = 12
     PAGE_SIZE = 1 << PAGE_BITS
+    PAGE_MASK = PAGE_SIZE - 1
 
     def __init__(self):
         self._pages: Dict[int, bytearray] = {}
@@ -36,10 +37,19 @@ class SparseMemory:
 
     def read_bytes(self, address: int, count: int) -> bytes:
         """Read ``count`` bytes starting at ``address``."""
+        # Fast path: the access sits inside one page (every CPU-sized
+        # read does) — slice the backing page directly instead of
+        # assembling a scratch bytearray.
+        offset = address & self.PAGE_MASK
+        if offset + count <= self.PAGE_SIZE:
+            page = self._pages.get(address >> self.PAGE_BITS)
+            if page is None:
+                return bytes(count)
+            return bytes(page[offset : offset + count])
         out = bytearray(count)
         done = 0
         while done < count:
-            offset = (address + done) & (self.PAGE_SIZE - 1)
+            offset = (address + done) & self.PAGE_MASK
             chunk = min(count - done, self.PAGE_SIZE - offset)
             page = self._page(address + done, create=False)
             if page is not None:
@@ -61,10 +71,36 @@ class SparseMemory:
 
     def read_int(self, address: int, size: int) -> int:
         """Read a little-endian integer of ``size`` bytes."""
+        # Zero-copy path for the common CPU access widths: assemble the
+        # value straight from the page bytes, no intermediate buffer.
+        offset = address & self.PAGE_MASK
+        if offset + size <= self.PAGE_SIZE:
+            page = self._pages.get(address >> self.PAGE_BITS)
+            if page is None:
+                return 0
+            if size == 4:
+                return (
+                    page[offset]
+                    | (page[offset + 1] << 8)
+                    | (page[offset + 2] << 16)
+                    | (page[offset + 3] << 24)
+                )
+            if size == 1:
+                return page[offset]
+            if size == 2:
+                return page[offset] | (page[offset + 1] << 8)
+            return int.from_bytes(page[offset : offset + size], "little")
         return int.from_bytes(self.read_bytes(address, size), "little")
 
     def write_int(self, address: int, size: int, value: int) -> None:
         """Write a little-endian integer of ``size`` bytes."""
+        offset = address & self.PAGE_MASK
+        if offset + size <= self.PAGE_SIZE:
+            page = self._page(address, create=True)
+            page[offset : offset + size] = (
+                value & ((1 << (size * 8)) - 1)
+            ).to_bytes(size, "little")
+            return
         self.write_bytes(address, (value & ((1 << (size * 8)) - 1)).to_bytes(size, "little"))
 
     @property

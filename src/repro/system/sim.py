@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.core.log_writer import LogWriter
 from repro.errors import CfiViolation, SimulationError
 from repro.hart.core import StepEvent
 from repro.system.soc import TitanCfiSoc
@@ -46,12 +47,31 @@ class SimulationReport:
         return self.violation is not None
 
 
-class SystemSimulator:
-    """Drives a :class:`TitanCfiSoc` cycle by cycle."""
+#: Skip bound meaning "this component cannot originate the next event"
+#: (shared with the log writer so its parked-state sentinel compares
+#: correctly against hart bounds).
+_UNBOUNDED = LogWriter.UNBOUNDED
 
-    def __init__(self, soc: TitanCfiSoc, run_rot: bool = True):
+
+class SystemSimulator:
+    """Drives a :class:`TitanCfiSoc` cycle by cycle.
+
+    Args:
+        soc: the platform under simulation.
+        run_rot: step the Ibex RoT core (False freezes the firmware).
+        event_driven: when True (default), :meth:`run` jumps the clock
+            over cycles in which provably nothing can change — hart
+            cycle debt, WFI sleep, log-writer countdowns — instead of
+            busy-ticking through them.  The observable timeline is
+            cycle-exact either way: every ``SimulationReport`` field and
+            every per-cycle statistic matches the busy-loop simulation.
+    """
+
+    def __init__(self, soc: TitanCfiSoc, run_rot: bool = True,
+                 event_driven: bool = True):
         self.soc = soc
         self.run_rot = run_rot
+        self.event_driven = event_driven
         self.now = 0
         self._host_debt = 0
         self._ibex_debt = 0
@@ -82,17 +102,86 @@ class SystemSimulator:
         if self.soc.cfi_stage is not None:
             self.soc.cfi_stage.tick()
 
+    # -- event-driven fast path ---------------------------------------------------
+
+    def _skippable_cycles(self) -> int:
+        """Cycles the whole platform can fast-forward with no event.
+
+        The bound is the minimum "next interesting cycle" over the three
+        clocked components: the host commit stage (cycle debt), the Ibex
+        core (cycle debt or WFI sleep) and the CFI log-writer FSM
+        (transaction countdowns).  0 means the very next tick can change
+        state and must be stepped normally.
+        """
+        bound = _UNBOUNDED
+        if not self.soc.cva6.halted:
+            if self._host_debt > 0:
+                bound = self._host_debt
+            elif not self.soc.commit.stall_skippable():
+                return 0
+            # A skippable stall is bounded below by whoever can release
+            # it (the log writer or the RoT core).
+        if self.run_rot:
+            ibex = self.soc.rot.ibex
+            if not ibex.halted:
+                if self._ibex_debt > 0:
+                    if self._ibex_debt < bound:
+                        bound = self._ibex_debt
+                elif not ibex.sleeping or ibex.interrupt_pending:
+                    return 0
+                # else: asleep with no wake source — unbounded here; the
+                # doorbell that wakes it is bounded by the other parts.
+        stage = self.soc.cfi_stage
+        if stage is not None:
+            writer_bound = stage.skippable_cycles()
+            if writer_bound <= 0:
+                return 0
+            if writer_bound < bound:
+                bound = writer_bound
+        return 0 if bound >= _UNBOUNDED else bound
+
+    def _advance(self, cycles: int) -> None:
+        """Jump ``cycles`` event-free cycles in one step.
+
+        Replicates exactly what ``cycles`` calls to :meth:`tick` would
+        have done — debts melt, sleeping harts accrue sleep cycles, the
+        log writer's counters advance — without per-cycle dispatch.
+        """
+        self.now += cycles
+        if self._host_debt > 0:
+            self._host_debt -= min(cycles, self._host_debt)
+        elif not self.soc.cva6.halted and self.soc.commit.stall_skippable():
+            self.soc.commit.skip_stall(cycles)
+        if self.run_rot:
+            ibex = self.soc.rot.ibex
+            if self._ibex_debt > 0:
+                self._ibex_debt -= min(cycles, self._ibex_debt)
+            elif ibex.sleeping and not ibex.halted:
+                ibex.sleep_for(cycles)
+        if self.soc.cfi_stage is not None:
+            self.soc.cfi_stage.skip(cycles)
+
     def run(self, max_cycles: int = 10_000_000) -> SimulationReport:
         """Run until the host halts and the CFI pipeline drains.
 
         A CFI violation stops the run immediately and is reported, not
         re-raised — detection is the expected outcome of attack runs.
         """
+        event_driven = self.event_driven
         try:
             while self.now < max_cycles:
                 self.tick()
                 if self.soc.cva6.halted and self._quiescent():
                     break
+                if event_driven:
+                    skip = self._skippable_cycles()
+                    if skip > 0:
+                        # Stay one cycle short of the budget so the
+                        # exhaustion path fires on the same cycle as the
+                        # busy loop's.
+                        skip = min(skip, max_cycles - self.now - 1)
+                        if skip > 0:
+                            self._advance(skip)
             else:
                 raise SimulationError(
                     f"co-simulation exceeded {max_cycles} cycles"

@@ -149,6 +149,90 @@ class TestBackToBack:
         assert len(writer.stats.check_latencies) == 1
 
 
+class TestBulkTick:
+    """skip()/skippable_cycles()/tick_n must be tick-for-tick exact."""
+
+    def _stats_key(self, writer):
+        s = writer.stats
+        return (writer.state, writer.now, writer._countdown,
+                s.logs_sent, s.checks_completed, s.busy_cycles,
+                s.wait_cycles, tuple(s.check_latencies))
+
+    def _drive(self, writer, mailbox, cycles, advance):
+        """Run ``cycles`` ticks, answering every doorbell; ``advance``
+        consumes (writer, n) however it likes but must total n==1."""
+        for _ in range(cycles):
+            advance(writer)
+            if writer.state is WriterState.WAIT and mailbox.doorbell_pending:
+                mailbox.respond(VERDICT_OK)
+
+    def test_skip_matches_ticks_through_full_handshakes(self):
+        per_cycle, q1, mb1 = make_writer()
+        bulk, q2, mb2 = make_writer()
+        for pc in (0x1000, 0x2000, 0x3000):
+            q1.push(call_log(pc))
+            q2.push(call_log(pc))
+
+        def tick_once(writer):
+            writer.tick()
+
+        self._drive(per_cycle, mb1, 300, tick_once)
+        # Bulk variant: interleave skip() jumps with single ticks so
+        # every cycle is covered exactly once.
+        consumed = 0
+        while consumed < 300:
+            skippable = bulk.skippable_cycles()
+            budget = 300 - consumed
+            jump = min(skippable, budget - 1) if budget > 1 else 0
+            if jump > 0:
+                bulk.skip(jump)
+                consumed += jump
+            bulk.tick()
+            consumed += 1
+            if bulk.state is WriterState.WAIT and mb2.doorbell_pending:
+                mb2.respond(VERDICT_OK)
+        assert self._stats_key(per_cycle) == self._stats_key(bulk)
+        assert per_cycle.stats.checks_completed == 3
+
+    def test_stage_tick_n_equals_n_ticks(self):
+        from repro.core.config import TitanCfiConfig
+        from repro.core.stage import CfiStage
+
+        def make_stage():
+            bus = MemoryMap("host")
+            mailbox = CfiMailbox()
+            bus.add(MAILBOX_BASE, mailbox, name="cfi-mailbox")
+            axi = AxiXbar(bus)
+            stage = CfiStage(axi, mailbox,
+                             TitanCfiConfig(mailbox_base=MAILBOX_BASE))
+            return stage, mailbox
+
+        loops, mb1 = make_stage()
+        bulk, mb2 = make_stage()
+        for stage in (loops, bulk):
+            assert stage.try_push(call_log())
+        for _ in range(40):
+            loops.tick()
+        bulk.tick_n(40)
+        # Both writers progressed identically (parked in WAIT since no
+        # firmware answers here).
+        assert loops.writer.state is bulk.writer.state is WriterState.WAIT
+        assert loops.writer.now == bulk.writer.now == 40
+        assert loops.writer.stats.busy_cycles == bulk.writer.stats.busy_cycles
+        assert loops.writer.stats.wait_cycles == bulk.writer.stats.wait_cycles
+
+    def test_skippable_cycles_bounds(self):
+        writer, queue, mailbox = make_writer()
+        # IDLE with empty queue: unbounded (nothing can happen here).
+        assert writer.skippable_cycles() == LogWriter.UNBOUNDED
+        queue.push(call_log())
+        # IDLE with work ready: next tick transitions.
+        assert writer.skippable_cycles() == 0
+        writer.tick()  # -> WRITE with a countdown
+        assert writer.state is WriterState.WRITE
+        assert writer.skippable_cycles() == writer._countdown - 1
+
+
 class TestAxiTraffic:
     def test_writer_is_its_own_master(self):
         writer, queue, mailbox = make_writer()

@@ -1,0 +1,83 @@
+"""Self-modifying code: the per-pc decode cache must stay coherent.
+
+These tests guard the fast-path invariant that a store landing in a
+page the hart has executed from flushes its cached decodes — both for
+the hart's own stores and for foreign masters writing through the same
+memory map.
+"""
+
+from repro.isa.asm import assemble
+from repro.isa.encode import encode_i
+from repro.isa import opcodes as op
+
+from tests.hart.conftest import build_hart
+
+
+def test_store_over_executed_instruction_takes_effect():
+    """Execute an instruction, overwrite it, re-execute: the hart must
+    run the *new* encoding (decode-cache invalidation on store)."""
+    # Pass 1 runs `target: addi a0, zero, 1`; the program then rewrites
+    # that instruction to `addi a0, zero, 2` and jumps back to it.
+    new_word = encode_i(op.OP_IMM, op.F3_ADD_SUB, 10, 0, 2)  # addi a0, x0, 2
+    hart, _, program = build_hart(
+        f"""
+        main:
+            li   s1, 0          # pass counter
+        target:
+            addi a0, zero, 1    # patched to `addi a0, zero, 2` by pass 1
+            addi s1, s1, 1
+            li   t1, 2
+            beq  s1, t1, done   # second pass: stop with patched result
+            # patch the executed instruction in place
+            la   t2, target
+            li   t3, {new_word:#x}
+            sw   t3, 0(t2)
+            j    target
+        done:
+            ebreak
+        """
+    )
+    hart.run(max_steps=100)
+    assert hart.regs.read(10) == 2, "hart executed a stale cached decode"
+
+
+def test_foreign_writer_invalidates_decode_cache():
+    """A different bus master rewriting code must also be observed."""
+    new_word = encode_i(op.OP_IMM, op.F3_ADD_SUB, 10, 0, 7)  # addi a0, x0, 7
+    hart, bus, program = build_hart(
+        """
+        loop:
+            addi a0, zero, 1
+            ebreak
+        """
+    )
+    # First execution caches the decode at `loop`.
+    hart.run(max_steps=10)
+    assert hart.regs.read(10) == 1
+    # A foreign master (e.g. a DMA or the RoT through a bridge) rewrites
+    # the instruction directly through the memory map.
+    bus.write(program.symbols["loop"], 4, new_word)
+    hart.halted = False
+    hart.pc = program.symbols["loop"]
+    hart.run(max_steps=10)
+    assert hart.regs.read(10) == 7
+
+
+def test_fence_i_flushes_fetch_cache():
+    """fence.i is the architectural sync point; flushing must not
+    disturb execution and must drop every cached pc."""
+    hart, _, _ = build_hart(
+        """
+        main:
+            addi a0, zero, 5
+            fence.i
+            addi a0, a0, 1
+            ebreak
+        """
+    )
+    hart.run(max_steps=10)
+    assert hart.regs.read(10) == 6
+    # The flush happened mid-run: everything fetched before (and
+    # including) the fence.i was dropped; only the two instructions
+    # executed afterwards are cached.
+    assert set(hart._pc_cache) == {8, 12}

@@ -53,6 +53,32 @@ class TestSparseMemory:
         mem.write_bytes(address, data)
         assert mem.read_bytes(address, len(data)) == data
 
+    @given(
+        address=st.integers(min_value=0, max_value=1 << 20),
+        size=st.sampled_from([1, 2, 4, 8]),
+        value=st.integers(min_value=0, max_value=(1 << 64) - 1),
+    )
+    def test_int_fast_path_matches_bytes_path(self, address, size, value):
+        """The single-page int fast path must agree with the generic
+        byte-assembly path, including across page boundaries."""
+        mem = SparseMemory()
+        mem.write_int(address, size, value)
+        expected = value & ((1 << (size * 8)) - 1)
+        assert mem.read_int(address, size) == expected
+        assert mem.read_bytes(address, size) == expected.to_bytes(size, "little")
+
+    def test_int_fast_path_at_page_boundary(self):
+        boundary = SparseMemory.PAGE_SIZE
+        mem = SparseMemory()
+        for offset in (boundary - 4, boundary - 3, boundary - 1, boundary):
+            mem.write_int(offset, 4, 0xA1B2C3D4)
+            assert mem.read_int(offset, 4) == 0xA1B2C3D4
+
+    def test_small_read_of_unbacked_page_is_zero(self):
+        mem = SparseMemory()
+        assert mem.read_int(0x5000, 2) == 0
+        assert mem.read_bytes(0x5000, 2) == b"\x00\x00"
+
 
 class TestRam:
     def test_basic_rw(self):
