@@ -35,6 +35,8 @@ from repro.attacks.programs import (
     deep_recursion_program,
     rop_program,
 )
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import smoke_matrix
 from repro.eval import table1
 from repro.firmware.shadow_stack import FirmwareLayout, shadow_stack_firmware
 from repro.system.sim import SystemSimulator
@@ -85,6 +87,20 @@ def run_firmware_path() -> dict:
     return {"latencies": computed["derived"]["latencies"]}
 
 
+def run_campaign_pass() -> dict:
+    """One serial pass of the campaign smoke matrix (both backends).
+
+    Runs in-process (``jobs=1``) so the numbers measure scenario
+    execution itself, not worker-pool spawn cost; the simulated totals
+    are machine-independent and must match any sharded run.
+    """
+    payload = run_campaign(smoke_matrix(), jobs=1)
+    return {
+        "scenarios": payload["scenario_count"],
+        "cycles": payload["timing"]["simulated_cycles"],
+    }
+
+
 def _timed(fn, min_seconds: float = 0.3, min_rounds: int = 3):
     """Repeat ``fn`` until ``min_seconds`` of samples exist; return
     (best-round seconds, last result)."""
@@ -103,9 +119,11 @@ def measure() -> dict:
     # numbers reflect steady-state throughput, as table sweeps see it.
     run_cosim_mix()
     run_firmware_path()
+    run_campaign_pass()
 
     cosim_seconds, cosim_totals = _timed(run_cosim_mix)
     firmware_seconds, _ = _timed(run_firmware_path)
+    campaign_seconds, campaign_totals = _timed(run_campaign_pass)
     # The host instruction throughput counts both cores' retired
     # instructions: that is the work the interpreter actually performs.
     executed = cosim_totals["host_instructions"] + cosim_totals["ibex_instructions"]
@@ -120,6 +138,16 @@ def measure() -> dict:
         },
         "firmware": {
             "seconds_per_pass": round(firmware_seconds, 6),
+        },
+        "campaign": {
+            "matrix": "smoke",
+            "scenarios": campaign_totals["scenarios"],
+            "seconds_per_pass": round(campaign_seconds, 6),
+            "simulated_cycles": campaign_totals["cycles"],
+            "scenarios_per_sec": round(
+                campaign_totals["scenarios"] / campaign_seconds, 1
+            ),
+            "cycles_per_sec": round(campaign_totals["cycles"] / campaign_seconds),
         },
     }
 
@@ -136,6 +164,14 @@ def render(payload: dict) -> str:
         "  firmware measured-latency path (Table I):",
         f"    {payload['firmware']['seconds_per_pass'] * 1000:.2f} ms / pass",
     ]
+    campaign = payload.get("campaign")
+    if campaign:
+        lines += [
+            f"  campaign smoke matrix ({campaign['scenarios']} scenarios, serial):",
+            f"    {campaign['seconds_per_pass'] * 1000:.1f} ms / pass, "
+            f"{campaign['scenarios_per_sec']} scenarios/sec",
+            f"    {campaign['cycles_per_sec']:,} simulated cycles/sec",
+        ]
     return "\n".join(lines)
 
 
@@ -158,6 +194,12 @@ def test_event_driven_totals_match_busy_loop():
     assert run_cosim_mix(event_driven=True) == run_cosim_mix(event_driven=False)
 
 
+def test_campaign_throughput(benchmark):
+    run_campaign_pass()  # warm caches
+    totals = benchmark.pedantic(run_campaign_pass, rounds=1, iterations=1)
+    assert totals["scenarios"] > 0 and totals["cycles"] > 0
+
+
 # -- standalone CLI -----------------------------------------------------------------
 
 
@@ -169,7 +211,9 @@ def main(argv) -> int:
         assert totals["cycles"] > 0 and totals["host_instructions"] > 0
         assert run_cosim_mix(event_driven=False) == totals
         run_firmware_path()
-        print("bench_speed smoke ok:", totals)
+        campaign = run_campaign_pass()
+        assert campaign["scenarios"] > 0 and campaign["cycles"] > 0
+        print("bench_speed smoke ok:", totals, campaign)
         return 0
     payload = measure()
     print(render(payload))

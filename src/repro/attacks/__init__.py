@@ -2,17 +2,23 @@
 
 from repro.attacks.programs import (
     benign_program,
+    call_hijack_program,
     deep_recursion_program,
-    rop_program,
     indirect_jump_program,
+    jop_program,
+    return_to_callsite_program,
+    rop_program,
 )
 from repro.attacks.rop import AttackOutcome, run_attack_scenario
 
 __all__ = [
     "benign_program",
+    "call_hijack_program",
     "deep_recursion_program",
-    "rop_program",
     "indirect_jump_program",
+    "jop_program",
+    "return_to_callsite_program",
+    "rop_program",
     "AttackOutcome",
     "run_attack_scenario",
 ]

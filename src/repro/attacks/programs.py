@@ -147,3 +147,156 @@ def indirect_jump_program(addresses: AddressMap, corrupt: bool = False) -> Progr
         """,
         addresses,
     )
+
+
+def jop_program(addresses: AddressMap, corrupt: bool = False) -> Program:
+    """A dispatcher-gadget JOP chain (jump-oriented programming).
+
+    The dispatcher walks a function-pointer table in DRAM with register-
+    indirect jumps — the dispatcher-gadget pattern of Bletsch et al.
+    Benign runs dispatch to the two registered handlers; with
+    ``corrupt=True`` the attacker's memory write fills the table with
+    mid-function gadget addresses instead, and the chain (gadget_stage1
+    → gadget_stage2, linked through the same table) assembles
+    ``GADGET_MARKER`` in a0.  No return address is ever corrupted, so
+    return-edge policies are blind to this attack.
+    """
+    first, second = (
+        ("gadget_stage1", "gadget_stage2") if corrupt
+        else ("handler_add", "handler_shift")
+    )
+    return _assemble(
+        f"""
+        .equ STACK_TOP,  {addresses.dram_base + 0xF0_0000:#x}
+        .equ TABLE_BASE, {addresses.dram_base + 0xE0_0000:#x}
+        main:
+            la   sp, STACK_TOP
+            la   s1, TABLE_BASE
+            # ... attacker-controlled write fills the dispatch table ...
+            la   t0, {first}
+            sd   t0, 0(s1)
+            la   t0, {second}
+            sd   t0, 8(s1)
+            li   s2, 0               # table index
+            li   s3, 2               # entries to dispatch
+            li   s4, 0               # accumulator
+        dispatch:
+            bge  s2, s3, done
+            slli t1, s2, 3
+            add  t1, t1, s1
+            ld   t2, 0(t1)
+            addi s2, s2, 1
+            jr   t2                  # register-indirect dispatch
+        done:
+            mv   a1, s4
+            li   a0, {CLEAN_MARKER:#x}
+            ebreak
+
+        handler_add:
+            addi s4, s4, 7
+            j    dispatch
+        handler_shift:
+            slli s4, s4, 1
+            j    dispatch
+
+        # Attacker gadgets: instruction fragments, not function entries.
+        gadget_stage1:
+            li   a0, 0x66
+            ld   t2, 8(s1)           # next gadget straight from the table
+            jr   t2                  # chain without touching the dispatcher
+        gadget_stage2:
+            slli a0, a0, 4
+            ori  a0, a0, 6           # 0x660 | 6 = GADGET_MARKER
+            ebreak
+        """,
+        addresses,
+    )
+
+
+def call_hijack_program(addresses: AddressMap, corrupt: bool = False) -> Program:
+    """A function-pointer overwrite hijacking an *indirect call*.
+
+    ``main`` calls through a pointer cell in DRAM; with ``corrupt=True``
+    an attacker write swaps the pointer from ``greet`` to ``gadget``
+    before the call.  The call still pushes a correct return address —
+    the gadget simply never returns — so a shadow stack cannot see this
+    forward-edge attack, while target-set policies flag the call.
+    ``gadget`` is laid out as a plausible function entry, which is
+    exactly the corner coarse "any function entry" CFI cannot reject.
+    """
+    overwrite = """
+            # ... arbitrary-write primitive retargets the pointer ...
+            la   t0, gadget
+            sd   t0, 0(s1)
+    """ if corrupt else ""
+    return _assemble(
+        f"""
+        .equ STACK_TOP, {addresses.dram_base + 0xF0_0000:#x}
+        .equ FPTR_CELL, {addresses.dram_base + 0xE1_0000:#x}
+        main:
+            la   sp, STACK_TOP
+            la   s1, FPTR_CELL
+            la   t0, greet
+            sd   t0, 0(s1)
+        {overwrite}
+            ld   t1, 0(s1)
+            jalr ra, 0(t1)           # indirect call through the pointer
+            li   a0, {CLEAN_MARKER:#x}
+            ebreak
+
+        greet:
+            li   a1, 0x11
+            ret
+
+        gadget:
+            li   a0, {GADGET_MARKER:#x}
+            ebreak
+        """,
+        addresses,
+    )
+
+
+def return_to_callsite_program(addresses: AddressMap) -> Program:
+    """A corrupted return aimed at a *valid* call site's return address.
+
+    ``victim``'s saved return address is overwritten with
+    ``site_a_ret`` — the genuine return point of the earlier
+    ``call helper`` — so the diverted target is call-preceded and a
+    coarse "returns must follow a call" policy accepts it.  Only a
+    shadow stack, which remembers *which* return address was pushed,
+    catches the mismatch.  The replayed prologue path then branches to
+    the attacker's payload (``s2`` records the first arrival).
+    """
+    return _assemble(
+        f"""
+        .equ STACK_TOP, {addresses.dram_base + 0xF0_0000:#x}
+        main:
+            la   sp, STACK_TOP
+            li   s2, 0
+            call helper              # call site A
+        site_a_ret:
+            bnez s2, attacker_path   # second arrival: hijacked return
+            li   s2, 1
+            call victim              # call site B
+            li   a0, {CLEAN_MARKER:#x}
+            ebreak
+        attacker_path:
+            li   a0, {GADGET_MARKER:#x}
+            ebreak
+
+        helper:
+            ret
+
+        victim:
+            addi sp, sp, -16
+            sd   ra, 8(sp)
+            # ... overflow overwrites the saved ra with a call-preceded
+            # address (site A's return point), not an arbitrary gadget ...
+            la   t1, site_a_ret
+            sd   t1, 8(sp)
+            ld   ra, 8(sp)
+            addi sp, sp, 16
+            ret                      # diverted, but to a "valid" site
+        """,
+        addresses,
+    )

@@ -1,0 +1,7 @@
+"""``python -m repro.campaign`` entry point."""
+
+import sys
+
+from repro.campaign.cli import main
+
+sys.exit(main())

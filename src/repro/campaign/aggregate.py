@@ -1,0 +1,230 @@
+"""Campaign aggregation: detection matrix, latency and overhead summaries.
+
+Consumes the runner's payload (sorted per-scenario result dicts) and
+produces:
+
+* a **detection matrix** — per policy, per attack class: detected /
+  missed / expected.  True/false positive/negative totals classify by
+  the victim's *registered attack class* (a scenario whose victim
+  carries one is a positive; detection on a benign victim is a false
+  positive).  The registration itself is grounded in the
+  ``GADGET_MARKER``/``CLEAN_MARKER`` semantics — the test suite asserts
+  every registered attack's unprotected run leaves the gadget marker —
+  and each result's ``gadget_executed`` flag feeds the
+  ``gadgets_executed`` counter (payloads that became architecturally
+  visible, e.g. under deep-queue asynchronous detection);
+* **detection-latency distributions** (cycles, cosim scenarios) and
+  trace-check depth (events, reference scenarios);
+* **slowdown summaries** — CFI stall overhead per (firmware, queue
+  depth) over benign cosim scenarios;
+* artifacts: ``campaign.json`` (schema-versioned payload) and
+  ``campaign.csv`` (one row per scenario), plus a rendered text report.
+
+Everything here is pure data transformation — deterministic given the
+scenario results, so serial and parallel campaigns aggregate equal.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from repro.eval.report import render_table
+
+#: Column order of campaign.csv (and the per-scenario dict fields it pulls).
+CSV_FIELDS = (
+    "name", "backend", "victim", "attack", "policy", "firmware",
+    "queue_depth", "blocking", "seed", "seeded", "expected_detected", "detected",
+    "expectation_met", "violation_kind", "cycles", "host_instructions",
+    "cf_events", "events_checked", "detection_latency", "stall_cycles",
+    "overhead_percent", "gadget_executed",
+)
+
+
+def _percentiles(values: Sequence[float]) -> Dict[str, float]:
+    ordered = sorted(values)
+    if not ordered:
+        return {}
+
+    def pick(q: float) -> float:
+        index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[index]
+
+    return {
+        "count": len(ordered),
+        "min": ordered[0],
+        "p50": pick(0.50),
+        "p90": pick(0.90),
+        "max": ordered[-1],
+        "mean": round(sum(ordered) / len(ordered), 2),
+    }
+
+
+def summarize(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Aggregate scenario results into the campaign summary."""
+    counts = {"true_positives": 0, "false_positives": 0,
+              "true_negatives": 0, "false_negatives": 0,
+              "expectations_met": 0, "expectations_missed": 0,
+              "gadgets_executed": 0}
+    matrix: Dict[str, Dict[str, Dict[str, int]]] = {}
+    cosim_latencies: List[int] = []
+    reference_depths: List[int] = []
+    overhead: Dict[str, List[float]] = {}
+
+    for result in results:
+        attack = result["attack"]
+        detected = bool(result["detected"])
+        if attack is not None and detected:
+            counts["true_positives"] += 1
+        elif attack is not None:
+            counts["false_negatives"] += 1
+        elif detected:
+            counts["false_positives"] += 1
+        else:
+            counts["true_negatives"] += 1
+        if result["expectation_met"]:
+            counts["expectations_met"] += 1
+        else:
+            counts["expectations_missed"] += 1
+        if result["gadget_executed"]:
+            counts["gadgets_executed"] += 1
+
+        cell = (
+            matrix
+            .setdefault(str(result["policy"]), {})
+            .setdefault(str(attack) if attack else "benign",
+                        {"runs": 0, "detected": 0, "expected_detections": 0})
+        )
+        cell["runs"] += 1
+        cell["detected"] += int(detected)
+        cell["expected_detections"] += int(bool(result["expected_detected"]))
+
+        if result["backend"] == "cosim":
+            if detected and result["detection_latency"] is not None:
+                cosim_latencies.append(int(result["detection_latency"]))
+            if attack is None:
+                key = f"{result['firmware']}/q{result['queue_depth']}" + (
+                    "/blocking" if result["blocking"] else ""
+                )
+                overhead.setdefault(key, []).append(
+                    float(result["overhead_percent"])
+                )
+        elif detected:
+            reference_depths.append(int(result["events_checked"]))
+
+    return {
+        "counts": counts,
+        "detection_matrix": matrix,
+        "detection_latency_cycles": _percentiles(cosim_latencies),
+        "detection_depth_events": _percentiles(reference_depths),
+        "overhead_percent_by_config": {
+            key: _percentiles(values) for key, values in sorted(overhead.items())
+        },
+    }
+
+
+def finalize(payload: Dict[str, object]) -> Dict[str, object]:
+    """Attach the summary to a runner payload (idempotent)."""
+    payload["summary"] = summarize(payload["scenarios"])
+    return payload
+
+
+# --------------------------------------------------------------------------
+# Artifacts
+# --------------------------------------------------------------------------
+
+def to_csv(results: Sequence[Dict[str, object]]) -> str:
+    """Render scenario results as CSV text (header + one row each)."""
+    out = io.StringIO()
+    writer = csv.DictWriter(out, fieldnames=CSV_FIELDS, extrasaction="ignore")
+    writer.writeheader()
+    for result in results:
+        writer.writerow({key: result.get(key) for key in CSV_FIELDS})
+    return out.getvalue()
+
+
+def write_artifacts(payload: Dict[str, object], out_dir: Path) -> Dict[str, Path]:
+    """Write campaign.json and campaign.csv under ``out_dir``."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    json_path = out_dir / "campaign.json"
+    csv_path = out_dir / "campaign.csv"
+    json_path.write_text(json.dumps(payload, indent=2) + "\n")
+    csv_path.write_text(to_csv(payload["scenarios"]))
+    return {"json": json_path, "csv": csv_path}
+
+
+# --------------------------------------------------------------------------
+# Text report
+# --------------------------------------------------------------------------
+
+def render_report(payload: Dict[str, object]) -> str:
+    """Human-readable campaign report (detection matrix + summaries)."""
+    summary = payload.get("summary") or summarize(payload["scenarios"])
+    counts = summary["counts"]
+    matrix = summary["detection_matrix"]
+
+    attack_columns = sorted(
+        {attack for cells in matrix.values() for attack in cells}
+        - {"benign"}
+    )
+    rows = []
+    for policy in sorted(matrix):
+        cells = matrix[policy]
+        row: List[object] = [policy]
+        for attack in attack_columns:
+            cell = cells.get(attack)
+            row.append(
+                f"{cell['detected']}/{cell['runs']}" if cell else "-"
+            )
+        benign = cells.get("benign")
+        row.append(
+            f"{benign['detected']}/{benign['runs']}" if benign else "-"
+        )
+        rows.append(row)
+
+    lines = [
+        render_table(
+            ["Policy"] + attack_columns + ["benign(FP)"],
+            rows,
+            title="Campaign detection matrix (detected/runs per attack class)",
+        ),
+        "",
+        (
+            f"scenarios: {payload['scenario_count']}   "
+            f"TP={counts['true_positives']} FN={counts['false_negatives']} "
+            f"FP={counts['false_positives']} TN={counts['true_negatives']}   "
+            f"expectations met: {counts['expectations_met']}"
+            f"/{counts['expectations_met'] + counts['expectations_missed']}"
+        ),
+    ]
+
+    latency = summary["detection_latency_cycles"]
+    if latency:
+        lines.append(
+            "detection latency (cosim, cycles): "
+            f"min={latency['min']} p50={latency['p50']} "
+            f"p90={latency['p90']} max={latency['max']}"
+        )
+    depth = summary["detection_depth_events"]
+    if depth:
+        lines.append(
+            "detection depth (reference, CF events checked): "
+            f"min={depth['min']} p50={depth['p50']} max={depth['max']}"
+        )
+    for key, stats in summary["overhead_percent_by_config"].items():
+        lines.append(
+            f"benign overhead {key}: mean={stats['mean']}% max={stats['max']}%"
+        )
+
+    timing = payload.get("timing")
+    if timing:
+        lines.append(
+            f"throughput: {timing['scenarios_per_sec']} scenarios/sec, "
+            f"{timing['simulated_cycles_per_sec']:,} simulated cycles/sec "
+            f"({payload['jobs']} worker{'s' if payload['jobs'] != 1 else ''})"
+        )
+    return "\n".join(lines)

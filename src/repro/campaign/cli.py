@@ -1,0 +1,118 @@
+"""Command-line interface: ``python -m repro.campaign``.
+
+Three subcommands:
+
+* ``list`` — print the scenario matrix (name, expected verdict).
+* ``run`` — execute a matrix (sharded by ``--jobs``), write artifacts
+  (``campaign.json``, ``campaign.csv``, streamed ``results.jsonl``) and
+  print the detection-matrix report.
+* ``report`` — re-render the text report from a saved campaign.json.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.campaign.aggregate import finalize, render_report, write_artifacts
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import MATRICES, resolve_matrix
+
+DEFAULT_OUT = Path("artifacts/campaign")
+
+
+def _default_jobs() -> int:
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="TitanCFI attack/policy campaign engine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="print the scenario matrix")
+    list_cmd.add_argument("--matrix", default="default", choices=sorted(MATRICES))
+
+    run_cmd = sub.add_parser("run", help="execute a scenario matrix")
+    run_cmd.add_argument("--matrix", default="default", choices=sorted(MATRICES))
+    run_cmd.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: CPU count, 2..8); "
+                              "1 = serial in-process fallback")
+    run_cmd.add_argument("--seed", type=int, default=0,
+                         help="campaign seed (per-scenario seeds derive from it)")
+    run_cmd.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                         help=f"artifact directory (default: {DEFAULT_OUT})")
+    run_cmd.add_argument("--no-artifacts", action="store_true",
+                         help="skip writing artifacts (report only)")
+
+    report_cmd = sub.add_parser("report", help="render a saved campaign.json")
+    report_cmd.add_argument("--artifact", type=Path,
+                            default=DEFAULT_OUT / "campaign.json")
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    scenarios = resolve_matrix(args.matrix)
+    width = max(len(s.name) for s in scenarios)
+    for scenario in scenarios:
+        verdict = "DETECT" if scenario.expected_detected else "pass"
+        print(f"{scenario.name:<{width}}  expected={verdict}")
+    print(f"\n{len(scenarios)} scenarios in matrix {args.matrix!r}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenarios = resolve_matrix(args.matrix)
+    jobs = args.jobs if args.jobs is not None else _default_jobs()
+
+    stream = None
+    stream_file = None
+    if not args.no_artifacts:
+        args.out.mkdir(parents=True, exist_ok=True)
+        stream_file = (args.out / "results.jsonl").open("w")
+
+        def stream(result):
+            stream_file.write(json.dumps(result) + "\n")
+            stream_file.flush()
+
+    try:
+        payload = run_campaign(scenarios, jobs=jobs,
+                               campaign_seed=args.seed, stream=stream)
+    finally:
+        if stream_file is not None:
+            stream_file.close()
+
+    payload["matrix"] = args.matrix
+    finalize(payload)
+    if not args.no_artifacts:
+        paths = write_artifacts(payload, args.out)
+        print(f"artifacts: {paths['json']}  {paths['csv']}\n")
+    print(render_report(payload))
+
+    missed = payload["summary"]["counts"]["expectations_missed"]
+    return 1 if missed else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    payload = json.loads(args.artifact.read_text())
+    print(render_report(payload))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_report(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,298 @@
+"""Scenario execution: one process per shard, one verdict per scenario.
+
+``run_scenario`` executes a single :class:`~repro.campaign.spec.Scenario`
+on its backend and returns a plain-dict result (JSON-ready, picklable).
+``run_campaign`` fans a scenario list out over a ``multiprocessing``
+worker pool — scenarios are self-describing data, so each worker
+rebuilds programs and policies from the registries by name — with a
+serial in-process fallback (``jobs=1``) for debugging and determinism
+checks.
+
+Determinism: every scenario derives its seed from the campaign seed and
+its own identity (:func:`~repro.campaign.spec.derive_seed`), and results
+carry no wall-clock fields, so a parallel run and a serial run of the
+same matrix aggregate to identical artifacts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.attacks.programs import GADGET_MARKER
+from repro.attacks.rop import run_attack_scenario
+from repro.campaign.spec import (
+    BACKEND_COSIM,
+    BACKEND_REFERENCE,
+    POLICY_COARSE,
+    POLICY_COMPOSITE,
+    POLICY_FORWARD_EDGE,
+    POLICY_NONE,
+    POLICY_SHADOW_STACK,
+    VICTIMS,
+    Scenario,
+    derive_seed,
+)
+from repro.core.commit_log import CommitLog
+from repro.core.filter import CfiFilter
+from repro.cva6.scoreboard import ScoreboardEntry
+from repro.errors import ConfigError
+from repro.firmware.policies import (
+    CheckResult,
+    CoarseGrainedPolicy,
+    CompositePolicy,
+    ForwardEdgePolicy,
+    ShadowStackPolicy,
+)
+from repro.hart.core import Hart
+from repro.hart.ports import MapPort
+from repro.hart.timing import Cva6Timing
+from repro.isa.asm import Program
+from repro.mem.map import MemoryMap
+from repro.mem.memory import Ram
+from repro.system.addresses import AddressMap
+
+#: Result-dict schema version (bumped on breaking field changes).
+RESULT_SCHEMA = "repro.campaign/v1"
+
+
+def _resolve_symbols(program: Program, names: Sequence[str]) -> set:
+    """Resolve label-set names against the victim's symbol table.
+
+    Unknown names raise: a typo'd registry entry must fail loudly, not
+    silently shrink a policy's target set into false positives.
+    """
+    missing = [name for name in names if name not in program.symbols]
+    if missing:
+        raise ConfigError(f"label set names unknown symbols: {missing}")
+    return {program.symbols[name] for name in names}
+
+
+def _build_policy(scenario: Scenario, program: Program):
+    """Instantiate the reference policy a scenario names, with its label
+    sets resolved against the victim's symbol table."""
+    victim = VICTIMS[scenario.victim]
+    if scenario.policy == POLICY_NONE:
+        return None
+    if scenario.policy == POLICY_SHADOW_STACK:
+        return ShadowStackPolicy()
+    if scenario.policy == POLICY_FORWARD_EDGE:
+        return ForwardEdgePolicy(_resolve_symbols(program, victim.entry_points))
+    if scenario.policy == POLICY_COARSE:
+        return CoarseGrainedPolicy(
+            valid_entries=_resolve_symbols(program, victim.function_entries)
+        )
+    if scenario.policy == POLICY_COMPOSITE:
+        return CompositePolicy([
+            ShadowStackPolicy(),
+            ForwardEdgePolicy(_resolve_symbols(program, victim.entry_points)),
+        ])
+    raise ConfigError(f"unknown policy {scenario.policy!r}")
+
+
+def capture_commit_logs(program: Program, addresses: AddressMap,
+                        max_steps: int = 400_000):
+    """Run ``program`` on a bare CVA6 ISS and capture the CFI stream.
+
+    Returns ``(logs, hart)``: the commit logs the CFI filter would have
+    selected (same :class:`~repro.core.filter.CfiFilter` code path as
+    the hardware model) and the halted hart for architectural state.
+    """
+    bus = MemoryMap("host")
+    bus.add(addresses.dram_base, Ram(addresses.dram_size), name="dram")
+    bus.write_bytes(program.base, program.data)
+    hart = Hart(MapPort(bus), Cva6Timing(), xlen=64, reset_pc=program.base)
+    cfi_filter = CfiFilter()
+    logs: List[CommitLog] = []
+
+    def observe(result) -> bool:
+        entry = ScoreboardEntry.from_step(result)
+        log = cfi_filter.examine(entry)
+        if log is not None:
+            logs.append(log)
+        return False
+
+    hart.run(max_steps=max_steps, until=observe)
+    return logs, hart
+
+
+def _run_reference(scenario: Scenario, seed: int) -> Dict[str, object]:
+    """Trace-check backend: bare-hart execution + Python policy."""
+    addresses = AddressMap()
+    rng = random.Random(seed)
+    program = VICTIMS[scenario.victim].builder(addresses, rng)
+    # max_cycles doubles as the step bound here (steps <= cycles), so
+    # the knob — and the scenario-name suffix it carries — means the
+    # same thing on both backends.
+    logs, hart = capture_commit_logs(program, addresses,
+                                     max_steps=scenario.max_cycles)
+
+    policy = _build_policy(scenario, program)
+    detected = False
+    violation_kind: Optional[str] = None
+    events_checked = 0
+    if policy is not None:
+        for log in logs:
+            events_checked += 1
+            if policy.check(log) is CheckResult.VIOLATION:
+                detected = True
+                violation_kind = log.kind.value
+                break
+
+    return {
+        "cycles": hart.cycle,
+        "host_instructions": hart.instret,
+        "cf_events": len(logs),
+        "events_checked": events_checked,
+        "detected": detected,
+        "violation_kind": violation_kind,
+        "detection_latency": None,
+        "stall_cycles": 0,
+        "overhead_percent": 0.0,
+        "gadget_executed": hart.regs.read(10) == GADGET_MARKER,
+    }
+
+
+def _run_cosim(scenario: Scenario, seed: int) -> Dict[str, object]:
+    """Full-platform backend: the RV32 firmware is the policy.
+
+    Delegates the build/boot/run/verdict sequence to
+    :func:`repro.attacks.rop.run_attack_scenario` so the campaign
+    exercises exactly the single-run path the rest of the repo uses.
+    """
+    rng = random.Random(seed)
+    program = VICTIMS[scenario.victim].builder(AddressMap(), rng)
+    outcome = run_attack_scenario(
+        program,
+        firmware_variant=scenario.firmware,
+        queue_depth=scenario.queue_depth,
+        blocking=scenario.blocking,
+        fabric=scenario.fabric,
+        max_cycles=scenario.max_cycles,
+    )
+    report = outcome.report
+    busy = report.cycles - report.host_stall_cycles
+    return {
+        "cycles": report.cycles,
+        "host_instructions": report.host_instructions,
+        "cf_events": report.cfi.get("selected", 0),
+        "events_checked": report.cfi.get("checks_completed", 0),
+        "detected": outcome.detected,
+        "violation_kind": outcome.violation.kind if outcome.violation else None,
+        "detection_latency": report.detection_latency,
+        "stall_cycles": report.host_stall_cycles,
+        "overhead_percent": (
+            round(100.0 * report.host_stall_cycles / busy, 3) if busy else 0.0
+        ),
+        "gadget_executed": outcome.gadget_executed,
+    }
+
+
+def run_scenario(scenario: Scenario, campaign_seed: int = 0) -> Dict[str, object]:
+    """Execute one scenario; returns its JSON-ready result dict."""
+    seed = derive_seed(campaign_seed, scenario)
+    if scenario.backend == BACKEND_REFERENCE:
+        outcome = _run_reference(scenario, seed)
+    elif scenario.backend == BACKEND_COSIM:
+        outcome = _run_cosim(scenario, seed)
+    else:
+        raise ConfigError(f"unknown backend {scenario.backend!r}")
+
+    expected = scenario.expected_detected
+    detected = bool(outcome["detected"])
+    result: Dict[str, object] = {
+        "name": scenario.name,
+        "backend": scenario.backend,
+        "victim": scenario.victim,
+        "attack": scenario.attack,
+        "policy": scenario.policy,
+        "firmware": scenario.firmware if scenario.backend == BACKEND_COSIM else None,
+        "queue_depth": (
+            scenario.queue_depth if scenario.backend == BACKEND_COSIM else None
+        ),
+        "blocking": scenario.blocking if scenario.backend == BACKEND_COSIM else None,
+        "seed": seed,
+        # Marks results whose victim actually varies with the seed, so
+        # artifact consumers know which rows a seed sweep perturbs.
+        "seeded": VICTIMS[scenario.victim].seeded,
+        "expected_detected": expected,
+        "expectation_met": detected == expected,
+    }
+    result.update(outcome)
+    return result
+
+
+# --------------------------------------------------------------------------
+# Sharded campaign driver
+# --------------------------------------------------------------------------
+
+def _worker(payload) -> Dict[str, object]:
+    """Pool entry point: (scenario, campaign_seed) → result dict."""
+    scenario, campaign_seed = payload
+    return run_scenario(scenario, campaign_seed)
+
+
+def run_campaign(
+    scenarios: Sequence[Scenario],
+    jobs: int = 1,
+    campaign_seed: int = 0,
+    stream: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> Dict[str, object]:
+    """Run a scenario list, optionally sharded over worker processes.
+
+    Args:
+        scenarios: the matrix to execute.
+        jobs: worker processes; 1 runs serially in-process (the
+            debugging fallback — same results, same order).
+        campaign_seed: root seed for per-scenario seed derivation.
+        stream: optional callback invoked with each result as it
+            completes (arrival order; use it to stream JSONL artifacts).
+
+    Returns:
+        the campaign payload: sorted scenario results plus run metadata
+        (wall-clock timing lives only here, never in per-scenario
+        results, so serial and parallel aggregates compare equal).
+    """
+    if jobs < 1:
+        raise ConfigError("jobs must be >= 1")
+    scenarios = list(scenarios)
+    names = [scenario.name for scenario in scenarios]
+    if len(set(names)) != len(names):
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        raise ConfigError(f"duplicate scenario names in the matrix: {duplicates}")
+    payloads = [(scenario, campaign_seed) for scenario in scenarios]
+    started = time.perf_counter()
+
+    results: List[Dict[str, object]] = []
+    if jobs == 1:
+        for payload in payloads:
+            result = _worker(payload)
+            if stream is not None:
+                stream(result)
+            results.append(result)
+    else:
+        with multiprocessing.Pool(processes=jobs) as pool:
+            for result in pool.imap_unordered(_worker, payloads, chunksize=1):
+                if stream is not None:
+                    stream(result)
+                results.append(result)
+    wall = time.perf_counter() - started
+
+    results.sort(key=lambda r: r["name"])
+    return {
+        "schema": RESULT_SCHEMA,
+        "campaign_seed": campaign_seed,
+        "jobs": jobs,
+        "scenario_count": len(results),
+        "scenarios": results,
+        "timing": {
+            "wall_seconds": round(wall, 6),
+            "scenarios_per_sec": round(len(results) / wall, 3) if wall else 0.0,
+            "simulated_cycles": sum(r["cycles"] for r in results),
+            "simulated_cycles_per_sec": (
+                round(sum(r["cycles"] for r in results) / wall) if wall else 0
+            ),
+        },
+    }

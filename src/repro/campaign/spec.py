@@ -1,0 +1,404 @@
+"""Declarative scenario specs for the campaign engine.
+
+A *scenario* is one fully-specified co-simulation or trace-check:
+a victim program, a CFI policy, an execution backend and the knobs
+that matter (queue depth, firmware variant, blocking mode, fabric,
+seed).  Scenarios are plain, picklable data — the runner resolves the
+victim and policy by *name* through the registries below, so a scenario
+can cross a ``multiprocessing`` boundary without dragging simulator
+state along.
+
+Two backends exist:
+
+* ``reference`` — execute the victim on a bare CVA6 ISS, capture the
+  CFI-relevant commit-log stream, and check it against a Python
+  reference policy (:mod:`repro.firmware.policies`).  Fast; any policy.
+* ``cosim`` — the full platform (CVA6 + CFI stage + mailbox + Ibex
+  running the RV32 shadow-stack firmware).  Cycle-accurate detection
+  latency and overhead; the policy is the shadow stack the firmware
+  implements.
+
+Expected verdicts are derived from an (attack class × policy) table —
+the campaign's ground truth, mirroring how the CFI-survey literature
+(Burow et al.) tabulates which hijack classes each policy family stops.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks.programs import (
+    benign_program,
+    call_hijack_program,
+    deep_recursion_program,
+    indirect_jump_program,
+    jop_program,
+    return_to_callsite_program,
+    rop_program,
+)
+from repro.errors import ConfigError
+from repro.isa.asm import Program
+from repro.system.addresses import AddressMap
+
+# --------------------------------------------------------------------------
+# Victims
+# --------------------------------------------------------------------------
+
+#: Attack classes (None marks a benign victim).
+ATTACK_ROP = "rop"                      # return into an arbitrary gadget
+ATTACK_RET_TO_CALLSITE = "ret-to-callsite"  # return into a valid call site
+ATTACK_JOP = "jop"                      # dispatcher-gadget jump chain
+ATTACK_CALL_HIJACK = "call-hijack"      # indirect call to a fake "function"
+ATTACK_FWD_JUMP = "fwd-jump"            # indirect jump to a non-entry
+
+
+@dataclass(frozen=True)
+class VictimSpec:
+    """A registered victim program.
+
+    Attributes:
+        name: registry key.
+        builder: ``(AddressMap, random.Random) -> Program``.
+        attack: attack class, or ``None`` for benign victims.
+        entry_points: symbols that are legitimate indirect-transfer
+            targets (the fine-grained forward-edge label set).
+        function_entries: symbols that *look like* function entries —
+            the coarse forward-edge label set.  Attacker code laid out
+            as a plausible function belongs here; mid-function gadget
+            fragments do not.
+        seeded: True when the builder consumes the scenario seed (the
+            campaign sweeps program shape deterministically per seed).
+    """
+
+    name: str
+    builder: Callable[[AddressMap, random.Random], Program]
+    attack: Optional[str] = None
+    entry_points: Tuple[str, ...] = ()
+    function_entries: Tuple[str, ...] = ()
+    seeded: bool = False
+
+
+def _build_benign(addresses: AddressMap, rng: random.Random) -> Program:
+    return benign_program(addresses)
+
+
+def _build_deep_recursion(addresses: AddressMap, rng: random.Random) -> Program:
+    # Seed-swept depth: crosses the firmware's spill threshold for some
+    # seeds, staying deterministic per scenario seed.
+    return deep_recursion_program(addresses, depth=16 + rng.randrange(48))
+
+
+def _build_rop(addresses: AddressMap, rng: random.Random) -> Program:
+    return rop_program(addresses)
+
+
+def _build_ret_to_callsite(addresses: AddressMap, rng: random.Random) -> Program:
+    return return_to_callsite_program(addresses)
+
+
+def _build_jop_benign(addresses: AddressMap, rng: random.Random) -> Program:
+    return jop_program(addresses, corrupt=False)
+
+
+def _build_jop(addresses: AddressMap, rng: random.Random) -> Program:
+    return jop_program(addresses, corrupt=True)
+
+
+def _build_call_hijack_benign(addresses: AddressMap, rng: random.Random) -> Program:
+    return call_hijack_program(addresses, corrupt=False)
+
+
+def _build_call_hijack(addresses: AddressMap, rng: random.Random) -> Program:
+    return call_hijack_program(addresses, corrupt=True)
+
+
+def _build_indirect_clean(addresses: AddressMap, rng: random.Random) -> Program:
+    return indirect_jump_program(addresses, corrupt=False)
+
+
+def _build_fwd_jump(addresses: AddressMap, rng: random.Random) -> Program:
+    return indirect_jump_program(addresses, corrupt=True)
+
+
+#: All registered victims, by name.
+VICTIMS: Dict[str, VictimSpec] = {
+    spec.name: spec
+    for spec in (
+        VictimSpec("benign", _build_benign,
+                   entry_points=("finalize",),
+                   function_entries=("main", "square", "identity", "finalize")),
+        VictimSpec("deep-recursion", _build_deep_recursion, seeded=True,
+                   function_entries=("main", "recurse")),
+        VictimSpec("jop-benign", _build_jop_benign,
+                   entry_points=("handler_add", "handler_shift"),
+                   function_entries=("main", "handler_add", "handler_shift")),
+        VictimSpec("call-hijack-benign", _build_call_hijack_benign,
+                   entry_points=("greet",),
+                   # `gadget` is laid out as a plausible function, so the
+                   # coarse label set must include it (its blind spot).
+                   function_entries=("main", "greet", "gadget")),
+        VictimSpec("indirect-clean", _build_indirect_clean,
+                   entry_points=("handler",),
+                   function_entries=("main", "handler")),
+        VictimSpec("rop", _build_rop, attack=ATTACK_ROP,
+                   function_entries=("main", "victim")),
+        VictimSpec("ret-to-callsite", _build_ret_to_callsite,
+                   attack=ATTACK_RET_TO_CALLSITE,
+                   function_entries=("main", "helper", "victim")),
+        VictimSpec("jop", _build_jop, attack=ATTACK_JOP,
+                   entry_points=("handler_add", "handler_shift"),
+                   function_entries=("main", "handler_add", "handler_shift")),
+        VictimSpec("call-hijack", _build_call_hijack, attack=ATTACK_CALL_HIJACK,
+                   entry_points=("greet",),
+                   function_entries=("main", "greet", "gadget")),
+        VictimSpec("fwd-jump", _build_fwd_jump, attack=ATTACK_FWD_JUMP,
+                   entry_points=("handler",),
+                   function_entries=("main", "handler")),
+    )
+}
+
+# --------------------------------------------------------------------------
+# Policies and ground truth
+# --------------------------------------------------------------------------
+
+POLICY_NONE = "none"
+POLICY_SHADOW_STACK = "shadow-stack"
+POLICY_FORWARD_EDGE = "forward-edge"
+POLICY_COARSE = "coarse"
+POLICY_COMPOSITE = "composite"
+
+#: Policies the reference backend can instantiate.
+REFERENCE_POLICIES = (
+    POLICY_NONE,
+    POLICY_SHADOW_STACK,
+    POLICY_FORWARD_EDGE,
+    POLICY_COARSE,
+    POLICY_COMPOSITE,
+)
+
+#: Ground truth: which attack classes each policy is specified to stop.
+#: (The shadow stack catches every return-edge corruption; target-set
+#: policies catch forward-edge hijacks; coarse CFI catches anything that
+#: leaves its relaxed label sets — which a return to a *valid* call site
+#: and a call to a *plausible* function entry do not.)
+POLICY_DETECTS: Dict[str, frozenset] = {
+    POLICY_NONE: frozenset(),
+    POLICY_SHADOW_STACK: frozenset({ATTACK_ROP, ATTACK_RET_TO_CALLSITE}),
+    POLICY_FORWARD_EDGE: frozenset(
+        {ATTACK_JOP, ATTACK_CALL_HIJACK, ATTACK_FWD_JUMP}
+    ),
+    POLICY_COARSE: frozenset({ATTACK_ROP, ATTACK_JOP, ATTACK_FWD_JUMP}),
+    POLICY_COMPOSITE: frozenset(
+        {ATTACK_ROP, ATTACK_RET_TO_CALLSITE, ATTACK_JOP,
+         ATTACK_CALL_HIJACK, ATTACK_FWD_JUMP}
+    ),
+}
+
+
+def expected_detection(victim: str, policy: str) -> bool:
+    """Ground-truth verdict for (victim, policy)."""
+    attack = VICTIMS[victim].attack
+    if attack is None:
+        return False
+    return attack in POLICY_DETECTS[policy]
+
+
+# --------------------------------------------------------------------------
+# Scenarios
+# --------------------------------------------------------------------------
+
+BACKEND_REFERENCE = "reference"
+BACKEND_COSIM = "cosim"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fully-specified campaign cell.  Plain data; picklable.
+
+    Attributes:
+        victim: a :data:`VICTIMS` key.
+        policy: a :data:`REFERENCE_POLICIES` entry (the cosim backend
+            only supports ``shadow-stack``, the firmware's policy).
+        backend: ``"reference"`` or ``"cosim"``.
+        firmware: firmware variant for the cosim backend.
+        queue_depth: CFI queue depth (cosim backend).
+        blocking: per-check stall mode (cosim backend).
+        fabric: RoT interconnect profile (cosim backend).
+        seed: per-scenario seed (0 = derive from the campaign seed).
+        max_cycles: co-simulation cycle bound.
+    """
+
+    victim: str
+    policy: str = POLICY_SHADOW_STACK
+    backend: str = BACKEND_REFERENCE
+    firmware: str = "irq"
+    queue_depth: int = 8
+    blocking: bool = False
+    fabric: str = "standard"
+    seed: int = 0
+    max_cycles: int = 10_000_000
+
+    def __post_init__(self):
+        if self.victim not in VICTIMS:
+            raise ConfigError(f"unknown victim {self.victim!r}")
+        if self.backend not in (BACKEND_REFERENCE, BACKEND_COSIM):
+            raise ConfigError(f"unknown backend {self.backend!r}")
+        if self.policy not in REFERENCE_POLICIES:
+            raise ConfigError(f"unknown policy {self.policy!r}")
+        if self.backend == BACKEND_COSIM and self.policy != POLICY_SHADOW_STACK:
+            raise ConfigError(
+                "the cosim backend runs the shadow-stack firmware; "
+                f"policy {self.policy!r} needs backend='reference'"
+            )
+        if self.firmware not in ("irq", "polling"):
+            raise ConfigError(f"unknown firmware variant {self.firmware!r}")
+        if self.fabric not in ("standard", "optimized"):
+            raise ConfigError(f"unknown fabric {self.fabric!r}")
+        if self.queue_depth < 1:
+            raise ConfigError("queue_depth must be >= 1")
+
+    @property
+    def name(self) -> str:
+        """Stable human-readable identity (also the seed-derivation key)."""
+        parts = [self.backend, self.victim, self.policy]
+        if self.backend == BACKEND_COSIM:
+            parts.append(self.firmware)
+            parts.append(f"q{self.queue_depth}")
+            if self.blocking:
+                parts.append("blocking")
+            if self.fabric != "standard":
+                parts.append(self.fabric)
+        if self.max_cycles != 10_000_000:
+            parts.append(f"c{self.max_cycles}")
+        if self.seed:
+            parts.append(f"s{self.seed}")
+        return "/".join(parts)
+
+    @property
+    def expected_detected(self) -> bool:
+        return expected_detection(self.victim, self.policy)
+
+    @property
+    def attack(self) -> Optional[str]:
+        return VICTIMS[self.victim].attack
+
+
+def derive_seed(campaign_seed: int, scenario: Scenario) -> int:
+    """Deterministic per-scenario seed, stable across processes/shards.
+
+    Built from a SHA-256 of the campaign seed and the scenario identity,
+    so neither worker count nor completion order can perturb it.
+    """
+    if scenario.seed:
+        return scenario.seed
+    digest = hashlib.sha256(
+        f"{campaign_seed}:{scenario.name}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+# --------------------------------------------------------------------------
+# Grid expansion
+# --------------------------------------------------------------------------
+
+def expand_grid(**axes: Sequence[object]) -> List[Scenario]:
+    """Cartesian-product expansion of scenario parameter axes.
+
+    Each keyword is a :class:`Scenario` field name mapped to the values
+    to sweep; scalars are promoted to one-element axes.  Invalid
+    combinations (a non-shadow-stack policy on the cosim backend) and
+    redundant cells (reference-backend scenarios that differ only in
+    cosim-only knobs such as ``firmware`` or ``queue_depth``) are
+    dropped, so grids can sweep policies and backends together; a bad
+    field *value* (a typo'd victim or policy name) still raises::
+
+        expand_grid(victim=["rop", "benign"],
+                    policy=["shadow-stack", "coarse"],
+                    queue_depth=[1, 8])
+    """
+    names = list(axes)
+    value_lists = [
+        list(v) if isinstance(v, (list, tuple)) else [v] for v in axes.values()
+    ]
+    scenarios: List[Scenario] = []
+    seen: set = set()
+    for combo in itertools.product(*value_lists):
+        kwargs = dict(zip(names, combo))
+        # Only the known *cross-field* incompatibility is skippable; a
+        # bad field value (typo'd victim/policy name) must still raise,
+        # or the matrix would silently shrink.
+        if (kwargs.get("backend") == BACKEND_COSIM
+                and kwargs.get("policy", POLICY_SHADOW_STACK)
+                != POLICY_SHADOW_STACK):
+            continue
+        scenario = Scenario(**kwargs)
+        # Scenario.name omits knobs its backend ignores, so equivalent
+        # cells from a mixed-backend sweep collapse to the first one.
+        if scenario.name in seen:
+            continue
+        seen.add(scenario.name)
+        scenarios.append(scenario)
+    return scenarios
+
+
+# --------------------------------------------------------------------------
+# Named matrices
+# --------------------------------------------------------------------------
+
+def default_matrix() -> List[Scenario]:
+    """The standard campaign: every victim × every reference policy,
+    plus a cosim sweep over firmware variants and queue depths."""
+    scenarios = expand_grid(
+        victim=sorted(VICTIMS),
+        policy=[POLICY_SHADOW_STACK, POLICY_FORWARD_EDGE,
+                POLICY_COARSE, POLICY_COMPOSITE],
+        backend=BACKEND_REFERENCE,
+    )
+    scenarios += expand_grid(
+        victim=["benign", "rop", "ret-to-callsite", "jop"],
+        backend=BACKEND_COSIM,
+        firmware=["irq", "polling"],
+    )
+    scenarios += expand_grid(
+        victim=["benign", "rop"],
+        backend=BACKEND_COSIM,
+        queue_depth=1,
+        blocking=True,
+    )
+    return scenarios
+
+
+def smoke_matrix() -> List[Scenario]:
+    """A small matrix for CI: covers both backends, attacks and benign
+    victims, in a few seconds."""
+    scenarios = expand_grid(
+        victim=["benign", "rop", "ret-to-callsite", "jop", "call-hijack"],
+        policy=[POLICY_SHADOW_STACK, POLICY_FORWARD_EDGE, POLICY_COMPOSITE],
+        backend=BACKEND_REFERENCE,
+    )
+    scenarios += expand_grid(
+        victim=["benign", "rop"],
+        backend=BACKEND_COSIM,
+    )
+    return scenarios
+
+
+MATRICES: Dict[str, Callable[[], List[Scenario]]] = {
+    "default": default_matrix,
+    "smoke": smoke_matrix,
+}
+
+
+def resolve_matrix(name: str) -> List[Scenario]:
+    """Look up a named matrix; raises :class:`ConfigError` when unknown."""
+    try:
+        factory = MATRICES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown matrix {name!r} (have: {', '.join(sorted(MATRICES))})"
+        ) from None
+    return factory()

@@ -48,6 +48,10 @@ class WriterStats:
     busy_cycles: int = 0
     wait_cycles: int = 0
     check_latencies: List[int] = field(default_factory=list)
+    #: Latency of the check that flagged the *first* violation — stable
+    #: even when violations are latched (``raise_on_violation=False``)
+    #: and later benign checks keep appending to ``check_latencies``.
+    first_violation_latency: Optional[int] = None
 
     @property
     def mean_check_latency(self) -> float:
@@ -129,6 +133,8 @@ class LogWriter:
         self.state = WriterState.IDLE
         if verdict != VERDICT_OK:
             self.stats.violations += 1
+            if self.stats.first_violation_latency is None:
+                self.stats.first_violation_latency = self.stats.check_latencies[-1]
             assert log is not None
             violation = CfiViolation(
                 kind=log.kind.value,

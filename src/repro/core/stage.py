@@ -129,5 +129,6 @@ class CfiStage:
             "checks_completed": self.writer.stats.checks_completed,
             "violations": self.writer.stats.violations,
             "mean_check_latency": self.writer.stats.mean_check_latency,
+            "first_violation_latency": self.writer.stats.first_violation_latency,
             "queue_high_water": self.queue.high_water,
         }

@@ -37,7 +37,7 @@ def resolve_latencies(latencies: str = "measured") -> Dict[str, float]:
     raise ValueError(f"latencies must be 'paper' or 'measured', got {latencies!r}")
 
 
-def compute(latencies: str = "paper") -> List[Dict[str, object]]:
+def compute(latencies: str = "measured") -> List[Dict[str, object]]:
     """Rows of Table II.
 
     Each row carries the published values and this model's slowdowns
@@ -62,7 +62,7 @@ def compute(latencies: str = "paper") -> List[Dict[str, object]]:
     return rows
 
 
-def render(latencies: str = "paper") -> str:
+def render(latencies: str = "measured") -> str:
     """Text report for Table II (cells are paper/measured)."""
     rows = compute(latencies=latencies)
     lat = resolve_latencies(latencies)

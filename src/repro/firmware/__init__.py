@@ -23,6 +23,8 @@ from repro.firmware.shadow_stack import (
 )
 from repro.firmware.policies import (
     CheckResult,
+    CoarseGrainedPolicy,
+    CompositePolicy,
     ForwardEdgePolicy,
     Policy,
     ShadowStackPolicy,
@@ -32,6 +34,8 @@ __all__ = [
     "FirmwareLayout",
     "shadow_stack_firmware",
     "CheckResult",
+    "CoarseGrainedPolicy",
+    "CompositePolicy",
     "ForwardEdgePolicy",
     "Policy",
     "ShadowStackPolicy",

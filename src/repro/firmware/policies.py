@@ -200,6 +200,65 @@ class ForwardEdgePolicy:
         return CheckResult.OK
 
 
+class CoarseGrainedPolicy:
+    """Coarse-grained CFI in the style of the early binary-level schemes
+    (Burow et al.'s survey, categories with label granularity "any").
+
+    Two relaxed target sets:
+
+    * returns must land on a *call-preceded* address (any valid return
+      site in the program — not necessarily the one that was pushed);
+    * indirect calls and jumps must land on *some* function entry (not
+      necessarily a registered indirect-transfer target).
+
+    This is the precision/security trade-off the campaign matrix
+    measures: a corrupted return aimed at another valid call site, or an
+    indirect call hijacked to a different whole function, both pass.
+    """
+
+    def __init__(
+        self,
+        valid_return_sites: Optional[Set[int]] = None,
+        valid_entries: Optional[Set[int]] = None,
+    ):
+        self.valid_return_sites: Set[int] = set(valid_return_sites or ())
+        self.valid_entries: Set[int] = set(valid_entries or ())
+        self.stats = PolicyStats()
+
+    def allow_return_site(self, address: int) -> None:
+        """Register a call-preceded address (a legal coarse return target)."""
+        self.valid_return_sites.add(address)
+
+    def allow_entry(self, address: int) -> None:
+        """Register a function entry (a legal coarse forward-edge target)."""
+        self.valid_entries.add(address)
+
+    def check(self, log: CommitLog) -> CheckResult:
+        self.stats.checks += 1
+        kind = log.kind
+        if kind is CfKind.CALL:
+            self.stats.calls += 1
+            # Every call fall-through is by definition call-preceded.
+            self.valid_return_sites.add(log.next_address)
+            if (log.encoding & 0x7F) == 0x67 and log.target not in self.valid_entries:
+                self.stats.violations += 1
+                return CheckResult.VIOLATION
+            return CheckResult.OK
+        if kind is CfKind.RETURN:
+            self.stats.returns += 1
+            if log.target not in self.valid_return_sites:
+                self.stats.violations += 1
+                return CheckResult.VIOLATION
+            return CheckResult.OK
+        if kind is CfKind.INDIRECT_JUMP:
+            self.stats.indirect_jumps += 1
+            if log.target not in self.valid_entries:
+                self.stats.violations += 1
+                return CheckResult.VIOLATION
+            return CheckResult.OK
+        return CheckResult.OK
+
+
 class CompositePolicy:
     """Run several policies on each log; any violation wins."""
 

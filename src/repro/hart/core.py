@@ -106,10 +106,12 @@ class Hart:
         self.regs = RegisterFile(xlen)
         self.csrs = CsrFile(xlen, hartid=hartid)
         self.csrs.bind_hart(self)
-        self.external_irq = external_irq or (lambda: False)
         # An unwired interrupt line can never pend; skipping the CSR
-        # poll on every step matters for the host core's hot loop.
+        # poll on every step matters for the host core's hot loop.  The
+        # property setter keeps the fast-path flag coherent when a line
+        # is wired after construction.
         self._irq_wired = external_irq is not None
+        self._external_irq = external_irq or (lambda: False)
         self.cycle = 0
         self.instret = 0
         self.sleeping = False
@@ -134,18 +136,37 @@ class Hart:
 
     _PAGE_BITS = 12
 
+    @property
+    def external_irq(self) -> Callable[[], bool]:
+        """Level callback for the external interrupt line."""
+        return self._external_irq
+
+    @external_irq.setter
+    def external_irq(self, callback: Optional[Callable[[], bool]]) -> None:
+        self._external_irq = callback or (lambda: False)
+        self._irq_wired = callback is not None
+
     def _sx(self, value: int) -> int:
         """Value of a register interpreted as signed XLEN-bit."""
         return sext(value, self.xlen)
 
     def _note_store(self, address: int, size: int) -> None:
-        """Store-hook: flush the pc cache when a write hits cached code."""
+        """Store-hook: flush the pc cache when a write hits cached code.
+
+        Bulk loads (``write_bytes``) can span many pages, so every page
+        the write touches is checked — an interior cached page must
+        invalidate just like the endpoints.
+        """
         pages = self._code_pages
         if not pages:
             return
         first = address >> self._PAGE_BITS
         last = (address + size - 1) >> self._PAGE_BITS
-        if first in pages or (last != first and last in pages):
+        # Iterate the (tiny) cached-page set, not the written span — a
+        # bulk DRAM-image write can cover thousands of pages.
+        if first in pages or (
+            last != first and any(first < page <= last for page in pages)
+        ):
             self._pc_cache.clear()
             pages.clear()
 
@@ -172,7 +193,7 @@ class Hart:
 
     def _interrupt_pending(self) -> bool:
         mie = self.csrs.read(op.CSR_MIE)
-        return bool(mie & op.MIE_MEIE) and self.external_irq()
+        return bool(mie & op.MIE_MEIE) and self._external_irq()
 
     @property
     def interrupt_pending(self) -> bool:

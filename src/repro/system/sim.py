@@ -32,6 +32,10 @@ class SimulationReport:
         violation: the CFI violation that ended the run, if any.
         cfi: CFI stage statistics summary (empty when CFI is absent).
         ibex_instructions: instructions the RoT core retired.
+        detection_latency: cycles from the first violating commit log
+            entering the mailbox path to its verdict — stable even when
+            violations are latched rather than raised — or ``None`` when
+            no violation was flagged.
     """
 
     cycles: int
@@ -40,6 +44,7 @@ class SimulationReport:
     violation: Optional[CfiViolation]
     cfi: Dict[str, object] = field(default_factory=dict)
     ibex_instructions: int = 0
+    detection_latency: Optional[int] = None
 
     @property
     def detected(self) -> bool:
@@ -200,13 +205,17 @@ class SystemSimulator:
         cfi_stats: Dict[str, object] = {}
         if self.soc.cfi_stage is not None:
             cfi_stats = self.soc.cfi_stage.stats_summary()
+        violation = self.violation or (
+            self.soc.cfi_stage.violation if self.soc.cfi_stage else None
+        )
         return SimulationReport(
             cycles=self.now,
             host_instructions=self.soc.cva6.instret,
             host_stall_cycles=self.soc.commit.stall_cycles,
-            violation=self.violation or (
-                self.soc.cfi_stage.violation if self.soc.cfi_stage else None
-            ),
+            violation=violation,
             cfi=cfi_stats,
             ibex_instructions=self.soc.rot.ibex.instret,
+            detection_latency=(
+                cfi_stats.get("first_violation_latency") if violation else None
+            ),
         )

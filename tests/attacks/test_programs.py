@@ -6,8 +6,11 @@ from repro.attacks.programs import (
     CLEAN_MARKER,
     GADGET_MARKER,
     benign_program,
+    call_hijack_program,
     deep_recursion_program,
     indirect_jump_program,
+    jop_program,
+    return_to_callsite_program,
     rop_program,
 )
 from repro.hart.core import Hart
@@ -70,3 +73,58 @@ class TestIndirectJump:
     def test_corrupt_dispatch_reaches_gadget(self, addresses):
         hart = run_bare(indirect_jump_program(addresses, corrupt=True), addresses)
         assert hart.regs.read(10) == GADGET_MARKER
+
+
+class TestJop:
+    def test_benign_dispatch_completes_clean(self, addresses):
+        hart = run_bare(jop_program(addresses, corrupt=False), addresses)
+        assert hart.regs.read(10) == CLEAN_MARKER
+
+    def test_benign_handlers_both_ran(self, addresses):
+        """add 7 then shift left: accumulator ends at 14, left in a1."""
+        hart = run_bare(jop_program(addresses, corrupt=False), addresses)
+        assert hart.regs.read(11) == 14
+
+    def test_corrupt_chain_reaches_gadget(self, addresses):
+        hart = run_bare(jop_program(addresses, corrupt=True), addresses)
+        assert hart.regs.read(10) == GADGET_MARKER
+
+    def test_gadgets_are_not_registered_handlers(self, addresses):
+        program = jop_program(addresses, corrupt=True)
+        handlers = {program.symbols["handler_add"], program.symbols["handler_shift"]}
+        gadgets = {program.symbols["gadget_stage1"], program.symbols["gadget_stage2"]}
+        assert handlers.isdisjoint(gadgets)
+
+
+class TestCallHijack:
+    def test_benign_pointer_call_completes_clean(self, addresses):
+        hart = run_bare(call_hijack_program(addresses, corrupt=False), addresses)
+        assert hart.regs.read(10) == CLEAN_MARKER
+        assert hart.regs.read(11) == 0x11  # greet actually ran
+
+    def test_hijacked_pointer_reaches_gadget(self, addresses):
+        hart = run_bare(call_hijack_program(addresses, corrupt=True), addresses)
+        assert hart.regs.read(10) == GADGET_MARKER
+
+
+class TestReturnToCallsite:
+    def test_unprotected_run_is_hijacked(self, addresses):
+        hart = run_bare(return_to_callsite_program(addresses), addresses)
+        assert hart.regs.read(10) == GADGET_MARKER
+
+    def test_diversion_target_is_a_valid_call_site(self, addresses):
+        """The attack's defining property: the corrupted return lands on
+        the fall-through of a *real* call instruction (site A)."""
+        from repro.isa.cflow import CfKind, classify
+        from repro.isa.decode import decode
+
+        program = return_to_callsite_program(addresses)
+        site_a_ret = program.symbols["site_a_ret"]
+        # The instruction ending at site_a_ret must be a call (making
+        # site_a_ret call-preceded — what coarse CFI cannot reject).
+        call_pc = site_a_ret - 4
+        offset = call_pc - program.base
+        word = int.from_bytes(program.data[offset:offset + 4], "little")
+        insn = decode(word, xlen=64)
+        assert classify(insn) is CfKind.CALL
+        assert call_pc + insn.length == site_a_ret

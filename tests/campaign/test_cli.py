@@ -1,0 +1,87 @@
+"""CLI and artifact-schema tests for ``python -m repro.campaign``."""
+
+import csv
+import json
+
+import pytest
+
+from repro.campaign.aggregate import CSV_FIELDS, render_report, to_csv, write_artifacts
+from repro.campaign.cli import main
+from repro.campaign.runner import RESULT_SCHEMA, run_campaign
+from repro.campaign.spec import expand_grid
+
+
+@pytest.fixture(scope="module")
+def payload():
+    from repro.campaign.aggregate import finalize
+
+    matrix = expand_grid(
+        victim=["benign", "rop", "jop"],
+        policy=["shadow-stack", "composite"],
+    )
+    return finalize(run_campaign(matrix, jobs=1, campaign_seed=11))
+
+
+class TestArtifacts:
+    def test_json_schema(self, payload, tmp_path):
+        paths = write_artifacts(payload, tmp_path)
+        data = json.loads(paths["json"].read_text())
+        assert data["schema"] == RESULT_SCHEMA
+        assert data["scenario_count"] == len(data["scenarios"])
+        for result in data["scenarios"]:
+            for key in ("name", "victim", "policy", "backend", "detected",
+                        "expected_detected", "expectation_met", "cycles"):
+                assert key in result
+        assert "counts" in data["summary"]
+        assert "detection_matrix" in data["summary"]
+
+    def test_csv_round_trip(self, payload, tmp_path):
+        paths = write_artifacts(payload, tmp_path)
+        with paths["csv"].open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == payload["scenario_count"]
+        assert set(rows[0]) == set(CSV_FIELDS)
+
+    def test_csv_text_has_header(self, payload):
+        text = to_csv(payload["scenarios"])
+        assert text.splitlines()[0].startswith("name,backend,victim")
+
+
+class TestReport:
+    def test_report_mentions_policies_and_totals(self, payload):
+        report = render_report(payload)
+        assert "shadow-stack" in report
+        assert "composite" in report
+        assert "FP=0" in report
+
+    def test_report_renders_from_saved_artifact(self, payload, tmp_path):
+        paths = write_artifacts(payload, tmp_path)
+        saved = json.loads(paths["json"].read_text())
+        assert render_report(saved) == render_report(payload)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list", "--matrix", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios in matrix 'smoke'" in out
+        assert "expected=DETECT" in out
+
+    def test_run_smoke_writes_artifacts(self, tmp_path, capsys):
+        code = main(["run", "--matrix", "smoke", "--jobs", "2",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "campaign.json").exists()
+        assert (tmp_path / "campaign.csv").exists()
+        lines = (tmp_path / "results.jsonl").read_text().splitlines()
+        data = json.loads((tmp_path / "campaign.json").read_text())
+        assert len(lines) == data["scenario_count"]
+        assert data["summary"]["counts"]["false_positives"] == 0
+        assert "detection matrix" in capsys.readouterr().out.lower()
+
+    def test_report_command(self, tmp_path, capsys):
+        assert main(["run", "--matrix", "smoke", "--jobs", "1",
+                     "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--artifact", str(tmp_path / "campaign.json")]) == 0
+        assert "Campaign detection matrix" in capsys.readouterr().out

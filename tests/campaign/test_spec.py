@@ -1,0 +1,173 @@
+"""Scenario spec, registries, grid expansion and seed derivation."""
+
+import pytest
+
+from repro.campaign.spec import (
+    BACKEND_COSIM,
+    BACKEND_REFERENCE,
+    MATRICES,
+    POLICY_DETECTS,
+    REFERENCE_POLICIES,
+    VICTIMS,
+    Scenario,
+    default_matrix,
+    derive_seed,
+    expand_grid,
+    expected_detection,
+    resolve_matrix,
+    smoke_matrix,
+)
+from repro.errors import ConfigError
+
+
+class TestScenario:
+    def test_defaults_valid(self):
+        scenario = Scenario(victim="rop")
+        assert scenario.backend == BACKEND_REFERENCE
+        assert scenario.expected_detected
+
+    def test_unknown_victim_rejected(self):
+        with pytest.raises(ConfigError):
+            Scenario(victim="nonexistent")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            Scenario(victim="rop", policy="magic")
+
+    def test_cosim_restricted_to_shadow_stack(self):
+        with pytest.raises(ConfigError):
+            Scenario(victim="rop", backend=BACKEND_COSIM, policy="coarse")
+
+    def test_bad_queue_depth_rejected(self):
+        with pytest.raises(ConfigError):
+            Scenario(victim="rop", queue_depth=0)
+
+    def test_name_is_stable_and_parameter_bearing(self):
+        a = Scenario(victim="rop", backend=BACKEND_COSIM, queue_depth=1,
+                     blocking=True)
+        assert a.name == "cosim/rop/shadow-stack/irq/q1/blocking"
+        assert Scenario(victim="rop").name == "reference/rop/shadow-stack"
+
+
+class TestRegistry:
+    def test_every_victim_has_symbols_resolvable(self):
+        """Entry-point metadata must name real labels in the program."""
+        import random
+        from repro.system.addresses import AddressMap
+
+        addresses = AddressMap()
+        for spec in VICTIMS.values():
+            program = spec.builder(addresses, random.Random(1))
+            for symbol in spec.entry_points + spec.function_entries:
+                assert symbol in program.symbols, (spec.name, symbol)
+
+    def test_attack_classes_all_covered_by_some_policy(self):
+        attacks = {spec.attack for spec in VICTIMS.values() if spec.attack}
+        caught = set().union(*POLICY_DETECTS.values())
+        assert attacks == caught
+
+    def test_composite_dominates_all_policies(self):
+        for policy, detects in POLICY_DETECTS.items():
+            assert detects <= POLICY_DETECTS["composite"]
+
+    def test_expected_detection_benign_always_false(self):
+        for victim, spec in VICTIMS.items():
+            if spec.attack is None:
+                for policy in REFERENCE_POLICIES:
+                    assert not expected_detection(victim, policy)
+
+
+class TestGridExpansion:
+    def test_cartesian_product(self):
+        scenarios = expand_grid(victim=["rop", "benign"],
+                                policy=["shadow-stack", "coarse"])
+        assert len(scenarios) == 4
+
+    def test_scalars_promoted(self):
+        scenarios = expand_grid(victim="rop", backend="cosim",
+                                queue_depth=[1, 8])
+        assert len(scenarios) == 2
+
+    def test_backend_ignored_axis_collapses(self):
+        """queue_depth is cosim-only: sweeping it on the reference
+        backend yields one scenario, not redundant copies."""
+        assert len(expand_grid(victim="rop", queue_depth=[1, 8])) == 1
+
+    def test_invalid_combinations_dropped(self):
+        scenarios = expand_grid(
+            victim="rop",
+            backend=["reference", "cosim"],
+            policy=["shadow-stack", "coarse"],
+        )
+        # cosim×coarse is invalid and silently dropped.
+        assert len(scenarios) == 3
+
+    def test_mixed_backend_sweep_deduplicates_reference_cells(self):
+        """Cosim-only axes must not duplicate (or explode) reference
+        scenarios — equivalent cells collapse to one."""
+        scenarios = expand_grid(
+            victim="rop",
+            backend=["reference", "cosim"],
+            firmware=["irq", "polling"],
+        )
+        names = [s.name for s in scenarios]
+        assert len(set(names)) == len(names)
+        assert sum(s.backend == "reference" for s in scenarios) == 1
+        assert sum(s.backend == "cosim" for s in scenarios) == 2
+
+    def test_typoed_field_value_raises(self):
+        """Only the known cross-field incompatibility may be dropped; a
+        bad name must not silently shrink the matrix."""
+        with pytest.raises(ConfigError):
+            expand_grid(victim=["rop", "jopp"], policy="shadow-stack")
+        with pytest.raises(ConfigError):
+            expand_grid(victim="rop", policy=["shadow-stack", "shdw"])
+
+    def test_max_cycles_distinguishes_names(self):
+        a = Scenario(victim="rop", backend=BACKEND_COSIM)
+        b = Scenario(victim="rop", backend=BACKEND_COSIM, max_cycles=100_000)
+        assert a.name != b.name
+
+
+class TestSeeds:
+    def test_derivation_deterministic(self):
+        scenario = Scenario(victim="deep-recursion")
+        assert derive_seed(7, scenario) == derive_seed(7, scenario)
+
+    def test_campaign_seed_changes_scenario_seed(self):
+        scenario = Scenario(victim="deep-recursion")
+        assert derive_seed(1, scenario) != derive_seed(2, scenario)
+
+    def test_distinct_scenarios_get_distinct_seeds(self):
+        a = Scenario(victim="rop")
+        b = Scenario(victim="benign")
+        assert derive_seed(0, a) != derive_seed(0, b)
+
+    def test_explicit_seed_wins(self):
+        scenario = Scenario(victim="rop", seed=99)
+        assert derive_seed(0, scenario) == 99
+
+
+class TestMatrices:
+    def test_default_matrix_size_and_diversity(self):
+        scenarios = default_matrix()
+        assert len(scenarios) >= 24
+        assert {s.backend for s in scenarios} == {"reference", "cosim"}
+        assert sum(s.expected_detected for s in scenarios) >= 5
+        names = [s.name for s in scenarios]
+        assert len(set(names)) == len(names)
+
+    def test_smoke_matrix_small_but_covering(self):
+        scenarios = smoke_matrix()
+        assert 5 <= len(scenarios) <= len(default_matrix())
+        assert any(s.backend == "cosim" for s in scenarios)
+        assert any(s.attack for s in scenarios)
+        assert any(s.attack is None for s in scenarios)
+
+    def test_resolve_unknown_matrix(self):
+        with pytest.raises(ConfigError):
+            resolve_matrix("nope")
+
+    def test_registry_names_resolvable(self):
+        for name in MATRICES:
+            assert resolve_matrix(name)

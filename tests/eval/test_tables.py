@@ -113,6 +113,18 @@ class TestTable2:
     def test_dhrystone_is_the_outlier(self, rows):
         assert rows["dhrystone"]["model"]["irq"] > 1000
 
+    def test_default_latencies_are_measured(self):
+        """Regression: the module docstring promises measured-by-default;
+        the code once defaulted to ``latencies="paper"``."""
+        import inspect
+
+        for fn in (table2.compute, table2.render, table2.resolve_latencies):
+            default = inspect.signature(fn).parameters["latencies"].default
+            assert default == "measured", fn.__qualname__
+
+    def test_default_matches_explicit_measured(self):
+        assert table2.compute() == table2.compute(latencies="measured")
+
 
 class TestTable3:
     @pytest.fixture(scope="class")

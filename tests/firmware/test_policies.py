@@ -9,6 +9,7 @@ from repro.core.commit_log import CommitLog
 from repro.errors import ConfigError
 from repro.firmware.policies import (
     CheckResult,
+    CoarseGrainedPolicy,
     CompositePolicy,
     ForwardEdgePolicy,
     ShadowStackPolicy,
@@ -149,6 +150,46 @@ class TestForwardEdgePolicy:
         policy = ForwardEdgePolicy()
         policy.allow(0x4000)
         assert policy.check(jump_log(0, 0x4000)) is CheckResult.OK
+
+
+class TestCoarseGrainedPolicy:
+    def test_return_to_any_call_preceded_site_ok(self):
+        """The precision gap: a return to *another* call's site passes."""
+        policy = CoarseGrainedPolicy()
+        policy.check(call_log(0x1000, 0x2000))   # site A = 0x1004
+        policy.check(call_log(0x3000, 0x2000))   # site B = 0x3004
+        assert policy.check(return_log(0x2010, 0x1004)) is CheckResult.OK
+        assert policy.check(return_log(0x2010, 0x3004)) is CheckResult.OK
+
+    def test_return_to_gadget_violates(self):
+        policy = CoarseGrainedPolicy()
+        policy.check(call_log(0x1000, 0x2000))
+        assert policy.check(return_log(0x2010, 0xDEAD0)) is CheckResult.VIOLATION
+
+    def test_jump_to_function_entry_ok(self):
+        policy = CoarseGrainedPolicy(valid_entries={0x2000})
+        assert policy.check(jump_log(0x1000, 0x2000)) is CheckResult.OK
+
+    def test_jump_to_fragment_violates(self):
+        policy = CoarseGrainedPolicy(valid_entries={0x2000})
+        assert policy.check(jump_log(0x1000, 0x2008)) is CheckResult.VIOLATION
+
+    def test_indirect_call_to_any_entry_ok(self):
+        """Coarse blind spot: any function entry is a legal call target."""
+        policy = CoarseGrainedPolicy(valid_entries={0x2000, 0x6000})
+        assert policy.check(indirect_call_log(0x1000, 0x6000)) is CheckResult.OK
+
+    def test_direct_call_registers_return_site(self):
+        policy = CoarseGrainedPolicy()
+        policy.check(call_log(0x1000, 0x2000))
+        assert 0x1004 in policy.valid_return_sites
+
+    def test_allow_hooks(self):
+        policy = CoarseGrainedPolicy()
+        policy.allow_return_site(0x5004)
+        policy.allow_entry(0x7000)
+        assert policy.check(return_log(0x2010, 0x5004)) is CheckResult.OK
+        assert policy.check(jump_log(0x2010, 0x7000)) is CheckResult.OK
 
 
 class TestCompositePolicy:

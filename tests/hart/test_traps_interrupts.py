@@ -34,6 +34,19 @@ TRAP_PROGRAM = """
 
 
 class TestExternalInterrupt:
+    def test_line_wired_after_construction(self):
+        """Assigning ``hart.external_irq`` post-construction must arm the
+        awake-interrupt gate, not just the WFI wake path."""
+        line = {"level": False}
+        hart, _, program = build_hart(TRAP_PROGRAM)
+        hart.external_irq = lambda: line["level"]
+        for _ in range(12):
+            hart.step()
+        line["level"] = True
+        result = hart.step()
+        assert result.event is StepEvent.INTERRUPT
+        assert result.next_pc == program.symbols["handler"]
+
     def test_interrupt_taken_and_returns(self):
         line = {"level": False}
         hart, _, program = build_hart(
