@@ -61,16 +61,21 @@ def _build_soc(program_builder, fw_variant):
     return soc
 
 
-def run_cosim_mix(event_driven: bool = True) -> dict:
+def run_cosim_mix(event_driven: bool = True, mode: str = None) -> dict:
     """One pass over the co-simulated workload mix.
 
     Returns simulated totals (cycles, instructions) so callers can
     compute throughput and assert machine-independent invariance.
+    ``mode`` selects the engine explicitly (``"busy"``,
+    ``"event-driven"``, ``"batched"``); the legacy ``event_driven``
+    flag maps False → busy, True → the default engine (batched).
     """
     cycles = host_instructions = ibex_instructions = 0
     for _name, builder, fw_variant in COSIM_WORKLOADS:
         soc = _build_soc(builder, fw_variant)
-        report = SystemSimulator(soc, event_driven=event_driven).run()
+        report = SystemSimulator(
+            soc, event_driven=event_driven, mode=mode
+        ).run()
         cycles += report.cycles
         host_instructions += report.host_instructions
         ibex_instructions += report.ibex_instructions
@@ -87,17 +92,19 @@ def run_firmware_path() -> dict:
     return {"latencies": computed["derived"]["latencies"]}
 
 
-def run_campaign_pass() -> dict:
+def run_campaign_pass(sim_mode: str = None) -> dict:
     """One serial pass of the campaign smoke matrix (both backends).
 
     Runs in-process (``jobs=1``) so the numbers measure scenario
     execution itself, not worker-pool spawn cost; the simulated totals
-    are machine-independent and must match any sharded run.
+    are machine-independent and must match any sharded run (and any
+    ``sim_mode``).
     """
-    payload = run_campaign(smoke_matrix(), jobs=1)
+    payload = run_campaign(smoke_matrix(), jobs=1, sim_mode=sim_mode)
     return {
         "scenarios": payload["scenario_count"],
         "cycles": payload["timing"]["simulated_cycles"],
+        "results": payload["scenarios"],
     }
 
 
@@ -124,6 +131,9 @@ def measure() -> dict:
     cosim_seconds, cosim_totals = _timed(run_cosim_mix)
     firmware_seconds, _ = _timed(run_firmware_path)
     campaign_seconds, campaign_totals = _timed(run_campaign_pass)
+    # Per-engine co-sim comparison (default above is the batched mode).
+    busy_seconds, _ = _timed(lambda: run_cosim_mix(mode="busy"))
+    event_seconds, _ = _timed(lambda: run_cosim_mix(mode="event-driven"))
     # The host instruction throughput counts both cores' retired
     # instructions: that is the work the interpreter actually performs.
     executed = cosim_totals["host_instructions"] + cosim_totals["ibex_instructions"]
@@ -149,6 +159,15 @@ def measure() -> dict:
             ),
             "cycles_per_sec": round(campaign_totals["cycles"] / campaign_seconds),
         },
+        # Trajectory of the three execution engines on the same mix —
+        # the batched column is what the headline "cosim" section runs.
+        "batched": {
+            "cosim_seconds_busy": round(busy_seconds, 6),
+            "cosim_seconds_event_driven": round(event_seconds, 6),
+            "cosim_seconds_batched": round(cosim_seconds, 6),
+            "speedup_vs_busy": round(busy_seconds / cosim_seconds, 2),
+            "speedup_vs_event_driven": round(event_seconds / cosim_seconds, 2),
+        },
     }
 
 
@@ -172,6 +191,15 @@ def render(payload: dict) -> str:
             f"{campaign['scenarios_per_sec']} scenarios/sec",
             f"    {campaign['cycles_per_sec']:,} simulated cycles/sec",
         ]
+    batched = payload.get("batched")
+    if batched:
+        lines += [
+            "  execution engines (co-sim mix, ms/pass): "
+            f"busy {batched['cosim_seconds_busy'] * 1000:.1f}, "
+            f"event-driven {batched['cosim_seconds_event_driven'] * 1000:.1f}, "
+            f"batched {batched['cosim_seconds_batched'] * 1000:.1f} "
+            f"({batched['speedup_vs_busy']}x vs busy)",
+        ]
     return "\n".join(lines)
 
 
@@ -190,8 +218,10 @@ def test_firmware_path_throughput(benchmark):
 
 
 def test_event_driven_totals_match_busy_loop():
-    """The fast path must not change a single simulated number."""
-    assert run_cosim_mix(event_driven=True) == run_cosim_mix(event_driven=False)
+    """No fast path may change a single simulated number."""
+    busy = run_cosim_mix(mode="busy")
+    assert run_cosim_mix(mode="event-driven") == busy
+    assert run_cosim_mix(mode="batched") == busy
 
 
 def test_campaign_throughput(benchmark):
@@ -207,13 +237,22 @@ def main(argv) -> int:
     if "--smoke" in argv:
         # CI smoke: one pass of each engine, assert only invariants that
         # hold on any machine.
-        totals = run_cosim_mix()
+        totals = run_cosim_mix()  # default engine (batched)
         assert totals["cycles"] > 0 and totals["host_instructions"] > 0
-        assert run_cosim_mix(event_driven=False) == totals
+        assert run_cosim_mix(mode="busy") == totals
+        assert run_cosim_mix(mode="event-driven") == totals
         run_firmware_path()
+        # Campaign-matrix invariance: the batched engine must not move a
+        # single simulated cycle (or any per-scenario field) anywhere in
+        # the smoke matrix versus the busy loop — a batching regression
+        # fails CI here even if the co-sim mix happens not to hit it.
         campaign = run_campaign_pass()
         assert campaign["scenarios"] > 0 and campaign["cycles"] > 0
-        print("bench_speed smoke ok:", totals, campaign)
+        campaign_busy = run_campaign_pass(sim_mode="busy")
+        assert campaign["cycles"] == campaign_busy["cycles"]
+        assert campaign["results"] == campaign_busy["results"]
+        summary = {k: campaign[k] for k in ("scenarios", "cycles")}
+        print("bench_speed smoke ok:", totals, summary)
         return 0
     payload = measure()
     print(render(payload))

@@ -47,6 +47,8 @@ def run_attack_scenario(
     fabric: str = "standard",
     max_cycles: int = 10_000_000,
     soc: Optional[TitanCfiSoc] = None,
+    firmware_image: Optional[bytes] = None,
+    sim_mode: Optional[str] = None,
 ) -> AttackOutcome:
     """Run ``program`` on a TitanCFI-protected SoC.
 
@@ -58,17 +60,24 @@ def run_attack_scenario(
         fabric: RoT interconnect profile.
         max_cycles: co-simulation bound.
         soc: pre-built SoC override (advanced use).
+        firmware_image: pre-assembled firmware image for
+            ``firmware_variant`` (the campaign's shard cache passes
+            this to keep assembly off the per-scenario path); must
+            match the default firmware layout.
+        sim_mode: co-simulator engine (``None`` = engine default);
+            every mode is cycle-exact, so the outcome is identical.
     """
     if soc is None:
         config = TitanCfiConfig(queue_depth=queue_depth, blocking=blocking)
         soc = build_soc(cfi_config=config, fabric=fabric)
-        firmware = shadow_stack_firmware(
-            firmware_variant, FirmwareLayout(soc.addresses)
-        )
-        soc.load_firmware(firmware.data)
+        if firmware_image is None:
+            firmware_image = shadow_stack_firmware(
+                firmware_variant, FirmwareLayout(soc.addresses)
+            ).data
+        soc.load_firmware(firmware_image)
     soc.load_host_program(program)
 
-    simulator = SystemSimulator(soc)
+    simulator = SystemSimulator(soc, mode=sim_mode)
     report = simulator.run(max_cycles=max_cycles)
     gadget_executed = soc.cva6.regs.read(10) == GADGET_MARKER
     return AttackOutcome(

@@ -46,6 +46,10 @@ def _build_parser() -> argparse.ArgumentParser:
                               "1 = serial in-process fallback")
     run_cmd.add_argument("--seed", type=int, default=0,
                          help="campaign seed (per-scenario seeds derive from it)")
+    run_cmd.add_argument("--sim-mode", default=None,
+                         choices=["busy", "event-driven", "batched"],
+                         help="co-simulator engine for cosim scenarios "
+                              "(all modes are cycle-exact; default: batched)")
     run_cmd.add_argument("--out", type=Path, default=DEFAULT_OUT,
                          help=f"artifact directory (default: {DEFAULT_OUT})")
     run_cmd.add_argument("--no-artifacts", action="store_true",
@@ -83,7 +87,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     try:
         payload = run_campaign(scenarios, jobs=jobs,
-                               campaign_seed=args.seed, stream=stream)
+                               campaign_seed=args.seed, stream=stream,
+                               sim_mode=args.sim_mode)
     finally:
         if stream_file is not None:
             stream_file.close()

@@ -12,6 +12,14 @@ Determinism: every scenario derives its seed from the campaign seed and
 its own identity (:func:`~repro.campaign.spec.derive_seed`), and results
 carry no wall-clock fields, so a parallel run and a serial run of the
 same matrix aggregate to identical artifacts.
+
+Shard-level caching: victim programs are pure functions of
+``(victim, seed)`` and firmware images of their variant, so each worker
+process memoises them (:class:`ShardCache`) — per-scenario setup stays
+off the hot path when a shard executes many scenarios.  The cache never
+changes results: entries are keyed on every input that feeds the build,
+and :func:`configure_shard_cache` can disable it to prove it
+(cold = warm = disabled, asserted by ``tests/campaign/test_cache.py``).
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ from __future__ import annotations
 import multiprocessing
 import random
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.attacks.programs import GADGET_MARKER
 from repro.attacks.rop import run_attack_scenario
@@ -38,7 +46,7 @@ from repro.campaign.spec import (
 from repro.core.commit_log import CommitLog
 from repro.core.filter import CfiFilter
 from repro.cva6.scoreboard import ScoreboardEntry
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.firmware.policies import (
     CheckResult,
     CoarseGrainedPolicy,
@@ -56,6 +64,80 @@ from repro.system.addresses import AddressMap
 
 #: Result-dict schema version (bumped on breaking field changes).
 RESULT_SCHEMA = "repro.campaign/v1"
+
+
+# --------------------------------------------------------------------------
+# Shard-level build cache
+# --------------------------------------------------------------------------
+
+class ShardCache:
+    """Per-process memo of assembled victim programs and firmware images.
+
+    Both artifacts are deterministic functions of their key — a victim
+    builder consumes only the address map defaults and its seeded RNG,
+    a firmware image only its variant — so memoising them cannot change
+    any scenario result; it only keeps assembly and layout work off the
+    per-scenario hot path.  Each ``multiprocessing`` worker owns an
+    independent instance (module state is per-process), which is what
+    makes this a *shard*-level cache.
+    """
+
+    def __init__(self):
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._programs: Dict[Tuple[str, int], Program] = {}
+        self._firmware: Dict[str, bytes] = {}
+
+    def clear(self) -> None:
+        """Drop every cached artifact (counters included)."""
+        self._programs.clear()
+        self._firmware.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def program(self, victim: str, seed: int) -> Program:
+        """The victim's assembled image for ``seed`` (memoised)."""
+        if not self.enabled:
+            return VICTIMS[victim].builder(AddressMap(), random.Random(seed))
+        key = (victim, seed)
+        program = self._programs.get(key)
+        if program is None:
+            self.misses += 1
+            program = VICTIMS[victim].builder(AddressMap(), random.Random(seed))
+            self._programs[key] = program
+        else:
+            self.hits += 1
+        return program
+
+    def firmware(self, variant: str) -> bytes:
+        """The shadow-stack firmware image for ``variant`` (memoised)."""
+        if not self.enabled:
+            return _build_firmware(variant)
+        image = self._firmware.get(variant)
+        if image is None:
+            self.misses += 1
+            image = _build_firmware(variant)
+            self._firmware[variant] = image
+        else:
+            self.hits += 1
+        return image
+
+
+def _build_firmware(variant: str) -> bytes:
+    from repro.firmware.shadow_stack import FirmwareLayout, shadow_stack_firmware
+
+    return shadow_stack_firmware(variant, FirmwareLayout(AddressMap())).data
+
+
+#: The process-wide shard cache (one per worker process).
+SHARD_CACHE = ShardCache()
+
+
+def configure_shard_cache(enabled: bool) -> None:
+    """Enable/disable the shard cache (clears it either way)."""
+    SHARD_CACHE.enabled = enabled
+    SHARD_CACHE.clear()
 
 
 def _resolve_symbols(program: Program, names: Sequence[str]) -> set:
@@ -99,6 +181,14 @@ def capture_commit_logs(program: Program, addresses: AddressMap,
     Returns ``(logs, hart)``: the commit logs the CFI filter would have
     selected (same :class:`~repro.core.filter.CfiFilter` code path as
     the hardware model) and the halted hart for architectural state.
+
+    Execution is batched: the hart free-runs through
+    :meth:`~repro.hart.core.Hart.run_n` windows that stop exactly at
+    CFI-relevant instructions, which are then stepped individually and
+    offered to the filter — only the selected stream ever pays the
+    per-step bookkeeping.  Architectural state, ``cycle``/``instret``
+    and the captured log stream are identical to a pure step loop
+    (asserted by ``tests/campaign/test_cache.py``).
     """
     bus = MemoryMap("host")
     bus.add(addresses.dram_base, Ram(addresses.dram_size), name="dram")
@@ -107,22 +197,36 @@ def capture_commit_logs(program: Program, addresses: AddressMap,
     cfi_filter = CfiFilter()
     logs: List[CommitLog] = []
 
-    def observe(result) -> bool:
+    window_lo = addresses.dram_base
+    window_hi = addresses.dram_base + addresses.dram_size
+    remaining = max_steps
+    while remaining > 0 and not hart.halted:
+        retired, _spent, _term = hart.run_n(
+            1 << 60, window_lo, window_hi,
+            stop_before_cfi=True, max_insns=remaining,
+        )
+        remaining -= retired
+        if hart.halted or remaining <= 0:
+            break
+        result = hart.step()
+        remaining -= 1
         entry = ScoreboardEntry.from_step(result)
         log = cfi_filter.examine(entry)
         if log is not None:
             logs.append(log)
-        return False
-
-    hart.run(max_steps=max_steps, until=observe)
+        if hart.halted:
+            break
+    if not hart.halted:
+        raise SimulationError(
+            f"{hart.name}: capture exceeded {max_steps} steps"
+        )
     return logs, hart
 
 
 def _run_reference(scenario: Scenario, seed: int) -> Dict[str, object]:
     """Trace-check backend: bare-hart execution + Python policy."""
     addresses = AddressMap()
-    rng = random.Random(seed)
-    program = VICTIMS[scenario.victim].builder(addresses, rng)
+    program = SHARD_CACHE.program(scenario.victim, seed)
     # max_cycles doubles as the step bound here (steps <= cycles), so
     # the knob — and the scenario-name suffix it carries — means the
     # same thing on both backends.
@@ -155,15 +259,15 @@ def _run_reference(scenario: Scenario, seed: int) -> Dict[str, object]:
     }
 
 
-def _run_cosim(scenario: Scenario, seed: int) -> Dict[str, object]:
+def _run_cosim(scenario: Scenario, seed: int,
+               sim_mode: Optional[str] = None) -> Dict[str, object]:
     """Full-platform backend: the RV32 firmware is the policy.
 
     Delegates the build/boot/run/verdict sequence to
     :func:`repro.attacks.rop.run_attack_scenario` so the campaign
     exercises exactly the single-run path the rest of the repo uses.
     """
-    rng = random.Random(seed)
-    program = VICTIMS[scenario.victim].builder(AddressMap(), rng)
+    program = SHARD_CACHE.program(scenario.victim, seed)
     outcome = run_attack_scenario(
         program,
         firmware_variant=scenario.firmware,
@@ -171,6 +275,8 @@ def _run_cosim(scenario: Scenario, seed: int) -> Dict[str, object]:
         blocking=scenario.blocking,
         fabric=scenario.fabric,
         max_cycles=scenario.max_cycles,
+        firmware_image=SHARD_CACHE.firmware(scenario.firmware),
+        sim_mode=sim_mode,
     )
     report = outcome.report
     busy = report.cycles - report.host_stall_cycles
@@ -190,13 +296,20 @@ def _run_cosim(scenario: Scenario, seed: int) -> Dict[str, object]:
     }
 
 
-def run_scenario(scenario: Scenario, campaign_seed: int = 0) -> Dict[str, object]:
-    """Execute one scenario; returns its JSON-ready result dict."""
+def run_scenario(scenario: Scenario, campaign_seed: int = 0,
+                 sim_mode: Optional[str] = None) -> Dict[str, object]:
+    """Execute one scenario; returns its JSON-ready result dict.
+
+    ``sim_mode`` selects the co-simulator engine (``"busy"``,
+    ``"event-driven"``, ``"batched"``; ``None`` = engine default) for
+    the cosim backend — every mode is cycle-exact, so results are
+    engine-independent; the knob exists so CI can assert exactly that.
+    """
     seed = derive_seed(campaign_seed, scenario)
     if scenario.backend == BACKEND_REFERENCE:
         outcome = _run_reference(scenario, seed)
     elif scenario.backend == BACKEND_COSIM:
-        outcome = _run_cosim(scenario, seed)
+        outcome = _run_cosim(scenario, seed, sim_mode=sim_mode)
     else:
         raise ConfigError(f"unknown backend {scenario.backend!r}")
 
@@ -229,9 +342,9 @@ def run_scenario(scenario: Scenario, campaign_seed: int = 0) -> Dict[str, object
 # --------------------------------------------------------------------------
 
 def _worker(payload) -> Dict[str, object]:
-    """Pool entry point: (scenario, campaign_seed) → result dict."""
-    scenario, campaign_seed = payload
-    return run_scenario(scenario, campaign_seed)
+    """Pool entry point: (scenario, campaign_seed, sim_mode) → result."""
+    scenario, campaign_seed, sim_mode = payload
+    return run_scenario(scenario, campaign_seed, sim_mode=sim_mode)
 
 
 def run_campaign(
@@ -239,6 +352,7 @@ def run_campaign(
     jobs: int = 1,
     campaign_seed: int = 0,
     stream: Optional[Callable[[Dict[str, object]], None]] = None,
+    sim_mode: Optional[str] = None,
 ) -> Dict[str, object]:
     """Run a scenario list, optionally sharded over worker processes.
 
@@ -249,6 +363,8 @@ def run_campaign(
         campaign_seed: root seed for per-scenario seed derivation.
         stream: optional callback invoked with each result as it
             completes (arrival order; use it to stream JSONL artifacts).
+        sim_mode: co-simulator engine override for cosim scenarios
+            (results are engine-independent; see :func:`run_scenario`).
 
     Returns:
         the campaign payload: sorted scenario results plus run metadata
@@ -262,7 +378,7 @@ def run_campaign(
     if len(set(names)) != len(names):
         duplicates = sorted({n for n in names if names.count(n) > 1})
         raise ConfigError(f"duplicate scenario names in the matrix: {duplicates}")
-    payloads = [(scenario, campaign_seed) for scenario in scenarios]
+    payloads = [(scenario, campaign_seed, sim_mode) for scenario in scenarios]
     started = time.perf_counter()
 
     results: List[Dict[str, object]] = []

@@ -387,9 +387,61 @@ def smoke_matrix() -> List[Scenario]:
     return scenarios
 
 
+def full_matrix() -> List[Scenario]:
+    """The scale-out campaign: queue depths × firmware variants ×
+    policies × seed-swept attack placement (ROADMAP campaign scale-out
+    item).  Declarative registry entries only — the runner's shard
+    cache keeps the per-scenario build cost amortised."""
+    seeded = sorted(name for name, spec in VICTIMS.items() if spec.seeded)
+    # Reference backend: the complete victim × policy product…
+    scenarios = expand_grid(
+        victim=sorted(VICTIMS),
+        policy=list(REFERENCE_POLICIES),
+        backend=BACKEND_REFERENCE,
+    )
+    # …plus seed-swept program shapes for every seeded victim (attack
+    # placement / recursion depth vary per seed, deterministically).
+    scenarios += expand_grid(
+        victim=seeded,
+        policy=[POLICY_SHADOW_STACK, POLICY_COARSE, POLICY_COMPOSITE],
+        backend=BACKEND_REFERENCE,
+        seed=[101, 202, 303],
+    )
+    # Cosim backend: firmware variants × queue depths over a mixed
+    # benign/attack set…
+    scenarios += expand_grid(
+        victim=["benign", "deep-recursion", "rop", "ret-to-callsite", "jop"],
+        backend=BACKEND_COSIM,
+        firmware=["irq", "polling"],
+        queue_depth=[1, 4, 8],
+    )
+    # …the Table II blocking configuration…
+    scenarios += expand_grid(
+        victim=["benign", "rop"],
+        backend=BACKEND_COSIM,
+        queue_depth=1,
+        blocking=True,
+    )
+    # …the optimized fabric…
+    scenarios += expand_grid(
+        victim=["benign", "rop"],
+        backend=BACKEND_COSIM,
+        fabric="optimized",
+    )
+    # …and seed-swept cosim runs of the seeded victims.
+    scenarios += expand_grid(
+        victim=seeded,
+        backend=BACKEND_COSIM,
+        queue_depth=[2, 8],
+        seed=[11, 22],
+    )
+    return scenarios
+
+
 MATRICES: Dict[str, Callable[[], List[Scenario]]] = {
     "default": default_matrix,
     "smoke": smoke_matrix,
+    "full": full_matrix,
 }
 
 

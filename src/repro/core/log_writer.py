@@ -179,6 +179,16 @@ class LogWriter:
         """True when no check is in flight."""
         return self.state is WriterState.IDLE
 
+    @property
+    def parked(self) -> bool:
+        """True when the FSM provably cannot act on its own: idle with
+        an empty queue.  While parked, any number of ticks are pure
+        ``now`` advances — the headroom query the batched co-simulator
+        relies on (a window that enqueues nothing keeps the writer
+        parked for its whole span).
+        """
+        return self.state is WriterState.IDLE and self.queue.empty
+
     # -- event-driven fast path ---------------------------------------------------
 
     #: Sentinel for "no state change can originate here" (the FSM is

@@ -41,6 +41,14 @@ class CfiStage:
             self.queue,
             raise_on_violation=self.config.raise_on_violation,
         )
+        # Pure-delegation accessors rebound to the writer's own methods:
+        # the co-simulator calls them every scheduler iteration, and the
+        # extra frame is measurable.  (The ``def`` bodies below remain
+        # as documentation of the contract and for subclasses that
+        # override the writer after construction.)
+        self.tick = self.writer.tick
+        self.skippable_cycles = self.writer.skippable_cycles
+        self.skip = self.writer.skip
 
     def offer(self, entries: List[Optional[ScoreboardEntry]]) -> int:
         """Present one cycle's retiring entries (one slot per port).
@@ -108,10 +116,26 @@ class CfiStage:
         """Fast-forward ``cycles`` no-change cycles (see LogWriter.skip)."""
         self.writer.skip(cycles)
 
+    def note_batch_examined(self, count: int) -> None:
+        """Bulk-account ``count`` not-selected retirements (batched path).
+
+        Exactly equivalent to ``count`` calls to :meth:`examine_port`
+        with instructions the filter examines but does not select: only
+        the port-0 ``examined`` counter moves (``selected`` and the
+        per-kind counts are untouched, and nothing enters the queue).
+        """
+        self.filters[0].stats.examined += count
+
+    @property
+    def headroom(self) -> int:
+        """Free CFI-queue slots — how many commit logs a window could
+        absorb before the queue controller would inhibit commit."""
+        return self.queue.headroom
+
     @property
     def quiescent(self) -> bool:
         """True when no log is queued or in flight."""
-        return self.queue.empty and self.writer.idle
+        return self.writer.parked
 
     @property
     def violation(self):

@@ -59,6 +59,20 @@ class CommitStage:
             return self.cfi.queue.full
         return False
 
+    def note_batch_retired(self, count: int) -> None:
+        """Account ``count`` instructions retired by a batched window.
+
+        The batched fast path (:meth:`repro.hart.core.Hart.run_n`) only
+        executes instructions the CFI filter would *examine but never
+        select* — plain ops, branches, direct jumps — so replaying the
+        per-cycle path's bookkeeping is two bulk increments: the commit
+        counter here, and the filter's ``examined`` statistic (port 0,
+        the single-issue port this model commits on).
+        """
+        self.retired += count
+        if self.cfi is not None:
+            self.cfi.note_batch_examined(count)
+
     def skip_stall(self, cycles: int) -> None:
         """Account ``cycles`` inhibited cycles in one jump.
 

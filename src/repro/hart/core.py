@@ -25,7 +25,81 @@ from repro.hart.state import CsrFile, RegisterFile
 from repro.hart.timing import TimingModel
 from repro.isa import opcodes as op
 from repro.isa.decode import Instruction, decode, is_compressed_word
+from repro.isa.registers import LINK_REGS
 from repro.utils.bits import mask, sext
+
+#: Mnemonics :meth:`Hart.run_n` always stops *before*: they halt or
+#: trap, so the per-cycle scheduler must observe them.  (``wfi`` gets
+#: its own action: in a solo window it can retire in-batch — going to
+#: sleep has no cross-component effect — ending the window after it.)
+_BATCH_STOP = frozenset({"ecall", "ebreak"})
+
+#: Store/load mnemonic → access size, for the batch loop's memory-window
+#: checks (MMIO stores are cross-component events; see :meth:`Hart.run_n`).
+_STORE_SIZES = {"sb": 1, "sh": 2, "sw": 4, "sd": 8}
+_LOAD_SIZES = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2,
+               "lw": 4, "lwu": 4, "ld": 8}
+
+_CSR_MNEMONICS = frozenset({"csrrw", "csrrs", "csrrc",
+                            "csrrwi", "csrrsi", "csrrci"})
+
+_BRANCH_MNEMONICS = frozenset({"beq", "bne", "blt", "bge", "bltu", "bgeu"})
+
+#: Batch action codes, precomputed per decoded pc (see _fetch_decode):
+#: how :meth:`Hart.run_n` must treat the instruction without any
+#: per-retire classification work.
+_ACT_PLAIN = 0      # no interaction possible
+_ACT_STOP = 1       # always stop before (wfi/ecall/ebreak/unimplemented)
+_ACT_CFI = 2        # CFI-selected transfer (jalr, jal to a link register)
+_ACT_MRET = 4       # trap return: stoppable, else execute + irq recheck
+_ACT_CSR_IRQ = 5    # CSR write that can gate interrupts (mstatus/mie)
+_ACT_WFI = 6        # retire-then-sleep: executable as a window's last insn
+_ACT_STORE = 16     # 16 + access size (low 4 bits)
+_ACT_LOAD = 32      # 32 + access size (low 4 bits)
+_ACT_SIGNED = 64    # OR'd onto loads that sign-extend
+
+#: CSRs whose value gates the external-interrupt predicate.
+_IRQ_CSRS = frozenset({op.CSR_MSTATUS, op.CSR_MIE})
+
+
+def _batch_action(insn: Instruction, handler) -> int:
+    """Classify one decoded instruction for the batch loop (fill time)."""
+    if handler is None:
+        return _ACT_STOP
+    m = insn.mnemonic
+    if m in _BATCH_STOP:
+        return _ACT_STOP
+    if m == "wfi":
+        return _ACT_WFI
+    if m == "jalr":
+        return _ACT_CFI
+    if m == "jal":
+        return _ACT_CFI if insn.rd in LINK_REGS else _ACT_PLAIN
+    if m == "mret":
+        return _ACT_MRET
+    if m in _CSR_MNEMONICS:
+        # Only a *write* to an interrupt-gating CSR can change the
+        # pending predicate; pure reads (rs1/imm = 0) and writes to
+        # other CSRs are plain.  The CSR index is encoding-static, so
+        # this is decidable at decode-cache fill time.
+        writes = (
+            m in ("csrrw", "csrrwi")
+            or (m in ("csrrs", "csrrc") and bool(insn.rs1))
+            or (m in ("csrrsi", "csrrci") and bool(insn.imm))
+        )
+        if writes and insn.csr in _IRQ_CSRS:
+            return _ACT_CSR_IRQ
+        return _ACT_PLAIN
+    size = _STORE_SIZES.get(m)
+    if size is not None:
+        return _ACT_STORE + size
+    size = _LOAD_SIZES.get(m)
+    if size is not None:
+        action = _ACT_LOAD + size
+        if m in ("lb", "lh", "lw", "ld"):
+            action |= _ACT_SIGNED
+        return action
+    return _ACT_PLAIN
 
 
 class StepEvent(enum.Enum):
@@ -117,11 +191,18 @@ class Hart:
         self.sleeping = False
         self.halted = False
         self._mask = mask(xlen)
-        # Per-pc decoded-instruction cache: pc -> (insn, exec handler).
-        # A hit skips the bus fetch and the decode entirely; entries are
+        # Per-pc decoded-instruction cache:
+        #   pc -> (insn, exec handler, batch action, fixed cycle cost).
+        # A hit skips the bus fetch and the decode entirely; the batch
+        # action and cost are precomputed so the batched retire loop
+        # (run_n) does zero per-instruction classification.  Entries are
         # flushed when a store lands in any page code was fetched from
         # (see _note_store) or on fence.i.
-        self._pc_cache: Dict[int, Tuple[Instruction, Callable]] = {}
+        self._pc_cache: Dict[int, Tuple] = {}
+        # Mnemonic -> cycle cost for costs with no runtime dependence
+        # (absent for branches and memory ops); {} for timing models
+        # without the precomputed table.
+        self._fixed_cycles: Dict[str, int] = getattr(timing, "_fixed", None) or {}
         self._code_pages: set = set()
         # Prefer a fabric-wide store hook (sees every master's writes);
         # without one, fall back to watching this hart's own stores.
@@ -131,6 +212,24 @@ class Hart:
             self._self_watch_stores = False
         else:
             self._self_watch_stores = True
+        # Stable hot-loop context, hoisted once: run_n unpacks this
+        # single tuple instead of chasing ~10 attribute chains per
+        # window (windows can be a handful of instructions long, so
+        # prologue cost is measurable).  Every element is fixed for the
+        # hart's lifetime; the pc cache is cleared *in place* so the
+        # dict object itself is stable.
+        self._batch_ctx = (
+            self.regs.raw,
+            self.csrs,
+            self._pc_cache,
+            self.bus.read,
+            self.bus.write,
+            self._self_watch_stores,
+            self._note_store,
+            self.timing.cycles_for,
+            getattr(self.timing, "_mem_extra", None),
+            self._mask,
+        )
 
     # -- helpers -----------------------------------------------------------------
 
@@ -175,7 +274,7 @@ class Hart:
         self._pc_cache.clear()
         self._code_pages.clear()
 
-    def _fetch_decode(self, pc: int) -> Tuple[Instruction, Callable]:
+    def _fetch_decode(self, pc: int) -> Tuple:
         """Fetch+decode miss handler; populates the pc cache."""
         low, _ = self.bus.fetch(pc, 2)
         if is_compressed_word(low):
@@ -185,7 +284,18 @@ class Hart:
             word = low | (high << 16)
         insn = decode(word, xlen=self.xlen)
         handler = _EXEC_TABLE.get(insn.mnemonic)
-        entry = (insn, handler)
+        cost = self._fixed_cycles.get(insn.mnemonic)
+        if cost is None and insn.mnemonic in _BRANCH_MNEMONICS:
+            # Branches store the (untaken, taken) pair; the batch loop
+            # indexes it with the taken flag instead of calling the
+            # timing model.
+            cost = getattr(self.timing, "_branch", None)
+        entry = (
+            insn,
+            handler,
+            _batch_action(insn, handler),
+            cost,
+        )
         self._pc_cache[pc] = entry
         self._code_pages.add(pc >> self._PAGE_BITS)
         self._code_pages.add((pc + insn.length - 1) >> self._PAGE_BITS)
@@ -287,7 +397,7 @@ class Hart:
                 return self._enter_trap(op.CAUSE_ILLEGAL_INSTRUCTION, False, tval=exc.word)
             except AccessFault:
                 return self._enter_trap(op.CAUSE_FETCH_ACCESS, False, tval=pc)
-        insn, handler = entry
+        insn, handler = entry[0], entry[1]
 
         fall_through = (pc + insn.length) & self._mask
         try:
@@ -328,21 +438,216 @@ class Hart:
             mem_address=mem_address,
         )
 
-    # Individual semantic helpers (kept as methods for state access) ----------------
-
-    def _load(self, address: int, size: int, signed: bool) -> tuple:
-        value, cycles = self.bus.read(address & self._mask, size)
-        if signed:
-            value = sext(value, size * 8) & self._mask
-        return value, cycles
-
-    def _store(self, address: int, size: int, value: int) -> int:
-        address &= self._mask
-        if self._self_watch_stores:
-            self._note_store(address, size)
-        return self.bus.write(address, size, value & mask(size * 8))
-
     # -- batch running ------------------------------------------------------------------
+
+    def run_n(
+        self,
+        budget: int,
+        window_lo: int,
+        window_hi: int,
+        stop_before_cfi: bool = False,
+        max_insns: int = 0,
+        confined: bool = False,
+        terminate_on_store: bool = False,
+    ) -> Tuple[int, int, int]:
+        """Retire whole instructions in a tight loop (the batched fast path).
+
+        Executes *plain* instructions — ones that provably cannot
+        interact with any other component — without allocating a
+        :class:`StepResult` per retire or returning to the caller, and
+        stops **before** the first boundary instruction so the caller's
+        per-cycle :meth:`step` path replays it with full semantics on
+        the exact cycle the busy loop would have.  Boundary conditions:
+
+        * ``wfi`` / ``ecall`` / ``ebreak`` / unimplemented opcodes (they
+          change the hart's run state or trap);
+        * with ``stop_before_cfi``, anything the TitanCFI filter selects
+          (``jalr``, ``jal`` to a link register — see
+          :func:`repro.isa.cflow.classify`) plus ``mret``, so the CFI
+          commit path stays on the cycle-exact scheduler;
+        * stores outside ``[window_lo, window_hi)`` — MMIO writes are
+          cross-component events (doorbells, verdicts).  Loads are only
+          confined in ``confined`` mode: when the rest of the platform
+          is provably frozen for the window, a batched MMIO read
+          returns exactly the busy-loop value at the same cycle because
+          every modelled device read is side-effect free;
+        * a pending (enabled) external interrupt — re-evaluated exactly
+          where :meth:`step` could first observe a change (window entry
+          and after ``mret``/store instructions and writes to
+          ``mstatus``/``mie``, the only in-window ops able to affect
+          the interrupt predicate);
+        * any fetch/decode/execute fault.  Faults are re-raised by the
+          caller's :meth:`step` replay; the handlers are written so a
+          faulting attempt mutates nothing (loads/stores fault before
+          the register/memory update, the pc-cache flush in
+          :meth:`_note_store` is idempotent).
+
+        ``self.cycle`` and ``instret`` advance per retired instruction
+        (``mcycle``/``minstret`` reads inside the window stay exact);
+        self-modifying code keeps working because every iteration
+        re-reads the pc cache the store hook invalidates.
+
+        Args:
+            budget: issue instructions only while the cycles spent so
+                far stay below this bound.  The *last* instruction may
+                overshoot; the caller absorbs the excess as cycle debt.
+            window_lo: first address stores (and, in ``confined`` mode,
+                loads) may target without ending the window.
+            window_hi: one past the last window-safe address.
+            stop_before_cfi: also stop before CFI-relevant instructions
+                (host commit-stage mode).
+            max_insns: optional retire-count bound (0 = unbounded).
+            confined: full-isolation mode for dual-hart windows, where
+                this hart may run *ahead* of the globally-accounted
+                clock: out-of-window loads, ``mret`` and
+                ``mstatus``/``mie`` writes all become boundaries, so
+                the whole window provably touches nothing outside the
+                window and can never become interrupt-sensitive.
+            terminate_on_store: instead of stopping *before* an
+                out-of-window store, execute it as the window's final
+                instruction and report its cost, letting the caller
+                replay the rest of that cycle (the log writer's
+                same-cycle reaction) in order.  Only sound when every
+                other component is provably inactive through the
+                store's retire cycle — the solo-window case, never the
+                dual (run-ahead) case.
+
+        Returns:
+            ``(retired, cycles_spent, terminator_cost)``;
+            ``terminator_cost`` is non-zero only when
+            ``terminate_on_store`` ended the window, and is the cycle
+            cost of that final store (its retire cycle is
+            ``cycles_spent - terminator_cost + 1``).  ``(0, 0, 0)``
+            means the very next instruction is a boundary and the
+            caller must fall back to one normal step.
+        """
+        if self.halted:
+            raise SimulationError(f"{self.name}: run_n() after halt")
+        if self.sleeping:
+            return 0, 0, 0
+        (raw_regs, csrs, cache, bus_read, bus_write, self_watch,
+         note_store, cycles_for, mem_extra, mask_) = self._batch_ctx
+        irq_wired = self._irq_wired
+        need_irq_check = irq_wired
+        pc = self.pc
+        retired = 0
+        spent = 0
+        terminating = False
+        limit = max_insns if max_insns > 0 else -1
+        while spent < budget and retired != limit:
+            if need_irq_check:
+                if csrs.mie_enabled and self._interrupt_pending():
+                    break
+                need_irq_check = False
+            try:
+                entry = cache[pc]
+            except KeyError:
+                try:
+                    entry = self._fetch_decode(pc)
+                except (DecodeError, AccessFault):
+                    break
+            insn, handler, action, cost = entry
+            if action:
+                if action >= _ACT_STORE:
+                    # -- memory op, fully inlined (the action encodes
+                    #    direction, size and signedness, so no handler
+                    #    dispatch or outcome tuple is needed) ---------
+                    address = (raw_regs[insn.rs1] + insn.imm) & mask_
+                    size = action & 15
+                    if action >= _ACT_LOAD:
+                        if confined and (address < window_lo
+                                         or address + size > window_hi):
+                            break
+                        try:
+                            value, mem_cycles = bus_read(address, size)
+                        except (TrapError, AccessFault):
+                            break
+                        if action >= _ACT_SIGNED:
+                            sign_bit = 1 << ((size << 3) - 1)
+                            if value >= sign_bit:
+                                value = (value - (sign_bit << 1)) & mask_
+                        rd = insn.rd
+                        if rd:
+                            raw_regs[rd] = value
+                        is_load = True
+                    else:
+                        if (address < window_lo
+                                or address + size > window_hi):
+                            if not terminate_on_store:
+                                break
+                            terminating = True
+                        if self_watch:
+                            note_store(address, size)
+                        try:
+                            mem_cycles = bus_write(
+                                address, size,
+                                raw_regs[insn.rs2] & ((1 << (size << 3)) - 1),
+                            )
+                        except (TrapError, AccessFault):
+                            break
+                        is_load = False
+                    if mem_extra is not None:
+                        cost = mem_extra[is_load] + mem_cycles
+                        if cost < 1 and mem_extra[2]:
+                            cost = 1
+                    else:
+                        cost = cycles_for(insn, False, mem_cycles)
+                    pc = (pc + insn.length) & mask_
+                    self.cycle += cost
+                    self.instret += 1
+                    spent += cost
+                    retired += 1
+                    if terminating:
+                        self.pc = pc
+                        return retired, spent, cost
+                    if not is_load and irq_wired:
+                        need_irq_check = True
+                    continue
+                if action == _ACT_STOP:
+                    break
+                if action == _ACT_WFI:
+                    if stop_before_cfi or confined:
+                        break
+                    # Retire the wfi in-window (same accounting as
+                    # step(): one fixed-cost retire, then sleep) and
+                    # end the window — the hart cannot fetch further.
+                    pc = (pc + insn.length) & mask_
+                    if cost is None:
+                        cost = cycles_for(insn, False, 0)
+                    self.cycle += cost
+                    self.instret += 1
+                    spent += cost
+                    retired += 1
+                    self.sleeping = True
+                    break
+                if action == _ACT_CFI:
+                    if stop_before_cfi:
+                        break
+                elif action == _ACT_MRET:
+                    if stop_before_cfi or confined:
+                        break
+                    need_irq_check = irq_wired
+                else:  # _ACT_CSR_IRQ
+                    if confined:
+                        break
+                    need_irq_check = irq_wired
+            fall_through = (pc + insn.length) & mask_
+            try:
+                outcome = handler(self, insn, pc, fall_through)
+            except (TrapError, AccessFault):
+                break
+            _event, next_pc, taken, _mem_cycles, _mem_address = outcome
+            if cost is None:
+                cost = cycles_for(insn, taken, 0)
+            elif type(cost) is tuple:
+                cost = cost[taken]
+            pc = next_pc
+            self.cycle += cost
+            self.instret += 1
+            spent += cost
+            retired += 1
+        self.pc = pc
+        return retired, spent, 0
 
     def run(
         self,
@@ -386,7 +691,10 @@ class Hart:
 
 def _alu_op(compute):
     def run(hart: Hart, insn: Instruction, pc: int, fall_through: int):
-        hart.regs.write(insn.rd, compute(hart, insn))
+        # Inlined RegisterFile.write (x0 drop + mask): one call saved
+        # per ALU retire, the single hottest operation in the batch loop.
+        if insn.rd:
+            hart.regs.raw[insn.rd] = compute(hart, insn) & hart._mask
         return (StepEvent.RETIRED, fall_through, False, 0, None)
 
     return run
@@ -395,51 +703,167 @@ def _alu_op(compute):
 def _make_exec_table():
     table = {}
 
+    # The hottest integer ops get hand-written handlers (no inner
+    # compute-lambda call): the batched retire loop executes these tens
+    # of thousands of times per co-sim, so one call per retire matters.
+    def addi(h, i, pc, ft):
+        if i.rd:
+            h.regs.raw[i.rd] = (h.regs.raw[i.rs1] + i.imm) & h._mask
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    def add(h, i, pc, ft):
+        if i.rd:
+            h.regs.raw[i.rd] = (h.regs.raw[i.rs1] + h.regs.raw[i.rs2]) & h._mask
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    def sub(h, i, pc, ft):
+        if i.rd:
+            h.regs.raw[i.rd] = (h.regs.raw[i.rs1] - h.regs.raw[i.rs2]) & h._mask
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    def and_(h, i, pc, ft):
+        if i.rd:
+            h.regs.raw[i.rd] = h.regs.raw[i.rs1] & h.regs.raw[i.rs2]
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    def or_(h, i, pc, ft):
+        if i.rd:
+            h.regs.raw[i.rd] = h.regs.raw[i.rs1] | h.regs.raw[i.rs2]
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    def xor_(h, i, pc, ft):
+        if i.rd:
+            h.regs.raw[i.rd] = h.regs.raw[i.rs1] ^ h.regs.raw[i.rs2]
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    def andi(h, i, pc, ft):
+        if i.rd:
+            h.regs.raw[i.rd] = (h.regs.raw[i.rs1] & i.imm) & h._mask
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    def ori(h, i, pc, ft):
+        if i.rd:
+            h.regs.raw[i.rd] = (h.regs.raw[i.rs1] | i.imm) & h._mask
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    def xori(h, i, pc, ft):
+        if i.rd:
+            h.regs.raw[i.rd] = (h.regs.raw[i.rs1] ^ i.imm) & h._mask
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    def slli(h, i, pc, ft):
+        if i.rd:
+            h.regs.raw[i.rd] = (h.regs.raw[i.rs1] << i.imm) & h._mask
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    def srli(h, i, pc, ft):
+        if i.rd:
+            h.regs.raw[i.rd] = h.regs.raw[i.rs1] >> i.imm
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    def sltu(h, i, pc, ft):
+        if i.rd:
+            h.regs.raw[i.rd] = int(h.regs.raw[i.rs1] < h.regs.raw[i.rs2])
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    def lui(h, i, pc, ft):
+        if i.rd:
+            h.regs.raw[i.rd] = (i.imm << 12) & h._mask
+        return (StepEvent.RETIRED, ft, False, 0, None)
+
+    table["addi"] = addi
+    table["add"] = add
+    table["sub"] = sub
+    table["and"] = and_
+    table["or"] = or_
+    table["xor"] = xor_
+    table["andi"] = andi
+    table["ori"] = ori
+    table["xori"] = xori
+    table["slli"] = slli
+    table["srli"] = srli
+    table["sltu"] = sltu
+
     # -- U-type ---------------------------------------------------------------
-    table["lui"] = _alu_op(lambda h, i: (i.imm << 12) & h._mask)
+    table["lui"] = lui
 
     def auipc(h, i, pc, ft):
-        h.regs.write(i.rd, (pc + (i.imm << 12)) & h._mask)
+        if i.rd:
+            h.regs.raw[i.rd] = (pc + (i.imm << 12)) & h._mask
         return (StepEvent.RETIRED, ft, False, 0, None)
 
     table["auipc"] = auipc
 
     # -- jumps ------------------------------------------------------------------
     def jal(h, i, pc, ft):
-        h.regs.write(i.rd, ft)
+        if i.rd:
+            h.regs.raw[i.rd] = ft
         target = (pc + i.imm) & h._mask
         return (StepEvent.RETIRED, target, True, 0, None)
 
     def jalr(h, i, pc, ft):
-        target = (h.regs.read(i.rs1) + i.imm) & h._mask & ~1
-        h.regs.write(i.rd, ft)
+        # rs1 is read before rd is written (jalr ra, ra semantics).
+        target = (h.regs.raw[i.rs1] + i.imm) & h._mask & ~1
+        if i.rd:
+            h.regs.raw[i.rd] = ft
         return (StepEvent.RETIRED, target, True, 0, None)
 
     table["jal"] = jal
     table["jalr"] = jalr
 
-    # -- branches ----------------------------------------------------------------
-    def branch(cond):
-        def run(h, i, pc, ft):
-            taken = cond(h, i)
-            next_pc = (pc + i.imm) & h._mask if taken else ft
-            return (StepEvent.RETIRED, next_pc, taken, 0, None)
+    # -- branches (direct handlers — no condition-lambda call) -------------------
+    def beq(h, i, pc, ft):
+        taken = h.regs.raw[i.rs1] == h.regs.raw[i.rs2]
+        return (StepEvent.RETIRED, (pc + i.imm) & h._mask if taken else ft,
+                taken, 0, None)
 
-        return run
+    def bne(h, i, pc, ft):
+        taken = h.regs.raw[i.rs1] != h.regs.raw[i.rs2]
+        return (StepEvent.RETIRED, (pc + i.imm) & h._mask if taken else ft,
+                taken, 0, None)
 
-    table["beq"] = branch(lambda h, i: h.regs.read(i.rs1) == h.regs.read(i.rs2))
-    table["bne"] = branch(lambda h, i: h.regs.read(i.rs1) != h.regs.read(i.rs2))
-    table["blt"] = branch(lambda h, i: h._sx(h.regs.read(i.rs1)) < h._sx(h.regs.read(i.rs2)))
-    table["bge"] = branch(lambda h, i: h._sx(h.regs.read(i.rs1)) >= h._sx(h.regs.read(i.rs2)))
-    table["bltu"] = branch(lambda h, i: h.regs.read(i.rs1) < h.regs.read(i.rs2))
-    table["bgeu"] = branch(lambda h, i: h.regs.read(i.rs1) >= h.regs.read(i.rs2))
+    def blt(h, i, pc, ft):
+        taken = h._sx(h.regs.raw[i.rs1]) < h._sx(h.regs.raw[i.rs2])
+        return (StepEvent.RETIRED, (pc + i.imm) & h._mask if taken else ft,
+                taken, 0, None)
+
+    def bge(h, i, pc, ft):
+        taken = h._sx(h.regs.raw[i.rs1]) >= h._sx(h.regs.raw[i.rs2])
+        return (StepEvent.RETIRED, (pc + i.imm) & h._mask if taken else ft,
+                taken, 0, None)
+
+    def bltu(h, i, pc, ft):
+        taken = h.regs.raw[i.rs1] < h.regs.raw[i.rs2]
+        return (StepEvent.RETIRED, (pc + i.imm) & h._mask if taken else ft,
+                taken, 0, None)
+
+    def bgeu(h, i, pc, ft):
+        taken = h.regs.raw[i.rs1] >= h.regs.raw[i.rs2]
+        return (StepEvent.RETIRED, (pc + i.imm) & h._mask if taken else ft,
+                taken, 0, None)
+
+    table["beq"] = beq
+    table["bne"] = bne
+    table["blt"] = blt
+    table["bge"] = bge
+    table["bltu"] = bltu
+    table["bgeu"] = bgeu
 
     # -- loads ---------------------------------------------------------------------
     def load(size, signed):
+        # Sign extension inlined arithmetically ((v ^ s) - s on the
+        # unsigned bus value): a sext() call per load is measurable.
+        sign_bit = 1 << (size * 8 - 1)
+
         def run(h, i, pc, ft):
-            address = (h.regs.read(i.rs1) + i.imm) & h._mask
-            value, cycles = h._load(address, size, signed)
-            h.regs.write(i.rd, value)
+            # Bus access inlined (no _load hop): one load per simulated
+            # memory instruction makes the extra frame measurable.
+            address = (h.regs.raw[i.rs1] + i.imm) & h._mask
+            value, cycles = h.bus.read(address, size)
+            if signed and value >= sign_bit:
+                value = (value - (sign_bit << 1)) & h._mask
+            if i.rd:
+                h.regs.raw[i.rd] = value
             return (StepEvent.RETIRED, ft, False, cycles, address)
 
         return run
@@ -454,9 +878,13 @@ def _make_exec_table():
 
     # -- stores -----------------------------------------------------------------------
     def store(size):
+        value_mask = mask(size * 8)
+
         def run(h, i, pc, ft):
-            address = (h.regs.read(i.rs1) + i.imm) & h._mask
-            cycles = h._store(address, size, h.regs.read(i.rs2))
+            address = (h.regs.raw[i.rs1] + i.imm) & h._mask
+            if h._self_watch_stores:
+                h._note_store(address, size)
+            cycles = h.bus.write(address, size, h.regs.raw[i.rs2] & value_mask)
             return (StepEvent.RETIRED, ft, False, cycles, address)
 
         return run
@@ -466,49 +894,37 @@ def _make_exec_table():
     table["sw"] = store(4)
     table["sd"] = store(8)
 
-    # -- immediate ALU -------------------------------------------------------------------
-    table["addi"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) + i.imm) & h._mask)
-    table["slti"] = _alu_op(lambda h, i: int(h._sx(h.regs.read(i.rs1)) < i.imm))
-    table["sltiu"] = _alu_op(lambda h, i: int(h.regs.read(i.rs1) < (i.imm & h._mask)))
-    table["xori"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) ^ i.imm) & h._mask)
-    table["ori"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) | i.imm) & h._mask)
-    table["andi"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) & i.imm) & h._mask)
-    table["slli"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) << i.imm) & h._mask)
-    table["srli"] = _alu_op(lambda h, i: h.regs.read(i.rs1) >> i.imm)
-    table["srai"] = _alu_op(lambda h, i: (h._sx(h.regs.read(i.rs1)) >> i.imm) & h._mask)
+    # -- immediate ALU (the common ones are direct handlers above) ----------------------
+    table["slti"] = _alu_op(lambda h, i: int(h._sx(h.regs.raw[i.rs1]) < i.imm))
+    table["sltiu"] = _alu_op(lambda h, i: int(h.regs.raw[i.rs1] < (i.imm & h._mask)))
+    table["srai"] = _alu_op(lambda h, i: (h._sx(h.regs.raw[i.rs1]) >> i.imm) & h._mask)
 
     # -- register ALU -----------------------------------------------------------------------
     def shamt(h, value):
         return value & (h.xlen - 1)
 
-    table["add"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) + h.regs.read(i.rs2)) & h._mask)
-    table["sub"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) - h.regs.read(i.rs2)) & h._mask)
-    table["sll"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) << shamt(h, h.regs.read(i.rs2))) & h._mask)
-    table["slt"] = _alu_op(lambda h, i: int(h._sx(h.regs.read(i.rs1)) < h._sx(h.regs.read(i.rs2))))
-    table["sltu"] = _alu_op(lambda h, i: int(h.regs.read(i.rs1) < h.regs.read(i.rs2)))
-    table["xor"] = _alu_op(lambda h, i: h.regs.read(i.rs1) ^ h.regs.read(i.rs2))
-    table["srl"] = _alu_op(lambda h, i: h.regs.read(i.rs1) >> shamt(h, h.regs.read(i.rs2)))
-    table["sra"] = _alu_op(lambda h, i: (h._sx(h.regs.read(i.rs1)) >> shamt(h, h.regs.read(i.rs2))) & h._mask)
-    table["or"] = _alu_op(lambda h, i: h.regs.read(i.rs1) | h.regs.read(i.rs2))
-    table["and"] = _alu_op(lambda h, i: h.regs.read(i.rs1) & h.regs.read(i.rs2))
+    table["sll"] = _alu_op(lambda h, i: (h.regs.raw[i.rs1] << shamt(h, h.regs.raw[i.rs2])) & h._mask)
+    table["slt"] = _alu_op(lambda h, i: int(h._sx(h.regs.raw[i.rs1]) < h._sx(h.regs.raw[i.rs2])))
+    table["srl"] = _alu_op(lambda h, i: h.regs.raw[i.rs1] >> shamt(h, h.regs.raw[i.rs2]))
+    table["sra"] = _alu_op(lambda h, i: (h._sx(h.regs.raw[i.rs1]) >> shamt(h, h.regs.raw[i.rs2])) & h._mask)
 
     # -- RV64 W-forms ---------------------------------------------------------------------------
     def w_result(h, value):
         return sext(value & mask(32), 32) & h._mask
 
-    table["addiw"] = _alu_op(lambda h, i: w_result(h, h.regs.read(i.rs1) + i.imm))
-    table["slliw"] = _alu_op(lambda h, i: w_result(h, h.regs.read(i.rs1) << i.imm))
-    table["srliw"] = _alu_op(lambda h, i: w_result(h, (h.regs.read(i.rs1) & mask(32)) >> i.imm))
-    table["sraiw"] = _alu_op(lambda h, i: w_result(h, sext(h.regs.read(i.rs1) & mask(32), 32) >> i.imm))
-    table["addw"] = _alu_op(lambda h, i: w_result(h, h.regs.read(i.rs1) + h.regs.read(i.rs2)))
-    table["subw"] = _alu_op(lambda h, i: w_result(h, h.regs.read(i.rs1) - h.regs.read(i.rs2)))
-    table["sllw"] = _alu_op(lambda h, i: w_result(h, h.regs.read(i.rs1) << (h.regs.read(i.rs2) & 31)))
-    table["srlw"] = _alu_op(lambda h, i: w_result(h, (h.regs.read(i.rs1) & mask(32)) >> (h.regs.read(i.rs2) & 31)))
-    table["sraw"] = _alu_op(lambda h, i: w_result(h, sext(h.regs.read(i.rs1) & mask(32), 32) >> (h.regs.read(i.rs2) & 31)))
+    table["addiw"] = _alu_op(lambda h, i: w_result(h, h.regs.raw[i.rs1] + i.imm))
+    table["slliw"] = _alu_op(lambda h, i: w_result(h, h.regs.raw[i.rs1] << i.imm))
+    table["srliw"] = _alu_op(lambda h, i: w_result(h, (h.regs.raw[i.rs1] & mask(32)) >> i.imm))
+    table["sraiw"] = _alu_op(lambda h, i: w_result(h, sext(h.regs.raw[i.rs1] & mask(32), 32) >> i.imm))
+    table["addw"] = _alu_op(lambda h, i: w_result(h, h.regs.raw[i.rs1] + h.regs.raw[i.rs2]))
+    table["subw"] = _alu_op(lambda h, i: w_result(h, h.regs.raw[i.rs1] - h.regs.raw[i.rs2]))
+    table["sllw"] = _alu_op(lambda h, i: w_result(h, h.regs.raw[i.rs1] << (h.regs.raw[i.rs2] & 31)))
+    table["srlw"] = _alu_op(lambda h, i: w_result(h, (h.regs.raw[i.rs1] & mask(32)) >> (h.regs.raw[i.rs2] & 31)))
+    table["sraw"] = _alu_op(lambda h, i: w_result(h, sext(h.regs.raw[i.rs1] & mask(32), 32) >> (h.regs.raw[i.rs2] & 31)))
 
     # -- M extension -------------------------------------------------------------------------------
     def signed_pair(h, i):
-        return h._sx(h.regs.read(i.rs1)), h._sx(h.regs.read(i.rs2))
+        return h._sx(h.regs.raw[i.rs1]), h._sx(h.regs.raw[i.rs2])
 
     def div_signed(a, b):
         if b == 0:
@@ -521,37 +937,37 @@ def _make_exec_table():
             return a
         return a - div_signed(a, b) * b
 
-    table["mul"] = _alu_op(lambda h, i: (h.regs.read(i.rs1) * h.regs.read(i.rs2)) & h._mask)
+    table["mul"] = _alu_op(lambda h, i: (h.regs.raw[i.rs1] * h.regs.raw[i.rs2]) & h._mask)
     table["mulh"] = _alu_op(lambda h, i: ((signed_pair(h, i)[0] * signed_pair(h, i)[1]) >> h.xlen) & h._mask)
-    table["mulhsu"] = _alu_op(lambda h, i: ((h._sx(h.regs.read(i.rs1)) * h.regs.read(i.rs2)) >> h.xlen) & h._mask)
-    table["mulhu"] = _alu_op(lambda h, i: ((h.regs.read(i.rs1) * h.regs.read(i.rs2)) >> h.xlen) & h._mask)
+    table["mulhsu"] = _alu_op(lambda h, i: ((h._sx(h.regs.raw[i.rs1]) * h.regs.raw[i.rs2]) >> h.xlen) & h._mask)
+    table["mulhu"] = _alu_op(lambda h, i: ((h.regs.raw[i.rs1] * h.regs.raw[i.rs2]) >> h.xlen) & h._mask)
     table["div"] = _alu_op(lambda h, i: div_signed(*signed_pair(h, i)) & h._mask)
     table["divu"] = _alu_op(
-        lambda h, i: (h._mask if h.regs.read(i.rs2) == 0 else h.regs.read(i.rs1) // h.regs.read(i.rs2)) & h._mask
+        lambda h, i: (h._mask if h.regs.raw[i.rs2] == 0 else h.regs.raw[i.rs1] // h.regs.raw[i.rs2]) & h._mask
     )
     table["rem"] = _alu_op(lambda h, i: rem_signed(*signed_pair(h, i)) & h._mask)
     table["remu"] = _alu_op(
-        lambda h, i: (h.regs.read(i.rs1) if h.regs.read(i.rs2) == 0 else h.regs.read(i.rs1) % h.regs.read(i.rs2)) & h._mask
+        lambda h, i: (h.regs.raw[i.rs1] if h.regs.raw[i.rs2] == 0 else h.regs.raw[i.rs1] % h.regs.raw[i.rs2]) & h._mask
     )
-    table["mulw"] = _alu_op(lambda h, i: w_result(h, h.regs.read(i.rs1) * h.regs.read(i.rs2)))
+    table["mulw"] = _alu_op(lambda h, i: w_result(h, h.regs.raw[i.rs1] * h.regs.raw[i.rs2]))
     table["divw"] = _alu_op(
-        lambda h, i: w_result(h, div_signed(sext(h.regs.read(i.rs1) & mask(32), 32), sext(h.regs.read(i.rs2) & mask(32), 32)))
+        lambda h, i: w_result(h, div_signed(sext(h.regs.raw[i.rs1] & mask(32), 32), sext(h.regs.raw[i.rs2] & mask(32), 32)))
     )
     table["divuw"] = _alu_op(
         lambda h, i: w_result(
             h,
-            mask(32) if (h.regs.read(i.rs2) & mask(32)) == 0
-            else (h.regs.read(i.rs1) & mask(32)) // (h.regs.read(i.rs2) & mask(32)),
+            mask(32) if (h.regs.raw[i.rs2] & mask(32)) == 0
+            else (h.regs.raw[i.rs1] & mask(32)) // (h.regs.raw[i.rs2] & mask(32)),
         )
     )
     table["remw"] = _alu_op(
-        lambda h, i: w_result(h, rem_signed(sext(h.regs.read(i.rs1) & mask(32), 32), sext(h.regs.read(i.rs2) & mask(32), 32)))
+        lambda h, i: w_result(h, rem_signed(sext(h.regs.raw[i.rs1] & mask(32), 32), sext(h.regs.raw[i.rs2] & mask(32), 32)))
     )
     table["remuw"] = _alu_op(
         lambda h, i: w_result(
             h,
-            (h.regs.read(i.rs1) & mask(32)) if (h.regs.read(i.rs2) & mask(32)) == 0
-            else (h.regs.read(i.rs1) & mask(32)) % (h.regs.read(i.rs2) & mask(32)),
+            (h.regs.raw[i.rs1] & mask(32)) if (h.regs.raw[i.rs2] & mask(32)) == 0
+            else (h.regs.raw[i.rs1] & mask(32)) % (h.regs.raw[i.rs2] & mask(32)),
         )
     )
 
@@ -567,9 +983,9 @@ def _make_exec_table():
 
         return run
 
-    table["csrrw"] = csr_op(lambda h, i, old: h.regs.read(i.rs1))
-    table["csrrs"] = csr_op(lambda h, i, old: (old | h.regs.read(i.rs1)) if i.rs1 else None)
-    table["csrrc"] = csr_op(lambda h, i, old: (old & ~h.regs.read(i.rs1)) if i.rs1 else None)
+    table["csrrw"] = csr_op(lambda h, i, old: h.regs.raw[i.rs1])
+    table["csrrs"] = csr_op(lambda h, i, old: (old | h.regs.raw[i.rs1]) if i.rs1 else None)
+    table["csrrc"] = csr_op(lambda h, i, old: (old & ~h.regs.raw[i.rs1]) if i.rs1 else None)
     table["csrrwi"] = csr_op(lambda h, i, old: i.imm)
     table["csrrsi"] = csr_op(lambda h, i, old: (old | i.imm) if i.imm else None)
     table["csrrci"] = csr_op(lambda h, i, old: (old & ~i.imm) if i.imm else None)

@@ -17,6 +17,11 @@ class RegisterFile:
         self.xlen = xlen
         self._mask = mask(xlen)
         self._regs = [0] * REG_COUNT
+        #: Direct view of the backing list for hot readers.  Safe for
+        #: reads because the ``x0 == 0`` invariant is maintained by
+        #: :meth:`write`; writers must go through :meth:`write` (or
+        #: replicate its ``x0``/mask handling exactly).
+        self.raw = self._regs
 
     def read(self, index: int) -> int:
         """Unsigned value of register ``index``."""

@@ -33,6 +33,32 @@ _MUL = frozenset({"mul", "mulh", "mulhsu", "mulhu", "mulw"})
 _DIV = frozenset({"div", "divu", "rem", "remu", "divw", "divuw", "remw", "remuw"})
 _CSR = frozenset({"csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci"})
 
+#: Single-cycle-class ops with no taken/latency dependence, enumerated so
+#: the per-instruction cost collapses to one dict probe (the chain of
+#: frozenset membership tests below it runs once per *unknown* mnemonic,
+#: not once per retired instruction).
+_ALU = frozenset({
+    "lui", "auipc",
+    "addi", "slti", "sltiu", "xori", "ori", "andi", "slli", "srli", "srai",
+    "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+    "addiw", "slliw", "srliw", "sraiw",
+    "addw", "subw", "sllw", "srlw", "sraw",
+    "fence", "fence.i", "wfi", "ecall", "ebreak",
+})
+
+
+def _fixed_cost_table(*, jal: int, jalr: int, mul: int, div: int, csr: int,
+                      mret: int, alu: int) -> dict:
+    """Mnemonic → cycles for every cost that needs no runtime input."""
+    table = {m: alu for m in _ALU}
+    table.update({m: mul for m in _MUL})
+    table.update({m: div for m in _DIV})
+    table.update({m: csr for m in _CSR})
+    table["jal"] = jal
+    table["jalr"] = jalr
+    table["mret"] = mret
+    return table
+
 
 class TimingModel(Protocol):
     """Cycle cost of one retired instruction."""
@@ -72,23 +98,28 @@ class IbexTiming:
     trap_entry_cycles: int = 3
     wake_cycles: int = 45
 
+    def __post_init__(self):
+        self._fixed = _fixed_cost_table(
+            jal=self.jump_cycles, jalr=self.jump_cycles,
+            mul=self.mul_cycles, div=self.div_cycles,
+            csr=self.csr_cycles, mret=self.mret_cycles, alu=self.alu_cycles,
+        )
+        #: (untaken, taken) — indexable by the branch's taken flag.
+        self._branch = (self.untaken_branch_cycles, self.taken_branch_cycles)
+        #: (store extra, load extra, clamp-to-1) — the memory case of
+        #: cycles_for in precomputed form, for the batched retire loop.
+        self._mem_extra = (0, 0, True)
+
     def cycles_for(self, insn: Instruction, taken: bool, mem_cycles: int) -> int:
         m = insn.mnemonic
+        cost = self._fixed.get(m)
+        if cost is not None:
+            return cost
+        if m in _BRANCHES:
+            return self.taken_branch_cycles if taken else self.untaken_branch_cycles
         if m in _LOADS or m in _STORES:
             # The TL-UL port reports the full round trip; charge it as-is.
             return max(1, mem_cycles)
-        if m in _BRANCHES:
-            return self.taken_branch_cycles if taken else self.untaken_branch_cycles
-        if m in _JUMPS:
-            return self.jump_cycles
-        if m in _MUL:
-            return self.mul_cycles
-        if m in _DIV:
-            return self.div_cycles
-        if m in _CSR:
-            return self.csr_cycles
-        if m == "mret":
-            return self.mret_cycles
         return self.alu_cycles
 
 
@@ -110,24 +141,27 @@ class Cva6Timing:
     trap_entry_cycles: int = 5
     wake_cycles: int = 10
 
+    def __post_init__(self):
+        self._fixed = _fixed_cost_table(
+            jal=self.jump_cycles, jalr=self.jalr_cycles,
+            mul=self.mul_cycles, div=self.div_cycles,
+            csr=self.csr_cycles, mret=self.mret_cycles, alu=self.alu_cycles,
+        )
+        #: (untaken, taken) — indexable by the branch's taken flag.
+        self._branch = (self.untaken_branch_cycles, self.taken_branch_cycles)
+        #: (store extra, load extra, clamp-to-1) — the memory case of
+        #: cycles_for in precomputed form, for the batched retire loop.
+        self._mem_extra = (self.store_base_cycles, self.load_base_cycles, False)
+
     def cycles_for(self, insn: Instruction, taken: bool, mem_cycles: int) -> int:
         m = insn.mnemonic
+        cost = self._fixed.get(m)
+        if cost is not None:
+            return cost
         if m in _LOADS:
             return self.load_base_cycles + mem_cycles
         if m in _STORES:
             return self.store_base_cycles + mem_cycles
         if m in _BRANCHES:
             return self.taken_branch_cycles if taken else self.untaken_branch_cycles
-        if m == "jal":
-            return self.jump_cycles
-        if m == "jalr":
-            return self.jalr_cycles
-        if m in _MUL:
-            return self.mul_cycles
-        if m in _DIV:
-            return self.div_cycles
-        if m in _CSR:
-            return self.csr_cycles
-        if m == "mret":
-            return self.mret_cycles
         return self.alu_cycles

@@ -12,7 +12,7 @@ tag without touching the firmware itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Protocol, Tuple
 
 from repro.errors import AccessFault, ConfigError
@@ -43,6 +43,9 @@ class Region:
         latency: cycles consumed by one access through this window.
         tag: classification label (e.g. ``"rot-sram"``, ``"soc"``).
         name: diagnostic name.
+        end: one past the last mapped address (derived; stored as a
+            plain field because the bounds check runs on every single
+            bus access and a property call there is measurable).
     """
 
     base: int
@@ -51,11 +54,10 @@ class Region:
     latency: int = 1
     tag: str = "untagged"
     name: str = "region"
+    end: int = field(init=False)
 
-    @property
-    def end(self) -> int:
-        """One past the last mapped address."""
-        return self.base + self.size
+    def __post_init__(self):
+        object.__setattr__(self, "end", self.base + self.size)
 
     def contains(self, address: int) -> bool:
         """True when ``address`` falls inside this window."""
@@ -185,6 +187,19 @@ class MemoryMap:
             self._notify(BusAccess(kind, address, size, value, region.latency, region.tag))
         return value
 
+    def read_timed(self, address: int, size: int, kind: str = "read") -> Tuple[int, int]:
+        """:meth:`read` plus the region latency, in one region lookup.
+
+        The hot path for every instruction-set simulator access: the
+        separate ``read(...)`` + ``latency(...)`` sequence decodes the
+        address twice; this folds the pair.
+        """
+        region = self._region_checked(address, size, kind)
+        value = region.device.read(address - region.base, size)
+        if self._observers:
+            self._notify(BusAccess(kind, address, size, value, region.latency, region.tag))
+        return value, region.latency
+
     def write(self, address: int, size: int, value: int) -> None:
         """Write ``size`` bytes of ``value``."""
         region = self._region_checked(address, size, "write")
@@ -193,6 +208,16 @@ class MemoryMap:
             hook(address, size)
         if self._observers:
             self._notify(BusAccess("write", address, size, value, region.latency, region.tag))
+
+    def write_timed(self, address: int, size: int, value: int) -> int:
+        """:meth:`write` returning the region latency (one lookup)."""
+        region = self._region_checked(address, size, "write")
+        region.device.write(address - region.base, size, value)
+        for hook in self._store_hooks:
+            hook(address, size)
+        if self._observers:
+            self._notify(BusAccess("write", address, size, value, region.latency, region.tag))
+        return region.latency
 
     def fetch(self, address: int, size: int) -> int:
         """Instruction fetch (reported to observers as ``fetch``)."""

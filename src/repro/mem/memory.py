@@ -123,6 +123,12 @@ class Ram:
         self.size = size
         self.name = name
         self._store = SparseMemory()
+        # Pre-bounds-checked entry points for bus fast paths: callers
+        # that have already validated the access against the mapped
+        # region (which never exceeds the device) may skip the per-call
+        # bounds re-check and the extra frame it costs.
+        self.fast_read = self._store.read_int
+        self.fast_write = self._store.write_int
 
     def _check(self, offset: int, count: int, access: str) -> None:
         if offset < 0 or offset + count > self.size:
@@ -154,6 +160,8 @@ class Rom(Ram):
 
     def __init__(self, size: int, name: str = "rom"):
         super().__init__(size, name)
+        # Writes must keep faulting — no fast-path bypass.
+        self.fast_write = None
 
     def write(self, offset: int, size: int, value: int) -> None:
         raise AccessFault(offset, "write", f"{self.name}: write to read-only memory")

@@ -83,6 +83,13 @@ class Mailbox:
         self.layout = layout or MailboxLayout()
         self.name = name
         self.size = self.layout.total_bytes
+        # Register offsets flattened from the layout: the data path is
+        # exercised once per beat of every CFI handshake, and property
+        # hops there are measurable.
+        self._data_bytes = self.layout.data_bytes
+        self._doorbell_offset = self.layout.doorbell_offset
+        self._completion_offset = self.layout.completion_offset
+        self._status_offset = self.layout.status_offset
         self.on_doorbell = on_doorbell
         self.on_completion = on_completion
         #: Optional level wire driven on every doorbell transition — the
@@ -98,36 +105,36 @@ class Mailbox:
 
     def read(self, offset: int, size: int) -> int:
         """Register-file read."""
-        layout = self.layout
-        if 0 <= offset < layout.data_bytes:
-            if offset + size > layout.data_bytes:
+        data_bytes = self._data_bytes
+        if 0 <= offset < data_bytes:
+            if offset + size > data_bytes:
                 raise AccessFault(offset, "read", f"{self.name}: read crosses data file")
             return int.from_bytes(self._data[offset : offset + size], "little")
-        if offset == layout.doorbell_offset:
+        if offset == self._doorbell_offset:
             return int(self.doorbell_pending)
-        if offset == layout.completion_offset:
+        if offset == self._completion_offset:
             return int(self.completion_pending)
-        if offset == layout.status_offset:
+        if offset == self._status_offset:
             return int(self.doorbell_pending) | (int(self.completion_pending) << 1)
         raise AccessFault(offset, "read", f"{self.name}: no register at offset {offset:#x}")
 
     def write(self, offset: int, size: int, value: int) -> None:
         """Register-file write."""
-        layout = self.layout
-        if 0 <= offset < layout.data_bytes:
-            if offset + size > layout.data_bytes:
+        data_bytes = self._data_bytes
+        if 0 <= offset < data_bytes:
+            if offset + size > data_bytes:
                 raise AccessFault(offset, "write", f"{self.name}: write crosses data file")
             self._data[offset : offset + size] = (value & ((1 << (size * 8)) - 1)).to_bytes(
                 size, "little"
             )
             return
-        if offset == layout.doorbell_offset:
+        if offset == self._doorbell_offset:
             self._set_doorbell(bool(value))
             return
-        if offset == layout.completion_offset:
+        if offset == self._completion_offset:
             self._set_completion(bool(value))
             return
-        if offset == layout.status_offset:
+        if offset == self._status_offset:
             raise AccessFault(offset, "write", f"{self.name}: status register is read-only")
         raise AccessFault(offset, "write", f"{self.name}: no register at offset {offset:#x}")
 

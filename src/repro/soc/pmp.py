@@ -56,6 +56,12 @@ class IoPmp:
     def __init__(self):
         self._rules: List[PmpRule] = []
         self.faults = 0
+        # Memo of already-permitted accesses: the CFI handshake repeats
+        # the same handful of (master, address, size, kind) tuples every
+        # check, so the rule scan runs once per distinct access shape.
+        # Only *allowed* outcomes are cached (faults stay on the scan
+        # path and keep counting); invalidated when rules change.
+        self._allowed: set = set()
 
     def protect(
         self,
@@ -79,6 +85,7 @@ class IoPmp:
             allow_write=allow_write,
         )
         self._rules.append(rule)
+        self._allowed.clear()
         return rule
 
     @property
@@ -88,6 +95,9 @@ class IoPmp:
 
     def check(self, master: str, address: int, nbytes: int, kind: str) -> None:
         """Raise :class:`AccessFault` when the access violates a rule."""
+        key = (master, address, nbytes, kind)
+        if key in self._allowed:
+            return
         for rule in self._rules:
             if not rule.overlaps(address, nbytes):
                 continue
@@ -101,7 +111,9 @@ class IoPmp:
                     kind,
                     f"{rule.name}: master {master!r} denied {kind} at {address:#x}",
                 )
+            self._allowed.add(key)
             return  # first matching rule decides
+        self._allowed.add(key)
 
     def allows(self, master: str, address: int, nbytes: int, kind: str) -> bool:
         """Non-raising variant of :meth:`check`."""

@@ -63,6 +63,10 @@ class TlulXbar:
         self.timings = timings or TlulTimings()
         self.name = name
         self._stats: Dict[str, BusStats] = {}
+        # (nbytes, device_latency) → cycles.  The firmware's access mix
+        # hits a handful of combinations millions of times; the memo
+        # keeps `access_cycles`'s arithmetic off the per-access path.
+        self._cycles_memo: Dict[Tuple[int, int], int] = {}
 
     def stats(self, master: str) -> BusStats:
         """Accounting for ``master`` (created on first use)."""
@@ -70,22 +74,34 @@ class TlulXbar:
             self._stats[master] = BusStats()
         return self._stats[master]
 
+    def _access_cycles(self, nbytes: int, device_latency: int) -> int:
+        key = (nbytes, device_latency)
+        cycles = self._cycles_memo.get(key)
+        if cycles is None:
+            cycles = self.timings.access_cycles(nbytes, device_latency)
+            self._cycles_memo[key] = cycles
+        return cycles
+
     def read(self, master: str, address: int, nbytes: int) -> Tuple[int, int]:
         """Read for ``master``; returns ``(value, cycles)``."""
         if nbytes <= 0:
             raise ConfigError("read size must be positive")
-        device_latency = self.map.latency(address)
-        value = self.map.read(address, nbytes)
-        cycles = self.timings.access_cycles(nbytes, device_latency)
-        self.stats(master).record("read", nbytes, cycles)
+        value, device_latency = self.map.read_timed(address, nbytes)
+        cycles = self._access_cycles(nbytes, device_latency)
+        stats = self._stats.get(master)
+        if stats is None:
+            stats = self.stats(master)
+        stats.record("read", nbytes, cycles)
         return value, cycles
 
     def write(self, master: str, address: int, nbytes: int, value: int) -> int:
         """Write for ``master``; returns cycles consumed."""
         if nbytes <= 0:
             raise ConfigError("write size must be positive")
-        device_latency = self.map.latency(address)
-        self.map.write(address, nbytes, value)
-        cycles = self.timings.access_cycles(nbytes, device_latency)
-        self.stats(master).record("write", nbytes, cycles)
+        device_latency = self.map.write_timed(address, nbytes, value)
+        cycles = self._access_cycles(nbytes, device_latency)
+        stats = self._stats.get(master)
+        if stats is None:
+            stats = self.stats(master)
+        stats.record("write", nbytes, cycles)
         return cycles

@@ -58,29 +58,73 @@ class SimulationReport:
 _UNBOUNDED = LogWriter.UNBOUNDED
 
 
+#: Execution modes, slowest to fastest.  All three are cycle-exact; the
+#: fast ones only change *how* the timeline is traversed.
+MODE_BUSY = "busy"
+MODE_EVENT = "event-driven"
+MODE_BATCHED = "batched"
+
+_MODES = (MODE_BUSY, MODE_EVENT, MODE_BATCHED)
+
+
 class SystemSimulator:
     """Drives a :class:`TitanCfiSoc` cycle by cycle.
 
     Args:
         soc: the platform under simulation.
         run_rot: step the Ibex RoT core (False freezes the firmware).
-        event_driven: when True (default), :meth:`run` jumps the clock
-            over cycles in which provably nothing can change — hart
-            cycle debt, WFI sleep, log-writer countdowns — instead of
-            busy-ticking through them.  The observable timeline is
-            cycle-exact either way: every ``SimulationReport`` field and
-            every per-cycle statistic matches the busy-loop simulation.
+        event_driven: legacy mode switch — ``False`` selects the busy
+            loop, ``True`` the fastest engine (``batched``).  Ignored
+            when ``mode`` is given.
+        mode: execution engine:
+
+            * ``"busy"`` — one :meth:`tick` per cycle;
+            * ``"event-driven"`` — jump the clock over cycles in which
+              provably nothing can change (hart cycle debt, WFI sleep,
+              log-writer countdowns);
+            * ``"batched"`` (default) — additionally run a hart through
+              whole instruction *windows* in a tight in-hart loop
+              (:meth:`repro.hart.core.Hart.run_n`) whenever the
+              interaction analysis proves no cross-component event can
+              occur: the host runs while the CFI path is parked and
+              Ibex is asleep/debt-bound, and Ibex runs the firmware
+              while the host is halted, stalled or debt-bound.
+
+            The observable timeline is cycle-exact in every mode: all
+            ``SimulationReport`` fields and every per-cycle statistic
+            match the busy-loop simulation.
     """
 
     def __init__(self, soc: TitanCfiSoc, run_rot: bool = True,
-                 event_driven: bool = True):
+                 event_driven: bool = True, mode: Optional[str] = None):
+        if mode is None:
+            mode = MODE_BATCHED if event_driven else MODE_BUSY
+        if mode not in _MODES:
+            raise ValueError(f"unknown execution mode {mode!r} (have: {_MODES})")
         self.soc = soc
         self.run_rot = run_rot
-        self.event_driven = event_driven
+        self.mode = mode
+        self.event_driven = mode != MODE_BUSY
+        self.batched = mode == MODE_BATCHED
         self.now = 0
         self._host_debt = 0
         self._ibex_debt = 0
         self.violation: Optional[CfiViolation] = None
+        # Store-safe windows for the batched loops: the host may write
+        # DRAM freely (mailboxes are cross-component), Ibex anything on
+        # its private TL-UL fabric below the TL2AXI bridge (mailbox
+        # writes through the bridge are the firmware's handshake).
+        addresses = soc.addresses
+        self._host_window = (
+            addresses.dram_base, addresses.dram_base + addresses.dram_size
+        )
+        self._ibex_window = (0, addresses.ot_bridge_base)
+        # Component handles hoisted once — the scheduler loop touches
+        # them every iteration and the ``self.soc.…`` chains add up.
+        self._cva6 = soc.cva6
+        self._ibex = soc.rot.ibex
+        self._commit = soc.commit
+        self._stage = soc.cfi_stage
 
     def tick(self) -> None:
         """Advance the whole platform by one cycle."""
@@ -89,8 +133,8 @@ class SystemSimulator:
         # Host side: commit stage (includes CFI stall protocol).
         if self._host_debt > 0:
             self._host_debt -= 1
-        elif not self.soc.cva6.halted:
-            result = self.soc.commit.try_advance()
+        elif not self._cva6.halted:
+            result = self._commit.try_advance()
             if result is not None and result.cycles > 1:
                 self._host_debt = result.cycles - 1
 
@@ -98,14 +142,14 @@ class SystemSimulator:
         if self.run_rot:
             if self._ibex_debt > 0:
                 self._ibex_debt -= 1
-            elif not self.soc.rot.ibex.halted:
-                result = self.soc.rot.ibex.step()
+            elif not self._ibex.halted:
+                result = self._ibex.step()
                 if result.cycles > 1:
                     self._ibex_debt = result.cycles - 1
 
         # CFI log writer FSM (may raise CfiViolation on a bad verdict).
-        if self.soc.cfi_stage is not None:
-            self.soc.cfi_stage.tick()
+        if self._stage is not None:
+            self._stage.tick()
 
     # -- event-driven fast path ---------------------------------------------------
 
@@ -119,15 +163,15 @@ class SystemSimulator:
         state and must be stepped normally.
         """
         bound = _UNBOUNDED
-        if not self.soc.cva6.halted:
+        if not self._cva6.halted:
             if self._host_debt > 0:
                 bound = self._host_debt
-            elif not self.soc.commit.stall_skippable():
+            elif not self._commit.stall_skippable():
                 return 0
             # A skippable stall is bounded below by whoever can release
             # it (the log writer or the RoT core).
         if self.run_rot:
-            ibex = self.soc.rot.ibex
+            ibex = self._ibex
             if not ibex.halted:
                 if self._ibex_debt > 0:
                     if self._ibex_debt < bound:
@@ -136,7 +180,7 @@ class SystemSimulator:
                     return 0
                 # else: asleep with no wake source — unbounded here; the
                 # doorbell that wakes it is bounded by the other parts.
-        stage = self.soc.cfi_stage
+        stage = self._stage
         if stage is not None:
             writer_bound = stage.skippable_cycles()
             if writer_bound <= 0:
@@ -155,16 +199,235 @@ class SystemSimulator:
         self.now += cycles
         if self._host_debt > 0:
             self._host_debt -= min(cycles, self._host_debt)
-        elif not self.soc.cva6.halted and self.soc.commit.stall_skippable():
-            self.soc.commit.skip_stall(cycles)
+        elif not self._cva6.halted and self._commit.stall_skippable():
+            self._commit.skip_stall(cycles)
         if self.run_rot:
-            ibex = self.soc.rot.ibex
+            ibex = self._ibex
             if self._ibex_debt > 0:
                 self._ibex_debt -= min(cycles, self._ibex_debt)
             elif ibex.sleeping and not ibex.halted:
                 ibex.sleep_for(cycles)
-        if self.soc.cfi_stage is not None:
-            self.soc.cfi_stage.skip(cycles)
+        if self._stage is not None:
+            self._stage.skip(cycles)
+
+    # -- batched fast path --------------------------------------------------------
+
+    def _batch_host(self, max_cycles: int) -> bool:
+        """Run the host through one interaction-free instruction window.
+
+        Eligible when the host is the *only* component that can act for
+        the window: commit uninhibited, Ibex unable to execute (asleep
+        with nothing pending, halted, frozen, or debt-bound — the debt
+        then bounds the window), and the log-writer FSM unable to
+        transition (its ``skippable_cycles`` bound the window; a batched
+        window pushes no commit logs, so a parked writer provably stays
+        parked and an in-flight countdown just melts).  The in-hart loop
+        stops before anything that breaks those proofs (see
+        :meth:`repro.hart.core.Hart.run_n`); the window's cycles are
+        then replayed in bulk exactly as :meth:`_advance` replays
+        skipped ones.
+        """
+        cva6 = self._cva6
+        if self._host_debt or cva6.halted or cva6.sleeping:
+            return False
+        commit = self._commit
+        if commit.stalled:
+            return False
+        budget = max_cycles - self.now - 1
+        ibex = self._ibex
+        if self.run_rot and not ibex.halted:
+            if self._ibex_debt > 0:
+                if self._ibex_debt < budget:
+                    budget = self._ibex_debt
+            elif not ibex.sleeping or ibex.interrupt_pending:
+                return False
+        stage = self._stage
+        if stage is not None:
+            writer_bound = stage.skippable_cycles()
+            if writer_bound <= 0:
+                return False
+            if writer_bound < budget:
+                budget = writer_bound
+        if budget <= 0:
+            return False
+        retired, spent, _term = cva6.run_n(
+            budget, *self._host_window, stop_before_cfi=True
+        )
+        if not retired:
+            return False
+        # The final instruction may overshoot the window; the overshoot
+        # is exactly the host's remaining cycle debt.
+        advanced = min(spent, budget)
+        self.now += advanced
+        self._host_debt = spent - advanced
+        commit.note_batch_retired(retired)
+        if self.run_rot and not ibex.halted:
+            if self._ibex_debt > 0:
+                self._ibex_debt -= min(advanced, self._ibex_debt)
+            elif ibex.sleeping:
+                ibex.sleep_for(advanced)
+        if stage is not None:
+            stage.skip(advanced)
+        return True
+
+    def _batch_ibex(self, max_cycles: int) -> bool:
+        """Run Ibex through one interaction-free firmware window.
+
+        The mirror image of :meth:`_batch_host`: eligible while the host
+        cannot retire anything (halted, stalled on the CFI queue, or
+        debt-bound) and the log-writer FSM cannot transition (its
+        ``skippable_cycles`` bound the window; ``WAIT`` is unbounded
+        because only Ibex's own completion write — a window boundary —
+        releases it).  Stall statistics for the inhibited host replay in
+        bulk through the same :meth:`CommitStage.skip_stall` bookkeeping
+        the event-driven path uses.
+        """
+        if not self.run_rot:
+            return False
+        ibex = self._ibex
+        if self._ibex_debt or ibex.halted or ibex.sleeping:
+            return False
+        budget = max_cycles - self.now - 1
+        cva6 = self._cva6
+        host_stalled = False
+        if not cva6.halted:
+            if self._host_debt > 0:
+                if self._host_debt < budget:
+                    budget = self._host_debt
+            elif self._commit.stall_skippable():
+                host_stalled = True
+            else:
+                return False
+        stage = self._stage
+        if stage is not None:
+            writer_bound = stage.skippable_cycles()
+            if writer_bound <= 0:
+                return False
+            if writer_bound < budget:
+                budget = writer_bound
+        if budget <= 0:
+            return False
+        retired, spent, term_cost = ibex.run_n(
+            budget, *self._ibex_window, terminate_on_store=True
+        )
+        if not retired:
+            return False
+        if term_cost:
+            # The window ended by *executing* an out-of-window store
+            # (mailbox verdict/completion, doorbell clear...).  Its
+            # retire cycle is T; replay everything else's view of
+            # cycles 1..T in order: the host's stall/debt bulk first,
+            # then the writer's T-1 no-change cycles, then its real
+            # tick at T — which observes the store's effects exactly as
+            # the busy loop's same-cycle writer tick would (and may
+            # raise the resulting CfiViolation, caught by run()).
+            advanced = spent - term_cost + 1
+            self._ibex_debt = spent - advanced
+        else:
+            advanced = min(spent, budget)
+            self._ibex_debt = spent - advanced
+        self.now += advanced
+        if not cva6.halted:
+            if self._host_debt > 0:
+                self._host_debt -= min(advanced, self._host_debt)
+            elif host_stalled:
+                self._commit.skip_stall(advanced)
+        if stage is not None:
+            if term_cost:
+                stage.skip(advanced - 1)
+                stage.tick()
+            else:
+                stage.skip(advanced)
+        return True
+
+    def _batch_dual(self, max_cycles: int) -> bool:
+        """Run *both* harts through one fully-isolated window.
+
+        Covers the phase neither solo window can: host and Ibex both
+        actively executing (e.g. the host retiring between commit-log
+        pushes while the firmware services a check).  Soundness comes
+        from full confinement: each hart's window allows loads *and*
+        stores only inside its private range (host: DRAM; Ibex: the
+        TL-UL fabric below the bridge), so the two instruction streams
+        — and the bounded log writer — provably cannot observe each
+        other inside the window.
+
+        Ibex runs first and may *run ahead* of the globally-accounted
+        clock (the excess becomes cycle debt): its confined window
+        touches only RoT-private state, cannot re-enable interrupts
+        (``mret``/``mstatus``/``mie`` writes are boundaries and the
+        window requires interrupts disabled on entry), and is therefore
+        invisible to anything the host or writer does afterwards.  The
+        host is then run only up to Ibex's accounted span, so the
+        host-visible platform never lags the host.
+        """
+        if not self.run_rot:
+            return False
+        cva6 = self._cva6
+        ibex = self._ibex
+        if self._host_debt or cva6.halted or cva6.sleeping:
+            return False
+        if self._ibex_debt or ibex.halted or ibex.sleeping:
+            return False
+        if self._commit.stalled:
+            return False
+        # The host must be interrupt-insensitive (no wired line) and
+        # Ibex interrupt-disabled, or pre-run immunity does not hold.
+        if cva6._irq_wired or ibex.csrs.mie_enabled:
+            return False
+        budget = max_cycles - self.now - 1
+        stage = self._stage
+        if stage is not None:
+            writer_bound = stage.skippable_cycles()
+            if writer_bound <= 0:
+                return False
+            if writer_bound < budget:
+                budget = writer_bound
+        if budget <= 0:
+            return False
+        ibex_retired, ibex_spent, _term = ibex.run_n(
+            budget, *self._ibex_window, confined=True
+        )
+        # Ibex's accounted span: a boundary stop pins the clock to the
+        # cycles actually executed (its next instruction must run on
+        # the per-cycle path); a budget stop accounts the whole budget,
+        # the overshoot melting as debt.
+        span = ibex_spent if ibex_spent < budget else budget
+        host_retired = host_spent = 0
+        if span > 0:
+            host_retired, host_spent, _hterm = cva6.run_n(
+                span, *self._host_window, stop_before_cfi=True, confined=True
+            )
+        if not ibex_retired and not host_retired:
+            return False
+        advanced = host_spent if host_spent < span else span
+        self.now += advanced
+        self._ibex_debt = ibex_spent - advanced
+        self._host_debt = host_spent - advanced
+        if host_retired:
+            self._commit.note_batch_retired(host_retired)
+        if stage is not None and advanced:
+            stage.skip(advanced)
+        return True
+
+    def _batch_any(self, max_cycles: int) -> bool:
+        """Dispatch to the one window shape the current state allows.
+
+        At most one of the three windows can be eligible — a host
+        window needs Ibex parked/debt-bound, an Ibex window an inactive
+        host, and the dual window both harts active — so one cheap
+        state probe picks the candidate instead of running all three
+        eligibility prologues every scheduler iteration.
+        """
+        cva6 = self._cva6
+        if not (self._host_debt or cva6.halted or cva6.sleeping
+                or self._commit.stalled):
+            ibex = self._ibex
+            if (self.run_rot and not self._ibex_debt
+                    and not ibex.halted and not ibex.sleeping):
+                return self._batch_dual(max_cycles)
+            return self._batch_host(max_cycles)
+        return self._batch_ibex(max_cycles)
 
     def run(self, max_cycles: int = 10_000_000) -> SimulationReport:
         """Run until the host halts and the CFI pipeline drains.
@@ -173,20 +436,31 @@ class SystemSimulator:
         re-raised — detection is the expected outcome of attack runs.
         """
         event_driven = self.event_driven
+        batched = self.batched
         try:
             while self.now < max_cycles:
                 self.tick()
-                if self.soc.cva6.halted and self._quiescent():
+                if self._cva6.halted and self._quiescent():
                     break
                 if event_driven:
-                    skip = self._skippable_cycles()
-                    if skip > 0:
-                        # Stay one cycle short of the budget so the
-                        # exhaustion path fires on the same cycle as the
-                        # busy loop's.
-                        skip = min(skip, max_cycles - self.now - 1)
+                    # Apply clock jumps and batched windows to a fixed
+                    # point: a window that ends in cycle debt is
+                    # followed by a jump (and possibly another window)
+                    # without paying for a full tick in between.  Every
+                    # action re-validates its own preconditions, so the
+                    # composition stays cycle-exact; the next tick then
+                    # lands on a provably interesting cycle.
+                    while True:
+                        skip = self._skippable_cycles()
                         if skip > 0:
-                            self._advance(skip)
+                            # Stay one cycle short of the budget so the
+                            # exhaustion path fires on the same cycle
+                            # as the busy loop's.
+                            skip = min(skip, max_cycles - self.now - 1)
+                            if skip > 0:
+                                self._advance(skip)
+                        if not batched or not self._batch_any(max_cycles):
+                            break
             else:
                 raise SimulationError(
                     f"co-simulation exceeded {max_cycles} cycles"

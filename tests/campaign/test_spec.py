@@ -164,6 +164,28 @@ class TestMatrices:
         assert any(s.attack for s in scenarios)
         assert any(s.attack is None for s in scenarios)
 
+    def test_full_matrix_sweeps_the_scaleout_axes(self):
+        scenarios = resolve_matrix("full")
+        assert len(scenarios) > len(default_matrix())
+        names = [s.name for s in scenarios]
+        assert len(set(names)) == len(names)
+        cosim = [s for s in scenarios if s.backend == "cosim"]
+        # queue depths × firmware variants actually sweep…
+        assert {s.queue_depth for s in cosim} >= {1, 4, 8}
+        assert {s.firmware for s in cosim} == {"irq", "polling"}
+        assert any(s.blocking for s in cosim)
+        assert any(s.fabric == "optimized" for s in cosim)
+        # …and seed-swept attack placement covers every seeded victim
+        # on both backends.
+        seeded = {name for name, spec in VICTIMS.items() if spec.seeded}
+        assert seeded, "registry must keep at least one seeded victim"
+        for backend in ("reference", "cosim"):
+            swept = {
+                s.victim for s in scenarios
+                if s.backend == backend and s.seed and s.victim in seeded
+            }
+            assert swept == seeded, backend
+
     def test_resolve_unknown_matrix(self):
         with pytest.raises(ConfigError):
             resolve_matrix("nope")
