@@ -35,9 +35,11 @@ from repro.attacks.programs import (
     deep_recursion_program,
     rop_program,
 )
+from repro.attacks.rop import run_attack_scenario
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import smoke_matrix
 from repro.eval import table1
+from repro.firmware.policies import CryptoReturnPolicy, ShadowStackPolicy
 from repro.firmware.shadow_stack import FirmwareLayout, shadow_stack_firmware
 from repro.system.sim import SystemSimulator
 from repro.system.soc import build_soc
@@ -92,6 +94,47 @@ def run_firmware_path() -> dict:
     return {"latencies": computed["derived"]["latencies"]}
 
 
+#: Policy-host workload mix: (name, program builder, policy factory,
+#: firmware variant whose calibrated timing model the host runs on).
+POLICYHOST_WORKLOADS = (
+    ("benign+shadow-stack", benign_program, ShadowStackPolicy, "irq"),
+    ("deep-recursion+shadow-stack", deep_recursion_program,
+     ShadowStackPolicy, "irq"),
+    ("rop+crypto-return", rop_program, CryptoReturnPolicy, "irq"),
+    ("benign+shadow-stack-polling", benign_program, ShadowStackPolicy,
+     "polling"),
+)
+
+
+def run_policyhost_mix(mode: str = None) -> dict:
+    """One pass of cosim runs with the policy host as mailbox agent.
+
+    Simulated totals are machine-independent and must be identical in
+    every engine (the host is a citizen of all three) — the ``--smoke``
+    path asserts exactly that.
+    """
+    from repro.system.addresses import AddressMap
+
+    addresses = AddressMap()
+    cycles = host_instructions = checks = 0
+    for _name, builder, policy_factory, variant in POLICYHOST_WORKLOADS:
+        outcome = run_attack_scenario(
+            builder(addresses),
+            firmware_variant=variant,
+            sim_mode=mode,
+            policy_backend="host",
+            policy=policy_factory(),
+        )
+        cycles += outcome.report.cycles
+        host_instructions += outcome.report.host_instructions
+        checks += outcome.report.cfi.get("checks_completed", 0)
+    return {
+        "cycles": cycles,
+        "host_instructions": host_instructions,
+        "checks": checks,
+    }
+
+
 def run_campaign_pass(sim_mode: str = None) -> dict:
     """One serial pass of the campaign smoke matrix (both backends).
 
@@ -122,15 +165,18 @@ def _timed(fn, min_seconds: float = 0.3, min_rounds: int = 3):
 
 def measure() -> dict:
     """Measure both engines; returns the snapshot payload."""
-    # Warm every cache first (decode, assembly, page allocations) so the
-    # numbers reflect steady-state throughput, as table sweeps see it.
+    # Warm every cache first (decode, assembly, page allocations, the
+    # policy host's calibrated response models) so the numbers reflect
+    # steady-state throughput, as table sweeps see it.
     run_cosim_mix()
     run_firmware_path()
     run_campaign_pass()
+    run_policyhost_mix()
 
     cosim_seconds, cosim_totals = _timed(run_cosim_mix)
     firmware_seconds, _ = _timed(run_firmware_path)
     campaign_seconds, campaign_totals = _timed(run_campaign_pass)
+    policyhost_seconds, policyhost_totals = _timed(run_policyhost_mix)
     # Per-engine co-sim comparison (default above is the batched mode).
     busy_seconds, _ = _timed(lambda: run_cosim_mix(mode="busy"))
     event_seconds, _ = _timed(lambda: run_cosim_mix(mode="event-driven"))
@@ -148,6 +194,15 @@ def measure() -> dict:
         },
         "firmware": {
             "seconds_per_pass": round(firmware_seconds, 6),
+        },
+        "policyhost": {
+            "workloads": [name for name, _, _, _ in POLICYHOST_WORKLOADS],
+            "seconds_per_pass": round(policyhost_seconds, 6),
+            "simulated_cycles": policyhost_totals["cycles"],
+            "checks": policyhost_totals["checks"],
+            "cycles_per_sec": round(
+                policyhost_totals["cycles"] / policyhost_seconds
+            ),
         },
         "campaign": {
             "matrix": "smoke",
@@ -183,6 +238,15 @@ def render(payload: dict) -> str:
         "  firmware measured-latency path (Table I):",
         f"    {payload['firmware']['seconds_per_pass'] * 1000:.2f} ms / pass",
     ]
+    policyhost = payload.get("policyhost")
+    if policyhost:
+        lines += [
+            f"  policy-host mix ({', '.join(policyhost['workloads'])}):",
+            f"    {policyhost['simulated_cycles']} cycles "
+            f"({policyhost['checks']} checks) / pass in "
+            f"{policyhost['seconds_per_pass'] * 1000:.1f} ms — "
+            f"{policyhost['cycles_per_sec']:,} simulated cycles/sec",
+        ]
     campaign = payload.get("campaign")
     if campaign:
         lines += [
@@ -224,6 +288,14 @@ def test_event_driven_totals_match_busy_loop():
     assert run_cosim_mix(mode="batched") == busy
 
 
+def test_policyhost_totals_match_across_engines():
+    """The policy host must be cycle-exact in every engine too."""
+    busy = run_policyhost_mix(mode="busy")
+    assert busy["cycles"] > 0 and busy["checks"] > 0
+    assert run_policyhost_mix(mode="event-driven") == busy
+    assert run_policyhost_mix(mode="batched") == busy
+
+
 def test_campaign_throughput(benchmark):
     run_campaign_pass()  # warm caches
     totals = benchmark.pedantic(run_campaign_pass, rounds=1, iterations=1)
@@ -242,6 +314,13 @@ def main(argv) -> int:
         assert run_cosim_mix(mode="busy") == totals
         assert run_cosim_mix(mode="event-driven") == totals
         run_firmware_path()
+        # Policy-host cross-engine invariance: any Python policy as a
+        # mailbox agent must not move a single simulated cycle between
+        # the three engines.
+        phost = run_policyhost_mix()
+        assert phost["cycles"] > 0 and phost["checks"] > 0
+        assert run_policyhost_mix(mode="busy") == phost
+        assert run_policyhost_mix(mode="event-driven") == phost
         # Campaign-matrix invariance: the batched engine must not move a
         # single simulated cycle (or any per-scenario field) anywhere in
         # the smoke matrix versus the busy loop — a batching regression
@@ -252,7 +331,8 @@ def main(argv) -> int:
         assert campaign["cycles"] == campaign_busy["cycles"]
         assert campaign["results"] == campaign_busy["results"]
         summary = {k: campaign[k] for k in ("scenarios", "cycles")}
-        print("bench_speed smoke ok:", totals, summary)
+        print("bench_speed smoke ok:", totals, summary,
+              {"policyhost_cycles": phost["cycles"]})
         return 0
     payload = measure()
     print(render(payload))

@@ -15,10 +15,17 @@ from typing import Optional
 
 from repro.attacks.programs import GADGET_MARKER
 from repro.core.config import TitanCfiConfig
-from repro.errors import CfiViolation
+from repro.errors import CfiViolation, ConfigError
+from repro.firmware.policies import Policy
 from repro.firmware.shadow_stack import FirmwareLayout, shadow_stack_firmware
 from repro.isa.asm import Program
-from repro.system.sim import SimulationReport, SystemSimulator
+from repro.system.sim import (
+    POLICY_BACKEND_FIRMWARE,
+    POLICY_BACKEND_HOST,
+    POLICY_BACKENDS,
+    SimulationReport,
+    SystemSimulator,
+)
 from repro.system.soc import TitanCfiSoc, build_soc
 
 
@@ -49,6 +56,8 @@ def run_attack_scenario(
     soc: Optional[TitanCfiSoc] = None,
     firmware_image: Optional[bytes] = None,
     sim_mode: Optional[str] = None,
+    policy_backend: str = POLICY_BACKEND_FIRMWARE,
+    policy: Optional[Policy] = None,
 ) -> AttackOutcome:
     """Run ``program`` on a TitanCFI-protected SoC.
 
@@ -66,15 +75,52 @@ def run_attack_scenario(
             match the default firmware layout.
         sim_mode: co-simulator engine (``None`` = engine default);
             every mode is cycle-exact, so the outcome is identical.
+        policy_backend: who serves the CFI mailbox — ``"firmware"``
+            runs the RV32 shadow-stack firmware on the Ibex ISS;
+            ``"host"`` mounts ``policy`` as a
+            :class:`repro.policyhost.PolicyHost` on the cycle model
+            calibrated for ``firmware_variant`` and ``fabric``.
+        policy: the Python policy to enforce (``"host"`` backend only).
     """
+    if policy_backend not in POLICY_BACKENDS:
+        raise ConfigError(
+            f"unknown policy backend {policy_backend!r} (have: {POLICY_BACKENDS})"
+        )
     if soc is None:
         config = TitanCfiConfig(queue_depth=queue_depth, blocking=blocking)
         soc = build_soc(cfi_config=config, fabric=fabric)
-        if firmware_image is None:
-            firmware_image = shadow_stack_firmware(
-                firmware_variant, FirmwareLayout(soc.addresses)
-            ).data
-        soc.load_firmware(firmware_image)
+        if policy_backend == POLICY_BACKEND_HOST:
+            from repro.policyhost.host import mount_policy_host
+
+            if policy is None:
+                raise ConfigError("policy_backend='host' needs a policy instance")
+            mount_policy_host(soc, policy, variant=firmware_variant)
+        else:
+            if policy is not None:
+                raise ConfigError(
+                    "a policy instance needs policy_backend='host' (the "
+                    "firmware backend implements the shadow stack itself)"
+                )
+            if firmware_image is None:
+                firmware_image = shadow_stack_firmware(
+                    firmware_variant, FirmwareLayout(soc.addresses)
+                ).data
+            soc.load_firmware(firmware_image)
+    else:
+        # A prebuilt SoC arrives with its mailbox agent already set up;
+        # the policy arguments must agree with it, not be ignored.
+        mounted = getattr(soc, "policy_host", None) is not None
+        if policy is not None:
+            raise ConfigError(
+                "pass a pre-built soc with its policy host already "
+                "mounted (repro.policyhost.mount_policy_host), not a "
+                "policy instance"
+            )
+        if (policy_backend == POLICY_BACKEND_HOST) != mounted:
+            raise ConfigError(
+                f"policy_backend={policy_backend!r} but the pre-built soc "
+                f"{'has' if mounted else 'has no'} policy host mounted"
+            )
     soc.load_host_program(program)
 
     simulator = SystemSimulator(soc, mode=sim_mode)

@@ -36,7 +36,7 @@ from repro.eval.report import render_table
 
 #: Column order of campaign.csv (and the per-scenario dict fields it pulls).
 CSV_FIELDS = (
-    "name", "backend", "victim", "attack", "policy", "firmware",
+    "name", "backend", "victim", "attack", "policy", "policy_backend", "firmware",
     "queue_depth", "blocking", "seed", "seeded", "expected_detected", "detected",
     "expectation_met", "violation_kind", "cycles", "host_instructions",
     "cf_events", "events_checked", "detection_latency", "stall_cycles",

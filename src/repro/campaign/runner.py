@@ -34,8 +34,10 @@ from repro.attacks.rop import run_attack_scenario
 from repro.campaign.spec import (
     BACKEND_COSIM,
     BACKEND_REFERENCE,
+    POLICY_BACKEND_HOST,
     POLICY_COARSE,
     POLICY_COMPOSITE,
+    POLICY_CRYPTO_RETURN,
     POLICY_FORWARD_EDGE,
     POLICY_NONE,
     POLICY_SHADOW_STACK,
@@ -51,6 +53,7 @@ from repro.firmware.policies import (
     CheckResult,
     CoarseGrainedPolicy,
     CompositePolicy,
+    CryptoReturnPolicy,
     ForwardEdgePolicy,
     ShadowStackPolicy,
 )
@@ -171,6 +174,8 @@ def _build_policy(scenario: Scenario, program: Program):
             ShadowStackPolicy(),
             ForwardEdgePolicy(_resolve_symbols(program, victim.entry_points)),
         ])
+    if scenario.policy == POLICY_CRYPTO_RETURN:
+        return CryptoReturnPolicy()
     raise ConfigError(f"unknown policy {scenario.policy!r}")
 
 
@@ -261,13 +266,24 @@ def _run_reference(scenario: Scenario, seed: int) -> Dict[str, object]:
 
 def _run_cosim(scenario: Scenario, seed: int,
                sim_mode: Optional[str] = None) -> Dict[str, object]:
-    """Full-platform backend: the RV32 firmware is the policy.
+    """Full-platform backend: firmware or policy host serves the mailbox.
 
     Delegates the build/boot/run/verdict sequence to
     :func:`repro.attacks.rop.run_attack_scenario` so the campaign
     exercises exactly the single-run path the rest of the repo uses.
+    The scenario's resolved ``policy_backend`` selects the mailbox
+    agent: the RV32 firmware image (shard-cached), or the scenario's
+    policy mounted as a policy host (the calibrated response model is
+    memoised per firmware config, so it too is a shard-level artifact).
     """
     program = SHARD_CACHE.program(scenario.victim, seed)
+    policy_backend = scenario.resolved_policy_backend
+    policy = None
+    firmware_image = None
+    if policy_backend == POLICY_BACKEND_HOST:
+        policy = _build_policy(scenario, program)
+    else:
+        firmware_image = SHARD_CACHE.firmware(scenario.firmware)
     outcome = run_attack_scenario(
         program,
         firmware_variant=scenario.firmware,
@@ -275,8 +291,10 @@ def _run_cosim(scenario: Scenario, seed: int,
         blocking=scenario.blocking,
         fabric=scenario.fabric,
         max_cycles=scenario.max_cycles,
-        firmware_image=SHARD_CACHE.firmware(scenario.firmware),
+        firmware_image=firmware_image,
         sim_mode=sim_mode,
+        policy_backend=policy_backend,
+        policy=policy,
     )
     report = outcome.report
     busy = report.cycles - report.host_stall_cycles
@@ -321,6 +339,7 @@ def run_scenario(scenario: Scenario, campaign_seed: int = 0,
         "victim": scenario.victim,
         "attack": scenario.attack,
         "policy": scenario.policy,
+        "policy_backend": scenario.resolved_policy_backend,
         "firmware": scenario.firmware if scenario.backend == BACKEND_COSIM else None,
         "queue_depth": (
             scenario.queue_depth if scenario.backend == BACKEND_COSIM else None

@@ -13,10 +13,13 @@ Two backends exist:
 * ``reference`` — execute the victim on a bare CVA6 ISS, capture the
   CFI-relevant commit-log stream, and check it against a Python
   reference policy (:mod:`repro.firmware.policies`).  Fast; any policy.
-* ``cosim`` — the full platform (CVA6 + CFI stage + mailbox + Ibex
-  running the RV32 shadow-stack firmware).  Cycle-accurate detection
-  latency and overhead; the policy is the shadow stack the firmware
-  implements.
+* ``cosim`` — the full platform (CVA6 + CFI stage + mailbox + RoT).
+  Cycle-accurate detection latency and overhead.  The mailbox agent is
+  selected by the ``policy_backend`` axis: ``"firmware"`` runs the RV32
+  shadow-stack firmware on the Ibex ISS, ``"host"`` mounts any Python
+  policy as a :class:`repro.policyhost.PolicyHost` on the
+  firmware-calibrated cycle model — so the cosim backend sweeps the
+  full victim × policy product.
 
 Expected verdicts are derived from an (attack class × policy) table —
 the campaign's ground truth, mirroring how the CFI-survey literature
@@ -170,15 +173,22 @@ POLICY_SHADOW_STACK = "shadow-stack"
 POLICY_FORWARD_EDGE = "forward-edge"
 POLICY_COARSE = "coarse"
 POLICY_COMPOSITE = "composite"
+POLICY_CRYPTO_RETURN = "crypto-return"
 
-#: Policies the reference backend can instantiate.
+#: Policies the registries can instantiate (the reference backend runs
+#: them over captured traces; the cosim backend runs them as mailbox
+#: agents through the policy host — see ``policy_backend``).
 REFERENCE_POLICIES = (
     POLICY_NONE,
     POLICY_SHADOW_STACK,
     POLICY_FORWARD_EDGE,
     POLICY_COARSE,
     POLICY_COMPOSITE,
+    POLICY_CRYPTO_RETURN,
 )
+
+#: Policies with a mailbox-agent incarnation (everything enforcing).
+ENFORCING_POLICIES = tuple(p for p in REFERENCE_POLICIES if p != POLICY_NONE)
 
 #: Ground truth: which attack classes each policy is specified to stop.
 #: (The shadow stack catches every return-edge corruption; target-set
@@ -196,6 +206,10 @@ POLICY_DETECTS: Dict[str, frozenset] = {
         {ATTACK_ROP, ATTACK_RET_TO_CALLSITE, ATTACK_JOP,
          ATTACK_CALL_HIJACK, ATTACK_FWD_JUMP}
     ),
+    # MAC-authenticated return addresses (CCFI-style): exact return-edge
+    # protection, no forward-edge coverage — same detection envelope as
+    # the shadow stack, via cryptographic tags instead of trusted memory.
+    POLICY_CRYPTO_RETURN: frozenset({ATTACK_ROP, ATTACK_RET_TO_CALLSITE}),
 }
 
 
@@ -214,6 +228,16 @@ def expected_detection(victim: str, policy: str) -> bool:
 BACKEND_REFERENCE = "reference"
 BACKEND_COSIM = "cosim"
 
+#: Mailbox-agent axis of a cosim scenario (mirrors
+#: :data:`repro.system.sim.POLICY_BACKENDS`; ``auto`` resolves to the
+#: firmware for its own policy and to the policy host for every other).
+POLICY_BACKEND_AUTO = "auto"
+POLICY_BACKEND_FIRMWARE = "firmware"
+POLICY_BACKEND_HOST = "host"
+
+_POLICY_BACKENDS = (POLICY_BACKEND_AUTO, POLICY_BACKEND_FIRMWARE,
+                    POLICY_BACKEND_HOST)
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -221,15 +245,20 @@ class Scenario:
 
     Attributes:
         victim: a :data:`VICTIMS` key.
-        policy: a :data:`REFERENCE_POLICIES` entry (the cosim backend
-            only supports ``shadow-stack``, the firmware's policy).
+        policy: a :data:`REFERENCE_POLICIES` entry.
         backend: ``"reference"`` or ``"cosim"``.
-        firmware: firmware variant for the cosim backend.
+        firmware: firmware variant for the cosim backend (also selects
+            the policy host's calibrated timing model).
         queue_depth: CFI queue depth (cosim backend).
         blocking: per-check stall mode (cosim backend).
         fabric: RoT interconnect profile (cosim backend).
         seed: per-scenario seed (0 = derive from the campaign seed).
         max_cycles: co-simulation cycle bound.
+        policy_backend: cosim mailbox agent — ``"firmware"`` (RV32
+            shadow-stack firmware on Ibex), ``"host"`` (the policy as
+            a :class:`repro.policyhost.PolicyHost`), or ``"auto"``
+            (firmware for ``shadow-stack``, host otherwise).  Ignored
+            by the reference backend.
     """
 
     victim: str
@@ -241,6 +270,7 @@ class Scenario:
     fabric: str = "standard"
     seed: int = 0
     max_cycles: int = 10_000_000
+    policy_backend: str = POLICY_BACKEND_AUTO
 
     def __post_init__(self):
         if self.victim not in VICTIMS:
@@ -249,10 +279,21 @@ class Scenario:
             raise ConfigError(f"unknown backend {self.backend!r}")
         if self.policy not in REFERENCE_POLICIES:
             raise ConfigError(f"unknown policy {self.policy!r}")
-        if self.backend == BACKEND_COSIM and self.policy != POLICY_SHADOW_STACK:
+        if self.policy_backend not in _POLICY_BACKENDS:
             raise ConfigError(
-                "the cosim backend runs the shadow-stack firmware; "
-                f"policy {self.policy!r} needs backend='reference'"
+                f"unknown policy backend {self.policy_backend!r} "
+                f"(have: {_POLICY_BACKENDS})"
+            )
+        if self.backend == BACKEND_COSIM and self.resolved_policy_backend is None:
+            if self.policy == POLICY_NONE:
+                raise ConfigError(
+                    "the cosim backend needs an enforcing policy; "
+                    "policy 'none' needs backend='reference'"
+                )
+            raise ConfigError(
+                "the RV32 firmware implements only the shadow stack; "
+                f"policy {self.policy!r} on the cosim backend needs "
+                "policy_backend='host' (or 'auto')"
             )
         if self.firmware not in ("irq", "polling"):
             raise ConfigError(f"unknown firmware variant {self.firmware!r}")
@@ -262,10 +303,29 @@ class Scenario:
             raise ConfigError("queue_depth must be >= 1")
 
     @property
+    def resolved_policy_backend(self) -> Optional[str]:
+        """The mailbox agent this cell actually runs, or ``None`` when
+        the combination is unresolvable (reference backend, a cosim
+        cell with no enforcing policy, or the firmware asked to run a
+        policy it does not implement)."""
+        if self.backend != BACKEND_COSIM or self.policy == POLICY_NONE:
+            return None
+        if self.policy_backend == POLICY_BACKEND_AUTO:
+            return (POLICY_BACKEND_FIRMWARE
+                    if self.policy == POLICY_SHADOW_STACK
+                    else POLICY_BACKEND_HOST)
+        if (self.policy_backend == POLICY_BACKEND_FIRMWARE
+                and self.policy != POLICY_SHADOW_STACK):
+            return None
+        return self.policy_backend
+
+    @property
     def name(self) -> str:
         """Stable human-readable identity (also the seed-derivation key)."""
         parts = [self.backend, self.victim, self.policy]
         if self.backend == BACKEND_COSIM:
+            if self.resolved_policy_backend == POLICY_BACKEND_HOST:
+                parts.append(POLICY_BACKEND_HOST)
             parts.append(self.firmware)
             parts.append(f"q{self.queue_depth}")
             if self.blocking:
@@ -310,11 +370,12 @@ def expand_grid(**axes: Sequence[object]) -> List[Scenario]:
 
     Each keyword is a :class:`Scenario` field name mapped to the values
     to sweep; scalars are promoted to one-element axes.  Invalid
-    combinations (a non-shadow-stack policy on the cosim backend) and
-    redundant cells (reference-backend scenarios that differ only in
-    cosim-only knobs such as ``firmware`` or ``queue_depth``) are
-    dropped, so grids can sweep policies and backends together; a bad
-    field *value* (a typo'd victim or policy name) still raises::
+    combinations (cosim with no enforcing policy, or the firmware
+    backend asked for a policy it does not implement) and redundant
+    cells (reference-backend scenarios that differ only in cosim-only
+    knobs such as ``firmware`` or ``queue_depth``) are dropped, so
+    grids can sweep policies, backends and policy backends together; a
+    bad field *value* (a typo'd victim or policy name) still raises::
 
         expand_grid(victim=["rop", "benign"],
                     policy=["shadow-stack", "coarse"],
@@ -328,13 +389,17 @@ def expand_grid(**axes: Sequence[object]) -> List[Scenario]:
     seen: set = set()
     for combo in itertools.product(*value_lists):
         kwargs = dict(zip(names, combo))
-        # Only the known *cross-field* incompatibility is skippable; a
-        # bad field value (typo'd victim/policy name) must still raise,
-        # or the matrix would silently shrink.
-        if (kwargs.get("backend") == BACKEND_COSIM
-                and kwargs.get("policy", POLICY_SHADOW_STACK)
-                != POLICY_SHADOW_STACK):
-            continue
+        # Only the known *cross-field* incompatibilities are skippable;
+        # a bad field value (typo'd victim/policy name) must still
+        # raise, or the matrix would silently shrink.
+        if kwargs.get("backend") == BACKEND_COSIM:
+            policy = kwargs.get("policy", POLICY_SHADOW_STACK)
+            policy_backend = kwargs.get("policy_backend", POLICY_BACKEND_AUTO)
+            if policy == POLICY_NONE:
+                continue
+            if (policy_backend == POLICY_BACKEND_FIRMWARE
+                    and policy != POLICY_SHADOW_STACK):
+                continue
         scenario = Scenario(**kwargs)
         # Scenario.name omits knobs its backend ignores, so equivalent
         # cells from a mixed-backend sweep collapse to the first one.
@@ -384,6 +449,37 @@ def smoke_matrix() -> List[Scenario]:
         victim=["benign", "rop"],
         backend=BACKEND_COSIM,
     )
+    # Policy-host slice: two policies the firmware does not implement,
+    # running cycle-accurately as mailbox agents.
+    scenarios += expand_grid(
+        victim=["benign", "rop"],
+        policy=[POLICY_COMPOSITE, POLICY_CRYPTO_RETURN],
+        backend=BACKEND_COSIM,
+        policy_backend=POLICY_BACKEND_HOST,
+    )
+    return scenarios
+
+
+def policyhost_matrix() -> List[Scenario]:
+    """The policy-host campaign: the complete victim × enforcing-policy
+    product on the cosim backend with every policy mounted as a mailbox
+    agent (shadow-stack-on-host included, for differential coverage
+    against the firmware cells of the other matrices), plus the
+    Table II blocking configuration for the return-edge policies."""
+    scenarios = expand_grid(
+        victim=sorted(VICTIMS),
+        policy=list(ENFORCING_POLICIES),
+        backend=BACKEND_COSIM,
+        policy_backend=POLICY_BACKEND_HOST,
+    )
+    scenarios += expand_grid(
+        victim=["benign", "rop"],
+        policy=[POLICY_SHADOW_STACK, POLICY_CRYPTO_RETURN],
+        backend=BACKEND_COSIM,
+        policy_backend=POLICY_BACKEND_HOST,
+        queue_depth=1,
+        blocking=True,
+    )
     return scenarios
 
 
@@ -428,13 +524,16 @@ def full_matrix() -> List[Scenario]:
         backend=BACKEND_COSIM,
         fabric="optimized",
     )
-    # …and seed-swept cosim runs of the seeded victims.
+    # …seed-swept cosim runs of the seeded victims…
     scenarios += expand_grid(
         victim=seeded,
         backend=BACKEND_COSIM,
         queue_depth=[2, 8],
         seed=[11, 22],
     )
+    # …and the policy-host product: every victim × every enforcing
+    # policy as a cycle-accurate mailbox agent.
+    scenarios += policyhost_matrix()
     return scenarios
 
 
@@ -442,6 +541,7 @@ MATRICES: Dict[str, Callable[[], List[Scenario]]] = {
     "default": default_matrix,
     "smoke": smoke_matrix,
     "full": full_matrix,
+    "policyhost": policyhost_matrix,
 }
 
 

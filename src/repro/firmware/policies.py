@@ -39,6 +39,21 @@ class Policy(Protocol):
         ...
 
 
+#: Values of the optional ``last_event`` attribute a policy may expose
+#: after each :meth:`check`.  The policy-host cycle model uses it to
+#: select the firmware code path a check corresponds to (a shadow-stack
+#: underflow takes a shorter firmware path than a pop-and-mismatch, so
+#: the two must be charged differently); policies without the attribute
+#: are charged the verdict-derived default path.
+EVENT_PUSH = "push"            # call: entry pushed
+EVENT_SPILL = "spill"          # call: overflow spill, then push
+EVENT_POP = "pop"              # return: popped and matched
+EVENT_MISMATCH = "mismatch"    # return: popped, target mismatch
+EVENT_UNDERFLOW = "underflow"  # return: nothing to pop (and no spill)
+EVENT_RESTORE = "restore"      # return: spill block restored first
+EVENT_SKIP = "skip"            # event the policy does not constrain
+
+
 @dataclass
 class PolicyStats:
     """Counters every policy keeps."""
@@ -87,6 +102,8 @@ class ShadowStackPolicy:
         #: Untrusted spill storage: list of (packed entries, tag).
         self.spill_area: List[Tuple[bytes, bytes]] = []
         self.stats = PolicyStats()
+        #: Firmware code path of the most recent check (see EVENT_*).
+        self.last_event: str = EVENT_SKIP
 
     # -- helpers --------------------------------------------------------------
 
@@ -128,23 +145,37 @@ class ShadowStackPolicy:
             self.stats.calls += 1
             if len(self.stack) >= self.capacity:
                 self._spill()
+                self.last_event = EVENT_SPILL
+            else:
+                self.last_event = EVENT_PUSH
             self.stack.append(log.next_address)
             return CheckResult.OK
         if kind is CfKind.RETURN:
             self.stats.returns += 1
+            self.last_event = EVENT_POP
             if not self.stack:
-                if not self.spill_area or not self._restore():
+                if not self.spill_area:
+                    self.last_event = EVENT_UNDERFLOW
                     self.stats.violations += 1
                     return CheckResult.VIOLATION
+                if not self._restore():
+                    self.last_event = EVENT_RESTORE
+                    self.stats.violations += 1
+                    return CheckResult.VIOLATION
+                self.last_event = EVENT_RESTORE
             expected = self.stack.pop()
             if expected != log.target:
+                if self.last_event == EVENT_POP:
+                    self.last_event = EVENT_MISMATCH
                 self.stats.violations += 1
                 return CheckResult.VIOLATION
             return CheckResult.OK
         if kind is CfKind.INDIRECT_JUMP:
             # Return-address protection does not constrain forward edges.
             self.stats.indirect_jumps += 1
+            self.last_event = EVENT_SKIP
             return CheckResult.OK
+        self.last_event = EVENT_SKIP
         return CheckResult.OK
 
     @property
@@ -262,18 +293,146 @@ class CoarseGrainedPolicy:
 class CompositePolicy:
     """Run several policies on each log; any violation wins."""
 
+    #: Most-specific-first precedence for the composite's own
+    #: ``last_event``: structural events (spill/restore/underflow) must
+    #: win over plain push/pop so the policy host's path selection (and
+    #: its fail-loud guard for uncalibrated paths) sees them.
+    _EVENT_PRECEDENCE = (EVENT_SPILL, EVENT_RESTORE, EVENT_UNDERFLOW,
+                         EVENT_MISMATCH, EVENT_POP, EVENT_PUSH)
+
     def __init__(self, policies: List[Policy]):
         if not policies:
             raise ConfigError("composite policy needs at least one member")
         self.policies = policies
         self.stats = PolicyStats()
+        self.last_event: str = EVENT_SKIP
 
     def check(self, log: CommitLog) -> CheckResult:
         self.stats.checks += 1
         verdict = CheckResult.OK
+        events = []
         for policy in self.policies:
             if policy.check(log) is CheckResult.VIOLATION:
                 verdict = CheckResult.VIOLATION
+            events.append(getattr(policy, "last_event", EVENT_SKIP))
+        self.last_event = next(
+            (event for event in self._EVENT_PRECEDENCE if event in events),
+            EVENT_SKIP,
+        )
         if verdict is CheckResult.VIOLATION:
             self.stats.violations += 1
         return verdict
+
+    def host_extra_cycles(self, log: CommitLog, verdict: CheckResult) -> int:
+        """Mailbox-agent surcharge: the sum of every member's surcharge
+        (a firmware running several policies pays each one's extra work
+        per check)."""
+        total = 0
+        for policy in self.policies:
+            extra = getattr(policy, "host_extra_cycles", None)
+            if extra is not None:
+                total += extra(log, verdict)
+        return total
+
+
+class CryptoReturnPolicy:
+    """MAC-authenticated return addresses, in the spirit of CCFI
+    (Mashtizadeh et al.): instead of hiding the shadow stack in trusted
+    scratchpad, every pushed return address is *tagged* with an HMAC
+    over ``(address, stack position)`` under the device key, so the
+    whole structure could live in untrusted memory — tampering with
+    either an address or its position is detected when the tag is
+    re-verified on return.
+
+    This policy exists to exercise the policy-host subsystem with an
+    enforcement scheme the RV32 firmware does **not** implement: it
+    runs on the cosim backend only as a mailbox agent
+    (:class:`repro.policyhost.PolicyHost`), paying a modelled HMAC
+    surcharge per call/return on top of the firmware-derived per-event
+    costs (see :meth:`host_extra_cycles`).
+
+    Args:
+        accel: HMAC accelerator (shared with the RoT model when used
+            inside the SoC; a private one otherwise).
+        key: MAC key held in tamper-proof storage.
+    """
+
+    #: Modelled accelerator cost of one MAC over a (address, position)
+    #: record on the standard RoT fabric: 4 message words + length +
+    #: command + status poll + 8 digest reads ≈ 15 scratchpad-latency
+    #: accesses at ~5 cycles, plus bookkeeping logic.
+    MAC_CYCLES = 85
+    #: A return additionally compares the 8-word tag (loads + xor/or).
+    VERIFY_EXTRA_CYCLES = 18
+
+    def __init__(
+        self,
+        accel: Optional[HmacAccelerator] = None,
+        key: bytes = b"titancfi-device-key",
+    ):
+        self.accel = accel or HmacAccelerator()
+        self.key = key
+        #: Untrusted storage: (return address, tag) per frame.
+        self.table: List[Tuple[int, bytes]] = []
+        self.stats = PolicyStats()
+        self.last_event: str = EVENT_SKIP
+
+    def _tag(self, address: int, position: int) -> bytes:
+        record = address.to_bytes(8, "little") + position.to_bytes(8, "little")
+        return self.accel.compute_hmac(self.key, record)
+
+    def check(self, log: CommitLog) -> CheckResult:
+        self.stats.checks += 1
+        kind = log.kind
+        if kind is CfKind.CALL:
+            self.stats.calls += 1
+            self.last_event = EVENT_PUSH
+            address = log.next_address
+            self.table.append((address, self._tag(address, len(self.table))))
+            return CheckResult.OK
+        if kind is CfKind.RETURN:
+            self.stats.returns += 1
+            if not self.table:
+                self.last_event = EVENT_UNDERFLOW
+                self.stats.violations += 1
+                return CheckResult.VIOLATION
+            self.last_event = EVENT_POP
+            address, tag = self.table.pop()
+            fresh = self._tag(address, len(self.table))
+            if not constant_time_equal(fresh, tag):
+                # The stored record was tampered with in untrusted memory.
+                self.last_event = EVENT_MISMATCH
+                self.stats.violations += 1
+                return CheckResult.VIOLATION
+            if address != log.target:
+                self.last_event = EVENT_MISMATCH
+                self.stats.violations += 1
+                return CheckResult.VIOLATION
+            return CheckResult.OK
+        if kind is CfKind.INDIRECT_JUMP:
+            self.stats.indirect_jumps += 1
+        self.last_event = EVENT_SKIP
+        return CheckResult.OK
+
+    def host_extra_cycles(self, log: CommitLog, verdict: CheckResult) -> int:
+        """Cycles a mailbox-agent check pays beyond the shadow-stack
+        firmware's measured per-event cost: one accelerator MAC per
+        call (tag) and per return (re-verify + constant-time compare)."""
+        kind = log.kind
+        if kind is CfKind.CALL:
+            return self.MAC_CYCLES
+        if kind is CfKind.RETURN and self.last_event != EVENT_UNDERFLOW:
+            return self.MAC_CYCLES + self.VERIFY_EXTRA_CYCLES
+        return 0
+
+    @property
+    def depth(self) -> int:
+        """Protected return-address depth."""
+        return len(self.table)
+
+    def tamper(self, frame: int = -1) -> None:
+        """Corrupt one stored return address (attack-simulation hook):
+        the tag no longer matches, so the next return through the frame
+        is flagged even if the attacker aims at the original address."""
+        address, tag = self.table[frame]
+        self.table[frame] = (address ^ 0x10, tag)

@@ -1,0 +1,472 @@
+"""Calibrated response model: firmware-measured mailbox handshake timing.
+
+The policy host must answer doorbells with the *same* cycle timing the
+RV32 shadow-stack firmware exhibits, or host-backed co-simulations
+would drift from the firmware-backed ones.  Rather than hard-coding
+latency constants, this module **measures** the real firmware on the
+Ibex ISS — the same measurement philosophy as the Table I harness
+(:mod:`repro.eval.firmware_analysis`) — and condenses the results into
+a :class:`ResponseModel`:
+
+* **busy curve** — ring→completion latency as a function of the
+  doorbell's offset ``d`` from the previous completion, measured by
+  sweeping ``d`` over a steady back-to-back chain.  The curve captures
+  every service regime in one function: doorbell during the ISR
+  epilogue (serviced at ``mret``), during the idle window, and after
+  WFI sleep (wake latency included).  Its tail is periodic — constant
+  for the IRQ firmware (asleep), poll-loop-periodic for the polling
+  firmware — so one finite sweep extrapolates exactly to any offset.
+* **boot tail curve** — the same function for a *first* doorbell,
+  anchored at reset instead of a previous completion, measured from
+  the cycle the firmware reaches its steady idle point.
+* **service deltas** — per-event costs: the firmware's check latency
+  differs by the commit log's parse path (JAL vs JALR call, return via
+  ``ra`` vs ``t0``, indirect jump, non-transfer) and its outcome (push,
+  pop-and-match, mismatch, underflow).  Each path is probed from the
+  identical arrival phase; the model stores its latency delta against
+  the reference path (a ``jal ra`` call).
+* **shadow sessions** — a first doorbell that lands *before* the
+  firmware's steady idle point (the host program's first control-flow
+  event often beats the RoT boot sequence) is answered by a private
+  ISS rig replaying the exact ring sequence, until the run's first
+  steady-length gap hands over to the curves.  This keeps the boot
+  epoch exact by construction instead of modelling every boot phase.
+
+Models are memoised per ``(firmware variant, fabric, wake_cycles)`` —
+one calibration serves every scenario of a campaign shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.commit_log import CommitLog
+from repro.errors import SimulationError
+from repro.firmware.shadow_stack import FirmwareLayout, shadow_stack_firmware
+from repro.isa import opcodes as op
+from repro.isa.encode import encode_i, encode_j
+from repro.system.soc import build_soc
+
+#: Reference path every service delta is measured against.
+P0_KEY = ("call-jal-ra", "ok")
+
+#: Longest tail period the calibration will look for (the polling
+#: firmware's poll loop is ~15 cycles; IRQ tails are constant).
+_MAX_PERIOD = 32
+#: Consecutive samples that must repeat before a period is accepted.
+_CONFIRM = 2 * _MAX_PERIOD
+#: Hard cap on adaptive sweeps (a failure to find a period below this
+#: means the firmware is not in a steady regime — a calibration bug).
+_SWEEP_CAP = 1024
+
+_PROBE_PC = 0x8000_1000
+_PROBE_TARGET = 0x8000_2000
+
+
+def _probe_log(encoding: int, target: int = _PROBE_TARGET) -> CommitLog:
+    return CommitLog(pc=_PROBE_PC, encoding=encoding,
+                     next_address=_PROBE_PC + 4, target=target)
+
+
+def _call_log(rd: int = 1, jal: bool = True) -> CommitLog:
+    encoding = (encode_j(op.OP_JAL, rd, 0x100) if jal
+                else encode_i(op.OP_JALR, 0, rd, 10, 0))
+    return _probe_log(encoding)
+
+
+def _ret_log(rs1: int = 1, target: int = _PROBE_PC + 4) -> CommitLog:
+    return _probe_log(encode_i(op.OP_JALR, 0, 0, rs1, 0), target=target)
+
+
+def _probe_plan() -> List[Tuple[Tuple[str, str], List[CommitLog], CommitLog]]:
+    """(path key, setup logs, probe log) for every firmware check path.
+
+    Underflow probes come first (they need an empty shadow stack);
+    every return probe is preceded by its own matching call so the
+    resident depth never drifts past a handful of entries.
+    """
+    match = _PROBE_PC + 4
+    return [
+        (("ret-ra", "underflow"), [], _ret_log(1)),
+        (("ret-t0", "underflow"), [], _ret_log(5)),
+        (P0_KEY, [], _call_log(1)),
+        (("call-jal-t0", "ok"), [], _call_log(5)),
+        (("call-jalr-ra", "ok"), [], _call_log(1, jal=False)),
+        (("call-jalr-t0", "ok"), [], _call_log(5, jal=False)),
+        (("ret-ra", "ok"), [_call_log(1)], _ret_log(1, target=match)),
+        (("ret-ra", "bad"), [_call_log(1)], _ret_log(1, target=_PROBE_TARGET)),
+        (("ret-t0", "ok"), [_call_log(1)], _ret_log(5, target=match)),
+        (("ret-t0", "bad"), [_call_log(1)], _ret_log(5, target=_PROBE_TARGET)),
+        (("jump-rs", "ok"), [], _probe_log(encode_i(op.OP_JALR, 0, 0, 10, 0))),
+        (("jump-rd", "ok"), [], _probe_log(encode_i(op.OP_JALR, 0, 6, 10, 0))),
+        (("jal-jump", "ok"), [], _probe_log(encode_j(op.OP_JAL, 0, 0x100))),
+        (("other", "ok"), [], _probe_log(0x13)),  # addi x0,x0,0
+    ]
+
+
+class _MicroRig:
+    """A frozen RoT servicing the CFI mailbox, stepped like the cosim.
+
+    Replicates the co-simulator's per-cycle Ibex scheduling exactly
+    (one :meth:`~repro.hart.core.Hart.step` when no cycle debt remains)
+    and replicates the component ordering within a cycle: a doorbell
+    rung "at cycle T" lands *after* Ibex's step of cycle T, which is
+    where the log writer's ring lands in the busy loop (the CFI stage
+    ticks after the RoT core).  Completion times are recorded through
+    the mailbox's ``on_completion`` callback, i.e. at the cycle the
+    firmware's completion store executes — the cycle the log writer's
+    same-cycle tick observes it.
+    """
+
+    def __init__(self, variant: str, fabric: str, wake_cycles: int):
+        self.variant = variant
+        soc = build_soc(fabric=fabric, with_cfi=False, wake_cycles=wake_cycles)
+        self.firmware = shadow_stack_firmware(variant, FirmwareLayout(soc.addresses))
+        soc.load_firmware(self.firmware.data)
+        self.soc = soc
+        self.ibex = soc.rot.ibex
+        self.mailbox = soc.cfi_mailbox
+        self.now = 0
+        self._debt = 0
+        self.completion_at: Optional[int] = None
+        self.mailbox.on_completion = self._note_completion
+
+    def _note_completion(self) -> None:
+        self.completion_at = self.now
+
+    def tick(self) -> None:
+        self.now += 1
+        if self._debt:
+            self._debt -= 1
+        elif not self.ibex.halted:
+            result = self.ibex.step()
+            if result.cycles > 1:
+                self._debt = result.cycles - 1
+
+    def run_to(self, cycle: int) -> None:
+        if cycle < self.now:
+            raise SimulationError(
+                f"calibration rig asked to ring in the past "
+                f"({cycle} < {self.now})"
+            )
+        while self.now < cycle:
+            self.tick()
+
+    def response(self, cycle: int, log: CommitLog,
+                 limit: int = 200_000) -> int:
+        """Ring the doorbell at ``cycle``; return the completion cycle."""
+        self.run_to(cycle)
+        self.completion_at = None
+        self.mailbox.deposit(log.pack())
+        deadline = self.now + limit
+        while self.completion_at is None:
+            if self.now >= deadline:
+                raise SimulationError(
+                    f"{self.variant} firmware never completed the "
+                    f"calibration check rung at cycle {cycle}"
+                )
+            self.tick()
+        return self.completion_at
+
+    def settle(self, limit: int = 100_000) -> int:
+        """Run the boot sequence to the steady idle point; returns its
+        cycle (WFI sleep for the IRQ variant, poll-loop entry for the
+        polling variant)."""
+        deadline = self.now + limit
+        if self.variant == "irq":
+            while not self.ibex.sleeping:
+                if self.now >= deadline:
+                    raise SimulationError("IRQ firmware never reached wfi")
+                self.tick()
+            return self.now
+        while self.firmware.region_at(self.ibex.pc) != "poll":
+            if self.now >= deadline:
+                raise SimulationError("polling firmware never reached its loop")
+            self.tick()
+        return self.now
+
+
+def _find_period(values: List[int], max_period: int = _MAX_PERIOD,
+                 confirm: int = _CONFIRM) -> Optional[int]:
+    """Smallest tail period confirmed over the last ``confirm`` samples."""
+    n = len(values)
+    for period in range(1, max_period + 1):
+        span = confirm + period
+        if span > n:
+            return None
+        tail = values[n - span:]
+        if all(tail[i] == tail[i + period] for i in range(confirm)):
+            return period
+    return None
+
+
+def _collect_periodic(sample: Callable[[int], int], label: str,
+                      initial: int = 160, chunk: int = 64) -> Tuple[List[int], int]:
+    """Sample ``sample(0), sample(1), …`` until the tail is periodic."""
+    values: List[int] = []
+    target = initial
+    while True:
+        while len(values) < target:
+            values.append(sample(len(values)))
+        period = _find_period(values)
+        if period is not None:
+            return values, period
+        target += chunk
+        if target > _SWEEP_CAP:
+            raise SimulationError(
+                f"calibration sweep '{label}' found no periodic tail "
+                f"within {_SWEEP_CAP} samples"
+            )
+
+
+@dataclass(frozen=True)
+class ResponseCurve:
+    """Measured latency as a function of offset, with a periodic tail.
+
+    ``latency(d)`` is exact for every measured offset and extrapolates
+    the tail periodically beyond the measured range (sound because the
+    underlying firmware is in a cyclic steady regime there — asleep,
+    or spinning in the poll loop).
+    """
+
+    start: int
+    values: Tuple[int, ...]
+    period: int
+
+    def latency(self, offset: int) -> int:
+        index = offset - self.start
+        if index < 0:
+            raise SimulationError(
+                f"response curve queried below its range ({offset} < {self.start})"
+            )
+        n = len(self.values)
+        if index < n:
+            return self.values[index]
+        base = n - self.period
+        return self.values[base + (index - base) % self.period]
+
+
+class ShadowSession:
+    """Exact boot-epoch service: a private rig replaying the run's rings.
+
+    Used while the run is inside its boot epoch (first doorbell before
+    the firmware's steady idle point) where the curve model's anchors
+    do not apply.  ``drift`` absorbs policy surcharges (e.g. the
+    crypto policy's MAC cycles): the rig is rung at host time minus
+    drift so its internal inter-arrival offsets match what the
+    firmware would have observed.
+    """
+
+    def __init__(self, model: "ResponseModel"):
+        self._rig = model._new_rig()
+        self.drift = 0
+        self._last_rig_respond: Optional[int] = None
+
+    def response(self, ring: int, log: CommitLog) -> int:
+        respond = self._rig.response(ring - self.drift, log)
+        self._last_rig_respond = respond
+        return respond + self.drift
+
+    def note_host_respond(self, host_respond: int) -> None:
+        """Record the host's actual (surcharged) respond time."""
+        if self._last_rig_respond is None:
+            raise SimulationError(
+                "shadow session asked to note a respond before any ring"
+            )
+        self.drift = host_respond - self._last_rig_respond
+
+
+class ResponseModel:
+    """The calibrated doorbell→completion timing of one firmware config.
+
+    Query :meth:`steady_response` / :meth:`boot_response` for curve-mode
+    answers and :meth:`open_shadow` for boot-epoch sessions; see the
+    module docstring for the regimes.
+    """
+
+    def __init__(self, variant: str = "irq", fabric: str = "standard",
+                 wake_cycles: int = 45):
+        if variant not in ("irq", "polling"):
+            raise SimulationError(f"unknown firmware variant {variant!r}")
+        self.variant = variant
+        self.fabric = fabric
+        self.wake_cycles = wake_cycles
+        self._busy: Dict[str, ResponseCurve] = {}
+        self._busy["ok"] = self._measure_busy_curve("ok")
+        self.boot_tail = self._measure_boot_tail()
+        self._deltas, self.bad_bias = self._measure_deltas()
+
+    # -- rig plumbing --------------------------------------------------------
+
+    def _new_rig(self) -> _MicroRig:
+        return _MicroRig(self.variant, self.fabric, self.wake_cycles)
+
+    # -- measurements --------------------------------------------------------
+
+    def _measure_busy_curve(self, outcome: str) -> ResponseCurve:
+        """Sweep ring offsets over a steady back-to-back chain.
+
+        For the ``ok`` curve each probe's completion anchors the next
+        probe; for the ``bad`` curve every offset is anchored at a
+        fresh return-mismatch completion (the post-violation epilogue
+        could, in principle, differ from the benign one).
+        """
+        rig = self._new_rig()
+        settle = rig.settle()
+        probe = _call_log(1)
+        if outcome == "ok":
+            anchor = rig.response(settle + 8, probe)
+
+            def sample(offset: int) -> int:
+                nonlocal anchor
+                ring = anchor + offset
+                respond = rig.response(ring, probe)
+                anchor = respond
+                return respond - ring
+
+        else:
+            state = {"anchor": rig.response(settle + 8, probe)}
+
+            def sample(offset: int) -> int:
+                prev = rig.response(state["anchor"] + 64, _call_log(1))
+                bad = rig.response(prev + 64, _ret_log(1, target=_PROBE_TARGET))
+                ring = bad + offset
+                respond = rig.response(ring, probe)
+                state["anchor"] = respond
+                return respond - ring
+
+        values, period = _collect_periodic(
+            sample, f"busy/{self.variant}/{outcome}"
+        )
+        return ResponseCurve(start=0, values=tuple(values), period=period)
+
+    def _measure_boot_tail(self) -> ResponseCurve:
+        """First-doorbell latency from the steady idle point onward.
+
+        One fresh rig per sample (boot happens once per rig); the tail
+        period is confirmed independently, but with the busy curve's
+        period already known the sweep converges quickly.
+        """
+        probe = _call_log(1)
+        start = self._new_rig().settle()
+
+        def sample(offset: int) -> int:
+            rig = self._new_rig()
+            ring = start + offset
+            return rig.response(ring, probe) - ring
+
+        values, period = _collect_periodic(
+            sample, f"boot/{self.variant}",
+            initial=self._busy["ok"].period + _CONFIRM + 4,
+        )
+        return ResponseCurve(start=start, values=tuple(values), period=period)
+
+    def _measure_deltas(self) -> Tuple[Dict[Tuple[str, str], int], int]:
+        """Per-path latency deltas versus the reference path.
+
+        Every probe is rung at the identical offset from its previous
+        completion, so the pre-check segment (wake, trap entry, ISR
+        prologue / poll observation) contributes identically and the
+        deltas isolate the check-path cost alone.
+        """
+        rig = self._new_rig()
+        settle = rig.settle()
+        busy = self._busy["ok"]
+        offset = len(busy.values) + 2 * busy.period
+        # Anchor the chain with a stack-neutral event (the underflow
+        # probes that follow need an empty shadow stack).
+        prev = rig.response(settle + 8, _probe_log(0x13))
+        latencies: Dict[Tuple[str, str], int] = {}
+        for key, setups, probe in _probe_plan():
+            for setup in setups:
+                prev = rig.response(prev + offset, setup)
+            ring = prev + offset
+            respond = rig.response(ring, probe)
+            latencies[key] = respond - ring
+            prev = respond
+        base = latencies[P0_KEY]
+        expected = busy.latency(offset)
+        if base != expected:
+            raise SimulationError(
+                f"calibration self-check failed: reference probe latency "
+                f"{base} != busy-curve extrapolation {expected} "
+                f"({self.variant}/{self.fabric})"
+            )
+        deltas = {key: lat - base for key, lat in latencies.items()}
+        bad_bias = deltas[("ret-ra", "bad")] - deltas[("ret-ra", "ok")]
+        return deltas, bad_bias
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def boot_tail_start(self) -> int:
+        """First ring cycle the boot tail curve covers (the firmware's
+        steady idle point); earlier first rings need a shadow session."""
+        return self.boot_tail.start
+
+    @property
+    def steady_threshold(self) -> int:
+        """Ring offset from the previous completion beyond which the
+        firmware is provably back in its steady regime — the handoff
+        bound from shadow sessions to curves."""
+        return len(self._busy["ok"].values)
+
+    def busy_curve(self, outcome: str) -> ResponseCurve:
+        curve = self._busy.get(outcome)
+        if curve is None:
+            curve = self._measure_busy_curve(outcome)
+            self._busy[outcome] = curve
+        return curve
+
+    def service_delta(self, path_key: Tuple[str, str]) -> int:
+        delta = self._deltas.get(path_key)
+        if delta is not None:
+            return delta
+        name, outcome = path_key
+        if outcome == "bad":
+            # Paths the shadow-stack firmware never flags (a host-only
+            # policy rejecting a call or a jump): charge the path's
+            # benign cost plus the measured violation-respond bias.
+            ok = self._deltas.get((name, "ok"))
+            if ok is not None:
+                return ok + self.bad_bias
+        if outcome in ("spill", "restore"):
+            raise SimulationError(
+                f"uncalibrated check path {path_key!r}: the response model "
+                "does not cover shadow-stack spill/restore — the policy's "
+                "resident capacity exceeded the calibrated depth (lower the "
+                "host policy's spill horizon or keep depth within capacity)"
+            )
+        raise SimulationError(f"uncalibrated check path {path_key!r}")
+
+    def steady_response(self, ring: int, prev_respond: int,
+                        prev_outcome: str, path_key: Tuple[str, str]) -> int:
+        """Completion cycle for a doorbell at ``ring``, anchored at the
+        previous completion."""
+        offset = ring - prev_respond
+        curve = self.busy_curve(prev_outcome)
+        return ring + curve.latency(offset) + self.service_delta(path_key)
+
+    def boot_response(self, ring: int, path_key: Tuple[str, str]) -> int:
+        """Completion cycle for a run's *first* doorbell at ``ring``
+        (which must be at or past :attr:`boot_tail_start`)."""
+        return ring + self.boot_tail.latency(ring) + self.service_delta(path_key)
+
+    def open_shadow(self) -> ShadowSession:
+        return ShadowSession(self)
+
+
+#: Process-wide model memo (one calibration per firmware config).
+_MODELS: Dict[Tuple[str, str, int], ResponseModel] = {}
+
+
+def calibrate(variant: str = "irq", fabric: str = "standard",
+              wake_cycles: int = 45) -> ResponseModel:
+    """The (memoised) response model for one firmware configuration."""
+    key = (variant, fabric, wake_cycles)
+    model = _MODELS.get(key)
+    if model is None:
+        model = ResponseModel(variant, fabric, wake_cycles)
+        _MODELS[key] = model
+    return model

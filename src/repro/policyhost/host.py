@@ -1,0 +1,285 @@
+"""The policy host: a Python policy mounted behind the CFI mailbox.
+
+A :class:`PolicyHost` stands in for the Ibex firmware as the mailbox's
+servicing agent: it observes the doorbell, parses the deposited commit
+log from the data file (the same 28-byte wire format the firmware
+reads), runs its policy's ``check()``, and — after the calibrated
+per-check delay — answers through :meth:`repro.soc.mailbox.Mailbox.respond`,
+which performs the firmware's exact exit sequence (verdict into
+data[0], completion asserted, doorbell cleared).  The log writer on
+the other side cannot distinguish the two agents.
+
+The host is a clocked component with the same scheduling contract as
+the CFI log writer (``tick`` / ``skippable_cycles`` / ``skip``), which
+is what makes it a citizen of all three co-simulation engines: while
+no check is in flight it is *parked* (unbounded — only a doorbell,
+i.e. another component's activity, can start one), and while a check
+is in flight its completion cycle bounds every clock jump and batched
+instruction window, exactly like a log-writer countdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.commit_log import CommitLog
+from repro.core.log_writer import LogWriter
+from repro.errors import ConfigError, ProtocolError, SimulationError
+from repro.firmware.policies import (
+    EVENT_RESTORE,
+    EVENT_SPILL,
+    EVENT_UNDERFLOW,
+    CheckResult,
+    Policy,
+)
+from repro.policyhost.calibration import ResponseModel, ShadowSession, calibrate
+from repro.soc.mailbox import Mailbox, VERDICT_OK, VERDICT_VIOLATION
+
+#: Shared "cannot act on its own" sentinel (compares like the writer's).
+UNBOUNDED = LogWriter.UNBOUNDED
+
+
+def firmware_path(encoding: int) -> str:
+    """The firmware parse path a commit-log encoding takes.
+
+    Mirrors ``cfi_check``'s branch structure in
+    :mod:`repro.firmware.shadow_stack` instruction for instruction —
+    the per-path calibration probes are keyed by these names.
+    """
+    opcode = encoding & 0x7F
+    if opcode == 0x6F:  # JAL
+        rd = (encoding >> 7) & 31
+        if rd == 1:
+            return "call-jal-ra"
+        if rd == 5:
+            return "call-jal-t0"
+        return "jal-jump"
+    if opcode == 0x67:  # JALR
+        rd = (encoding >> 7) & 31
+        if rd == 1:
+            return "call-jalr-ra"
+        if rd == 5:
+            return "call-jalr-t0"
+        if rd:
+            return "jump-rd"
+        rs1 = (encoding >> 15) & 31
+        if rs1 == 1:
+            return "ret-ra"
+        if rs1 == 5:
+            return "ret-t0"
+        return "jump-rs"
+    return "other"
+
+
+def resolve_path_key(encoding: int, violation: bool,
+                     hint: Optional[str]) -> Tuple[str, str]:
+    """(path, outcome) key into the calibrated service-delta table.
+
+    ``hint`` is the policy's optional ``last_event`` attribute; it
+    distinguishes firmware paths the verdict alone cannot (a
+    shadow-stack underflow responds earlier than a pop-and-mismatch).
+    Spill/restore hints map to their own keys, which the calibration
+    does not (yet) cover — the model raises on them rather than
+    silently charging the plain push/pop cost, so a host-backed run
+    that overflows the resident stack in curve mode fails loudly
+    instead of drifting from the firmware's timing.  (Inside a
+    boot-epoch shadow session spills are serviced exactly, by replay.)
+    """
+    name = firmware_path(encoding)
+    if hint == EVENT_SPILL:
+        return name, "spill"
+    if hint == EVENT_RESTORE:
+        return name, "restore"
+    if violation and hint == EVENT_UNDERFLOW and name in ("ret-ra", "ret-t0"):
+        return name, "underflow"
+    return name, "bad" if violation else "ok"
+
+
+@dataclass
+class PolicyHostStats:
+    """Lifetime statistics of one policy host."""
+
+    checks: int = 0
+    violations: int = 0
+    #: Doorbell→completion latency of every check, in ring order.
+    service_latencies: List[int] = field(default_factory=list)
+    #: Checks by calibrated path key.
+    by_path: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: Checks answered by the exact boot-epoch shadow session.
+    shadow_checks: int = 0
+
+    @property
+    def mean_service_latency(self) -> float:
+        if not self.service_latencies:
+            return 0.0
+        return sum(self.service_latencies) / len(self.service_latencies)
+
+
+class PolicyHost:
+    """Cycle-stepped mailbox agent running a Python policy.
+
+    Args:
+        policy: the CFI policy; any object with ``check(log)`` →
+            :class:`~repro.firmware.policies.CheckResult`.  An optional
+            ``last_event`` attribute refines path selection and an
+            optional ``host_extra_cycles(log, verdict)`` method adds a
+            modelled per-check surcharge (e.g. the crypto policy's MAC).
+        mailbox: the CFI mailbox to serve (its ``on_doorbell`` is taken
+            over by the host).
+        model: calibrated response model (see
+            :func:`repro.policyhost.calibration.calibrate`).
+        name: diagnostic name.
+    """
+
+    def __init__(self, policy: Policy, mailbox: Mailbox,
+                 model: ResponseModel, name: str = "policy-host"):
+        if not hasattr(policy, "check"):
+            raise ConfigError(f"{name}: policy object has no check() method")
+        self.policy = policy
+        self.mailbox = mailbox
+        self.model = model
+        self.name = name
+        self.now = 0
+        self.stats = PolicyHostStats()
+        self._respond_at: Optional[int] = None
+        self._verdict = VERDICT_OK
+        self._ring_at = 0
+        self._prev_respond: Optional[int] = None
+        self._prev_outcome = "ok"
+        self._shadow: Optional[ShadowSession] = None
+        mailbox.on_doorbell = self._on_doorbell
+
+    # -- doorbell service -----------------------------------------------------
+
+    def _on_doorbell(self) -> None:
+        if self._respond_at is not None:
+            raise ProtocolError(f"{self.name}: doorbell while check in flight")
+        log = CommitLog.unpack(self.mailbox.collect())
+        result = self.policy.check(log)
+        violation = result is CheckResult.VIOLATION
+        path_key = resolve_path_key(
+            log.encoding, violation, getattr(self.policy, "last_event", None)
+        )
+        ring = self.now
+        respond_at = self._schedule(ring, log, path_key)
+        extra = getattr(self.policy, "host_extra_cycles", None)
+        if extra is not None:
+            surcharge = extra(log, result)
+            if surcharge < 0:
+                raise ConfigError(f"{self.name}: negative host_extra_cycles")
+            respond_at += surcharge
+        if respond_at <= ring:
+            raise SimulationError(
+                f"{self.name}: modelled completion at cycle {respond_at} "
+                f"does not follow the doorbell at cycle {ring}"
+            )
+        if self._shadow is not None:
+            self._shadow.note_host_respond(respond_at)
+        self._respond_at = respond_at
+        self._verdict = VERDICT_VIOLATION if violation else VERDICT_OK
+        self._ring_at = ring
+        self._prev_outcome = "bad" if violation else "ok"
+        self.stats.checks += 1
+        if violation:
+            self.stats.violations += 1
+        self.stats.by_path[path_key] = self.stats.by_path.get(path_key, 0) + 1
+
+    def _schedule(self, ring: int, log: CommitLog,
+                  path_key: Tuple[str, str]) -> int:
+        """Firmware-calibrated completion cycle for a ring at ``ring``."""
+        model = self.model
+        if self._prev_respond is None:
+            if ring >= model.boot_tail_start:
+                return model.boot_response(ring, path_key)
+            # The doorbell beat the RoT boot sequence: answer the whole
+            # boot epoch from an exact replay rig.
+            self._shadow = model.open_shadow()
+        elif (self._shadow is not None
+                and ring - self._prev_respond >= model.steady_threshold):
+            # A steady-length gap: the firmware is provably back in its
+            # cyclic idle regime — hand over to the calibrated curves.
+            self._shadow = None
+        if self._shadow is not None:
+            self.stats.shadow_checks += 1
+            return self._shadow.response(ring, log)
+        return model.steady_response(
+            ring, self._prev_respond, self._prev_outcome, path_key
+        )
+
+    def _respond(self) -> None:
+        self.mailbox.respond(self._verdict)
+        self.stats.service_latencies.append(self.now - self._ring_at)
+        self._prev_respond = self.now
+        self._respond_at = None
+
+    # -- scheduling contract (same shape as the log writer's) ----------------
+
+    def tick(self) -> None:
+        """Advance one cycle; completes the in-flight check on its cycle."""
+        self.now += 1
+        if self._respond_at == self.now:
+            self._respond()
+
+    @property
+    def parked(self) -> bool:
+        """True when no check is in flight (only a doorbell can act)."""
+        return self._respond_at is None
+
+    def skippable_cycles(self) -> int:
+        """Cycles :meth:`tick` can fast-forward with no state change."""
+        if self._respond_at is None:
+            return UNBOUNDED
+        return self._respond_at - self.now - 1
+
+    def skip(self, cycles: int) -> None:
+        """Jump ``cycles`` no-change cycles (caller respects the bound)."""
+        if cycles <= 0:
+            return
+        if self._respond_at is not None and self.now + cycles >= self._respond_at:
+            raise SimulationError(
+                f"{self.name}: skip of {cycles} cycles crosses the pending "
+                f"completion at cycle {self._respond_at}"
+            )
+        self.now += cycles
+
+    def stats_summary(self) -> dict:
+        """Aggregated statistics for reports and tests."""
+        return {
+            "checks": self.stats.checks,
+            "violations": self.stats.violations,
+            "mean_service_latency": self.stats.mean_service_latency,
+            "shadow_checks": self.stats.shadow_checks,
+            "by_path": dict(self.stats.by_path),
+        }
+
+
+def mount_policy_host(soc, policy: Policy, variant: str = "irq",
+                      model: Optional[ResponseModel] = None) -> PolicyHost:
+    """Mount ``policy`` as the SoC's mailbox agent (replacing firmware).
+
+    The RoT's Ibex core is left frozen (the co-simulator detects the
+    mounted host and stops scheduling it); the host takes over the CFI
+    mailbox's doorbell callback and answers with the timing model
+    calibrated for ``variant`` on the SoC's fabric profile.
+
+    Args:
+        soc: a :class:`repro.system.soc.TitanCfiSoc`.
+        policy: the Python policy to enforce.
+        variant: firmware variant whose timing to reproduce
+            (``"irq"`` or ``"polling"``).
+        model: calibration override (defaults to the memoised model for
+            the SoC's fabric and wake latency).
+
+    Returns:
+        the mounted :class:`PolicyHost` (also at ``soc.policy_host``).
+    """
+    if getattr(soc, "policy_host", None) is not None:
+        raise ConfigError("SoC already has a policy host mounted")
+    if model is None:
+        config = soc.rot.config
+        model = calibrate(variant=variant, fabric=config.fabric,
+                          wake_cycles=config.wake_cycles)
+    host = PolicyHost(policy, soc.cfi_mailbox, model)
+    soc.policy_host = host
+    return host

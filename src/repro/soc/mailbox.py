@@ -16,6 +16,35 @@ Both variants share :class:`Mailbox`; the wiring difference lives in the
 ``on_doorbell`` / ``on_completion`` callbacks the SoC builder installs.
 Per the paper's firmware protocol (§IV-C), the verdict of a CFI check is
 written into the *first* data register before completion is signalled.
+
+Handshake timing contract
+-------------------------
+
+Two agents can serve the CFI mailbox — the RV32 firmware on the Ibex
+ISS and a Python :class:`repro.policyhost.PolicyHost` — and the log
+writer must not be able to tell them apart.  Every agent must honor:
+
+1. **One message in flight.**  A new payload may be deposited only
+   while :attr:`Mailbox.ready` (doorbell clear); the writer enforces
+   this by waiting for the ready signal in its ``IDLE`` state.
+2. **Payload before doorbell.**  All data registers are written before
+   the doorbell is rung; the agent may read them at any time between
+   the ring and its completion write.
+3. **Verdict before completion.**  The verdict lands in data[0]
+   *before* (or atomically with — :meth:`Mailbox.respond`) the
+   completion register: the writer reads data[0] only after observing
+   completion, so nothing may observe the window between the two.
+4. **Completion clears the doorbell** (:class:`CfiMailbox` does this
+   in hardware) — the mailbox is ready for the next message on the
+   completion cycle itself.
+5. **Same-cycle observability.**  Within one global cycle the agent
+   acts *before* the log-writer FSM ticks (the co-simulator schedules
+   the RoT core / policy host ahead of the CFI stage), so a completion
+   written in cycle T is observed by the writer's ``WAIT`` state in
+   cycle T — the cycle accounting both agents are calibrated against.
+6. **Level-sensitive doorbell wire.**  The doorbell drives a PLIC
+   level (:attr:`Mailbox.doorbell_line`); it stays asserted until the
+   agent completes the check, so a sleeping Ibex cannot lose a wake.
 """
 
 from __future__ import annotations

@@ -67,6 +67,22 @@ MODE_BATCHED = "batched"
 _MODES = (MODE_BUSY, MODE_EVENT, MODE_BATCHED)
 
 
+#: Who serves the CFI mailbox — the policy-backend axis of a cosim run.
+#:
+#: * ``"firmware"`` — the RV32 firmware executing on the Ibex ISS (the
+#:   shadow-stack policy, the paper's reference configuration);
+#: * ``"host"`` — a mounted :class:`repro.policyhost.PolicyHost`
+#:   running any Python policy on the firmware-calibrated cycle model
+#:   (the RoT core is left frozen).
+#:
+#: The simulator derives the axis from the SoC: a mounted policy host
+#: selects ``"host"``; see :attr:`SystemSimulator.policy_backend`.
+POLICY_BACKEND_FIRMWARE = "firmware"
+POLICY_BACKEND_HOST = "host"
+
+POLICY_BACKENDS = (POLICY_BACKEND_FIRMWARE, POLICY_BACKEND_HOST)
+
+
 class SystemSimulator:
     """Drives a :class:`TitanCfiSoc` cycle by cycle.
 
@@ -102,6 +118,12 @@ class SystemSimulator:
         if mode not in _MODES:
             raise ValueError(f"unknown execution mode {mode!r} (have: {_MODES})")
         self.soc = soc
+        # A mounted policy host replaces the firmware as the mailbox
+        # agent: the RoT core stays frozen and the host is scheduled as
+        # a clocked component in its place (every engine).
+        self._phost = getattr(soc, "policy_host", None)
+        if self._phost is not None:
+            run_rot = False
         self.run_rot = run_rot
         self.mode = mode
         self.event_driven = mode != MODE_BUSY
@@ -126,6 +148,14 @@ class SystemSimulator:
         self._commit = soc.commit
         self._stage = soc.cfi_stage
 
+    @property
+    def policy_backend(self) -> str:
+        """Which agent serves the CFI mailbox (the policy-backend axis):
+        ``"host"`` when a policy host is mounted, else ``"firmware"``."""
+        if self._phost is not None:
+            return POLICY_BACKEND_HOST
+        return POLICY_BACKEND_FIRMWARE
+
     def tick(self) -> None:
         """Advance the whole platform by one cycle."""
         self.now += 1
@@ -146,6 +176,12 @@ class SystemSimulator:
                 result = self._ibex.step()
                 if result.cycles > 1:
                     self._ibex_debt = result.cycles - 1
+
+        # Policy host (when mounted): serves the mailbox in the RoT's
+        # slot, so its completion write lands before the same cycle's
+        # log-writer tick — exactly where the firmware's store lands.
+        if self._phost is not None:
+            self._phost.tick()
 
         # CFI log writer FSM (may raise CfiViolation on a bad verdict).
         if self._stage is not None:
@@ -180,6 +216,13 @@ class SystemSimulator:
                     return 0
                 # else: asleep with no wake source — unbounded here; the
                 # doorbell that wakes it is bounded by the other parts.
+        phost = self._phost
+        if phost is not None:
+            host_bound = phost.skippable_cycles()
+            if host_bound <= 0:
+                return 0
+            if host_bound < bound:
+                bound = host_bound
         stage = self._stage
         if stage is not None:
             writer_bound = stage.skippable_cycles()
@@ -207,6 +250,8 @@ class SystemSimulator:
                 self._ibex_debt -= min(cycles, self._ibex_debt)
             elif ibex.sleeping and not ibex.halted:
                 ibex.sleep_for(cycles)
+        if self._phost is not None:
+            self._phost.skip(cycles)
         if self._stage is not None:
             self._stage.skip(cycles)
 
@@ -241,6 +286,16 @@ class SystemSimulator:
                     budget = self._ibex_debt
             elif not ibex.sleeping or ibex.interrupt_pending:
                 return False
+        phost = self._phost
+        if phost is not None:
+            # The policy host is exactly as window-friendly as the log
+            # writer: parked (a batched window pushes no commit logs,
+            # so no doorbell can start a check) or countdown-bounded.
+            host_bound = phost.skippable_cycles()
+            if host_bound <= 0:
+                return False
+            if host_bound < budget:
+                budget = host_bound
         stage = self._stage
         if stage is not None:
             writer_bound = stage.skippable_cycles()
@@ -266,6 +321,8 @@ class SystemSimulator:
                 self._ibex_debt -= min(advanced, self._ibex_debt)
             elif ibex.sleeping:
                 ibex.sleep_for(advanced)
+        if phost is not None:
+            phost.skip(advanced)
         if stage is not None:
             stage.skip(advanced)
         return True

@@ -69,6 +69,11 @@ class TitanCfiSoc:
         self.cva6 = cva6
         self.cfi_stage = cfi_stage
         self.commit = commit
+        #: Python policy agent serving the CFI mailbox in place of the
+        #: Ibex firmware, if one is mounted (see
+        #: :func:`repro.policyhost.mount_policy_host`).  The
+        #: co-simulator schedules it instead of the RoT core.
+        self.policy_host = None
 
     def load_host_program(self, program: Program) -> None:
         """Load a CVA6 program image and point the host core at it."""

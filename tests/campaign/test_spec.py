@@ -34,9 +34,46 @@ class TestScenario:
         with pytest.raises(ConfigError):
             Scenario(victim="rop", policy="magic")
 
-    def test_cosim_restricted_to_shadow_stack(self):
-        with pytest.raises(ConfigError):
-            Scenario(victim="rop", backend=BACKEND_COSIM, policy="coarse")
+    def test_cosim_accepts_any_enforcing_policy(self):
+        """The policy host lifts the old firmware-only restriction:
+        every registered enforcing policy resolves on the cosim
+        backend (shadow-stack to the firmware, the rest to the host)."""
+        for policy in REFERENCE_POLICIES:
+            if policy == "none":
+                continue
+            scenario = Scenario(victim="rop", backend=BACKEND_COSIM,
+                                policy=policy)
+            expected = "firmware" if policy == "shadow-stack" else "host"
+            assert scenario.resolved_policy_backend == expected, policy
+
+    def test_cosim_policy_none_still_rejected(self):
+        with pytest.raises(ConfigError, match="enforcing policy"):
+            Scenario(victim="rop", backend=BACKEND_COSIM, policy="none")
+
+    def test_cosim_firmware_backend_rejects_foreign_policy(self):
+        """Explicitly pinning the firmware backend to a policy the RV32
+        firmware does not implement must fail loudly."""
+        with pytest.raises(ConfigError, match="shadow stack"):
+            Scenario(victim="rop", backend=BACKEND_COSIM, policy="coarse",
+                     policy_backend="firmware")
+
+    def test_unknown_policy_rejected_on_cosim_too(self):
+        """Lifting the restriction must not weaken name validation: a
+        genuinely unknown policy still raises, on either backend."""
+        with pytest.raises(ConfigError, match="unknown policy"):
+            Scenario(victim="rop", backend=BACKEND_COSIM, policy="magic")
+
+    def test_unknown_policy_backend_rejected(self):
+        with pytest.raises(ConfigError, match="unknown policy backend"):
+            Scenario(victim="rop", backend=BACKEND_COSIM,
+                     policy_backend="hardware")
+
+    def test_host_backend_names_distinct_from_firmware(self):
+        firmware = Scenario(victim="rop", backend=BACKEND_COSIM)
+        host = Scenario(victim="rop", backend=BACKEND_COSIM,
+                        policy_backend="host")
+        assert firmware.name == "cosim/rop/shadow-stack/irq/q8"
+        assert host.name == "cosim/rop/shadow-stack/host/irq/q8"
 
     def test_bad_queue_depth_rejected(self):
         with pytest.raises(ConfigError):
@@ -97,10 +134,32 @@ class TestGridExpansion:
         scenarios = expand_grid(
             victim="rop",
             backend=["reference", "cosim"],
-            policy=["shadow-stack", "coarse"],
+            policy=["shadow-stack", "coarse", "none"],
         )
-        # cosim×coarse is invalid and silently dropped.
-        assert len(scenarios) == 3
+        # cosim×none is invalid and silently dropped; cosim×coarse now
+        # resolves to the policy host and stays.
+        assert len(scenarios) == 5
+        assert sum(s.backend == "cosim" for s in scenarios) == 2
+
+    def test_firmware_pinned_sweep_drops_foreign_policies(self):
+        scenarios = expand_grid(
+            victim="rop",
+            backend="cosim",
+            policy=["shadow-stack", "coarse"],
+            policy_backend="firmware",
+        )
+        assert [s.policy for s in scenarios] == ["shadow-stack"]
+
+    def test_policy_backend_sweep(self):
+        """Sweeping the agent axis yields one firmware and one host
+        cell for the shadow stack (distinct names)."""
+        scenarios = expand_grid(
+            victim="rop",
+            backend="cosim",
+            policy_backend=["firmware", "host"],
+        )
+        assert len(scenarios) == 2
+        assert {s.resolved_policy_backend for s in scenarios} == {"firmware", "host"}
 
     def test_mixed_backend_sweep_deduplicates_reference_cells(self):
         """Cosim-only axes must not duplicate (or explode) reference
