@@ -37,7 +37,7 @@ from repro.attacks.programs import (
 )
 from repro.attacks.rop import run_attack_scenario
 from repro.campaign.runner import run_campaign
-from repro.campaign.spec import smoke_matrix
+from repro.campaign.spec import smoke_matrix, synth_matrix
 from repro.eval import table1
 from repro.firmware.policies import CryptoReturnPolicy, ShadowStackPolicy
 from repro.firmware.shadow_stack import FirmwareLayout, shadow_stack_firmware
@@ -151,6 +151,25 @@ def run_campaign_pass(sim_mode: str = None) -> dict:
     }
 
 
+def run_synth_pass(sim_mode: str = None) -> dict:
+    """One serial pass of the full synth matrix (235 generated
+    scenarios: generation + assembly are shard-cached, so the pass
+    measures steady-state synthesis-campaign throughput).  Every
+    scenario's expectation comes from the static oracle; the pass
+    asserts all of them hold — a disagreement is a bug, not a number.
+    """
+    payload = run_campaign(synth_matrix(), jobs=1, sim_mode=sim_mode)
+    missed = sum(
+        not result["expectation_met"] for result in payload["scenarios"]
+    )
+    assert missed == 0, f"{missed} synth scenarios disagree with the oracle"
+    return {
+        "scenarios": payload["scenario_count"],
+        "cycles": payload["timing"]["simulated_cycles"],
+        "results": payload["scenarios"],
+    }
+
+
 def _timed(fn, min_seconds: float = 0.3, min_rounds: int = 3):
     """Repeat ``fn`` until ``min_seconds`` of samples exist; return
     (best-round seconds, last result)."""
@@ -172,11 +191,13 @@ def measure() -> dict:
     run_firmware_path()
     run_campaign_pass()
     run_policyhost_mix()
+    run_synth_pass()
 
     cosim_seconds, cosim_totals = _timed(run_cosim_mix)
     firmware_seconds, _ = _timed(run_firmware_path)
     campaign_seconds, campaign_totals = _timed(run_campaign_pass)
     policyhost_seconds, policyhost_totals = _timed(run_policyhost_mix)
+    synth_seconds, synth_totals = _timed(run_synth_pass)
     # Per-engine co-sim comparison (default above is the batched mode).
     busy_seconds, _ = _timed(lambda: run_cosim_mix(mode="busy"))
     event_seconds, _ = _timed(lambda: run_cosim_mix(mode="event-driven"))
@@ -213,6 +234,16 @@ def measure() -> dict:
                 campaign_totals["scenarios"] / campaign_seconds, 1
             ),
             "cycles_per_sec": round(campaign_totals["cycles"] / campaign_seconds),
+        },
+        "synth": {
+            "matrix": "synth",
+            "scenarios": synth_totals["scenarios"],
+            "seconds_per_pass": round(synth_seconds, 6),
+            "simulated_cycles": synth_totals["cycles"],
+            "scenarios_per_sec": round(
+                synth_totals["scenarios"] / synth_seconds, 1
+            ),
+            "cycles_per_sec": round(synth_totals["cycles"] / synth_seconds),
         },
         # Trajectory of the three execution engines on the same mix —
         # the batched column is what the headline "cosim" section runs.
@@ -254,6 +285,14 @@ def render(payload: dict) -> str:
             f"    {campaign['seconds_per_pass'] * 1000:.1f} ms / pass, "
             f"{campaign['scenarios_per_sec']} scenarios/sec",
             f"    {campaign['cycles_per_sec']:,} simulated cycles/sec",
+        ]
+    synth = payload.get("synth")
+    if synth:
+        lines += [
+            f"  synth matrix ({synth['scenarios']} generated scenarios, serial):",
+            f"    {synth['seconds_per_pass'] * 1000:.1f} ms / pass, "
+            f"{synth['scenarios_per_sec']} scenarios/sec "
+            f"(oracle-checked), {synth['cycles_per_sec']:,} simulated cycles/sec",
         ]
     batched = payload.get("batched")
     if batched:
@@ -330,9 +369,18 @@ def main(argv) -> int:
         campaign_busy = run_campaign_pass(sim_mode="busy")
         assert campaign["cycles"] == campaign_busy["cycles"]
         assert campaign["results"] == campaign_busy["results"]
+        # Synth-matrix invariance: every generated scenario's verdict
+        # matches the static oracle (asserted inside the pass) and no
+        # simulated number moves between engines.
+        synth = run_synth_pass()
+        assert synth["scenarios"] >= 200 and synth["cycles"] > 0
+        synth_busy = run_synth_pass(sim_mode="busy")
+        assert synth["cycles"] == synth_busy["cycles"]
+        assert synth["results"] == synth_busy["results"]
         summary = {k: campaign[k] for k in ("scenarios", "cycles")}
         print("bench_speed smoke ok:", totals, summary,
-              {"policyhost_cycles": phost["cycles"]})
+              {"policyhost_cycles": phost["cycles"],
+               "synth_scenarios": synth["scenarios"]})
         return 0
     payload = measure()
     print(render(payload))

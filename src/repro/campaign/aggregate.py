@@ -34,10 +34,17 @@ from typing import Dict, List, Sequence
 
 from repro.eval.report import render_table
 
+#: Artifact schema version: stamped into every campaign.json as
+#: ``schema_version`` (the cross-PR regression-tracking anchor —
+#: ``report --compare`` refuses to diff artifacts of different
+#: versions).  Bump on any breaking change to the payload layout.
+SCHEMA_VERSION = 1
+
 #: Column order of campaign.csv (and the per-scenario dict fields it pulls).
 CSV_FIELDS = (
     "name", "backend", "victim", "attack", "policy", "policy_backend", "firmware",
-    "queue_depth", "blocking", "seed", "seeded", "expected_detected", "detected",
+    "queue_depth", "blocking", "fabric", "seed", "seeded", "expected_detected",
+    "expected_source", "detected",
     "expectation_met", "violation_kind", "cycles", "host_instructions",
     "cf_events", "events_checked", "detection_latency", "stall_cycles",
     "overhead_percent", "gadget_executed",
@@ -127,7 +134,9 @@ def summarize(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
 
 
 def finalize(payload: Dict[str, object]) -> Dict[str, object]:
-    """Attach the summary to a runner payload (idempotent)."""
+    """Attach the summary and schema stamp to a runner payload
+    (idempotent)."""
+    payload["schema_version"] = SCHEMA_VERSION
     payload["summary"] = summarize(payload["scenarios"])
     return payload
 
@@ -227,4 +236,168 @@ def render_report(payload: Dict[str, object]) -> str:
             f"{timing['simulated_cycles_per_sec']:,} simulated cycles/sec "
             f"({payload['jobs']} worker{'s' if payload['jobs'] != 1 else ''})"
         )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Cross-campaign comparison (``report --compare A.json B.json``)
+# --------------------------------------------------------------------------
+
+def _detection_rate(results: Sequence[Dict[str, object]]) -> Dict[str, float]:
+    """Per-policy detection rate over attack scenarios (detected/runs)."""
+    totals: Dict[str, List[int]] = {}
+    for result in results:
+        if result["attack"] is None:
+            continue
+        cell = totals.setdefault(str(result["policy"]), [0, 0])
+        cell[0] += int(bool(result["detected"]))
+        cell[1] += 1
+    return {
+        policy: round(hits / runs, 4)
+        for policy, (hits, runs) in sorted(totals.items()) if runs
+    }
+
+
+def compare_payloads(
+    old: Dict[str, object], new: Dict[str, object]
+) -> Dict[str, object]:
+    """Structured delta between two campaign payloads.
+
+    Both must carry the same :data:`SCHEMA_VERSION` (that is what the
+    stamp is for); scenario-level comparison pairs results by name, so
+    matrices may differ — added/removed cells are reported, not
+    conflated with verdict changes.
+    """
+    for label, payload in (("old", old), ("new", new)):
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"{label} artifact has schema_version={version!r}, "
+                f"this build compares version {SCHEMA_VERSION} "
+                "(re-run the campaign to regenerate it)"
+            )
+    old_by_name = {r["name"]: r for r in old["scenarios"]}
+    new_by_name = {r["name"]: r for r in new["scenarios"]}
+    common = sorted(set(old_by_name) & set(new_by_name))
+    flips = []
+    latency_changes = []
+    for name in common:
+        a, b = old_by_name[name], new_by_name[name]
+        if bool(a["detected"]) != bool(b["detected"]):
+            flips.append({
+                "name": name,
+                "old": bool(a["detected"]),
+                "new": bool(b["detected"]),
+                "expected": bool(b["expected_detected"]),
+            })
+        if (a.get("detection_latency") is not None
+                and b.get("detection_latency") is not None
+                and a["detection_latency"] != b["detection_latency"]):
+            latency_changes.append({
+                "name": name,
+                "old": a["detection_latency"],
+                "new": b["detection_latency"],
+                "delta": b["detection_latency"] - a["detection_latency"],
+            })
+
+    old_summary = old.get("summary") or summarize(old["scenarios"])
+    new_summary = new.get("summary") or summarize(new["scenarios"])
+    old_rates = _detection_rate(old["scenarios"])
+    new_rates = _detection_rate(new["scenarios"])
+    rate_deltas = {
+        policy: round(new_rates[policy] - old_rates[policy], 4)
+        for policy in sorted(set(old_rates) & set(new_rates))
+        if new_rates[policy] != old_rates[policy]
+    }
+
+    def latency_stat(summary: Dict[str, object], key: str):
+        stats = summary.get("detection_latency_cycles") or {}
+        return stats.get(key)
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "scenarios": {
+            "common": len(common),
+            "added": sorted(set(new_by_name) - set(old_by_name)),
+            "removed": sorted(set(old_by_name) - set(new_by_name)),
+        },
+        "verdict_flips": flips,
+        "detection_rate_delta": rate_deltas,
+        "counts": {
+            key: {
+                "old": old_summary["counts"][key],
+                "new": new_summary["counts"][key],
+            }
+            for key in ("expectations_missed", "false_positives",
+                        "false_negatives")
+        },
+        "latency": {
+            "per_scenario_changes": latency_changes,
+            "percentiles": {
+                key: {
+                    "old": latency_stat(old_summary, key),
+                    "new": latency_stat(new_summary, key),
+                }
+                for key in ("p50", "p90", "max")
+            },
+        },
+    }
+
+
+def render_comparison(comparison: Dict[str, object]) -> str:
+    """Human-readable rendering of :func:`compare_payloads`' delta."""
+    scen = comparison["scenarios"]
+    lines = [
+        "Campaign comparison",
+        f"  scenarios: {scen['common']} common, "
+        f"{len(scen['added'])} added, {len(scen['removed'])} removed",
+    ]
+    for name in scen["added"][:10]:
+        lines.append(f"    + {name}")
+    for name in scen["removed"][:10]:
+        lines.append(f"    - {name}")
+
+    flips = comparison["verdict_flips"]
+    if flips:
+        lines.append(f"  verdict flips ({len(flips)}):")
+        for flip in flips:
+            mark = "ok" if flip["new"] == flip["expected"] else "REGRESSION"
+            lines.append(
+                f"    {flip['name']}: detected {flip['old']} -> "
+                f"{flip['new']} (expected {flip['expected']}; {mark})"
+            )
+    else:
+        lines.append("  verdict flips: none")
+
+    rates = comparison["detection_rate_delta"]
+    if rates:
+        lines.append("  detection-rate deltas (attack scenarios):")
+        for policy, delta in rates.items():
+            lines.append(f"    {policy}: {delta:+.4f}")
+    else:
+        lines.append("  detection rates: unchanged")
+
+    for key, pair in comparison["counts"].items():
+        if pair["old"] != pair["new"]:
+            lines.append(f"  {key}: {pair['old']} -> {pair['new']}")
+
+    latency = comparison["latency"]
+    moved = [
+        f"{key} {pair['old']} -> {pair['new']}"
+        for key, pair in latency["percentiles"].items()
+        if pair["old"] != pair["new"] and pair["old"] is not None
+        and pair["new"] is not None
+    ]
+    if moved:
+        lines.append("  detection-latency percentiles: " + ", ".join(moved))
+    changes = latency["per_scenario_changes"]
+    if changes:
+        lines.append(f"  per-scenario latency changes ({len(changes)}):")
+        for change in changes[:10]:
+            lines.append(
+                f"    {change['name']}: {change['old']} -> {change['new']} "
+                f"({change['delta']:+d} cycles)"
+            )
+    elif not moved:
+        lines.append("  detection latencies: unchanged")
     return "\n".join(lines)

@@ -5,8 +5,15 @@ Three subcommands:
 * ``list`` — print the scenario matrix (name, expected verdict).
 * ``run`` — execute a matrix (sharded by ``--jobs``), write artifacts
   (``campaign.json``, ``campaign.csv``, streamed ``results.jsonl``) and
-  print the detection-matrix report.
-* ``report`` — re-render the text report from a saved campaign.json.
+  print the detection-matrix report.  On a synthesized scenario whose
+  simulated verdict contradicts the static oracle, the run fails *and*
+  the disagreement is auto-minimized into a reproducer JSON under
+  ``<out>/reproducers/`` (see :mod:`repro.synth.triage`).
+* ``report`` — re-render the text report from a saved campaign.json,
+  or diff two artifacts: ``report --compare old.json new.json`` prints
+  detection-rate/latency deltas and per-scenario verdict flips (the
+  cross-PR regression-tracking hook; both artifacts must carry the
+  same ``schema_version`` stamp).
 """
 
 from __future__ import annotations
@@ -18,9 +25,15 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.campaign.aggregate import finalize, render_report, write_artifacts
+from repro.campaign.aggregate import (
+    compare_payloads,
+    finalize,
+    render_comparison,
+    render_report,
+    write_artifacts,
+)
 from repro.campaign.runner import run_campaign
-from repro.campaign.spec import MATRICES, resolve_matrix
+from repro.campaign.spec import MATRICES, VICTIMS, resolve_matrix
 
 DEFAULT_OUT = Path("artifacts/campaign")
 
@@ -55,9 +68,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--no-artifacts", action="store_true",
                          help="skip writing artifacts (report only)")
 
-    report_cmd = sub.add_parser("report", help="render a saved campaign.json")
+    report_cmd = sub.add_parser(
+        "report", help="render a saved campaign.json (or diff two)"
+    )
     report_cmd.add_argument("--artifact", type=Path,
                             default=DEFAULT_OUT / "campaign.json")
+    report_cmd.add_argument("--compare", type=Path, nargs=2,
+                            metavar=("OLD", "NEW"),
+                            help="diff two campaign.json artifacts: "
+                                 "detection-rate/latency deltas and "
+                                 "verdict flips")
     return parser
 
 
@@ -101,10 +121,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(render_report(payload))
 
     missed = payload["summary"]["counts"]["expectations_missed"]
+    _triage_synth_disagreements(payload, args.out,
+                                write=not args.no_artifacts)
     return 1 if missed else 0
 
 
+def _triage_synth_disagreements(payload, out: Path, write: bool) -> None:
+    """Oracle-vs-simulation disagreements on synthesized scenarios are
+    never dropped: shrink each to a minimal reproducer on disk (with
+    ``--no-artifacts`` nothing is written — the disagreeing scenarios
+    are named instead, honouring the flag's report-only contract)."""
+    disagreements = [
+        result for result in payload["scenarios"]
+        if not result["expectation_met"]
+        and VICTIMS[result["victim"]].synthetic
+    ]
+    if not disagreements:
+        return
+    print(f"\n{len(disagreements)} synth scenario(s) disagreed with the "
+          "static oracle:")
+    for result in disagreements:
+        print(f"  {result['name']}")
+    if not write:
+        print("re-run without --no-artifacts to minimize each into a "
+              "reproducer JSON")
+        return
+    from repro.synth.triage import triage_results
+    from repro.system.addresses import AddressMap
+
+    family_of = {
+        name: spec.synth_family for name, spec in VICTIMS.items()
+        if spec.synthetic
+    }
+    paths = triage_results(
+        disagreements, out / "reproducers", family_of,
+        AddressMap().dram_base,
+    )
+    print("minimized reproducers written to:")
+    for path in paths:
+        print(f"  {path}")
+    print("commit the reproducer(s) under tests/synth/corpus/ alongside "
+          "the fix so the tier-1 suite guards the regression")
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.compare:
+        old, new = (json.loads(path.read_text()) for path in args.compare)
+        print(render_comparison(compare_payloads(old, new)))
+        return 0
     payload = json.loads(args.artifact.read_text())
     print(render_report(payload))
     return 0

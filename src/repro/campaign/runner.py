@@ -50,6 +50,7 @@ from repro.core.filter import CfiFilter
 from repro.cva6.scoreboard import ScoreboardEntry
 from repro.errors import ConfigError, SimulationError
 from repro.firmware.policies import (
+    COMPOSITE_MEMBERS,
     CheckResult,
     CoarseGrainedPolicy,
     CompositePolicy,
@@ -155,28 +156,71 @@ def _resolve_symbols(program: Program, names: Sequence[str]) -> set:
     return {program.symbols[name] for name in names}
 
 
-def _build_policy(scenario: Scenario, program: Program):
-    """Instantiate the reference policy a scenario names, with its label
-    sets resolved against the victim's symbol table."""
-    victim = VICTIMS[scenario.victim]
-    if scenario.policy == POLICY_NONE:
+def build_policy(
+    policy: str,
+    program: Program,
+    entry_points: Sequence[str],
+    function_entries: Sequence[str],
+):
+    """Instantiate a policy by registry name, with its label sets
+    resolved against ``program``'s symbol table.
+
+    ``entry_points`` feeds the fine-grained forward-edge set,
+    ``function_entries`` the coarse function-entry set.  Shared by the
+    campaign runner and :mod:`repro.synth.verify` (which replays
+    minimized reproducers outside any scenario).
+    """
+    if policy == POLICY_NONE:
         return None
-    if scenario.policy == POLICY_SHADOW_STACK:
+    if policy == POLICY_SHADOW_STACK:
         return ShadowStackPolicy()
-    if scenario.policy == POLICY_FORWARD_EDGE:
-        return ForwardEdgePolicy(_resolve_symbols(program, victim.entry_points))
-    if scenario.policy == POLICY_COARSE:
+    if policy == POLICY_FORWARD_EDGE:
+        return ForwardEdgePolicy(_resolve_symbols(program, entry_points))
+    if policy == POLICY_COARSE:
         return CoarseGrainedPolicy(
-            valid_entries=_resolve_symbols(program, victim.function_entries)
+            valid_entries=_resolve_symbols(program, function_entries)
         )
-    if scenario.policy == POLICY_COMPOSITE:
-        return CompositePolicy([
-            ShadowStackPolicy(),
-            ForwardEdgePolicy(_resolve_symbols(program, victim.entry_points)),
-        ])
-    if scenario.policy == POLICY_CRYPTO_RETURN:
+    if policy == POLICY_COMPOSITE:
+        members = []
+        for member in COMPOSITE_MEMBERS:
+            if member is ForwardEdgePolicy:
+                members.append(member(_resolve_symbols(program, entry_points)))
+            elif member is CoarseGrainedPolicy:
+                members.append(member(
+                    valid_entries=_resolve_symbols(program, function_entries)
+                ))
+            else:
+                members.append(member())
+        return CompositePolicy(members)
+    if policy == POLICY_CRYPTO_RETURN:
         return CryptoReturnPolicy()
-    raise ConfigError(f"unknown policy {scenario.policy!r}")
+    raise ConfigError(f"unknown policy {policy!r}")
+
+
+def _victim_bundle(scenario: Scenario, seed: int):
+    """The :class:`repro.synth.SynthBundle` behind a synthetic scenario
+    (``None`` for hand-written victims) — the per-program source of
+    label sets and of the oracle's expected verdict."""
+    spec = VICTIMS[scenario.victim]
+    if not spec.synthetic:
+        return None
+    from repro.synth import bundle_for_seed
+
+    return bundle_for_seed(spec.synth_family, seed, AddressMap().dram_base)
+
+
+def _build_policy(scenario: Scenario, program: Program, bundle=None):
+    """Policy for a scenario: label sets come from the victim registry,
+    or from the synth bundle for generated victims."""
+    victim = VICTIMS[scenario.victim]
+    if bundle is not None:
+        entry_points = bundle.entry_points
+        function_entries = bundle.function_entries
+    else:
+        entry_points = victim.entry_points
+        function_entries = victim.function_entries
+    return build_policy(scenario.policy, program, entry_points,
+                        function_entries)
 
 
 def capture_commit_logs(program: Program, addresses: AddressMap,
@@ -228,7 +272,8 @@ def capture_commit_logs(program: Program, addresses: AddressMap,
     return logs, hart
 
 
-def _run_reference(scenario: Scenario, seed: int) -> Dict[str, object]:
+def _run_reference(scenario: Scenario, seed: int,
+                   bundle=None) -> Dict[str, object]:
     """Trace-check backend: bare-hart execution + Python policy."""
     addresses = AddressMap()
     program = SHARD_CACHE.program(scenario.victim, seed)
@@ -238,7 +283,7 @@ def _run_reference(scenario: Scenario, seed: int) -> Dict[str, object]:
     logs, hart = capture_commit_logs(program, addresses,
                                      max_steps=scenario.max_cycles)
 
-    policy = _build_policy(scenario, program)
+    policy = _build_policy(scenario, program, bundle=bundle)
     detected = False
     violation_kind: Optional[str] = None
     events_checked = 0
@@ -265,7 +310,8 @@ def _run_reference(scenario: Scenario, seed: int) -> Dict[str, object]:
 
 
 def _run_cosim(scenario: Scenario, seed: int,
-               sim_mode: Optional[str] = None) -> Dict[str, object]:
+               sim_mode: Optional[str] = None,
+               bundle=None) -> Dict[str, object]:
     """Full-platform backend: firmware or policy host serves the mailbox.
 
     Delegates the build/boot/run/verdict sequence to
@@ -281,7 +327,7 @@ def _run_cosim(scenario: Scenario, seed: int,
     policy = None
     firmware_image = None
     if policy_backend == POLICY_BACKEND_HOST:
-        policy = _build_policy(scenario, program)
+        policy = _build_policy(scenario, program, bundle=bundle)
     else:
         firmware_image = SHARD_CACHE.firmware(scenario.firmware)
     outcome = run_attack_scenario(
@@ -322,16 +368,27 @@ def run_scenario(scenario: Scenario, campaign_seed: int = 0,
     ``"event-driven"``, ``"batched"``; ``None`` = engine default) for
     the cosim backend — every mode is cycle-exact, so results are
     engine-independent; the knob exists so CI can assert exactly that.
+
+    Expected verdicts: hand-written victims use the (attack × policy)
+    ground-truth table; synthesized victims use the static oracle's
+    per-program prediction (``expected_source`` records which).
     """
     seed = derive_seed(campaign_seed, scenario)
+    bundle = _victim_bundle(scenario, seed)
     if scenario.backend == BACKEND_REFERENCE:
-        outcome = _run_reference(scenario, seed)
+        outcome = _run_reference(scenario, seed, bundle=bundle)
     elif scenario.backend == BACKEND_COSIM:
-        outcome = _run_cosim(scenario, seed, sim_mode=sim_mode)
+        outcome = _run_cosim(scenario, seed, sim_mode=sim_mode,
+                             bundle=bundle)
     else:
         raise ConfigError(f"unknown backend {scenario.backend!r}")
 
-    expected = scenario.expected_detected
+    if bundle is not None:
+        expected = bundle.expected[scenario.policy]
+        expected_source = "oracle"
+    else:
+        expected = scenario.expected_detected
+        expected_source = "table"
     detected = bool(outcome["detected"])
     result: Dict[str, object] = {
         "name": scenario.name,
@@ -345,11 +402,14 @@ def run_scenario(scenario: Scenario, campaign_seed: int = 0,
             scenario.queue_depth if scenario.backend == BACKEND_COSIM else None
         ),
         "blocking": scenario.blocking if scenario.backend == BACKEND_COSIM else None,
+        "fabric": scenario.fabric if scenario.backend == BACKEND_COSIM else None,
+        "max_cycles": scenario.max_cycles,
         "seed": seed,
         # Marks results whose victim actually varies with the seed, so
         # artifact consumers know which rows a seed sweep perturbs.
         "seeded": VICTIMS[scenario.victim].seeded,
         "expected_detected": expected,
+        "expected_source": expected_source,
         "expectation_met": detected == expected,
     }
     result.update(outcome)

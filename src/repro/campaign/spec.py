@@ -75,6 +75,12 @@ class VictimSpec:
             fragments do not.
         seeded: True when the builder consumes the scenario seed (the
             campaign sweeps program shape deterministically per seed).
+        synth_family: :data:`repro.synth.FAMILIES` entry for synthesized
+            victims (``None`` for the hand-written corpus).  Synthetic
+            victims derive their label sets and their expected verdict
+            per scenario from the :class:`repro.synth.SynthBundle` —
+            the static oracle — rather than from the static tuples and
+            the attack-class table.
     """
 
     name: str
@@ -83,6 +89,12 @@ class VictimSpec:
     entry_points: Tuple[str, ...] = ()
     function_entries: Tuple[str, ...] = ()
     seeded: bool = False
+    synth_family: Optional[str] = None
+
+    @property
+    def synthetic(self) -> bool:
+        """True for procedurally generated (oracle-backed) victims."""
+        return self.synth_family is not None
 
 
 def _build_benign(addresses: AddressMap, rng: random.Random) -> Program:
@@ -127,6 +139,22 @@ def _build_fwd_jump(addresses: AddressMap, rng: random.Random) -> Program:
     return indirect_jump_program(addresses, corrupt=True)
 
 
+def _synth_builder(family: str) -> Callable[[AddressMap, random.Random], Program]:
+    """Victim builder generating a program procedurally from the RNG.
+
+    The import stays local: :mod:`repro.synth` is only loaded when a
+    synthesized victim is actually built, and the module graph stays
+    acyclic (synth's verify layer imports the campaign runner lazily).
+    """
+
+    def build(addresses: AddressMap, rng: random.Random) -> Program:
+        from repro.synth import bundle_from_rng
+
+        return bundle_from_rng(family, rng, addresses.dram_base).program
+
+    return build
+
+
 #: All registered victims, by name.
 VICTIMS: Dict[str, VictimSpec] = {
     spec.name: spec
@@ -161,8 +189,29 @@ VICTIMS: Dict[str, VictimSpec] = {
         VictimSpec("fwd-jump", _build_fwd_jump, attack=ATTACK_FWD_JUMP,
                    entry_points=("handler",),
                    function_entries=("main", "handler")),
+        # Synthesized victims: each is a whole family of programs, one
+        # per scenario seed (random call graphs, dispatch tables, loops,
+        # seed-placed attacks).  Label sets and expected verdicts come
+        # from the repro.synth bundle — the static oracle — at run time.
+        VictimSpec("synth-benign", _synth_builder("benign"),
+                   seeded=True, synth_family="benign"),
+        VictimSpec("synth-rop", _synth_builder("rop"), attack=ATTACK_ROP,
+                   seeded=True, synth_family="rop"),
+        VictimSpec("synth-jop", _synth_builder("jop"), attack=ATTACK_JOP,
+                   seeded=True, synth_family="jop"),
+        VictimSpec("synth-call-hijack", _synth_builder("call-hijack"),
+                   attack=ATTACK_CALL_HIJACK,
+                   seeded=True, synth_family="call-hijack"),
+        VictimSpec("synth-ret-to-callsite", _synth_builder("ret-to-callsite"),
+                   attack=ATTACK_RET_TO_CALLSITE,
+                   seeded=True, synth_family="ret-to-callsite"),
     )
 }
+
+#: The synthesized subset of the registry, by name.
+SYNTH_VICTIMS: Tuple[str, ...] = tuple(sorted(
+    name for name, spec in VICTIMS.items() if spec.synthetic
+))
 
 # --------------------------------------------------------------------------
 # Policies and ground truth
@@ -537,11 +586,77 @@ def full_matrix() -> List[Scenario]:
     return scenarios
 
 
+#: Seeds the synth matrices sweep.  Seed 0 would fall back to the
+#: campaign-seed derivation (losing per-cell determinism in the name),
+#: so sweeps start at 1.
+SYNTH_SEEDS: Tuple[int, ...] = tuple(range(1, 8))
+
+
+def synth_matrix() -> List[Scenario]:
+    """The scenario-synthesis campaign: every synthesized family ×
+    every policy × a seed sweep, with the static oracle supplying the
+    expected verdict per generated program.
+
+    The reference block alone is families × policies × seeds (well past
+    the 200-scenario mark); a cosim slice re-checks a sample of the
+    same generated programs cycle-accurately on both mailbox agents
+    (RV32 firmware and policy host)."""
+    scenarios = expand_grid(
+        victim=list(SYNTH_VICTIMS),
+        policy=list(REFERENCE_POLICIES),
+        backend=BACKEND_REFERENCE,
+        seed=list(SYNTH_SEEDS),
+    )
+    scenarios += expand_grid(
+        victim=list(SYNTH_VICTIMS),
+        policy=[POLICY_SHADOW_STACK, POLICY_COMPOSITE],
+        backend=BACKEND_COSIM,
+        policy_backend=POLICY_BACKEND_HOST,
+        seed=[1, 2],
+    )
+    # Firmware-agent cells: the RV32 shadow-stack firmware must agree
+    # with the oracle on generated programs too.
+    scenarios += expand_grid(
+        victim=list(SYNTH_VICTIMS),
+        backend=BACKEND_COSIM,
+        seed=[3],
+    )
+    return scenarios
+
+
+def synth_smoke_matrix() -> List[Scenario]:
+    """CI tier of the synthesis campaign: fixed seeds, a policy cross
+    section on the reference backend, and one cosim cell per mailbox
+    agent — small enough for the serial runner."""
+    scenarios = expand_grid(
+        victim=list(SYNTH_VICTIMS),
+        policy=[POLICY_SHADOW_STACK, POLICY_FORWARD_EDGE, POLICY_COARSE,
+                POLICY_COMPOSITE],
+        backend=BACKEND_REFERENCE,
+        seed=[1, 2],
+    )
+    scenarios += expand_grid(
+        victim=["synth-rop", "synth-benign"],
+        backend=BACKEND_COSIM,
+        seed=[1],
+    )
+    scenarios += expand_grid(
+        victim=["synth-jop", "synth-ret-to-callsite"],
+        policy=POLICY_COMPOSITE,
+        backend=BACKEND_COSIM,
+        policy_backend=POLICY_BACKEND_HOST,
+        seed=[1],
+    )
+    return scenarios
+
+
 MATRICES: Dict[str, Callable[[], List[Scenario]]] = {
     "default": default_matrix,
     "smoke": smoke_matrix,
     "full": full_matrix,
     "policyhost": policyhost_matrix,
+    "synth": synth_matrix,
+    "synth-smoke": synth_smoke_matrix,
 }
 
 

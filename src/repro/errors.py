@@ -141,3 +141,8 @@ class ConfigError(ReproError):
 
 class CalibrationError(ReproError):
     """The trace-model calibration failed to converge."""
+
+
+class SynthError(ReproError):
+    """A synthesized victim model is malformed, or its emitted image
+    disagrees with its statically planned control-flow event stream."""

@@ -54,6 +54,20 @@ EVENT_RESTORE = "restore"      # return: spill block restored first
 EVENT_SKIP = "skip"            # event the policy does not constrain
 
 
+#: Static-oracle rule families (the ``oracle_rule`` class attribute each
+#: policy exposes).  The scenario-synthesis oracle
+#: (:mod:`repro.synth.oracle`) predicts a policy's verdict on a generated
+#: program *without running it* by replaying the program's statically
+#: derived control-flow event stream through the rule the policy declares
+#: here — so a policy and its oracle prediction are tied together at the
+#: policy's definition site, not in a hand-maintained table elsewhere.
+ORACLE_RETURN_EXACT = "return-exact"      # returns must match the pushed address
+ORACLE_FORWARD_ENTRY = "forward-entry"    # indirect transfers must hit a
+                                          # registered entry point
+ORACLE_COARSE_PAIRED = "coarse-paired"    # returns call-preceded; indirect
+                                          # transfers to *some* function entry
+
+
 @dataclass
 class PolicyStats:
     """Counters every policy keeps."""
@@ -82,6 +96,9 @@ class ShadowStackPolicy:
             inside the SoC; a private one otherwise).
         key: MAC key held in tamper-proof storage.
     """
+
+    #: Static-oracle rule (see the EVENT_*/ORACLE_* block above).
+    oracle_rule = ORACLE_RETURN_EXACT
 
     def __init__(
         self,
@@ -201,6 +218,8 @@ class ForwardEdgePolicy:
     compose with :class:`ShadowStackPolicy` for full coverage.
     """
 
+    oracle_rule = ORACLE_FORWARD_ENTRY
+
     def __init__(self, valid_targets: Optional[Set[int]] = None):
         self.valid_targets: Set[int] = set(valid_targets or ())
         self.stats = PolicyStats()
@@ -246,6 +265,8 @@ class CoarseGrainedPolicy:
     measures: a corrupted return aimed at another valid call site, or an
     indirect call hijacked to a different whole function, both pass.
     """
+
+    oracle_rule = ORACLE_COARSE_PAIRED
 
     def __init__(
         self,
@@ -307,6 +328,16 @@ class CompositePolicy:
         self.stats = PolicyStats()
         self.last_event: str = EVENT_SKIP
 
+    @property
+    def oracle_rules(self) -> Tuple[str, ...]:
+        """Static-oracle rules of every member (any firing rule wins,
+        mirroring :meth:`check`'s any-violation semantics)."""
+        return tuple(
+            rule for policy in self.policies
+            for rule in (getattr(policy, "oracle_rule", None),)
+            if rule is not None
+        )
+
     def check(self, log: CommitLog) -> CheckResult:
         self.stats.checks += 1
         verdict = CheckResult.OK
@@ -335,6 +366,14 @@ class CompositePolicy:
         return total
 
 
+#: Member policies of the campaign's standard ``composite`` cell.  The
+#: single source of truth shared by the campaign runner (which
+#: instantiates them with resolved label sets) and the synthesis
+#: oracle's rule table (which reads their ``oracle_rule`` hooks) — the
+#: two can therefore never drift apart.
+COMPOSITE_MEMBERS: Tuple[type, ...] = (ShadowStackPolicy, ForwardEdgePolicy)
+
+
 class CryptoReturnPolicy:
     """MAC-authenticated return addresses, in the spirit of CCFI
     (Mashtizadeh et al.): instead of hiding the shadow stack in trusted
@@ -356,6 +395,10 @@ class CryptoReturnPolicy:
             inside the SoC; a private one otherwise).
         key: MAC key held in tamper-proof storage.
     """
+
+    #: Same detection envelope as the shadow stack: exact return-edge
+    #: protection (the MAC changes *how*, not *what*, is enforced).
+    oracle_rule = ORACLE_RETURN_EXACT
 
     #: Modelled accelerator cost of one MAC over a (address, position)
     #: record on the standard RoT fabric: 4 message words + length +

@@ -23,10 +23,14 @@ paper where both sides operate on the same uncompressed encoding.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.isa.decode import Instruction, decode
 from repro.isa.registers import LINK_REGS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (asm uses encode)
+    from repro.isa.asm import Program
 
 
 class CfKind(enum.Enum):
@@ -118,3 +122,95 @@ def expected_return_address(insn: Instruction, pc: int) -> Optional[int]:
     if not is_call(insn):
         return None
     return pc + insn.length
+
+
+# --------------------------------------------------------------------------
+# Static program analysis
+# --------------------------------------------------------------------------
+#
+# The classification rules above operate on one retired instruction at a
+# time — the filter's (and firmware's) view.  The helpers below apply the
+# same rules to a whole assembled image *statically*: a linear sweep that
+# classifies every word, resolves immediate-encoded targets, and exposes
+# the program's control-flow skeleton (call sites, return sites, indirect
+# transfer sites).  The scenario-synthesis oracle (:mod:`repro.synth`)
+# grounds its planned event streams in this scan, and the test suite uses
+# it to cross-check dynamic commit-log captures against the static site
+# set — same module, same rules, so the two views cannot drift.
+
+
+@dataclass(frozen=True)
+class CfSite:
+    """One statically discovered control-flow instruction.
+
+    Attributes:
+        pc: address of the instruction.
+        insn: its decoded form.
+        kind: classification per :func:`classify`.
+        target: statically known destination (``jal``/branches resolve to
+            ``pc + imm``); ``None`` for register-indirect transfers, whose
+            destination only exists dynamically.
+    """
+
+    pc: int
+    insn: Instruction
+    kind: CfKind
+
+    @property
+    def target(self) -> Optional[int]:
+        if self.insn.mnemonic == "jal" or self.insn.mnemonic in _BRANCH_MNEMONICS:
+            return self.pc + self.insn.imm
+        return None
+
+    @property
+    def fall_through(self) -> int:
+        """Address of the next sequential instruction (a call's link value)."""
+        return self.pc + self.insn.length
+
+
+def iter_sites(data: bytes, base: int, xlen: int = 64) -> Iterator[CfSite]:
+    """Linear-sweep scan: yield every control-flow instruction in ``data``.
+
+    The sweep walks 4-byte words (the assembler emits uncompressed
+    encodings only); words that fail to decode — data constants, padding —
+    classify as :attr:`CfKind.NONE` and are skipped, mirroring how
+    :func:`classify_word` shrugs at garbage.
+    """
+    for offset in range(0, len(data) - 3, 4):
+        word = int.from_bytes(data[offset : offset + 4], "little")
+        try:
+            insn = decode(word, xlen=xlen)
+        except Exception:
+            continue
+        kind = classify(insn)
+        if kind is not CfKind.NONE:
+            yield CfSite(pc=base + offset, insn=insn, kind=kind)
+
+
+def scan_program(program: "Program", xlen: int = 64) -> List[CfSite]:
+    """All control-flow sites of an assembled :class:`Program`."""
+    return list(iter_sites(program.data, program.base, xlen=xlen))
+
+
+def cfi_sites(program: "Program", xlen: int = 64) -> List[CfSite]:
+    """The sites the TitanCFI filter would stream (calls, returns,
+    indirect jumps) — the static superset of any run's commit log."""
+    return [s for s in scan_program(program, xlen=xlen) if s.kind.cfi_relevant]
+
+
+def indirect_sites(program: "Program", xlen: int = 64) -> List[CfSite]:
+    """Register-indirect transfer sites (indirect calls, returns and
+    indirect jumps): the sites whose dynamic targets a CFI policy must
+    constrain, extracted statically."""
+    return [
+        s for s in scan_program(program, xlen=xlen)
+        if s.kind.cfi_relevant and s.insn.mnemonic == "jalr"
+    ]
+
+
+def direct_call_targets(program: "Program", xlen: int = 64) -> List[int]:
+    """Entry addresses reached by immediate-encoded (``jal``) calls."""
+    return [
+        s.target for s in scan_program(program, xlen=xlen)
+        if s.kind is CfKind.CALL and s.target is not None
+    ]

@@ -15,7 +15,11 @@ against the real firmware's measured shadow-stack latencies
 of all three co-simulation engines (busy, event-driven, batched).
 """
 
-from repro.policyhost.calibration import ResponseModel, calibrate
+from repro.policyhost.calibration import (
+    ResponseModel,
+    calibrate,
+    configure_chain_table,
+)
 from repro.policyhost.host import PolicyHost, mount_policy_host
 from repro.policyhost.latency import host_check_latencies
 
@@ -23,6 +27,7 @@ __all__ = [
     "PolicyHost",
     "ResponseModel",
     "calibrate",
+    "configure_chain_table",
     "host_check_latencies",
     "mount_policy_host",
 ]

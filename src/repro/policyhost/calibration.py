@@ -247,8 +247,29 @@ class ResponseCurve:
         return self.values[base + (index - base) % self.period]
 
 
+#: Node cap of the boot-chain trie, per model.  Bounds memory only —
+#: chains past the cap fall back to the replay rig, never to an
+#: approximation.  Each trie node stores one (ring, log) step exactly
+#: once, shared across every chain that walks the same prefix.
+_CHAIN_NODE_CAP = 65536
+
+#: Process-wide boot-chain-table switch (see :func:`configure_chain_table`).
+_CHAIN_TABLE_ENABLED = True
+
+
+class _ChainNode:
+    """One step of the boot-chain trie: the firmware's completion cycle
+    for the chain prefix ending here, plus the known continuations."""
+
+    __slots__ = ("respond", "children")
+
+    def __init__(self):
+        self.respond: Optional[int] = None
+        self.children: Dict[Tuple[int, bytes], "_ChainNode"] = {}
+
+
 class ShadowSession:
-    """Exact boot-epoch service: a private rig replaying the run's rings.
+    """Exact boot-epoch service: replay-calibrated, rig-backed on demand.
 
     Used while the run is inside its boot epoch (first doorbell before
     the firmware's steady idle point) where the curve model's anchors
@@ -256,15 +277,69 @@ class ShadowSession:
     crypto policy's MAC cycles): the rig is rung at host time minus
     drift so its internal inter-arrival offsets match what the
     firmware would have observed.
+
+    **Boot-chain table:** the firmware's completion time for the n-th
+    doorbell of a boot epoch is a pure function of the rig-time ring
+    chain so far — ``((ring₀, log₀), …, (ringₙ, logₙ))`` — so every
+    answer a rig ever produces is memoised in the model's boot-chain
+    *trie*, one node per chain step (prefixes shared, O(1) lookup per
+    ring).  A later run (or a later scenario of the same campaign
+    shard) whose doorbells walk a known chain is answered straight from
+    the trie: the Ibex-speed replay rig is not even *built* until the
+    first unknown prefix appears, and runs whose doorbells stay
+    back-to-back to the end retire it entirely.  On a miss the rig is
+    constructed lazily and fast-forwarded through the already-answered
+    prefix, so cached and uncached sessions are cycle-identical by
+    construction.
     """
 
     def __init__(self, model: "ResponseModel"):
-        self._rig = model._new_rig()
+        self._model = model
+        self._rig: Optional[_MicroRig] = None
         self.drift = 0
         self._last_rig_respond: Optional[int] = None
+        self._chain: List[Tuple[int, bytes]] = []
+        #: Trie cursor: children of the chain prefix walked so far
+        #: (``None`` once off the trie — table disabled or node cap hit).
+        self._cursor: Optional[_ChainNode] = model._chain_root
+        #: Trie generation this cursor belongs to; a reconfiguration
+        #: mid-session detaches the cursor instead of silently serving
+        #: (and growing) a replaced trie.
+        self._generation = model._chain_generation
+
+    def _ensure_rig(self) -> _MicroRig:
+        """The replay rig, built on first miss and caught up through
+        every ring already answered from the chain table."""
+        if self._rig is None:
+            self._model.shadow_rig_builds += 1
+            self._rig = self._model._new_rig()
+            for ring, packed in self._chain[:-1]:
+                self._rig.response(ring, CommitLog.unpack(packed))
+        return self._rig
 
     def response(self, ring: int, log: CommitLog) -> int:
-        respond = self._rig.response(ring - self.drift, log)
+        rig_ring = ring - self.drift
+        node: Optional[_ChainNode] = None
+        if self._generation != self._model._chain_generation:
+            self._cursor = None  # table reconfigured while in flight
+        if self._cursor is not None:
+            step = (rig_ring, log.pack())
+            if self._rig is None:
+                # The prefix is only ever replayed to catch a lazily
+                # built rig up; once one exists the history is dead.
+                self._chain.append(step)
+            node = self._cursor.children.get(step)
+            if node is None and self._model._chain_nodes < _CHAIN_NODE_CAP:
+                node = _ChainNode()
+                self._cursor.children[step] = node
+                self._model._chain_nodes += 1
+            self._cursor = node  # None once the node cap refuses growth
+        if node is not None and node.respond is not None:
+            respond = node.respond
+        else:
+            respond = self._ensure_rig().response(rig_ring, log)
+            if node is not None:
+                node.respond = respond
         self._last_rig_respond = respond
         return respond + self.drift
 
@@ -275,6 +350,12 @@ class ShadowSession:
                 "shadow session asked to note a respond before any ring"
             )
         self.drift = host_respond - self._last_rig_respond
+
+    @property
+    def rig_live(self) -> bool:
+        """True while a replay rig exists (i.e. the chain table alone
+        has not been able to answer every ring so far)."""
+        return self._rig is not None
 
 
 class ResponseModel:
@@ -292,6 +373,19 @@ class ResponseModel:
         self.variant = variant
         self.fabric = fabric
         self.wake_cycles = wake_cycles
+        #: Boot-chain trie root (``None`` when disabled): rig-time ring
+        #: chains → completion cycles, one node per step.  Shared by
+        #: every shadow session of this model, i.e. per firmware config
+        #: per process — exactly the scope at which campaign shards
+        #: repeat boot chains.
+        self._chain_root: Optional[_ChainNode] = (
+            _ChainNode() if _CHAIN_TABLE_ENABLED else None
+        )
+        self._chain_nodes = 0
+        self._chain_generation = 0
+        #: Replay rigs actually constructed by shadow sessions (the
+        #: boot-chain table's effectiveness metric; see the tests).
+        self.shadow_rig_builds = 0
         self._busy: Dict[str, ResponseCurve] = {}
         self._busy["ok"] = self._measure_busy_curve("ok")
         self.boot_tail = self._measure_boot_tail()
@@ -470,3 +564,20 @@ def calibrate(variant: str = "irq", fabric: str = "standard",
         model = ResponseModel(variant, fabric, wake_cycles)
         _MODELS[key] = model
     return model
+
+
+def configure_chain_table(enabled: bool) -> None:
+    """Enable/disable the boot-chain table (clears it either way).
+
+    Applies to future models and to every already-memoised one; the
+    differential tests flip this to prove cached, cold and disabled
+    sessions produce identical cycle totals (the table is a memo of
+    exact rig answers, never an approximation).
+    """
+    global _CHAIN_TABLE_ENABLED
+    _CHAIN_TABLE_ENABLED = enabled
+    for model in _MODELS.values():
+        model._chain_root = _ChainNode() if enabled else None
+        model._chain_nodes = 0
+        model._chain_generation += 1  # detach in-flight session cursors
+        model.shadow_rig_builds = 0

@@ -1,0 +1,112 @@
+"""CLI: ``python -m repro.synth`` — inspect and verify generated victims.
+
+Subcommands:
+
+* ``show --family jop --seed 3`` — print a generated program's
+  assembly, its planned event stream and the oracle's verdicts.
+* ``verify --seeds 8 [--cosim] [--out DIR]`` — sweep every family over
+  a seed range, compare the oracle against the simulators for every
+  policy, and minimize any disagreement into a reproducer JSON.
+
+The campaign CLI (``python -m repro.campaign run --matrix synth``) is
+the production entry point; this one is for poking at single programs
+and for standalone oracle hunts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.synth import FAMILIES, bundle
+from repro.synth.corpus import make_entry, save_entry
+from repro.synth.ir import emit_source
+from repro.synth.minimize import minimize_model
+from repro.synth.verify import disagreement_predicate, verify_model
+
+
+def _base() -> int:
+    from repro.system.addresses import AddressMap
+
+    return AddressMap().dram_base
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    found = bundle(args.family, args.seed, _base())
+    print(emit_source(found.model, _base()))
+    print(f"# planned events ({args.family}, seed {args.seed}):")
+    from repro.synth import plan_events
+
+    for event in plan_events(found.model):
+        extra = f" next={event.next}" if event.next else ""
+        print(f"#   {event.kind:<6} @{event.site} -> {event.target}{extra}")
+    print("# oracle verdicts:")
+    for policy, verdict in found.expected.items():
+        print(f"#   {policy:<14} {'DETECT' if verdict else 'pass'}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    base = _base()
+    backend = "cosim" if args.cosim else "reference"
+    failures = 0
+    for family in FAMILIES:
+        for seed in range(args.seeds):
+            found = bundle(family, seed, base)
+            results = verify_model(found.model, base=base, backend=backend)
+            bad = {p: r for p, r in results.items() if r[0] != r[1]}
+            if not bad:
+                continue
+            failures += len(bad)
+            for policy, (oracle, simulated) in bad.items():
+                print(f"DISAGREEMENT {family} seed={seed} policy={policy}: "
+                      f"oracle={oracle} simulated={simulated}")
+                predicate = disagreement_predicate(policy, base=base,
+                                                   backend=backend)
+                minimal = minimize_model(found.model, predicate,
+                                         max_evals=args.max_evals)
+                entry = make_entry(
+                    minimal, family=family, seed=seed, policy=policy,
+                    config={"backend": backend},
+                    note=f"minimized by `python -m repro.synth verify`",
+                    base=base,
+                )
+                path = save_entry(Path(args.out), entry)
+                print(f"  reproducer: {path}")
+    total = len(FAMILIES) * args.seeds
+    print(f"verified {total} programs x all policies on {backend}: "
+          f"{failures} disagreement(s)")
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.synth",
+        description="scenario synthesis: generate, inspect, verify",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    show = sub.add_parser("show", help="print one generated program")
+    show.add_argument("--family", default="benign", choices=FAMILIES)
+    show.add_argument("--seed", type=int, default=0)
+
+    verify = sub.add_parser("verify", help="oracle-vs-simulation sweep")
+    verify.add_argument("--seeds", type=int, default=8,
+                        help="seeds per family (0..N-1)")
+    verify.add_argument("--cosim", action="store_true",
+                        help="verify on the cosim backend (slower)")
+    verify.add_argument("--out", default="artifacts/synth",
+                        help="reproducer output directory")
+    verify.add_argument("--max-evals", type=int, default=200,
+                        help="shrink budget per disagreement")
+
+    args = parser.parse_args(argv)
+    if args.command == "show":
+        return _cmd_show(args)
+    return _cmd_verify(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,204 @@
+"""Seed-deterministic procedural generation of victim models.
+
+:func:`generate` builds a well-formed benign model — a random acyclic
+call graph over a handful of functions, indirect-call edges, counted
+loops, jump-table dispatchers, leaf/non-leaf mixes — and then (for the
+attack families) hands it to the mutation layer, which plants exactly
+one attack into it at a seed-chosen location.  Everything is driven by
+one ``random.Random(seed)``: the same ``(family, seed)`` always yields
+the identical model, which is what lets the campaign registry treat
+synthesized victims as pure functions of the scenario seed.
+
+The generator also enforces a **plan budget**: after mutation it walks
+the model's event stream (:func:`repro.synth.ir.plan_events`) and, if
+loops have multiplied it past :data:`MAX_EVENTS`, deterministically
+halves loop counts until the stream fits — generated scenarios stay
+cheap on every backend without losing seed determinism.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.errors import SynthError
+from repro.synth.ir import LOOP_REGS, SCHEMA, check_model, plan_events
+
+#: Synthesis families (the campaign's ``synth-*`` victims map onto these).
+FAMILIES = ("benign", "rop", "jop", "call-hijack", "ret-to-callsite")
+
+#: Upper bound on a generated program's CFI-relevant event stream.
+MAX_EVENTS = 500
+
+
+class _Builder:
+    """Per-generation scratch state (uid counter, loop-register pool)."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.next_uid = 0
+        self.loop_regs = list(LOOP_REGS)
+
+    def uid(self) -> int:
+        self.next_uid += 1
+        return self.next_uid
+
+    def alu(self, lo: int = 1, hi: int = 4) -> dict:
+        return {"op": "alu", "uid": self.uid(), "n": self.rng.randint(lo, hi)}
+
+    def take_loop_reg(self) -> Optional[str]:
+        if not self.loop_regs:
+            return None
+        return self.loop_regs.pop(0)
+
+
+def _benign_model(b: _Builder) -> dict:
+    """A random benign program: call DAG + loops + dispatchers."""
+    rng = b.rng
+    n_functions = rng.randint(2, 5)
+    names = ["main"] + [f"fn_{i}" for i in range(1, n_functions + 1)]
+    bodies: List[List[dict]] = [[] for _ in names]
+
+    # Spanning call edges guarantee every function executes: each fn_i
+    # is called from a function of lower index (acyclic by construction).
+    for i in range(1, len(names)):
+        caller = rng.randrange(0, i)
+        bodies[caller].append({
+            "op": "call", "uid": b.uid(), "callee": names[i],
+            "indirect": rng.random() < 0.35,
+        })
+    # Extra call edges (still low → high index only).
+    for _ in range(rng.randint(0, 3)):
+        callee = rng.randint(1, len(names) - 1)
+        caller = rng.randrange(0, callee)
+        bodies[caller].append({
+            "op": "call", "uid": b.uid(), "callee": names[callee],
+            "indirect": rng.random() < 0.35,
+        })
+    # Dispatchers (benign jump-table dispatch, the JOP substrate).
+    for _ in range(rng.randint(0, 2)):
+        host = rng.randrange(0, len(names))
+        bodies[host].append({
+            "op": "dispatch", "uid": b.uid(),
+            "handlers": [rng.randint(1, 3), rng.randint(1, 3)],
+        })
+    # Filler, shuffled in between the structural ops.
+    for body in bodies:
+        for _ in range(rng.randint(1, 3)):
+            body.insert(rng.randint(0, len(body)), b.alu())
+
+    # Wrap random contiguous slices in counted loops.
+    for _ in range(rng.randint(0, 3)):
+        reg = b.take_loop_reg()
+        if reg is None:
+            break
+        body = bodies[rng.randrange(0, len(names))]
+        if not body:
+            continue
+        start = rng.randrange(0, len(body))
+        stop = min(len(body), start + rng.randint(1, 2))
+        inner, body[start:stop] = body[start:stop], []
+        body.insert(start, {
+            "op": "loop", "uid": b.uid(), "reg": reg,
+            "count": rng.randint(2, 4), "body": inner,
+        })
+
+    return {
+        "schema": SCHEMA,
+        "functions": [
+            {"name": name, "body": body} for name, body in zip(names, bodies)
+        ],
+        "attack": None,
+    }
+
+
+# --------------------------------------------------------------------------
+# Mutation layer: plant exactly one attack into a benign model
+# --------------------------------------------------------------------------
+
+def _plant(b: _Builder, model: dict, op: dict) -> None:
+    """Insert ``op`` at a seed-chosen position of a seed-chosen function.
+
+    Any position is reachable: the benign model's call graph spans every
+    function and the planted attack is the model's only terminal, so the
+    walk (and the machine) always arrives.
+    """
+    function = b.rng.choice(model["functions"])
+    body = function["body"]
+    body.insert(b.rng.randint(0, len(body)), op)
+
+
+def _mutate_rop(b: _Builder, model: dict) -> None:
+    victims = [f["name"] for f in model["functions"] if f["name"] != "main"]
+    model["attack"] = {"kind": "rop", "victim": b.rng.choice(victims)}
+
+
+def _mutate_jop(b: _Builder, model: dict) -> None:
+    uid = b.uid()
+    _plant(b, model, {"op": "dispatch", "uid": uid, "handlers": [1, 1]})
+    model["attack"] = {"kind": "jop", "uid": uid}
+
+
+def _mutate_call_hijack(b: _Builder, model: dict) -> None:
+    uid = b.uid()
+    decoys = [f["name"] for f in model["functions"] if f["name"] != "main"]
+    _plant(b, model, {"op": "hijack", "uid": uid,
+                      "decoy": b.rng.choice(decoys)})
+    model["attack"] = {"kind": "call-hijack", "uid": uid}
+
+
+def _mutate_ret_to_callsite(b: _Builder, model: dict) -> None:
+    uid = b.uid()
+    _plant(b, model, {"op": "rtc", "uid": uid})
+    model["functions"].append({
+        "name": "fn_rtc_helper", "body": [b.alu(1, 2)],
+    })
+    model["functions"].append({
+        "name": "fn_rtc_victim", "body": [b.alu(1, 2)],
+    })
+    model["attack"] = {"kind": "ret-to-callsite", "uid": uid}
+
+
+_MUTATORS = {
+    "rop": _mutate_rop,
+    "jop": _mutate_jop,
+    "call-hijack": _mutate_call_hijack,
+    "ret-to-callsite": _mutate_ret_to_callsite,
+}
+
+
+def _clamp_events(model: dict) -> dict:
+    """Halve loop counts until the planned stream fits :data:`MAX_EVENTS`."""
+    for _ in range(8):
+        if len(plan_events(model)) <= MAX_EVENTS:
+            return model
+        shrunk = False
+        for op in list(_iter_loops(model)):
+            if op["count"] > 1:
+                op["count"] = max(1, op["count"] // 2)
+                shrunk = True
+        if not shrunk:
+            break
+    if len(plan_events(model)) > MAX_EVENTS:
+        raise SynthError("generated model exceeds the event budget")
+    return model
+
+
+def _iter_loops(model: dict):
+    from repro.synth.ir import model_ops
+
+    return (op for op in model_ops(model) if op["op"] == "loop")
+
+
+def generate(family: str, seed: int) -> dict:
+    """Generate the model for ``(family, seed)`` (pure and deterministic)."""
+    if family not in FAMILIES:
+        raise SynthError(f"unknown synthesis family {family!r} "
+                         f"(have: {', '.join(FAMILIES)})")
+    b = _Builder(random.Random(seed))
+    model = _benign_model(b)
+    if family != "benign":
+        _MUTATORS[family](b, model)
+    model = _clamp_events(model)
+    check_model(model)
+    return model

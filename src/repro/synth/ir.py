@@ -1,0 +1,580 @@
+"""The scenario-synthesis intermediate representation (IR).
+
+A synthesized victim is described by a **model**: a plain JSON-able dict
+(functions with structured bodies, plus at most one planted attack) that
+three independent consumers interpret:
+
+* :func:`emit` lowers it to RV64 assembly source for the real
+  :class:`~repro.isa.asm.Assembler` (so synthesized victims run on the
+  same simulators, CFI filter and firmware as the hand-written corpus);
+* :func:`plan_events` walks the same structure *abstractly* and returns
+  the exact sequence of CFI-relevant control-flow events the program
+  will retire — the static oracle's ground truth;
+* :func:`~repro.synth.minimize.minimize_model` shrinks it structurally
+  when an oracle-vs-simulation disagreement needs a minimal reproducer.
+
+The correspondence between :func:`emit` and :func:`plan_events` is the
+load-bearing invariant of the subsystem: both walk the identical op
+list, and the emitted image plants a ``cf_*`` label on every
+control-flow instruction so the oracle can verify — through
+:mod:`repro.isa.cflow` — that each planned event matches the encoding
+actually in the image (see :mod:`repro.synth.oracle`).
+
+Model schema (``schema: 1``)::
+
+    {"schema": 1,
+     "functions": [{"name": "main", "body": [op, ...]}, ...],
+     "attack": null | {"kind": ..., ...}}
+
+Ops (every op carries a model-unique integer ``uid``):
+
+* ``{"op": "alu", "uid": u, "n": k}`` — ``k`` filler ALU instructions.
+* ``{"op": "loop", "uid": u, "reg": "s4", "count": c, "body": [...]}``
+  — a counted loop; ``reg`` comes from :data:`LOOP_REGS` and must be
+  unique per loop across the whole model (so nesting and calls can
+  never clobber a live counter).
+* ``{"op": "call", "uid": u, "callee": name, "indirect": bool}`` — a
+  function call, direct (``jal ra``) or through a register
+  (``la``/``jalr ra``).  The callee graph must be acyclic.
+* ``{"op": "dispatch", "uid": u, "handlers": [k0, k1]}`` — a
+  jump-table dispatcher in the style of the JOP literature's
+  dispatcher gadget: the table is materialised in DRAM and walked with
+  register-indirect jumps; each handler runs ``ki`` filler
+  instructions and jumps back.
+* ``{"op": "hijack", "uid": u, "decoy": name}`` — an indirect call
+  through a function-pointer cell that the planted attack overwrites
+  (only present when ``attack.kind == "call-hijack"``).
+* ``{"op": "rtc", "uid": u}`` — the callsite-reuse pattern: a call to
+  ``fn_rtc_helper`` whose fall-through (a *valid* call site) is the
+  diversion target of ``fn_rtc_victim``'s corrupted return (only
+  present when ``attack.kind == "ret-to-callsite"``).
+
+Attacks (at most one per model):
+
+* ``{"kind": "rop", "victim": name}`` — ``victim``'s saved return
+  address is overwritten with the ``rop_gadget`` address before the
+  epilogue reloads it.
+* ``{"kind": "jop", "uid": u}`` — dispatch ``u``'s table is filled
+  with mid-function gadget fragments (``jop_g1`` → ``jop_g2``) instead
+  of its handlers.
+* ``{"kind": "call-hijack", "uid": u}`` — hijack op ``u``'s pointer
+  cell is retargeted to ``fn_chj_gadget``, a *plausible function
+  entry* (the coarse-CFI blind spot).
+* ``{"kind": "ret-to-callsite", "uid": u}`` — rtc op ``u``'s victim
+  return is diverted to the helper call's fall-through, a
+  call-preceded address (the coarse-return blind spot).
+
+Every attack's payload ends in ``ebreak`` with ``GADGET_MARKER`` in
+``a0``, so the campaign's marker invariants hold for synthesized
+victims exactly as for the hand-written ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.attacks.programs import CLEAN_MARKER, GADGET_MARKER
+from repro.errors import SynthError
+from repro.isa.asm import Assembler, Program
+
+SCHEMA = 1
+
+#: Loop-counter register pool.  Each loop in a model owns one register
+#: exclusively, which is what makes counters immune to nesting and to
+#: callee clobbering without any save/restore discipline.
+LOOP_REGS = ("s4", "s5", "s6", "s7", "s8", "s9")
+
+#: Attack kinds (values of ``model["attack"]["kind"]``).
+ATTACK_KINDS = ("rop", "jop", "call-hijack", "ret-to-callsite")
+
+_STACK_TOP_OFF = 0xF0_0000
+#: DRAM area holding dispatch tables and hijacked function-pointer
+#: cells (one 0x40-byte slot per dispatch/hijack op, below the stack).
+_TABLE_OFF = 0xE2_0000
+
+#: Filler instruction rotation (side-effect-free scratch arithmetic on
+#: registers nothing else in the IR uses).
+_ALU_POOL = (
+    "addi t5, t5, {k}",
+    "xori t6, t6, {k}",
+    "add  a1, t5, t6",
+    "andi a2, a1, 63",
+    "slli a3, a2, 1",
+    "sub  a4, a3, t5",
+)
+
+
+# --------------------------------------------------------------------------
+# Validation
+# --------------------------------------------------------------------------
+
+def _ops(body: List[dict]) -> Iterator[dict]:
+    """Depth-first iteration over a body's ops (loops included)."""
+    for op in body:
+        yield op
+        if op["op"] == "loop":
+            yield from _ops(op["body"])
+
+
+def model_ops(model: dict) -> Iterator[dict]:
+    """Depth-first iteration over every op in the model."""
+    for function in model["functions"]:
+        yield from _ops(function["body"])
+
+
+def check_model(model: dict) -> None:
+    """Validate a model; raises :class:`SynthError` on any defect.
+
+    The checks are exactly the assumptions :func:`emit` and
+    :func:`plan_events` rely on — a model that passes here produces an
+    image and a plan that agree by construction.
+    """
+    if model.get("schema") != SCHEMA:
+        raise SynthError(f"unsupported model schema {model.get('schema')!r}")
+    functions = model.get("functions") or []
+    if not functions or functions[0]["name"] != "main":
+        raise SynthError("model needs functions with 'main' first")
+    names = [f["name"] for f in functions]
+    if len(set(names)) != len(names):
+        raise SynthError(f"duplicate function names: {names}")
+
+    uids: List[int] = []
+    loop_regs: List[str] = []
+    attack = model.get("attack")
+    kind = attack["kind"] if attack else None
+    if attack and kind not in ATTACK_KINDS:
+        raise SynthError(f"unknown attack kind {kind!r}")
+
+    by_name = {f["name"]: f for f in functions}
+    for function in functions:
+        for op in _ops(function["body"]):
+            uids.append(op["uid"])
+            if op["op"] == "alu":
+                if op["n"] < 0:
+                    raise SynthError("alu op with negative count")
+            elif op["op"] == "loop":
+                if op["reg"] not in LOOP_REGS:
+                    raise SynthError(f"loop reg {op['reg']!r} not in pool")
+                if op["count"] < 1:
+                    raise SynthError("loop count must be >= 1")
+                loop_regs.append(op["reg"])
+            elif op["op"] == "call":
+                if op["callee"] not in by_name:
+                    raise SynthError(f"call to unknown function {op['callee']!r}")
+            elif op["op"] == "dispatch":
+                if len(op["handlers"]) != 2:
+                    raise SynthError("dispatch needs exactly 2 handlers")
+            elif op["op"] == "hijack":
+                if kind != "call-hijack":
+                    raise SynthError("hijack op without a call-hijack attack")
+                if op["decoy"] not in by_name:
+                    raise SynthError(f"hijack decoy {op['decoy']!r} unknown")
+            elif op["op"] == "rtc":
+                if kind != "ret-to-callsite":
+                    raise SynthError("rtc op without a ret-to-callsite attack")
+            else:
+                raise SynthError(f"unknown op {op['op']!r}")
+    if len(set(uids)) != len(uids):
+        raise SynthError(f"duplicate op uids: {sorted(uids)}")
+    if len(set(loop_regs)) != len(loop_regs):
+        raise SynthError("loop registers must be unique across the model")
+
+    # The call graph must be acyclic (the plan walk would not terminate).
+    calling: Dict[str, List[str]] = {
+        f["name"]: [op["callee"] for op in _ops(f["body"]) if op["op"] == "call"]
+        for f in functions
+    }
+    state: Dict[str, int] = {}
+
+    def visit(name: str) -> None:
+        if state.get(name) == 1:
+            raise SynthError(f"call cycle through {name!r}")
+        if state.get(name) == 2:
+            return
+        state[name] = 1
+        for callee in calling[name]:
+            visit(callee)
+        state[name] = 2
+
+    visit("main")
+
+    if kind == "rop":
+        victim = attack["victim"]
+        if victim not in by_name or victim == "main":
+            raise SynthError(f"rop victim {victim!r} must be a non-main function")
+    elif kind == "jop":
+        dispatches = [op["uid"] for op in model_ops(model) if op["op"] == "dispatch"]
+        if attack["uid"] not in dispatches:
+            raise SynthError(f"jop attack names unknown dispatch uid {attack['uid']}")
+    elif kind == "call-hijack":
+        hijacks = [op["uid"] for op in model_ops(model) if op["op"] == "hijack"]
+        if attack["uid"] != (hijacks[0] if len(hijacks) == 1 else None):
+            raise SynthError("call-hijack attack needs exactly its one hijack op")
+    elif kind == "ret-to-callsite":
+        rtcs = [op["uid"] for op in model_ops(model) if op["op"] == "rtc"]
+        if attack["uid"] != (rtcs[0] if len(rtcs) == 1 else None):
+            raise SynthError("ret-to-callsite attack needs exactly its one rtc op")
+        for needed in ("fn_rtc_helper", "fn_rtc_victim"):
+            if needed not in by_name:
+                raise SynthError(f"ret-to-callsite model lacks {needed}")
+            if any(True for _ in _ops(by_name[needed]["body"])
+                   if _["op"] not in ("alu",)):
+                raise SynthError(f"{needed} body must be pure filler")
+
+
+# --------------------------------------------------------------------------
+# Shared structural queries (emit and plan must answer these identically)
+# --------------------------------------------------------------------------
+
+def _has_calls(body: List[dict]) -> bool:
+    return any(op["op"] in ("call", "hijack", "rtc") for op in _ops(body))
+
+
+def _corruption(model: dict, name: str) -> Optional[str]:
+    """Label a corrupted epilogue of function ``name`` diverts to, if any."""
+    attack = model.get("attack")
+    if not attack:
+        return None
+    if attack["kind"] == "rop" and attack["victim"] == name:
+        return "rop_gadget"
+    if attack["kind"] == "ret-to-callsite" and name == "fn_rtc_victim":
+        return f"ret_{attack['uid']}_a"
+    return None
+
+
+def _needs_frame(model: dict, function: dict) -> bool:
+    """A function saves/restores ``ra`` iff it makes calls or its saved
+    return address is the planted attack's corruption target."""
+    return _has_calls(function["body"]) or _corruption(model, function["name"]) is not None
+
+
+def _indirect_targets(model: dict) -> List[str]:
+    """Functions legitimately reached by an indirect transfer: these get
+    an ``ep_`` alias (the fine-grained forward-edge label set)."""
+    targets = []
+    for op in model_ops(model):
+        if op["op"] == "call" and op["indirect"]:
+            targets.append(op["callee"])
+        elif op["op"] == "hijack":
+            targets.append(op["decoy"])
+    return sorted(set(targets))
+
+
+def _dispatch_index(model: dict) -> Dict[int, int]:
+    """Stable DRAM-slot index per dispatch/hijack uid."""
+    return {
+        op["uid"]: index
+        for index, op in enumerate(
+            op for op in model_ops(model) if op["op"] in ("dispatch", "hijack")
+        )
+    }
+
+
+def _jop_uid(model: dict) -> Optional[int]:
+    attack = model.get("attack")
+    return attack["uid"] if attack and attack["kind"] == "jop" else None
+
+
+# --------------------------------------------------------------------------
+# Emission
+# --------------------------------------------------------------------------
+
+def emit_source(model: dict, base: int) -> str:
+    """Lower a model to RV64 assembly source loaded at ``base``."""
+    check_model(model)
+    jop = _jop_uid(model)
+    slots = _dispatch_index(model)
+    ep_targets = set(_indirect_targets(model))
+    attack = model.get("attack")
+    kind = attack["kind"] if attack else None
+
+    lines: List[str] = [f".equ STACK_TOP, {base + _STACK_TOP_OFF:#x}"]
+    for uid, index in slots.items():
+        lines.append(f".equ SLOT_{uid}, {base + _TABLE_OFF + index * 0x40:#x}")
+    handler_blocks: List[str] = []
+    alu_index = 0
+
+    def alu(n: int) -> List[str]:
+        nonlocal alu_index
+        out = []
+        for _ in range(n):
+            template = _ALU_POOL[alu_index % len(_ALU_POOL)]
+            out.append("    " + template.format(k=1 + alu_index % 7))
+            alu_index += 1
+        return out
+
+    def emit_body(body: List[dict]) -> List[str]:
+        out: List[str] = []
+        for op in body:
+            t = op["op"]
+            uid = op["uid"]
+            if t == "alu":
+                out += alu(op["n"])
+            elif t == "loop":
+                out.append(f"    li   {op['reg']}, {op['count']}")
+                out.append(f"loop_{uid}:")
+                out += emit_body(op["body"])
+                out.append(f"    addi {op['reg']}, {op['reg']}, -1")
+                out.append(f"    bnez {op['reg']}, loop_{uid}")
+            elif t == "call":
+                if op["indirect"]:
+                    out.append(f"    la   t2, {op['callee']}")
+                    out.append(f"cf_{uid}:")
+                    out.append("    jalr ra, 0(t2)")
+                else:
+                    out.append(f"cf_{uid}:")
+                    out.append(f"    call {op['callee']}")
+                out.append(f"ret_{uid}:")
+            elif t == "dispatch":
+                corrupt = uid == jop
+                entries = (
+                    ("jop_g1", "jop_g2") if corrupt
+                    else (f"fn_d{uid}_h0", f"fn_d{uid}_h1")
+                )
+                out.append(f"    la   s2, SLOT_{uid}")
+                for j, entry in enumerate(entries):
+                    out.append(f"    la   t2, {entry}")
+                    out.append(f"    sd   t2, {8 * j}(s2)")
+                out.append("    li   s3, 0")
+                out.append(f"disp_{uid}:")
+                out.append("    li   t3, 2")
+                out.append(f"    bge  s3, t3, disp_{uid}_done")
+                out.append("    slli t2, s3, 3")
+                out.append("    add  t2, t2, s2")
+                out.append("    ld   t2, 0(t2)")
+                out.append("    addi s3, s3, 1")
+                out.append(f"cf_{uid}:")
+                out.append("    jr   t2")
+                out.append(f"disp_{uid}_done:")
+                if not corrupt:
+                    for j, count in enumerate(op["handlers"]):
+                        handler_blocks.append(f"ep_d{uid}_h{j}:")
+                        handler_blocks.append(f"fn_d{uid}_h{j}:")
+                        handler_blocks.extend(alu(count))
+                        handler_blocks.append(f"    j    disp_{uid}")
+            elif t == "hijack":
+                out.append(f"    la   s2, SLOT_{uid}")
+                out.append(f"    la   t2, {op['decoy']}")
+                out.append("    sd   t2, 0(s2)")
+                out.append("    # ... arbitrary-write primitive retargets the cell ...")
+                out.append("    la   t2, fn_chj_gadget")
+                out.append("    sd   t2, 0(s2)")
+                out.append("    ld   t2, 0(s2)")
+                out.append(f"cf_{uid}:")
+                out.append("    jalr ra, 0(t2)")
+                out.append(f"ret_{uid}:")
+            elif t == "rtc":
+                out.append(f"cf_{uid}_a:")
+                out.append("    call fn_rtc_helper")
+                out.append(f"ret_{uid}_a:")
+                out.append("    bnez s1, rtc_attack")
+                out.append("    li   s1, 1")
+                out.append(f"cf_{uid}_b:")
+                out.append("    call fn_rtc_victim")
+                out.append(f"ret_{uid}_b:")
+        return out
+
+    for function in model["functions"]:
+        name = function["name"]
+        if name == "main":
+            lines.append("main:")
+            lines.append("    la   sp, STACK_TOP")
+            if kind == "ret-to-callsite":
+                lines.append("    li   s1, 0")
+            lines += emit_body(function["body"])
+            lines.append(f"    li   a0, {CLEAN_MARKER:#x}")
+            lines.append("    ebreak")
+            continue
+        if name in ep_targets:
+            lines.append(f"ep_{name}:")
+        lines.append(f"{name}:")
+        frame = _needs_frame(model, function)
+        if frame:
+            lines.append("    addi sp, sp, -16")
+            lines.append("    sd   ra, 8(sp)")
+        lines += emit_body(function["body"])
+        divert = _corruption(model, name)
+        if divert is not None:
+            lines.append("    # ... overflow overruns into the saved ra slot ...")
+            lines.append(f"    la   t2, {divert}")
+            lines.append("    sd   t2, 8(sp)")
+        if frame:
+            lines.append("    ld   ra, 8(sp)")
+            lines.append("    addi sp, sp, 16")
+        lines.append(f"cf_ret_{name}:")
+        lines.append("    ret")
+
+    lines += handler_blocks
+
+    if kind == "rop":
+        lines.append("rop_gadget:")
+        lines.append(f"    li   a0, {GADGET_MARKER:#x}")
+        lines.append("    ebreak")
+    elif kind == "jop":
+        # Mid-function gadget fragments chained through the dispatch
+        # table (s2 still holds the corrupted table's base).
+        lines.append("jop_g1:")
+        lines.append("    li   a0, 0x66")
+        lines.append("    ld   t2, 8(s2)")
+        lines.append("cf_jop_g1:")
+        lines.append("    jr   t2")
+        lines.append("jop_g2:")
+        lines.append("    slli a0, a0, 4")
+        lines.append("    ori  a0, a0, 6")
+        lines.append("    ebreak")
+    elif kind == "call-hijack":
+        # Laid out as a plausible function entry: in the coarse label
+        # set (its blind spot), never in the fine-grained entry set.
+        lines.append("fn_chj_gadget:")
+        lines.append(f"    li   a0, {GADGET_MARKER:#x}")
+        lines.append("    ebreak")
+    elif kind == "ret-to-callsite":
+        lines.append("rtc_attack:")
+        lines.append(f"    li   a0, {GADGET_MARKER:#x}")
+        lines.append("    ebreak")
+
+    return "\n".join(lines) + "\n"
+
+
+def emit(model: dict, base: int) -> Program:
+    """Assemble a model into a loadable :class:`Program` at ``base``."""
+    return Assembler(xlen=64).assemble(emit_source(model, base), base=base)
+
+
+# --------------------------------------------------------------------------
+# The static plan: the event stream the program will retire
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PlanEvent:
+    """One planned CFI-relevant control-flow event (label-level).
+
+    Attributes:
+        kind: ``"call"``, ``"return"`` or ``"ijump"`` (mirrors
+            :class:`repro.isa.cflow.CfKind`'s CFI-relevant set).
+        site: label of the transfer instruction (a ``cf_*`` label).
+        target: label control transfers to.
+        next: fall-through label (calls only: the pushed return address).
+        indirect: register-indirect encoding (``jalr``)?  Always true
+            for returns and indirect jumps; distinguishes ``jal`` from
+            ``jalr`` calls, which forward-edge policies treat
+            differently.
+    """
+
+    kind: str
+    site: str
+    target: str
+    next: Optional[str] = None
+    indirect: bool = True
+
+
+def plan_events(model: dict) -> List[PlanEvent]:
+    """Walk the model abstractly; return the exact retired event stream.
+
+    The walk mirrors execution: bodies run in order, loops repeat their
+    bodies ``count`` times, calls descend into the callee and emit its
+    return event on the way out.  A planted attack's first execution
+    terminates the program (every payload ends in ``ebreak``), so the
+    walk stops there — exactly as the machine does.
+    """
+    check_model(model)
+    functions = {f["name"]: f for f in model["functions"]}
+    attack = model.get("attack")
+    jop = _jop_uid(model)
+    events: List[PlanEvent] = []
+    done = False
+
+    def run_function(name: str, ret_label: str) -> None:
+        nonlocal done
+        run_body(functions[name]["body"])
+        if done:
+            return
+        divert = _corruption(model, name)
+        if divert is not None:
+            events.append(PlanEvent("return", f"cf_ret_{name}", divert))
+            # rop diverts into an ebreak payload; ret-to-callsite lands
+            # on the helper fall-through whose flag check (a branch, not
+            # a CFI event) reaches the terminal payload.
+            done = True
+            return
+        events.append(PlanEvent("return", f"cf_ret_{name}", ret_label))
+
+    def run_body(body: List[dict]) -> None:
+        nonlocal done
+        for op in body:
+            if done:
+                return
+            t = op["op"]
+            uid = op["uid"]
+            if t == "alu":
+                continue
+            if t == "loop":
+                for _ in range(op["count"]):
+                    run_body(op["body"])
+                    if done:
+                        return
+            elif t == "call":
+                events.append(PlanEvent(
+                    "call", f"cf_{uid}", op["callee"],
+                    next=f"ret_{uid}", indirect=op["indirect"],
+                ))
+                run_function(op["callee"], f"ret_{uid}")
+            elif t == "dispatch":
+                if uid == jop:
+                    events.append(PlanEvent("ijump", f"cf_{uid}", "jop_g1"))
+                    events.append(PlanEvent("ijump", "cf_jop_g1", "jop_g2"))
+                    done = True
+                    return
+                for j in range(len(op["handlers"])):
+                    events.append(PlanEvent("ijump", f"cf_{uid}", f"fn_d{uid}_h{j}"))
+            elif t == "hijack":
+                events.append(PlanEvent(
+                    "call", f"cf_{uid}", "fn_chj_gadget",
+                    next=f"ret_{uid}", indirect=True,
+                ))
+                done = True
+                return
+            elif t == "rtc":
+                events.append(PlanEvent(
+                    "call", f"cf_{uid}_a", "fn_rtc_helper",
+                    next=f"ret_{uid}_a", indirect=False,
+                ))
+                run_function("fn_rtc_helper", f"ret_{uid}_a")
+                if done:
+                    return
+                events.append(PlanEvent(
+                    "call", f"cf_{uid}_b", "fn_rtc_victim",
+                    next=f"ret_{uid}_b", indirect=False,
+                ))
+                run_function("fn_rtc_victim", f"ret_{uid}_b")
+                if done:
+                    return
+
+    run_body(functions["main"]["body"])
+    return events
+
+
+def label_sets(model: dict) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """(entry_points, function_entries) label-name sets of a model.
+
+    ``entry_points`` is the fine-grained forward-edge set: functions
+    legitimately reached indirectly, plus dispatch handlers.
+    ``function_entries`` is the coarse set: everything that *looks like*
+    a function entry — including a planted call-hijack gadget, which is
+    laid out as one (the coarse blind spot) — but never mid-function
+    fragments like the JOP gadgets.
+    """
+    entries = [f"ep_{name}" for name in _indirect_targets(model)]
+    functions = ["main"] + [
+        f["name"] for f in model["functions"] if f["name"] != "main"
+    ]
+    for op in model_ops(model):
+        if op["op"] == "dispatch" and op["uid"] != _jop_uid(model):
+            for j in range(len(op["handlers"])):
+                entries.append(f"ep_d{op['uid']}_h{j}")
+                functions.append(f"fn_d{op['uid']}_h{j}")
+    attack = model.get("attack")
+    if attack and attack["kind"] == "call-hijack":
+        functions.append("fn_chj_gadget")
+    return tuple(sorted(entries)), tuple(sorted(functions))

@@ -1,0 +1,182 @@
+"""Shrinking: reduce a model to a minimal one still showing a property.
+
+When the static oracle and a simulator disagree on a generated program,
+the raw model is far too big to debug — :func:`minimize_model` applies
+greedy structural reductions (drop functions, drop ops, unwrap loops,
+shrink counts) while a caller-supplied ``predicate`` keeps returning
+``True`` (i.e. "the disagreement still reproduces"), in the spirit of
+delta debugging.  The result is the regression artifact the corpus
+stores (:mod:`repro.synth.corpus`).
+
+The predicate is arbitrary: triage uses "oracle verdict != simulated
+verdict under this scenario's exact configuration", tests use synthetic
+structural predicates to pin the reducer's behaviour.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator, List, Tuple
+
+from repro.errors import SynthError
+from repro.synth.ir import _ops, check_model, model_ops
+
+
+def _protected_functions(model: dict) -> set:
+    """Functions a reduction must never drop (attack anchors)."""
+    protected = {"main"}
+    attack = model.get("attack")
+    if not attack:
+        return protected
+    if attack["kind"] == "rop":
+        protected.add(attack["victim"])
+    elif attack["kind"] == "ret-to-callsite":
+        protected.update(("fn_rtc_helper", "fn_rtc_victim"))
+    elif attack["kind"] == "call-hijack":
+        for op in model_ops(model):
+            if op["op"] == "hijack":
+                protected.add(op["decoy"])
+    return protected
+
+
+def _anchored_uids(model: dict) -> set:
+    """Ops a reduction must never drop (the attack's carrier)."""
+    attack = model.get("attack")
+    if not attack:
+        return set()
+    if attack["kind"] in ("jop", "call-hijack", "ret-to-callsite"):
+        return {attack["uid"]}
+    return set()
+
+
+def _bodies(model: dict) -> Iterator[Tuple[List[dict], int, dict]]:
+    """Yield ``(parent_body, index, op)`` for every op, outer-first."""
+    stack = [f["body"] for f in model["functions"]]
+    while stack:
+        body = stack.pop(0)
+        for index, op in enumerate(body):
+            yield body, index, op
+            if op["op"] == "loop":
+                stack.append(op["body"])
+
+
+def _candidates(model: dict) -> Iterator[Tuple[str, dict]]:
+    """Reduced variants of ``model``, biggest cuts first.
+
+    Every yielded candidate is structurally valid (``check_model``
+    passes); whether it still exhibits the property is the predicate's
+    call.
+    """
+    protected = _protected_functions(model)
+    anchored = _anchored_uids(model)
+    referenced = {
+        op["callee"] for op in model_ops(model) if op["op"] == "call"
+    }
+
+    # Drop an entire (unreferenced, unprotected) function.
+    for index, function in enumerate(model["functions"]):
+        name = function["name"]
+        if name in protected or name in referenced:
+            continue
+        candidate = copy.deepcopy(model)
+        del candidate["functions"][index]
+        yield f"drop function {name}", candidate
+
+    # Drop one op (loops drop with their whole body).
+    for body, index, op in _bodies(model):
+        if op["uid"] in anchored:
+            continue
+        if op["op"] == "loop" and any(
+            inner["uid"] in anchored for inner in _ops(op["body"])
+        ):
+            continue
+        candidate = copy.deepcopy(model)
+        parent, i = _locate(candidate, op["uid"])
+        parent.pop(i)
+        yield f"drop {op['op']} uid={op['uid']}", candidate
+
+    # Unwrap a loop (keep its body, lose the iteration).
+    for body, index, op in _bodies(model):
+        if op["op"] != "loop":
+            continue
+        candidate = copy.deepcopy(model)
+        parent, i = _locate(candidate, op["uid"])
+        inner = parent[i]["body"]
+        parent[i:i + 1] = inner
+        yield f"unwrap loop uid={op['uid']}", candidate
+
+    # Shrink a loop count.
+    for body, index, op in _bodies(model):
+        if op["op"] == "loop" and op["count"] > 1:
+            candidate = copy.deepcopy(model)
+            parent, i = _locate(candidate, op["uid"])
+            parent[i]["count"] = 1
+            yield f"loop count→1 uid={op['uid']}", candidate
+
+    # Shrink filler and handler sizes.
+    for body, index, op in _bodies(model):
+        if op["op"] == "alu" and op["n"] > 1:
+            candidate = copy.deepcopy(model)
+            parent, i = _locate(candidate, op["uid"])
+            parent[i]["n"] = 1
+            yield f"alu n→1 uid={op['uid']}", candidate
+        elif op["op"] == "dispatch" and op["handlers"] != [1, 1]:
+            candidate = copy.deepcopy(model)
+            parent, i = _locate(candidate, op["uid"])
+            parent[i]["handlers"] = [1, 1]
+            yield f"handlers→[1,1] uid={op['uid']}", candidate
+
+
+def _locate(model: dict, uid: int) -> Tuple[List[dict], int]:
+    """(parent body, index) of the op carrying ``uid`` in ``model``."""
+    for body, index, op in _bodies(model):
+        if op["uid"] == uid:
+            return body, index
+    raise SynthError(f"uid {uid} not in model")
+
+
+def minimize_model(
+    model: dict,
+    predicate: Callable[[dict], bool],
+    max_evals: int = 500,
+) -> dict:
+    """Greedily shrink ``model`` while ``predicate`` stays true.
+
+    Args:
+        model: a valid model for which ``predicate(model)`` holds.
+        predicate: the property to preserve (e.g. "oracle and simulator
+            still disagree"); evaluated on structurally valid candidates
+            only.
+        max_evals: predicate-evaluation budget — minimization is
+            simulation-heavy, so the reducer returns its best-so-far
+            once the budget is spent.
+
+    Returns:
+        the smallest model found (possibly the input if nothing cut).
+    """
+    check_model(model)
+    if not predicate(model):
+        raise SynthError("predicate does not hold on the initial model")
+    current = copy.deepcopy(model)
+    evals = 0
+    progress = True
+    while progress and evals < max_evals:
+        progress = False
+        for _description, candidate in _candidates(current):
+            try:
+                check_model(candidate)
+            except SynthError:
+                continue
+            evals += 1
+            if predicate(candidate):
+                current = candidate
+                progress = True
+                break
+            if evals >= max_evals:
+                break
+    return current
+
+
+def model_size(model: dict) -> int:
+    """Rough structural size (op count; the reducer's fitness metric)."""
+    return sum(1 for _ in model_ops(model)) + len(model["functions"])

@@ -1,0 +1,142 @@
+"""Oracle-vs-simulation verification of synthesized models.
+
+The bridge between the static oracle and the real simulators: given a
+raw model (not a registered campaign victim — minimized reproducers and
+ad-hoc generator output arrive here), assemble it, run it on a chosen
+backend/engine and compare the simulated verdict with the oracle's
+prediction per policy.  The campaign CLI's triage path and the corpus
+replay tests are both built on these helpers.
+
+Imports from :mod:`repro.campaign` stay inside the functions: the
+campaign registry imports :mod:`repro.synth` for its victim builders,
+so the module graph must not close the cycle at import time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.isa.asm import Program
+from repro.synth.ir import emit, label_sets
+from repro.synth.oracle import ORACLE_POLICIES, expected_verdicts
+
+
+def assemble_model(model: dict, base: Optional[int] = None) -> Program:
+    """Assemble ``model`` at ``base`` (default: the host DRAM base)."""
+    if base is None:
+        from repro.system.addresses import AddressMap
+
+        base = AddressMap().dram_base
+    return emit(model, base)
+
+
+def _build_policy(policy: str, model: dict, program: Program):
+    from repro.campaign.runner import build_policy
+
+    entry_names, function_names = label_sets(model)
+    return build_policy(policy, program, entry_names, function_names)
+
+
+def simulated_verdict(
+    model: dict,
+    policy: str,
+    base: Optional[int] = None,
+    backend: str = "reference",
+    sim_mode: Optional[str] = None,
+    firmware: str = "irq",
+    queue_depth: int = 8,
+    blocking: bool = False,
+    fabric: str = "standard",
+    max_cycles: int = 10_000_000,
+    policy_backend: Optional[str] = None,
+) -> bool:
+    """Run ``model`` under ``policy`` and return the simulator's verdict.
+
+    ``backend`` selects the campaign's reference trace-check or the full
+    cosim platform; on cosim, ``policy_backend`` defaults to the
+    firmware for the shadow stack and the policy host otherwise (the
+    campaign's ``auto`` resolution).  The remaining knobs mirror
+    :class:`repro.campaign.spec.Scenario`, so a campaign cell's exact
+    configuration is reproducible here.
+    """
+    program = assemble_model(model, base)
+    if backend == "reference":
+        from repro.campaign.runner import capture_commit_logs
+        from repro.firmware.policies import CheckResult
+        from repro.system.addresses import AddressMap
+
+        logs, _hart = capture_commit_logs(program, AddressMap(),
+                                          max_steps=max_cycles)
+        policy_obj = _build_policy(policy, model, program)
+        if policy_obj is None:
+            return False
+        return any(
+            policy_obj.check(log) is CheckResult.VIOLATION for log in logs
+        )
+
+    from repro.attacks.rop import run_attack_scenario
+
+    if policy_backend is None:
+        policy_backend = "firmware" if policy == "shadow-stack" else "host"
+    policy_obj = None
+    if policy_backend == "host":
+        policy_obj = _build_policy(policy, model, program)
+    outcome = run_attack_scenario(
+        program,
+        firmware_variant=firmware,
+        queue_depth=queue_depth,
+        blocking=blocking,
+        fabric=fabric,
+        max_cycles=max_cycles,
+        sim_mode=sim_mode,
+        policy_backend=policy_backend,
+        policy=policy_obj,
+    )
+    return outcome.detected
+
+
+def verify_model(
+    model: dict,
+    base: Optional[int] = None,
+    policies: Optional[Iterable[str]] = None,
+    backend: str = "reference",
+    **kwargs,
+) -> Dict[str, Tuple[bool, bool]]:
+    """Compare oracle and simulator per policy.
+
+    Returns ``{policy: (oracle_verdict, simulated_verdict)}`` — callers
+    filter for inequality to find disagreements.
+    """
+    program = assemble_model(model, base)
+    oracle = expected_verdicts(model, program)
+    chosen = tuple(policies) if policies is not None else ORACLE_POLICIES
+    results: Dict[str, Tuple[bool, bool]] = {}
+    for policy in chosen:
+        if backend != "reference" and policy == "none":
+            continue
+        results[policy] = (
+            oracle[policy],
+            simulated_verdict(model, policy, base=base, backend=backend,
+                              **kwargs),
+        )
+    return results
+
+
+def disagreement_predicate(
+    policy: str,
+    base: Optional[int] = None,
+    backend: str = "reference",
+    **kwargs,
+):
+    """A :func:`repro.synth.minimize.minimize_model` predicate: "oracle
+    and simulator still disagree on ``policy``" under a fixed backend
+    configuration."""
+
+    def predicate(model: dict) -> bool:
+        program = assemble_model(model, base)
+        oracle = expected_verdicts(model, program)[policy]
+        simulated = simulated_verdict(model, policy, base=base,
+                                      backend=backend, **kwargs)
+        return oracle != simulated
+
+    return predicate

@@ -60,12 +60,102 @@ class TestReport:
         assert render_report(saved) == render_report(payload)
 
 
+class TestSchemaStamp:
+    def test_schema_version_stamped(self, payload):
+        from repro.campaign.aggregate import SCHEMA_VERSION
+
+        assert payload["schema_version"] == SCHEMA_VERSION == 1
+
+    def test_stamp_survives_artifacts(self, payload, tmp_path):
+        paths = write_artifacts(payload, tmp_path)
+        data = json.loads(paths["json"].read_text())
+        assert data["schema_version"] == 1
+
+
+class TestCompare:
+    @pytest.fixture(scope="class")
+    def payload_b(self):
+        from repro.campaign.aggregate import finalize
+
+        matrix = expand_grid(
+            victim=["benign", "rop", "jop", "call-hijack"],
+            policy=["shadow-stack", "composite"],
+        )
+        return finalize(run_campaign(matrix, jobs=1, campaign_seed=11))
+
+    def test_self_comparison_is_quiet(self, payload):
+        from repro.campaign.aggregate import compare_payloads
+
+        comparison = compare_payloads(payload, payload)
+        assert comparison["verdict_flips"] == []
+        assert comparison["detection_rate_delta"] == {}
+        assert comparison["scenarios"]["added"] == []
+        assert comparison["scenarios"]["removed"] == []
+
+    def test_matrix_growth_reported_as_added(self, payload, payload_b):
+        from repro.campaign.aggregate import compare_payloads
+
+        comparison = compare_payloads(payload, payload_b)
+        assert any("call-hijack" in name
+                   for name in comparison["scenarios"]["added"])
+        assert comparison["verdict_flips"] == []
+
+    def test_verdict_flip_detected_and_rendered(self, payload):
+        import copy
+
+        from repro.campaign.aggregate import compare_payloads, render_comparison
+
+        mutated = copy.deepcopy(payload)
+        flipped = mutated["scenarios"][0]
+        flipped["detected"] = not flipped["detected"]
+        comparison = compare_payloads(payload, mutated)
+        assert len(comparison["verdict_flips"]) == 1
+        text = render_comparison(comparison)
+        assert flipped["name"] in text
+        assert "REGRESSION" in text or "ok" in text
+
+    def test_schema_version_mismatch_refused(self, payload):
+        import copy
+
+        from repro.campaign.aggregate import compare_payloads
+
+        stale = copy.deepcopy(payload)
+        stale["schema_version"] = 0
+        with pytest.raises(ValueError, match="schema_version"):
+            compare_payloads(stale, payload)
+
+    def test_cli_compare_command(self, payload, tmp_path, capsys):
+        paths_a = write_artifacts(payload, tmp_path / "a")
+        paths_b = write_artifacts(payload, tmp_path / "b")
+        code = main(["report", "--compare", str(paths_a["json"]),
+                     str(paths_b["json"])])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Campaign comparison" in out
+        assert "verdict flips: none" in out
+
+
 class TestCli:
     def test_list(self, capsys):
         assert main(["list", "--matrix", "smoke"]) == 0
         out = capsys.readouterr().out
         assert "scenarios in matrix 'smoke'" in out
         assert "expected=DETECT" in out
+
+    def test_run_synth_smoke(self, tmp_path, capsys):
+        """The synth tier end-to-end through the CLI: every generated
+        scenario's simulated verdict matches the oracle (exit 0, no
+        reproducers written)."""
+        code = main(["run", "--matrix", "synth-smoke", "--jobs", "1",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "disagreed with the static oracle" not in out
+        assert not (tmp_path / "reproducers").exists()
+        data = json.loads((tmp_path / "campaign.json").read_text())
+        assert data["summary"]["counts"]["expectations_missed"] == 0
+        sources = {r["expected_source"] for r in data["scenarios"]}
+        assert sources == {"oracle"}
 
     def test_run_smoke_writes_artifacts(self, tmp_path, capsys):
         code = main(["run", "--matrix", "smoke", "--jobs", "2",

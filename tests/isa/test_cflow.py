@@ -128,3 +128,107 @@ class TestExpectedReturnAddress:
 
     def test_non_call_returns_none(self):
         assert expected_return_address(jalr(0, 1), 0x1000) is None
+
+
+# --------------------------------------------------------------------------
+# Static program analysis (the synthesis oracle's foundation)
+# --------------------------------------------------------------------------
+
+import random
+
+from repro.campaign.runner import capture_commit_logs
+from repro.campaign.spec import VICTIMS
+from repro.isa.cflow import (
+    cfi_sites,
+    direct_call_targets,
+    indirect_sites,
+    scan_program,
+)
+from repro.system.addresses import AddressMap
+
+_ADDRESSES = AddressMap()
+_STATIC_VICTIMS = sorted(
+    name for name, spec in VICTIMS.items() if not spec.synthetic
+)
+
+
+def _program(victim, seed=1):
+    return VICTIMS[victim].builder(_ADDRESSES, random.Random(seed))
+
+
+class TestStaticScan:
+    """Linear-sweep analysis over every registered victim program."""
+
+    @pytest.mark.parametrize("victim", _STATIC_VICTIMS)
+    def test_dynamic_events_are_a_subset_of_static_sites(self, victim):
+        """Every commit log the filter captures must correspond to a
+        statically discovered site with the identical classification."""
+        program = _program(victim)
+        by_pc = {site.pc: site for site in scan_program(program)}
+        logs, _hart = capture_commit_logs(program, _ADDRESSES)
+        assert logs
+        for log in logs:
+            site = by_pc[log.pc]
+            assert site.kind is log.kind, (victim, hex(log.pc))
+            assert site.kind.cfi_relevant
+
+    @pytest.mark.parametrize("victim", _STATIC_VICTIMS)
+    def test_cfi_sites_cover_the_dynamic_stream(self, victim):
+        program = _program(victim)
+        static_pcs = {site.pc for site in cfi_sites(program)}
+        logs, _hart = capture_commit_logs(program, _ADDRESSES)
+        assert {log.pc for log in logs} <= static_pcs
+
+    @pytest.mark.parametrize("victim", _STATIC_VICTIMS)
+    def test_call_return_pairing_is_statically_visible(self, victim):
+        """Walking the dynamic stream with a stack of static
+        fall-throughs pairs every benign return with its call; the
+        attack victims break pairing exactly at their corrupted edge."""
+        program = _program(victim)
+        logs, _hart = capture_commit_logs(program, _ADDRESSES)
+        stack = []
+        mismatches = 0
+        for log in logs:
+            if log.kind is CfKind.CALL:
+                stack.append(log.next_address)
+            elif log.kind is CfKind.RETURN:
+                if not stack or stack.pop() != log.target:
+                    mismatches += 1
+        attack = VICTIMS[victim].attack
+        if attack in ("rop", "ret-to-callsite"):
+            assert mismatches >= 1, victim
+        else:
+            assert mismatches == 0, victim
+
+    def test_indirect_target_extraction(self):
+        """The jop dispatcher's indirect jump and the hijacked call are
+        found statically, with no static target (register-indirect)."""
+        program = _program("jop")
+        sites = indirect_sites(program)
+        assert sites
+        assert all(site.target is None for site in sites)
+        assert any(site.kind is CfKind.INDIRECT_JUMP for site in sites)
+        hijack = indirect_sites(_program("call-hijack"))
+        assert any(site.kind is CfKind.CALL for site in hijack)
+
+    def test_direct_call_targets_resolve_to_symbols(self):
+        """Immediate-encoded call targets land on known function labels."""
+        program = _program("benign")
+        targets = direct_call_targets(program)
+        assert program.symbols["square"] in targets
+        assert program.symbols["identity"] in targets
+
+    def test_fall_through_matches_link_value(self):
+        program = _program("benign")
+        for site in cfi_sites(program):
+            if site.kind is CfKind.CALL:
+                assert site.fall_through == site.pc + 4
+
+    def test_scan_skips_data_gracefully(self):
+        """Garbage words (data, padding) never raise and never classify."""
+        from repro.isa.cflow import iter_sites
+
+        blob = b"\xff\xff\xff\xff" + b"\x00" * 8 + (0x00008067).to_bytes(4, "little")
+        sites = list(iter_sites(blob, 0x1000))
+        assert [s.kind for s in sites] == [CfKind.RETURN]
+        assert sites[0].pc == 0x100C

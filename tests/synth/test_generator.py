@@ -1,0 +1,131 @@
+"""Generator invariants: determinism, well-formedness, and the
+plan-vs-execution differential that grounds the whole subsystem."""
+
+import random
+
+import pytest
+
+from repro.attacks.programs import CLEAN_MARKER, GADGET_MARKER
+from repro.campaign.runner import capture_commit_logs
+from repro.errors import SynthError
+from repro.isa.cflow import CfKind
+from repro.synth import FAMILIES, MAX_EVENTS, bundle, bundle_for_seed, bundle_from_rng
+from repro.synth.generator import generate
+from repro.synth.ir import check_model, emit, label_sets, model_ops, plan_events
+from repro.synth.oracle import resolve_events
+from repro.system.addresses import AddressMap
+
+ADDRESSES = AddressMap()
+BASE = ADDRESSES.dram_base
+
+SEEDS = range(8)
+
+_KIND = {
+    "call": CfKind.CALL,
+    "return": CfKind.RETURN,
+    "ijump": CfKind.INDIRECT_JUMP,
+}
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_deterministic_per_seed(self, family):
+        assert generate(family, 42) == generate(family, 42)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_seeds_vary_the_shape(self, family):
+        models = {str(generate(family, seed)) for seed in SEEDS}
+        assert len(models) == len(list(SEEDS))
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_models_validate(self, family):
+        for seed in SEEDS:
+            check_model(generate(family, seed))
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_event_budget_respected(self, family):
+        for seed in SEEDS:
+            assert len(plan_events(generate(family, seed))) <= MAX_EVENTS
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(SynthError, match="unknown synthesis family"):
+            generate("heap-spray", 1)
+
+    def test_attack_families_plant_exactly_one_attack(self):
+        for family in FAMILIES:
+            model = generate(family, 5)
+            if family == "benign":
+                assert model["attack"] is None
+            else:
+                assert model["attack"]["kind"] == family
+
+    def test_every_function_reachable(self):
+        """The spanning call edges guarantee every function executes
+        (otherwise a planted attack could be dead code)."""
+        for family in FAMILIES:
+            for seed in SEEDS:
+                model = generate(family, seed)
+                called = {
+                    op["callee"] for op in model_ops(model)
+                    if op["op"] == "call"
+                }
+                called.update(("main", "fn_rtc_helper", "fn_rtc_victim"))
+                for function in model["functions"]:
+                    assert function["name"] in called, (family, seed)
+
+
+class TestPlanMatchesExecution:
+    """The subsystem's load-bearing invariant: the statically planned
+    event stream equals, field for field, the commit-log stream the CFI
+    filter captures from a real run."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_planned_stream_equals_captured_stream(self, family, seed):
+        found = bundle(family, seed, BASE)
+        logs, _hart = capture_commit_logs(found.program, ADDRESSES)
+        planned = resolve_events(found.model, found.program)
+        assert len(planned) == len(logs), (family, seed)
+        for event, log in zip(planned, logs):
+            assert log.kind is _KIND[event.kind]
+            assert log.pc == event.pc
+            assert log.target == event.target
+            if event.kind == "call":
+                assert log.next_address == event.next
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_marker_semantics(self, family):
+        for seed in SEEDS:
+            found = bundle(family, seed, BASE)
+            _logs, hart = capture_commit_logs(found.program, ADDRESSES)
+            marker = hart.regs.read(10)
+            expected = CLEAN_MARKER if family == "benign" else GADGET_MARKER
+            assert marker == expected, (family, seed, hex(marker))
+
+
+class TestBundles:
+    def test_builder_and_runner_paths_agree(self):
+        """The registry builder (rng) and the runner's oracle path
+        (scenario seed) must resolve the identical bundle."""
+        for family in FAMILIES:
+            via_rng = bundle_from_rng(family, random.Random(77), BASE)
+            via_seed = bundle_for_seed(family, 77, BASE)
+            assert via_rng is via_seed
+
+    def test_label_sets_resolve_in_the_image(self):
+        for family in FAMILIES:
+            found = bundle(family, 9, BASE)
+            for name in found.entry_points + found.function_entries:
+                assert name in found.program.symbols, (family, name)
+
+    def test_entry_points_subset_semantics(self):
+        """ep_ labels alias fn_ entries; the call-hijack gadget is in
+        the coarse set but never the fine-grained one (its blind spot)."""
+        found = bundle("call-hijack", 3, BASE)
+        assert "fn_chj_gadget" in found.function_entries
+        assert not any("chj" in name for name in found.entry_points)
+
+    def test_jop_gadgets_in_no_label_set(self):
+        found = bundle("jop", 3, BASE)
+        joined = found.entry_points + found.function_entries
+        assert not any("jop_g" in name for name in joined)

@@ -1,0 +1,138 @@
+"""The static oracle: verdict rules, image cross-checking, and agreement
+with the real policies over real traces."""
+
+import pytest
+
+from repro.campaign.runner import build_policy, capture_commit_logs
+from repro.campaign.spec import POLICY_DETECTS, VICTIMS
+from repro.errors import SynthError
+from repro.firmware.policies import (
+    CheckResult,
+    CompositePolicy,
+    ForwardEdgePolicy,
+    ShadowStackPolicy,
+)
+from repro.synth import FAMILIES, bundle
+from repro.synth.ir import label_sets
+from repro.synth.oracle import (
+    ORACLE_POLICIES,
+    POLICY_RULES,
+    expected_verdicts,
+    resolve_events,
+)
+from repro.system.addresses import AddressMap
+
+ADDRESSES = AddressMap()
+BASE = ADDRESSES.dram_base
+
+
+def _reference_verdict(found, policy_name):
+    """The verdict the reference backend's actual policy objects reach."""
+    logs, _hart = capture_commit_logs(found.program, ADDRESSES)
+    policy = build_policy(policy_name, found.program,
+                          found.entry_points, found.function_entries)
+    if policy is None:
+        return False
+    return any(policy.check(log) is CheckResult.VIOLATION for log in logs)
+
+
+class TestOracleAgreement:
+    """Oracle == simulation for every (family × seed × policy) sample."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_oracle_matches_reference_policies(self, family, seed):
+        found = bundle(family, seed, BASE)
+        for policy_name in ORACLE_POLICIES:
+            simulated = _reference_verdict(found, policy_name)
+            assert found.expected[policy_name] == simulated, (
+                family, seed, policy_name,
+            )
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_oracle_agrees_with_the_attack_class_table(self, family):
+        """The planted attacks are canonical members of their class, so
+        the oracle's per-program verdict must coincide with the
+        campaign's (attack × policy) ground-truth table on them."""
+        victim = VICTIMS[f"synth-{family}"]
+        for seed in range(6):
+            found = bundle(family, seed, BASE)
+            for policy_name in ORACLE_POLICIES:
+                from_table = (victim.attack is not None
+                              and victim.attack in POLICY_DETECTS[policy_name])
+                assert found.expected[policy_name] == from_table, (
+                    family, seed, policy_name,
+                )
+
+
+class TestOracleRules:
+    def test_rules_come_from_the_policies(self):
+        """The oracle hooks live on the policy classes themselves."""
+        assert POLICY_RULES["shadow-stack"] == (ShadowStackPolicy.oracle_rule,)
+        assert POLICY_RULES["forward-edge"] == (ForwardEdgePolicy.oracle_rule,)
+
+    def test_composite_rules_match_the_policy_the_runner_builds(self):
+        """Drift guard: the oracle's composite rule set must equal the
+        ``oracle_rules`` of the composite object ``build_policy``
+        actually constructs — change the members in one place and this
+        catches a missed update in the other."""
+        found = bundle("benign", 0, BASE)
+        composite = build_policy("composite", found.program,
+                                 found.entry_points, found.function_entries)
+        assert isinstance(composite, CompositePolicy)
+        assert POLICY_RULES["composite"] == composite.oracle_rules
+
+    def test_none_policy_never_fires(self):
+        for family in FAMILIES:
+            assert not bundle(family, 0, BASE).expected["none"]
+
+    def test_benign_programs_flag_nothing(self):
+        """No false positives by construction — for any policy."""
+        for seed in range(8):
+            found = bundle("benign", seed, BASE)
+            assert not any(found.expected.values()), (seed, found.expected)
+
+
+class TestImageCrossCheck:
+    """resolve_events verifies the plan against the actual encodings."""
+
+    def test_resolved_events_decode_consistently(self):
+        found = bundle("rop", 2, BASE)
+        events = resolve_events(found.model, found.program)
+        assert events, "attack programs must retire CF events"
+        for event in events:
+            assert found.program.base <= event.pc < found.program.end
+
+    def test_tampered_plan_is_rejected(self):
+        """If the model and the image drift apart (here: an image built
+        from a *different* model), the oracle must refuse, not lie."""
+        a = bundle("rop", 2, BASE)
+        b = bundle("rop", 4, BASE)
+        with pytest.raises(SynthError):
+            resolve_events(a.model, b.program)
+
+    def test_missing_label_is_rejected(self):
+        import copy
+
+        from repro.synth.ir import emit
+
+        found = bundle("benign", 1, BASE)
+        model = copy.deepcopy(found.model)
+        # Force a plan/image mismatch: drop a call op from the emitted
+        # image's source model but keep the original plan's model.
+        victim = next(
+            f for f in model["functions"]
+            if any(op["op"] == "call" for op in f["body"])
+        )
+        victim["body"] = [op for op in victim["body"] if op["op"] != "call"]
+        program = emit(model, BASE)
+        with pytest.raises(SynthError):
+            resolve_events(found.model, program)
+
+    def test_verdicts_cover_every_campaign_policy(self):
+        from repro.campaign.spec import REFERENCE_POLICIES
+
+        found = bundle("jop", 1, BASE)
+        assert set(found.expected) == set(REFERENCE_POLICIES)
+        verdicts = expected_verdicts(found.model, found.program)
+        assert verdicts == found.expected
