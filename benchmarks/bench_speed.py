@@ -88,6 +88,31 @@ def run_cosim_mix(event_driven: bool = True, mode: str = None) -> dict:
     }
 
 
+def run_cosim_mix_empty_faults(mode: str = None) -> dict:
+    """The co-sim mix with the fault layer *attached but empty*.
+
+    Every fault hook is live (controller wired into the log writer,
+    mailbox and SoC) yet no event ever fires — totals must be identical
+    to :func:`run_cosim_mix`, proving the fault-free path is
+    cycle-exact with the fault subsystem compiled in.
+    """
+    from repro.faults import FaultPlan, attach_faults
+
+    cycles = host_instructions = ibex_instructions = 0
+    for _name, builder, fw_variant in COSIM_WORKLOADS:
+        soc = _build_soc(builder, fw_variant)
+        attach_faults(soc, FaultPlan(events=(), note="bench empty plan"))
+        report = SystemSimulator(soc, mode=mode).run()
+        cycles += report.cycles
+        host_instructions += report.host_instructions
+        ibex_instructions += report.ibex_instructions
+    return {
+        "cycles": cycles,
+        "host_instructions": host_instructions,
+        "ibex_instructions": ibex_instructions,
+    }
+
+
 def run_firmware_path() -> dict:
     """One pass of the Table I measured-latency path (Ibex ISS only)."""
     computed = table1.compute()
@@ -352,6 +377,9 @@ def main(argv) -> int:
         assert totals["cycles"] > 0 and totals["host_instructions"] > 0
         assert run_cosim_mix(mode="busy") == totals
         assert run_cosim_mix(mode="event-driven") == totals
+        # Fault-layer invariance: with every fault hook attached but no
+        # event armed, not a single simulated number may move.
+        assert run_cosim_mix_empty_faults() == totals
         run_firmware_path()
         # Policy-host cross-engine invariance: any Python policy as a
         # mailbox agent must not move a single simulated cycle between

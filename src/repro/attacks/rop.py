@@ -58,6 +58,7 @@ def run_attack_scenario(
     sim_mode: Optional[str] = None,
     policy_backend: str = POLICY_BACKEND_FIRMWARE,
     policy: Optional[Policy] = None,
+    fault_plan=None,
 ) -> AttackOutcome:
     """Run ``program`` on a TitanCFI-protected SoC.
 
@@ -81,6 +82,9 @@ def run_attack_scenario(
             :class:`repro.policyhost.PolicyHost` on the cycle model
             calibrated for ``firmware_variant`` and ``fabric``.
         policy: the Python policy to enforce (``"host"`` backend only).
+        fault_plan: a :class:`repro.faults.FaultPlan` to attach for the
+            run (``None`` leaves every fault hook detached — the
+            fault-free path is cycle-identical with the layer present).
     """
     if policy_backend not in POLICY_BACKENDS:
         raise ConfigError(
@@ -121,6 +125,10 @@ def run_attack_scenario(
                 f"policy_backend={policy_backend!r} but the pre-built soc "
                 f"{'has' if mounted else 'has no'} policy host mounted"
             )
+    if fault_plan is not None:
+        from repro.faults.inject import attach_faults
+
+        attach_faults(soc, fault_plan)
     soc.load_host_program(program)
 
     simulator = SystemSimulator(soc, mode=sim_mode)

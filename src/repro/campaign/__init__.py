@@ -18,6 +18,7 @@ from repro.campaign.aggregate import (
     to_csv,
     write_artifacts,
 )
+from repro.campaign.checkpoint import ResultLog, load_results
 from repro.campaign.runner import RESULT_SCHEMA, run_campaign, run_scenario
 from repro.campaign.spec import (
     MATRICES,
@@ -30,6 +31,8 @@ from repro.campaign.spec import (
     derive_seed,
     expand_grid,
     expected_detection,
+    faults_matrix,
+    faults_smoke_matrix,
     resolve_matrix,
     smoke_matrix,
 )
@@ -39,6 +42,7 @@ __all__ = [
     "POLICY_DETECTS",
     "REFERENCE_POLICIES",
     "RESULT_SCHEMA",
+    "ResultLog",
     "Scenario",
     "VICTIMS",
     "VictimSpec",
@@ -46,7 +50,10 @@ __all__ = [
     "derive_seed",
     "expand_grid",
     "expected_detection",
+    "faults_matrix",
+    "faults_smoke_matrix",
     "finalize",
+    "load_results",
     "render_report",
     "resolve_matrix",
     "run_campaign",

@@ -48,6 +48,8 @@ CSV_FIELDS = (
     "expectation_met", "violation_kind", "cycles", "host_instructions",
     "cf_events", "events_checked", "detection_latency", "stall_cycles",
     "overhead_percent", "gadget_executed",
+    "status", "fault_plan", "degradation", "contract_ok",
+    "baseline_detected", "baseline_detection_latency",
 )
 
 
@@ -80,8 +82,35 @@ def summarize(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
     cosim_latencies: List[int] = []
     reference_depths: List[int] = []
     overhead: Dict[str, List[float]] = {}
+    incomplete: Dict[str, int] = {}
+    fault_latencies: List[int] = []
+    faults: Dict[str, Dict[str, object]] = {}
+    contract_failures: List[str] = []
 
     for result in results:
+        status = str(result.get("status", "ok"))
+        if status != "ok":
+            # A scenario with no verdict (crashed / timed out / errored
+            # out of retries) must not pollute the detection matrix —
+            # it is tallied separately and surfaced by the report.
+            incomplete[status] = incomplete.get(status, 0) + 1
+            continue
+        plan = result.get("fault_plan")
+        if plan is not None:
+            cell = faults.setdefault(str(plan), {
+                "runs": 0, "contract_ok": 0, "degradations": {},
+            })
+            cell["runs"] += 1
+            cell["contract_ok"] += int(bool(result.get("contract_ok")))
+            label = str(result.get("degradation"))
+            cell["degradations"][label] = (
+                cell["degradations"].get(label, 0) + 1
+            )
+            if not result.get("contract_ok"):
+                contract_failures.append(str(result["name"]))
+            if (result["detected"]
+                    and result["detection_latency"] is not None):
+                fault_latencies.append(int(result["detection_latency"]))
         attack = result["attack"]
         detected = bool(result["detected"])
         if attack is not None and detected:
@@ -124,11 +153,18 @@ def summarize(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
 
     return {
         "counts": counts,
+        "incomplete": dict(sorted(incomplete.items())),
         "detection_matrix": matrix,
         "detection_latency_cycles": _percentiles(cosim_latencies),
         "detection_depth_events": _percentiles(reference_depths),
         "overhead_percent_by_config": {
             key: _percentiles(values) for key, values in sorted(overhead.items())
+        },
+        "faults": {
+            "runs": sum(cell["runs"] for cell in faults.values()),
+            "contract_failures": sorted(contract_failures),
+            "by_plan": dict(sorted(faults.items())),
+            "detection_latency_under_fault": _percentiles(fault_latencies),
         },
     }
 
@@ -210,6 +246,39 @@ def render_report(payload: Dict[str, object]) -> str:
             f"/{counts['expectations_met'] + counts['expectations_missed']}"
         ),
     ]
+
+    incomplete = summary.get("incomplete") or {}
+    if incomplete:
+        parts = ", ".join(f"{status}={n}" for status, n in incomplete.items())
+        lines.append(
+            f"INCOMPLETE scenarios (no verdict, excluded above): {parts}"
+        )
+
+    faults = summary.get("faults") or {}
+    if faults.get("runs"):
+        failures = faults["contract_failures"]
+        lines.append(
+            f"fault scenarios: {faults['runs']}   "
+            f"degradation-contract failures: {len(failures)}"
+        )
+        for name in failures[:10]:
+            lines.append(f"  CONTRACT FAIL {name}")
+        under_fault = faults["detection_latency_under_fault"]
+        if under_fault:
+            lines.append(
+                "detection latency under fault (cycles): "
+                f"min={under_fault['min']} p50={under_fault['p50']} "
+                f"p90={under_fault['p90']} max={under_fault['max']}"
+            )
+        for plan, cell in faults["by_plan"].items():
+            degradations = ", ".join(
+                f"{label}={count}"
+                for label, count in sorted(cell["degradations"].items())
+            )
+            lines.append(
+                f"  fault {plan}: {cell['contract_ok']}/{cell['runs']} "
+                f"within contract ({degradations})"
+            )
 
     latency = summary["detection_latency_cycles"]
     if latency:

@@ -32,14 +32,54 @@ from repro.campaign.aggregate import (
     render_report,
     write_artifacts,
 )
+from repro.campaign.checkpoint import (
+    MANIFEST_NAME,
+    RESULTS_NAME,
+    ResultLog,
+    check_manifest,
+    load_results,
+    manifest_payload,
+    write_manifest,
+)
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import MATRICES, VICTIMS, resolve_matrix
+from repro.errors import ConfigError
 
 DEFAULT_OUT = Path("artifacts/campaign")
 
+#: ``--jobs`` default bounds: at least MIN_JOBS so the default exercises
+#: the sharded path, at most MAX_JOBS so a big CI box doesn't fork a
+#: worker per core for a small matrix.  An explicit ``--jobs N`` is
+#: taken literally (N >= 1; validated at parse time, never clamped).
+MIN_DEFAULT_JOBS = 2
+MAX_DEFAULT_JOBS = 8
+
 
 def _default_jobs() -> int:
-    return max(2, min(8, os.cpu_count() or 2))
+    return max(MIN_DEFAULT_JOBS, min(MAX_DEFAULT_JOBS, os.cpu_count() or 1))
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _non_negative(kind):
+    def parse(text: str):
+        try:
+            value = kind(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"{text!r} is not a {kind.__name__}")
+        if value < 0:
+            raise argparse.ArgumentTypeError("must be >= 0")
+        return value
+
+    return parse
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -54,9 +94,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     run_cmd = sub.add_parser("run", help="execute a scenario matrix")
     run_cmd.add_argument("--matrix", default="default", choices=sorted(MATRICES))
-    run_cmd.add_argument("--jobs", type=int, default=None,
-                         help="worker processes (default: CPU count, 2..8); "
-                              "1 = serial in-process fallback")
+    run_cmd.add_argument(
+        "--jobs", type=_positive_int, default=None,
+        help="worker processes, >= 1 (1 = serial in-process fallback). "
+             f"Default: CPU count clamped to "
+             f"{MIN_DEFAULT_JOBS}..{MAX_DEFAULT_JOBS}; an explicit value "
+             "is used as given, never clamped")
     run_cmd.add_argument("--seed", type=int, default=0,
                          help="campaign seed (per-scenario seeds derive from it)")
     run_cmd.add_argument("--sim-mode", default=None,
@@ -67,6 +110,22 @@ def _build_parser() -> argparse.ArgumentParser:
                          help=f"artifact directory (default: {DEFAULT_OUT})")
     run_cmd.add_argument("--no-artifacts", action="store_true",
                          help="skip writing artifacts (report only)")
+    run_cmd.add_argument("--timeout", type=_non_negative(float), default=None,
+                         help="per-scenario wall-clock bound in seconds "
+                              "(jobs > 1): over-budget scenarios are "
+                              "killed and recorded as status=timeout")
+    run_cmd.add_argument("--retries", type=_non_negative(int), default=1,
+                         help="re-attempts for scenarios that raise in a "
+                              "shard before recording status=error "
+                              "(default: 1)")
+    run_cmd.add_argument("--backoff", type=_non_negative(float), default=0.5,
+                         help="base retry delay in seconds, doubled per "
+                              "attempt (default: 0.5)")
+    run_cmd.add_argument("--resume", type=Path, default=None, metavar="OUT",
+                         help="resume a killed campaign from OUT: completed "
+                              "scenarios in its results.jsonl checkpoint "
+                              "are kept, the remainder re-runs (the merged "
+                              "artifacts equal an uninterrupted run)")
 
     report_cmd = sub.add_parser(
         "report", help="render a saved campaign.json (or diff two)"
@@ -92,26 +151,57 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.resume is not None:
+        if args.no_artifacts:
+            raise ConfigError(
+                "--resume needs the artifact checkpoint; it cannot be "
+                "combined with --no-artifacts"
+            )
+        args.out = args.resume
     scenarios = resolve_matrix(args.matrix)
     jobs = args.jobs if args.jobs is not None else _default_jobs()
+    manifest = manifest_payload(args.matrix, args.seed, args.sim_mode,
+                                len(scenarios))
+
+    # Resume: keep the checkpoint's completed verdicts, re-run the rest.
+    kept = []
+    if args.resume is not None:
+        check_manifest(str(args.out / MANIFEST_NAME), manifest)
+        names = {scenario.name for scenario in scenarios}
+        kept = [result for result in load_results(str(args.out / RESULTS_NAME))
+                if result.get("status") == "ok" and result.get("name") in names]
+        done = {result["name"] for result in kept}
+        scenarios = [s for s in scenarios if s.name not in done]
+        print(f"resuming: {len(done)} scenario(s) checkpointed, "
+              f"{len(scenarios)} to run")
 
     stream = None
-    stream_file = None
+    result_log = None
     if not args.no_artifacts:
         args.out.mkdir(parents=True, exist_ok=True)
-        stream_file = (args.out / "results.jsonl").open("w")
-
-        def stream(result):
-            stream_file.write(json.dumps(result) + "\n")
-            stream_file.flush()
+        write_manifest(str(args.out / MANIFEST_NAME), manifest)
+        result_log = ResultLog(str(args.out / RESULTS_NAME))
+        # Compact the checkpoint: kept rows first (dropping any non-ok
+        # or torn tail rows), then the fresh results stream in behind
+        # them, fsync'd each — killing *this* run keeps it resumable.
+        for result in kept:
+            result_log.append(result)
+        stream = result_log.append
 
     try:
         payload = run_campaign(scenarios, jobs=jobs,
                                campaign_seed=args.seed, stream=stream,
-                               sim_mode=args.sim_mode)
+                               sim_mode=args.sim_mode,
+                               timeout=args.timeout, retries=args.retries,
+                               backoff=args.backoff)
     finally:
-        if stream_file is not None:
-            stream_file.close()
+        if result_log is not None:
+            result_log.close()
+
+    if kept:
+        merged = sorted(payload["scenarios"] + kept, key=lambda r: r["name"])
+        payload["scenarios"] = merged
+        payload["scenario_count"] = len(merged)
 
     payload["matrix"] = args.matrix
     finalize(payload)
@@ -121,9 +211,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(render_report(payload))
 
     missed = payload["summary"]["counts"]["expectations_missed"]
+    incomplete = sum(payload["summary"]["incomplete"].values())
     _triage_synth_disagreements(payload, args.out,
                                 write=not args.no_artifacts)
-    return 1 if missed else 0
+    return 1 if missed or incomplete else 0
 
 
 def _triage_synth_disagreements(payload, out: Path, write: bool) -> None:
@@ -133,7 +224,8 @@ def _triage_synth_disagreements(payload, out: Path, write: bool) -> None:
     are named instead, honouring the flag's report-only contract)."""
     disagreements = [
         result for result in payload["scenarios"]
-        if not result["expectation_met"]
+        if result.get("status", "ok") == "ok"
+        and not result["expectation_met"]
         and VICTIMS[result["victim"]].synthetic
     ]
     if not disagreements:

@@ -24,9 +24,13 @@ and :func:`configure_shard_cache` can disable it to prove it
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
+import os
+import queue as queue_mod
 import random
 import time
+from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.attacks.programs import GADGET_MARKER
@@ -48,7 +52,12 @@ from repro.campaign.spec import (
 from repro.core.commit_log import CommitLog
 from repro.core.filter import CfiFilter
 from repro.cva6.scoreboard import ScoreboardEntry
-from repro.errors import ConfigError, SimulationError
+from repro.errors import (
+    ConfigError,
+    ScenarioTimeout,
+    SimulationError,
+    WorkerCrash,
+)
 from repro.firmware.policies import (
     COMPOSITE_MEMBERS,
     CheckResult,
@@ -92,13 +101,32 @@ class ShardCache:
         self.misses = 0
         self._programs: Dict[Tuple[str, int], Program] = {}
         self._firmware: Dict[str, bytes] = {}
+        self._memo: Dict[Tuple, object] = {}
 
     def clear(self) -> None:
         """Drop every cached artifact (counters included)."""
         self._programs.clear()
         self._firmware.clear()
+        self._memo.clear()
         self.hits = 0
         self.misses = 0
+
+    def memo(self, key: Tuple, compute: Callable[[], object]):
+        """Generic deterministic memo (fault baselines, oracle streams).
+
+        ``key`` must cover every input that feeds ``compute`` — same
+        contract as the program/firmware memos, same cold = warm = off
+        guarantee.
+        """
+        if not self.enabled:
+            return compute()
+        if key in self._memo:
+            self.hits += 1
+            return self._memo[key]
+        self.misses += 1
+        value = compute()
+        self._memo[key] = value
+        return value
 
     def program(self, victim: str, seed: int) -> Program:
         """The victim's assembled image for ``seed`` (memoised)."""
@@ -309,6 +337,34 @@ def _run_reference(scenario: Scenario, seed: int,
     }
 
 
+def _fault_baseline(scenario: Scenario, seed: int,
+                    sim_mode: Optional[str], bundle) -> Dict[str, object]:
+    """The fault-free sibling run a fault scenario degrades against.
+
+    Runs the same scenario with the plan detached, under the *fault*
+    scenario's derived seed (the victim image must match byte for byte),
+    memoised per shard so a fault sweep pays each baseline once.
+    """
+    base = dataclasses.replace(scenario, fault_plan=None)
+    return SHARD_CACHE.memo(
+        ("fault-baseline", base.name, seed, sim_mode),
+        lambda: _run_cosim(base, seed, sim_mode=sim_mode, bundle=bundle),
+    )
+
+
+def _fault_oracle_logs(scenario: Scenario, seed: int):
+    """The victim's fault-free CFI event stream, for the fault oracle."""
+    def compute():
+        program = SHARD_CACHE.program(scenario.victim, seed)
+        logs, _hart = capture_commit_logs(program, AddressMap(),
+                                          max_steps=scenario.max_cycles)
+        return logs
+
+    return SHARD_CACHE.memo(
+        ("fault-logs", scenario.victim, seed, scenario.max_cycles), compute
+    )
+
+
 def _run_cosim(scenario: Scenario, seed: int,
                sim_mode: Optional[str] = None,
                bundle=None) -> Dict[str, object]:
@@ -330,6 +386,11 @@ def _run_cosim(scenario: Scenario, seed: int,
         policy = _build_policy(scenario, program, bundle=bundle)
     else:
         firmware_image = SHARD_CACHE.firmware(scenario.firmware)
+    plan = None
+    if scenario.fault_plan is not None:
+        from repro.faults.plan import build_plan
+
+        plan = build_plan(scenario.fault_plan, seed)
     outcome = run_attack_scenario(
         program,
         firmware_variant=scenario.firmware,
@@ -341,10 +402,11 @@ def _run_cosim(scenario: Scenario, seed: int,
         sim_mode=sim_mode,
         policy_backend=policy_backend,
         policy=policy,
+        fault_plan=plan,
     )
     report = outcome.report
     busy = report.cycles - report.host_stall_cycles
-    return {
+    result: Dict[str, object] = {
         "cycles": report.cycles,
         "host_instructions": report.host_instructions,
         "cf_events": report.cfi.get("selected", 0),
@@ -358,6 +420,38 @@ def _run_cosim(scenario: Scenario, seed: int,
         ),
         "gadget_executed": outcome.gadget_executed,
     }
+    if plan is not None:
+        from repro.faults.contract import evaluate_contract
+        from repro.faults.oracle import predict_verdict
+
+        baseline = _fault_baseline(scenario, seed, sim_mode, bundle)
+        # The oracle replays the delivered stream through a *fresh*
+        # policy instance — the one mounted above has live run state.
+        oracle_policy = _build_policy(scenario, program, bundle=bundle)
+        if oracle_policy is None:
+            # Firmware agent: the RV32 image implements the shadow
+            # stack, so that is the policy the oracle must model.
+            oracle_policy = ShadowStackPolicy()
+        prediction = predict_verdict(_fault_oracle_logs(scenario, seed),
+                                     plan, oracle_policy)
+        monitor_state = getattr(oracle_policy, "monitor_state", "stateful")
+        degradation, contract_ok = evaluate_contract(
+            monitor_state,
+            plan,
+            bool(baseline["detected"]),
+            bool(result["detected"]),
+            baseline["detection_latency"],
+            result["detection_latency"],
+        )
+        result.update({
+            "fault_stats": report.faults,
+            "predicted_detected": prediction.detected,
+            "degradation": degradation,
+            "contract_ok": contract_ok,
+            "baseline_detected": baseline["detected"],
+            "baseline_detection_latency": baseline["detection_latency"],
+        })
+    return result
 
 
 def run_scenario(scenario: Scenario, campaign_seed: int = 0,
@@ -383,7 +477,12 @@ def run_scenario(scenario: Scenario, campaign_seed: int = 0,
     else:
         raise ConfigError(f"unknown backend {scenario.backend!r}")
 
-    if bundle is not None:
+    if scenario.fault_plan is not None:
+        # Under fault the fault-aware oracle owns the expectation: it
+        # replays the delivered (post-fault) event stream statically.
+        expected = bool(outcome["predicted_detected"])
+        expected_source = "fault-oracle"
+    elif bundle is not None:
         expected = bundle.expected[scenario.policy]
         expected_source = "oracle"
     else:
@@ -391,6 +490,12 @@ def run_scenario(scenario: Scenario, campaign_seed: int = 0,
         expected_source = "table"
     detected = bool(outcome["detected"])
     result: Dict[str, object] = {
+        "status": "ok",
+        "fault_plan": scenario.fault_plan,
+        "degradation": None,
+        "contract_ok": None,
+        "baseline_detected": None,
+        "baseline_detection_latency": None,
         "name": scenario.name,
         "backend": scenario.backend,
         "victim": scenario.victim,
@@ -417,13 +522,296 @@ def run_scenario(scenario: Scenario, campaign_seed: int = 0,
 
 
 # --------------------------------------------------------------------------
-# Sharded campaign driver
+# Sharded campaign driver (hardened: timeouts, crash quarantine, retries)
 # --------------------------------------------------------------------------
+
+#: Test hooks (set via the environment, read only inside shards/retries):
+#: force a worker to die / hang / fail transiently on a named scenario,
+#: so the hardening paths are exercised end to end without mocking.
+ENV_CRASH_SCENARIO = "REPRO_CAMPAIGN_CRASH_SCENARIO"
+ENV_HANG_SCENARIO = "REPRO_CAMPAIGN_HANG_SCENARIO"
+ENV_FLAKY_SCENARIO = "REPRO_CAMPAIGN_FLAKY_SCENARIO"
+ENV_FLAKY_DIR = "REPRO_CAMPAIGN_FLAKY_DIR"
+
+
+def _flaky_hook(scenario: Scenario) -> None:
+    """Raise on the named scenario's first attempts (retry-path test).
+
+    Marker files under :data:`ENV_FLAKY_DIR` count attempts across
+    worker processes, so the scenario fails until its retry budget has
+    been spent at least once.
+    """
+    if os.environ.get(ENV_FLAKY_SCENARIO) != scenario.name:
+        return
+    marker_dir = os.environ.get(ENV_FLAKY_DIR)
+    if not marker_dir:
+        return
+    attempts = len([p for p in os.listdir(marker_dir)
+                    if p.startswith("attempt-")])
+    with open(os.path.join(marker_dir, f"attempt-{attempts}"), "w"):
+        pass
+    if attempts < 1:
+        raise SimulationError(f"flaky-hook failure for {scenario.name}")
+
+
+def _failure_result(scenario: Scenario, campaign_seed: int, status: str,
+                    detail: str) -> Dict[str, object]:
+    """Placeholder result for a scenario that produced no verdict.
+
+    Shaped like a normal result (same identity columns, zeroed counters,
+    ``None`` verdict fields) so checkpoints, aggregation and CSV export
+    handle it uniformly; ``status`` records why it is not ``"ok"``.
+    """
+    return {
+        "status": status,
+        "error": detail,
+        "fault_plan": scenario.fault_plan,
+        "degradation": None,
+        "contract_ok": None,
+        "baseline_detected": None,
+        "baseline_detection_latency": None,
+        "name": scenario.name,
+        "backend": scenario.backend,
+        "victim": scenario.victim,
+        "attack": scenario.attack,
+        "policy": scenario.policy,
+        "policy_backend": scenario.resolved_policy_backend,
+        "firmware": scenario.firmware if scenario.backend == BACKEND_COSIM else None,
+        "queue_depth": (
+            scenario.queue_depth if scenario.backend == BACKEND_COSIM else None
+        ),
+        "blocking": scenario.blocking if scenario.backend == BACKEND_COSIM else None,
+        "fabric": scenario.fabric if scenario.backend == BACKEND_COSIM else None,
+        "max_cycles": scenario.max_cycles,
+        "seed": derive_seed(campaign_seed, scenario),
+        "seeded": VICTIMS[scenario.victim].seeded,
+        "expected_detected": None,
+        "expected_source": None,
+        "expectation_met": None,
+        "cycles": 0,
+        "host_instructions": 0,
+        "cf_events": 0,
+        "events_checked": 0,
+        "detected": None,
+        "violation_kind": None,
+        "detection_latency": None,
+        "stall_cycles": 0,
+        "overhead_percent": 0.0,
+        "gadget_executed": None,
+    }
+
 
 def _worker(payload) -> Dict[str, object]:
     """Pool entry point: (scenario, campaign_seed, sim_mode) → result."""
     scenario, campaign_seed, sim_mode = payload
     return run_scenario(scenario, campaign_seed, sim_mode=sim_mode)
+
+
+def _shard_main(wid: int, task_q, result_q, campaign_seed: int,
+                sim_mode: Optional[str]) -> None:
+    """Worker process loop: one task at a time, sentinel ``None`` exits.
+
+    Single-task dispatch (no prefetch) is what makes crash attribution
+    exact: a dead worker had at most one scenario in flight, and the
+    parent knows which.
+    """
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        idx, scenario = item
+        if os.environ.get(ENV_CRASH_SCENARIO) == scenario.name:
+            os._exit(3)
+        if os.environ.get(ENV_HANG_SCENARIO) == scenario.name:
+            time.sleep(3600)
+        try:
+            _flaky_hook(scenario)
+            result = run_scenario(scenario, campaign_seed, sim_mode=sim_mode)
+            result_q.put(("done", wid, idx, result))
+        except Exception as exc:  # noqa: BLE001 - shard boundary
+            result_q.put(("error", wid, idx,
+                          f"{type(exc).__name__}: {exc}"))
+
+
+def _run_serial(
+    scenarios: Sequence[Scenario],
+    campaign_seed: int,
+    stream: Optional[Callable[[Dict[str, object]], None]],
+    sim_mode: Optional[str],
+    retries: int,
+    backoff: float,
+) -> List[Dict[str, object]]:
+    """In-process execution with the same retry contract as the pool."""
+    results: List[Dict[str, object]] = []
+    for scenario in scenarios:
+        attempt = 0
+        while True:
+            try:
+                _flaky_hook(scenario)
+                result = run_scenario(scenario, campaign_seed,
+                                      sim_mode=sim_mode)
+                break
+            except Exception as exc:  # noqa: BLE001 - sweep must survive
+                attempt += 1
+                if attempt > retries:
+                    result = _failure_result(
+                        scenario, campaign_seed, "error",
+                        f"{type(exc).__name__}: {exc}")
+                    break
+                if backoff > 0:
+                    time.sleep(backoff * (2 ** (attempt - 1)))
+        if stream is not None:
+            stream(result)
+        results.append(result)
+    return results
+
+
+def _run_pool(
+    scenarios: Sequence[Scenario],
+    jobs: int,
+    campaign_seed: int,
+    stream: Optional[Callable[[Dict[str, object]], None]],
+    sim_mode: Optional[str],
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+) -> List[Dict[str, object]]:
+    """Hardened process pool: per-worker task queues, crash quarantine.
+
+    Each worker owns a private task queue and is handed one scenario at
+    a time; a shared result queue carries verdicts back.  The parent
+    polls for three failure modes:
+
+    - worker death → the in-flight scenario is recorded as
+      ``status: "crashed"`` (:class:`~repro.errors.WorkerCrash`),
+      quarantined (never re-dispatched — it killed a process once), and
+      the worker is respawned;
+    - wall-clock ``timeout`` per scenario → the worker is killed, the
+      scenario recorded as ``status: "timeout"``
+      (:class:`~repro.errors.ScenarioTimeout`), worker respawned;
+    - in-shard exceptions → retried up to ``retries`` times with
+      exponential ``backoff``, then recorded as ``status: "error"``.
+    """
+    ctx = multiprocessing.get_context()
+    result_q = ctx.Queue()
+    total = len(scenarios)
+
+    def spawn(wid: int):
+        task_q = ctx.Queue()
+        proc = ctx.Process(
+            target=_shard_main,
+            args=(wid, task_q, result_q, campaign_seed, sim_mode),
+            daemon=True,
+        )
+        proc.start()
+        return {"proc": proc, "task_q": task_q}
+
+    workers: Dict[int, Dict[str, object]] = {}
+    next_wid = 0
+    for _ in range(min(jobs, max(total, 1))):
+        workers[next_wid] = spawn(next_wid)
+        next_wid += 1
+
+    pending = deque(enumerate(scenarios))
+    delayed: List[Tuple[float, int, Scenario]] = []  # (ready_at, idx, s)
+    inflight: Dict[int, Dict[str, object]] = {}  # wid -> {idx, scenario, deadline}
+    attempts: Dict[int, int] = {}
+    results: List[Dict[str, object]] = []
+
+    def record(result: Dict[str, object]) -> None:
+        if stream is not None:
+            stream(result)
+        results.append(result)
+
+    def fail(scenario: Scenario, status: str, detail: str) -> None:
+        record(_failure_result(scenario, campaign_seed, status, detail))
+
+    def reschedule(idx: int, scenario: Scenario, detail: str) -> None:
+        attempts[idx] = attempts.get(idx, 0) + 1
+        if attempts[idx] > retries:
+            fail(scenario, "error", detail)
+        else:
+            ready = time.monotonic() + backoff * (2 ** (attempts[idx] - 1))
+            delayed.append((ready, idx, scenario))
+
+    try:
+        while len(results) < total:
+            now = time.monotonic()
+            if delayed:
+                due = [entry for entry in delayed if entry[0] <= now]
+                if due:
+                    delayed[:] = [e for e in delayed if e[0] > now]
+                    for _ready, idx, scenario in sorted(due, key=lambda e: e[1]):
+                        pending.append((idx, scenario))
+            for wid, worker in workers.items():
+                if wid in inflight or not pending:
+                    continue
+                idx, scenario = pending.popleft()
+                inflight[wid] = {
+                    "idx": idx,
+                    "scenario": scenario,
+                    "deadline": (now + timeout) if timeout else None,
+                }
+                worker["task_q"].put((idx, scenario))
+
+            try:
+                msg = result_q.get(timeout=0.05)
+            except queue_mod.Empty:
+                msg = None
+            if msg is not None:
+                kind, wid, idx, payload = msg
+                entry = inflight.get(wid)
+                if entry is not None and entry["idx"] == idx:
+                    del inflight[wid]
+                    if kind == "done":
+                        record(payload)
+                    else:
+                        reschedule(idx, entry["scenario"], payload)
+                # else: straggler from a worker already written off
+                continue
+
+            for wid in list(workers):
+                worker = workers[wid]
+                proc = worker["proc"]
+                entry = inflight.get(wid)
+                if not proc.is_alive():
+                    # Drain any result it managed to send before dying.
+                    if entry is not None:
+                        crash = WorkerCrash(entry["scenario"].name,
+                                            exitcode=proc.exitcode)
+                        fail(entry["scenario"], "crashed", str(crash))
+                        del inflight[wid]
+                    proc.join()
+                    del workers[wid]
+                    if pending or delayed or len(results) < total:
+                        workers[next_wid] = spawn(next_wid)
+                        next_wid += 1
+                elif (entry is not None and entry["deadline"] is not None
+                        and time.monotonic() > entry["deadline"]):
+                    proc.kill()
+                    proc.join()
+                    stuck = ScenarioTimeout(entry["scenario"].name,
+                                            float(timeout))
+                    fail(entry["scenario"], "timeout", str(stuck))
+                    del inflight[wid]
+                    del workers[wid]
+                    workers[next_wid] = spawn(next_wid)
+                    next_wid += 1
+    finally:
+        for worker in workers.values():
+            try:
+                worker["task_q"].put(None)
+            except Exception:  # noqa: BLE001 - teardown best effort
+                pass
+        for worker in workers.values():
+            proc = worker["proc"]
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join()
+        result_q.close()
+        result_q.join_thread()
+    return results
 
 
 def run_campaign(
@@ -432,6 +820,9 @@ def run_campaign(
     campaign_seed: int = 0,
     stream: Optional[Callable[[Dict[str, object]], None]] = None,
     sim_mode: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.0,
 ) -> Dict[str, object]:
     """Run a scenario list, optionally sharded over worker processes.
 
@@ -444,35 +835,41 @@ def run_campaign(
             completes (arrival order; use it to stream JSONL artifacts).
         sim_mode: co-simulator engine override for cosim scenarios
             (results are engine-independent; see :func:`run_scenario`).
+        timeout: per-scenario wall-clock bound in seconds (``jobs > 1``
+            only — a serial run has no second process to do the
+            killing); over-budget scenarios record ``status: "timeout"``.
+        retries: re-attempts for scenarios that raise inside the shard
+            before they are recorded as ``status: "error"``.
+        backoff: base delay in seconds before a retry, doubled per
+            attempt.
 
     Returns:
         the campaign payload: sorted scenario results plus run metadata
         (wall-clock timing lives only here, never in per-scenario
         results, so serial and parallel aggregates compare equal).
+        A sweep never dies with a worker: crashed / hung / failing
+        scenarios are recorded with a non-``"ok"`` ``status`` and the
+        rest of the matrix completes.
     """
     if jobs < 1:
         raise ConfigError("jobs must be >= 1")
+    if retries < 0:
+        raise ConfigError("retries must be >= 0")
+    if backoff < 0:
+        raise ConfigError("backoff must be >= 0")
     scenarios = list(scenarios)
     names = [scenario.name for scenario in scenarios]
     if len(set(names)) != len(names):
         duplicates = sorted({n for n in names if names.count(n) > 1})
         raise ConfigError(f"duplicate scenario names in the matrix: {duplicates}")
-    payloads = [(scenario, campaign_seed, sim_mode) for scenario in scenarios]
     started = time.perf_counter()
 
-    results: List[Dict[str, object]] = []
     if jobs == 1:
-        for payload in payloads:
-            result = _worker(payload)
-            if stream is not None:
-                stream(result)
-            results.append(result)
+        results = _run_serial(scenarios, campaign_seed, stream, sim_mode,
+                              retries, backoff)
     else:
-        with multiprocessing.Pool(processes=jobs) as pool:
-            for result in pool.imap_unordered(_worker, payloads, chunksize=1):
-                if stream is not None:
-                    stream(result)
-                results.append(result)
+        results = _run_pool(scenarios, jobs, campaign_seed, stream,
+                            sim_mode, timeout, retries, backoff)
     wall = time.perf_counter() - started
 
     results.sort(key=lambda r: r["name"])

@@ -44,6 +44,7 @@ from repro.attacks.programs import (
     rop_program,
 )
 from repro.errors import ConfigError
+from repro.faults.plan import FAULT_PLANS
 from repro.isa.asm import Program
 from repro.system.addresses import AddressMap
 
@@ -308,6 +309,9 @@ class Scenario:
             a :class:`repro.policyhost.PolicyHost`), or ``"auto"``
             (firmware for ``shadow-stack``, host otherwise).  Ignored
             by the reference backend.
+        fault_plan: named :data:`repro.faults.plan.FAULT_PLANS` entry to
+            inject for the run (cosim backend only; monitor faults need
+            a host-resolved mailbox agent).  ``None`` = fault-free.
     """
 
     victim: str
@@ -320,6 +324,7 @@ class Scenario:
     seed: int = 0
     max_cycles: int = 10_000_000
     policy_backend: str = POLICY_BACKEND_AUTO
+    fault_plan: Optional[str] = None
 
     def __post_init__(self):
         if self.victim not in VICTIMS:
@@ -350,6 +355,24 @@ class Scenario:
             raise ConfigError(f"unknown fabric {self.fabric!r}")
         if self.queue_depth < 1:
             raise ConfigError("queue_depth must be >= 1")
+        if self.fault_plan is not None:
+            if self.fault_plan not in FAULT_PLANS:
+                raise ConfigError(
+                    f"unknown fault plan {self.fault_plan!r} "
+                    f"(have: {', '.join(sorted(FAULT_PLANS))})"
+                )
+            if self.backend != BACKEND_COSIM:
+                raise ConfigError(
+                    "fault injection needs the cosim backend (the "
+                    "reference backend has no transport to fault)"
+                )
+            if (FAULT_PLANS[self.fault_plan].needs_monitor
+                    and self.resolved_policy_backend != POLICY_BACKEND_HOST):
+                raise ConfigError(
+                    f"fault plan {self.fault_plan!r} injects monitor "
+                    "faults, which need policy_backend='host' (the RV32 "
+                    "firmware monitor cannot be injected into)"
+                )
 
     @property
     def resolved_policy_backend(self) -> Optional[str]:
@@ -381,6 +404,8 @@ class Scenario:
                 parts.append("blocking")
             if self.fabric != "standard":
                 parts.append(self.fabric)
+            if self.fault_plan is not None:
+                parts.append(f"fault-{self.fault_plan}")
         if self.max_cycles != 10_000_000:
             parts.append(f"c{self.max_cycles}")
         if self.seed:
@@ -441,6 +466,7 @@ def expand_grid(**axes: Sequence[object]) -> List[Scenario]:
         # Only the known *cross-field* incompatibilities are skippable;
         # a bad field value (typo'd victim/policy name) must still
         # raise, or the matrix would silently shrink.
+        fault_plan = kwargs.get("fault_plan")
         if kwargs.get("backend") == BACKEND_COSIM:
             policy = kwargs.get("policy", POLICY_SHADOW_STACK)
             policy_backend = kwargs.get("policy_backend", POLICY_BACKEND_AUTO)
@@ -449,6 +475,23 @@ def expand_grid(**axes: Sequence[object]) -> List[Scenario]:
             if (policy_backend == POLICY_BACKEND_FIRMWARE
                     and policy != POLICY_SHADOW_STACK):
                 continue
+            if (fault_plan is not None
+                    and fault_plan in FAULT_PLANS
+                    and FAULT_PLANS[fault_plan].needs_monitor):
+                # Monitor faults need the policy-host agent; a sweep
+                # mixing fault families over both agents drops the
+                # firmware-resolved cells rather than raising.
+                resolved = policy_backend
+                if policy_backend == POLICY_BACKEND_AUTO:
+                    resolved = (POLICY_BACKEND_FIRMWARE
+                                if policy == POLICY_SHADOW_STACK
+                                else POLICY_BACKEND_HOST)
+                if resolved != POLICY_BACKEND_HOST:
+                    continue
+        elif fault_plan is not None:
+            # Fault plans are cosim-only; mixed-backend sweeps drop the
+            # reference cells.
+            continue
         scenario = Scenario(**kwargs)
         # Scenario.name omits knobs its backend ignores, so equivalent
         # cells from a mixed-backend sweep collapse to the first one.
@@ -650,6 +693,76 @@ def synth_smoke_matrix() -> List[Scenario]:
     return scenarios
 
 
+#: Fault-plan names by family (kept in sync with the registry by the
+#: comprehension — an unknown name would fail Scenario validation).
+TRANSPORT_FAULT_PLANS: Tuple[str, ...] = tuple(sorted(
+    name for name, spec in FAULT_PLANS.items() if not spec.needs_monitor
+))
+MONITOR_FAULT_PLANS: Tuple[str, ...] = tuple(sorted(
+    name for name, spec in FAULT_PLANS.items() if spec.needs_monitor
+))
+
+
+def faults_matrix() -> List[Scenario]:
+    """The fault-injection campaign: fault families × policies ×
+    victims, each cell checked against its fault-free baseline by the
+    fault oracle and the per-policy degradation contract.
+
+    Three blocks: transport faults against the RV32 firmware agent
+    (drop/dup/corrupt are agent-agnostic), the full fault-plan registry
+    against every enforcing policy on the policy host, and
+    queue-overflow stress (monitor stall bursts) at shallow depths."""
+    scenarios = expand_grid(
+        victim=["benign", "rop", "ret-to-callsite", "jop"],
+        backend=BACKEND_COSIM,
+        fault_plan=list(TRANSPORT_FAULT_PLANS),
+    )
+    scenarios += expand_grid(
+        victim=["benign", "rop", "jop", "call-hijack"],
+        policy=list(ENFORCING_POLICIES),
+        backend=BACKEND_COSIM,
+        policy_backend=POLICY_BACKEND_HOST,
+        fault_plan=sorted(FAULT_PLANS),
+    )
+    # Queue-overflow stress: a stalled monitor at depth 1/2 makes the
+    # writer outpace it, exercising the back-pressure paths under fault.
+    scenarios += expand_grid(
+        victim=["deep-recursion", "rop"],
+        policy=[POLICY_SHADOW_STACK, POLICY_COMPOSITE],
+        backend=BACKEND_COSIM,
+        policy_backend=POLICY_BACKEND_HOST,
+        queue_depth=[1, 2],
+        fault_plan="stall-burst",
+    )
+    return scenarios
+
+
+def faults_smoke_matrix() -> List[Scenario]:
+    """CI tier of the fault campaign: one cell per fault family on each
+    agent, plus one queue-stress cell — small enough for the serial
+    runner."""
+    scenarios = expand_grid(
+        victim=["benign", "rop"],
+        backend=BACKEND_COSIM,
+        fault_plan=["drop-first", "dup-first", "corrupt-target"],
+    )
+    scenarios += expand_grid(
+        victim=["benign", "rop"],
+        policy=[POLICY_SHADOW_STACK, POLICY_FORWARD_EDGE],
+        backend=BACKEND_COSIM,
+        policy_backend=POLICY_BACKEND_HOST,
+        fault_plan=["stall-late", "reset-early"],
+    )
+    scenarios += expand_grid(
+        victim="deep-recursion",
+        backend=BACKEND_COSIM,
+        policy_backend=POLICY_BACKEND_HOST,
+        queue_depth=2,
+        fault_plan="stall-burst",
+    )
+    return scenarios
+
+
 MATRICES: Dict[str, Callable[[], List[Scenario]]] = {
     "default": default_matrix,
     "smoke": smoke_matrix,
@@ -657,6 +770,8 @@ MATRICES: Dict[str, Callable[[], List[Scenario]]] = {
     "policyhost": policyhost_matrix,
     "synth": synth_matrix,
     "synth-smoke": synth_smoke_matrix,
+    "faults": faults_matrix,
+    "faults-smoke": faults_smoke_matrix,
 }
 
 

@@ -19,7 +19,7 @@ States::
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional
 
 from repro.core.commit_log import COMMIT_LOG_BYTES, CommitLog
@@ -97,11 +97,16 @@ class LogWriter:
         self._countdown = 0
         self._check_started = 0
         self.now = 0
+        #: Fault controller hook (:mod:`repro.faults`); ``None`` keeps
+        #: every code path below byte-identical to the fault-free FSM.
+        self.faults = None
+        self._event_index = 0
+        self._redeliver: Optional[CommitLog] = None
+        self._dup_pending = False
 
     # -- helpers -------------------------------------------------------------
 
-    def _begin_write(self) -> None:
-        log = self.queue.pop()
+    def _start_transmission(self, log: CommitLog) -> None:
         self.current_log = log
         self._check_started = self.now
         # The payload moves as ceil(28/8) = 4 beats; the doorbell write is
@@ -111,6 +116,31 @@ class LogWriter:
         doorbell_cycles = self.axi.timings.transaction_cycles(8)
         self._countdown = payload_cycles + doorbell_cycles
         self.state = WriterState.WRITE
+
+    def _begin_write(self) -> None:
+        log = self.queue.pop()
+        if self.faults is not None:
+            n = self._event_index
+            self._event_index += 1
+            drop, dup, mask = self.faults.transport_actions(n)
+            if drop:
+                # The event is lost in transit: the pop consumed this
+                # cycle, the FSM stays IDLE, nothing reaches the mailbox.
+                return
+            if mask:
+                log = replace(log, target=(log.target ^ mask) & ((1 << 64) - 1))
+            if dup:
+                self._dup_pending = True
+        self._start_transmission(log)
+
+    def _begin_redeliver(self) -> None:
+        log = self._redeliver
+        assert log is not None
+        self._redeliver = None
+        # A replayed doorbell carries the already-transmitted event
+        # verbatim (including any corruption); it consumes no queue
+        # entry and no fresh event index.
+        self._start_transmission(log)
 
     def _ring_doorbell(self) -> None:
         offset = self.mailbox.layout.doorbell_offset
@@ -131,6 +161,9 @@ class LogWriter:
         self.stats.checks_completed += 1
         self.stats.check_latencies.append(self.now - self._check_started)
         self.state = WriterState.IDLE
+        if self._dup_pending:
+            self._redeliver = log
+            self._dup_pending = False
         if verdict != VERDICT_OK:
             self.stats.violations += 1
             if self.stats.first_violation_latency is None:
@@ -152,7 +185,10 @@ class LogWriter:
         """Advance the FSM by one cycle."""
         self.now += 1
         if self.state is WriterState.IDLE:
-            if not self.queue.empty and self.mailbox.ready:
+            if self._redeliver is not None:
+                if self.mailbox.ready:
+                    self._begin_redeliver()
+            elif not self.queue.empty and self.mailbox.ready:
                 self._begin_write()
             return
         if self.state is WriterState.WRITE:
@@ -187,7 +223,11 @@ class LogWriter:
         relies on (a window that enqueues nothing keeps the writer
         parked for its whole span).
         """
-        return self.state is WriterState.IDLE and self.queue.empty
+        return (
+            self.state is WriterState.IDLE
+            and self.queue.empty
+            and self._redeliver is None
+        )
 
     # -- event-driven fast path ---------------------------------------------------
 
@@ -205,6 +245,8 @@ class LogWriter:
         component's activity can change.
         """
         if self.state is WriterState.IDLE:
+            if self._redeliver is not None:
+                return 0 if self.mailbox.ready else self.UNBOUNDED
             if not self.queue.empty and self.mailbox.ready:
                 return 0
             return self.UNBOUNDED

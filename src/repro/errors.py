@@ -139,6 +139,49 @@ class ConfigError(ReproError):
     """An invalid configuration was supplied to a component."""
 
 
+class CampaignError(ReproError):
+    """Base class for campaign-runner execution failures."""
+
+
+class ScenarioTimeout(CampaignError):
+    """A scenario exceeded its per-scenario wall-clock budget.
+
+    Attributes:
+        scenario_name: name of the scenario that timed out.
+        seconds: the budget that was exceeded.
+    """
+
+    def __init__(self, scenario_name: str, seconds: float):
+        super().__init__(
+            f"scenario {scenario_name!r} exceeded {seconds:.1f}s wall-clock budget"
+        )
+        self.scenario_name = scenario_name
+        self.seconds = seconds
+
+
+class WorkerCrash(CampaignError):
+    """A campaign worker process died while executing a scenario.
+
+    Attributes:
+        scenario_name: name of the scenario the worker was running.
+        exitcode: the worker's process exit code, or ``None``.
+    """
+
+    def __init__(self, scenario_name: str, exitcode: "int | None" = None):
+        detail = f"worker crashed while running scenario {scenario_name!r}"
+        if exitcode is not None:
+            detail += f" (exit code {exitcode})"
+        super().__init__(detail)
+        self.scenario_name = scenario_name
+        self.exitcode = exitcode
+
+
+class FaultPlanError(ConfigError):
+    """A fault-injection plan is malformed or incompatible with the
+    scenario it was attached to (e.g. monitor faults without a policy
+    host to inject them into)."""
+
+
 class CalibrationError(ReproError):
     """The trace-model calibration failed to converge."""
 

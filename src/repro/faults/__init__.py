@@ -1,0 +1,59 @@
+"""Deterministic fault injection for the TitanCFI transport and monitor.
+
+The package models the degraded-monitor conditions the SoK: Runtime
+Integrity taxonomy treats as first-class: dropped/duplicated mailbox
+doorbells, corrupted CFI event words, queue-overflow stress, stalled or
+late-waking monitors, and mid-run monitor resets.  A seed-deterministic
+:class:`~repro.faults.plan.FaultPlan` schedules faults at
+*event-occurrence indices* (the Nth queue pop, the Nth delivered
+check), so all three execution engines observe identical faulted
+behaviour; :mod:`repro.faults.oracle` predicts the expected verdict
+under fault, and :mod:`repro.faults.contract` checks each policy's
+degradation contract (detect / detect-late / fail-safe / miss).
+"""
+
+from repro.faults.contract import (
+    DEGRADATION_DETECT,
+    DEGRADATION_DETECT_LATE,
+    DEGRADATION_FAIL_SAFE,
+    DEGRADATION_MISS,
+    DEGRADATION_TRANSPARENT,
+    allowed_degradations,
+    evaluate_contract,
+)
+from repro.faults.inject import FaultController, attach_faults
+from repro.faults.oracle import FaultPrediction, predict_verdict
+from repro.faults.plan import (
+    FAULT_DOORBELL_DROP,
+    FAULT_DOORBELL_DUP,
+    FAULT_EVENT_CORRUPT,
+    FAULT_MONITOR_RESET,
+    FAULT_MONITOR_STALL,
+    FAULT_PLANS,
+    FaultEvent,
+    FaultPlan,
+    build_plan,
+)
+
+__all__ = [
+    "DEGRADATION_DETECT",
+    "DEGRADATION_DETECT_LATE",
+    "DEGRADATION_FAIL_SAFE",
+    "DEGRADATION_MISS",
+    "DEGRADATION_TRANSPARENT",
+    "FAULT_DOORBELL_DROP",
+    "FAULT_DOORBELL_DUP",
+    "FAULT_EVENT_CORRUPT",
+    "FAULT_MONITOR_RESET",
+    "FAULT_MONITOR_STALL",
+    "FAULT_PLANS",
+    "FaultController",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultPrediction",
+    "allowed_degradations",
+    "attach_faults",
+    "build_plan",
+    "evaluate_contract",
+    "predict_verdict",
+]

@@ -1,0 +1,160 @@
+"""Per-policy degradation contracts under injected faults.
+
+The SoK: Runtime Integrity taxonomy treats *degraded-monitor* behaviour
+as a security property in its own right: a monitor that silently
+changes its verdict under a transport glitch is worse than one that
+documents the miss.  Each campaign fault scenario is labelled with the
+observed degradation relative to its fault-free baseline run, and the
+label is checked against the set the policy's contract allows for the
+injected fault kinds:
+
+``detect``
+    The attack is still detected, no later than the fault-free run
+    (modulo transport-latency jitter).
+``detect-late``
+    Still detected, but the injected monitor stalls delayed detection —
+    bounded by the plan's total injected stall cycles.
+``fail-safe``
+    The fault itself surfaced as a violation verdict (e.g. a reset
+    policy underflows, a corrupted benign target mismatches) — the
+    monitor fails closed, never open.
+``documented-miss``
+    The fault suppressed detection — allowed only where the fault
+    family genuinely defeats the policy's mechanism (e.g. the violating
+    event itself was dropped in transit), and always recorded.
+``transparent``
+    A benign run stayed benign: the fault was absorbed.
+
+The contract is keyed on the policy's ``monitor_state`` class attribute
+("stateful" / "stateless", see :mod:`repro.firmware.policies`) rather
+than policy names, so new policies get contracts by construction.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from repro.faults.plan import (
+    FAULT_DOORBELL_DROP,
+    FAULT_DOORBELL_DUP,
+    FAULT_EVENT_CORRUPT,
+    FAULT_MONITOR_RESET,
+    FAULT_MONITOR_STALL,
+    FaultPlan,
+)
+
+DEGRADATION_DETECT = "detect"
+DEGRADATION_DETECT_LATE = "detect-late"
+DEGRADATION_FAIL_SAFE = "fail-safe"
+DEGRADATION_MISS = "documented-miss"
+DEGRADATION_TRANSPARENT = "transparent"
+
+#: Allowed degradation labels per (monitor_state, fault kind).
+_ALLOWED = {
+    # A stall delays the response but never changes any verdict: the
+    # same events reach the same policy state.  This is the contract's
+    # teeth — a stall that *flips* a verdict is a contract violation.
+    ("stateless", FAULT_MONITOR_STALL): frozenset(
+        {DEGRADATION_DETECT, DEGRADATION_DETECT_LATE, DEGRADATION_TRANSPARENT}
+    ),
+    ("stateful", FAULT_MONITOR_STALL): frozenset(
+        {DEGRADATION_DETECT, DEGRADATION_DETECT_LATE, DEGRADATION_TRANSPARENT}
+    ),
+    # A reset cannot affect a stateless policy at all; a stateful one
+    # may miss (lost shadow state) or fail safe (e.g. later underflow).
+    ("stateless", FAULT_MONITOR_RESET): frozenset(
+        {DEGRADATION_DETECT, DEGRADATION_TRANSPARENT}
+    ),
+    ("stateful", FAULT_MONITOR_RESET): frozenset(
+        {DEGRADATION_DETECT, DEGRADATION_FAIL_SAFE, DEGRADATION_MISS,
+         DEGRADATION_TRANSPARENT}
+    ),
+    # Dropping the violating event defeats any event-driven monitor —
+    # a documented miss; dropping a call desynchronises stateful ones.
+    ("stateless", FAULT_DOORBELL_DROP): frozenset(
+        {DEGRADATION_DETECT, DEGRADATION_MISS, DEGRADATION_TRANSPARENT}
+    ),
+    ("stateful", FAULT_DOORBELL_DROP): frozenset(
+        {DEGRADATION_DETECT, DEGRADATION_FAIL_SAFE, DEGRADATION_MISS,
+         DEGRADATION_TRANSPARENT}
+    ),
+    # A replayed event is idempotent for stateless policies; a stateful
+    # one may double-push/double-pop and fail closed — never open.
+    ("stateless", FAULT_DOORBELL_DUP): frozenset(
+        {DEGRADATION_DETECT, DEGRADATION_TRANSPARENT}
+    ),
+    ("stateful", FAULT_DOORBELL_DUP): frozenset(
+        {DEGRADATION_DETECT, DEGRADATION_FAIL_SAFE, DEGRADATION_TRANSPARENT}
+    ),
+    # Corruption can mask a bad target (miss) or damage a good one
+    # (fail-safe) for either class.
+    ("stateless", FAULT_EVENT_CORRUPT): frozenset(
+        {DEGRADATION_DETECT, DEGRADATION_MISS, DEGRADATION_FAIL_SAFE,
+         DEGRADATION_TRANSPARENT}
+    ),
+    ("stateful", FAULT_EVENT_CORRUPT): frozenset(
+        {DEGRADATION_DETECT, DEGRADATION_MISS, DEGRADATION_FAIL_SAFE,
+         DEGRADATION_TRANSPARENT}
+    ),
+}
+
+
+def allowed_degradations(monitor_state: str, plan: FaultPlan) -> FrozenSet[str]:
+    """Union of the allowed labels over every fault kind in ``plan``."""
+    allowed: FrozenSet[str] = frozenset()
+    for kind in plan.kinds:
+        allowed |= _ALLOWED[(monitor_state, kind)]
+    return allowed or frozenset({DEGRADATION_TRANSPARENT, DEGRADATION_DETECT})
+
+
+def classify_degradation(
+    plan: FaultPlan,
+    baseline_detected: bool,
+    detected: bool,
+    baseline_latency: Optional[int],
+    latency: Optional[int],
+) -> str:
+    """Label the faulted run relative to its fault-free baseline."""
+    if detected and baseline_detected:
+        if (
+            plan.total_stall_cycles
+            and baseline_latency is not None
+            and latency is not None
+            and latency > baseline_latency
+        ):
+            return DEGRADATION_DETECT_LATE
+        return DEGRADATION_DETECT
+    if detected and not baseline_detected:
+        return DEGRADATION_FAIL_SAFE
+    if baseline_detected and not detected:
+        return DEGRADATION_MISS
+    return DEGRADATION_TRANSPARENT
+
+
+def evaluate_contract(
+    monitor_state: str,
+    plan: FaultPlan,
+    baseline_detected: bool,
+    detected: bool,
+    baseline_latency: Optional[int] = None,
+    latency: Optional[int] = None,
+) -> Tuple[str, bool]:
+    """Classify the degradation and check it against the contract.
+
+    Returns ``(label, ok)``; ``ok`` is False when the observed label is
+    outside the contract for the plan's fault kinds, or when a
+    ``detect-late`` overshoots the plan's total injected stall cycles.
+    """
+    label = classify_degradation(
+        plan, baseline_detected, detected, baseline_latency, latency
+    )
+    ok = label in allowed_degradations(monitor_state, plan)
+    if (
+        ok
+        and label == DEGRADATION_DETECT_LATE
+        and baseline_latency is not None
+        and latency is not None
+        and latency > baseline_latency + plan.total_stall_cycles
+    ):
+        ok = False
+    return label, ok

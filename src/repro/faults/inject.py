@@ -1,0 +1,154 @@
+"""Fault controller: runtime state machine driving a :class:`FaultPlan`.
+
+One :class:`FaultController` is attached per simulation run via
+:func:`attach_faults`; the log writer consults it at every queue pop
+(transport faults) and the policy host at every delivered check
+(monitor faults).  The controller is pure bookkeeping — it never ticks,
+owns no clock, and with an empty plan every query returns the identity
+answer, so attaching an empty controller is cycle-invisible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    FAULT_DOORBELL_DROP,
+    FAULT_DOORBELL_DUP,
+    FAULT_EVENT_CORRUPT,
+    FAULT_MONITOR_RESET,
+    FAULT_MONITOR_STALL,
+    FaultPlan,
+)
+
+
+class FaultController:
+    """Expanded, queryable view of a fault plan.
+
+    Count windows are expanded into per-occurrence lookup tables at
+    construction, so the hot-path queries are set/dict membership tests.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._drop: Set[int] = set()
+        self._dup: Set[int] = set()
+        self._corrupt: Dict[int, int] = {}
+        self._stall: Dict[int, int] = {}
+        self._reset: Set[int] = set()
+        for event in plan.events:
+            indices = range(event.index, event.index + event.count)
+            if event.kind == FAULT_DOORBELL_DROP:
+                self._drop.update(indices)
+            elif event.kind == FAULT_DOORBELL_DUP:
+                self._dup.update(indices)
+            elif event.kind == FAULT_EVENT_CORRUPT:
+                for i in indices:
+                    self._corrupt[i] = event.param
+            elif event.kind == FAULT_MONITOR_STALL:
+                for i in indices:
+                    self._stall[i] = event.param
+            elif event.kind == FAULT_MONITOR_RESET:
+                self._reset.update(indices)
+        #: Scheduled occurrence slots per family (for armed-vs-fired stats).
+        self.armed = {
+            FAULT_DOORBELL_DROP: len(self._drop),
+            FAULT_DOORBELL_DUP: len(self._dup),
+            FAULT_EVENT_CORRUPT: len(self._corrupt),
+            FAULT_MONITOR_STALL: len(self._stall),
+            FAULT_MONITOR_RESET: len(self._reset),
+        }
+        self.fired = {kind: 0 for kind in self.armed}
+        self.doorbells_observed = 0
+        self.completions_observed = 0
+        self.stall_cycles_injected = 0
+
+    # -- transport path (log writer, indexed by queue pop) -----------------------
+
+    def transport_actions(self, n: int) -> Tuple[bool, bool, int]:
+        """Faults applying to the ``n``-th popped event.
+
+        Returns ``(drop, dup, corrupt_mask)``; ``corrupt_mask`` is 0
+        when the event's target is delivered intact.  Drop wins over
+        dup/corrupt when a window schedules several kinds on one index.
+        """
+        drop = n in self._drop
+        if drop:
+            self.fired[FAULT_DOORBELL_DROP] += 1
+            return True, False, 0
+        dup = n in self._dup
+        if dup:
+            self.fired[FAULT_DOORBELL_DUP] += 1
+        mask = self._corrupt.get(n, 0)
+        if mask:
+            self.fired[FAULT_EVENT_CORRUPT] += 1
+        return False, dup, mask
+
+    # -- monitor path (policy host, indexed by delivered check) ------------------
+
+    def stall_cycles(self, n: int) -> int:
+        """Extra response delay for the ``n``-th delivered check."""
+        cycles = self._stall.get(n, 0)
+        if cycles:
+            self.fired[FAULT_MONITOR_STALL] += 1
+            self.stall_cycles_injected += cycles
+        return cycles
+
+    def reset_before(self, n: int) -> bool:
+        """True when the monitor must reset before servicing check ``n``."""
+        if n in self._reset:
+            self.fired[FAULT_MONITOR_RESET] += 1
+            return True
+        return False
+
+    # -- mailbox observability wires ---------------------------------------------
+
+    def note_doorbell(self) -> None:
+        self.doorbells_observed += 1
+
+    def note_completion(self) -> None:
+        self.completions_observed += 1
+
+    # -- reporting ----------------------------------------------------------------
+
+    def stats_summary(self) -> Dict[str, object]:
+        """JSON-able per-run fault statistics."""
+        return {
+            "armed": {k: v for k, v in self.armed.items() if v},
+            "fired": {k: v for k, v in self.fired.items() if v},
+            "doorbells_observed": self.doorbells_observed,
+            "completions_observed": self.completions_observed,
+            "stall_cycles_injected": self.stall_cycles_injected,
+        }
+
+
+def attach_faults(soc, plan: Optional[FaultPlan]):
+    """Wire a fault controller into a built SoC.
+
+    Hooks the log writer (transport faults), the CFI mailbox
+    (doorbell/completion observability), and the policy host (monitor
+    faults) when one is mounted.  Monitor faults require a policy-host
+    agent — the RV32 firmware is an opaque binary we cannot inject
+    into — so attaching a monitor plan to a firmware-agent SoC raises
+    :class:`~repro.errors.FaultPlanError`.
+
+    Returns the attached :class:`FaultController` (or ``None`` when
+    ``plan`` is ``None``).
+    """
+    if plan is None:
+        return None
+    if soc.cfi_stage is None:
+        raise FaultPlanError("cannot attach faults to a SoC without a CFI stage")
+    if plan.needs_monitor and soc.policy_host is None:
+        raise FaultPlanError(
+            "monitor faults (stall/reset) require a policy-host agent; "
+            "the RV32 firmware monitor cannot be injected into"
+        )
+    controller = FaultController(plan)
+    soc.cfi_stage.writer.faults = controller
+    soc.cfi_mailbox.faults = controller
+    if soc.policy_host is not None:
+        soc.policy_host.faults = controller
+    soc.faults = controller
+    return controller

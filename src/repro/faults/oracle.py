@@ -1,0 +1,95 @@
+"""Fault-aware verdict oracle.
+
+Extends the scenario-synthesis idea — predict the expected verdict
+*without running the co-simulation* — to faulted runs: given the
+fault-free commit-log stream a victim produces (captured once on a bare
+hart, see :func:`repro.campaign.runner.capture_commit_logs`), the
+oracle applies the fault plan's transport model to derive the stream
+the monitor actually sees, then replays that stream through a fresh
+policy instance with monitor resets applied at their delivered-check
+indices.  The first violating check wins, mirroring the log writer.
+
+The transport replay reuses :class:`repro.faults.inject.FaultController`
+itself — the oracle and the simulator consult the *same* expanded plan
+tables, so they cannot drift apart.
+
+Monitor stalls are deliberately ignored for verdicts: a stall delays a
+response but delivers the same events to the same policy state, so it
+cannot change what is detected — that invariant is enforced separately
+by the degradation contract (:mod:`repro.faults.contract`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.core.commit_log import CommitLog
+from repro.faults.inject import FaultController
+from repro.faults.plan import FaultPlan
+from repro.firmware.policies import CheckResult, Policy
+
+
+@dataclass(frozen=True)
+class FaultPrediction:
+    """Oracle verdict for one faulted run.
+
+    Attributes:
+        detected: whether any delivered check must return VIOLATION.
+        violation_kind: the violating event's kind value, or ``None``.
+        checks_until_detection: 1-based delivered-check count at the
+            first violation, or ``None``.
+        delivered_checks: total checks the monitor sees (after drops
+            and duplicates) when no violation stops the run early.
+    """
+
+    detected: bool
+    violation_kind: Optional[str] = None
+    checks_until_detection: Optional[int] = None
+    delivered_checks: int = 0
+
+
+def delivered_stream(
+    logs: Sequence[CommitLog], plan: FaultPlan
+) -> List[CommitLog]:
+    """The commit-log stream the monitor sees under ``plan``'s
+    transport faults (drops removed, corruption applied, duplicates
+    delivered back-to-back — the writer FSM is strictly serial)."""
+    controller = FaultController(plan)
+    delivered: List[CommitLog] = []
+    for n, log in enumerate(logs):
+        drop, dup, mask = controller.transport_actions(n)
+        if drop:
+            continue
+        if mask:
+            log = replace(log, target=(log.target ^ mask) & ((1 << 64) - 1))
+        delivered.append(log)
+        if dup:
+            delivered.append(log)
+    return delivered
+
+
+def predict_verdict(
+    logs: Sequence[CommitLog], plan: FaultPlan, policy: Policy
+) -> FaultPrediction:
+    """Replay the faulted stream through a *fresh* ``policy`` instance.
+
+    The caller provides the policy exactly as the monitor would be
+    provisioned for the run (same label sets, same configuration);
+    the oracle consumes its state, so never pass a live monitor.
+    """
+    controller = FaultController(plan)
+    stream = delivered_stream(logs, plan)
+    for i, log in enumerate(stream):
+        if controller.reset_before(i):
+            reset = getattr(policy, "reset", None)
+            if reset is not None:
+                reset()
+        if policy.check(log) is CheckResult.VIOLATION:
+            return FaultPrediction(
+                detected=True,
+                violation_kind=log.kind.value,
+                checks_until_detection=i + 1,
+                delivered_checks=i + 1,
+            )
+    return FaultPrediction(detected=False, delivered_checks=len(stream))

@@ -1,0 +1,314 @@
+"""Fault plans: seed-deterministic, JSON-able fault schedules.
+
+A :class:`FaultPlan` is a tuple of :class:`FaultEvent`\\ s, each naming a
+fault *kind* and the event-occurrence index it fires at.  Transport
+faults index the log writer's queue pops (the Nth CFI event leaving the
+queue); monitor faults index the monitor's delivered checks (the Nth
+doorbell the policy host services).  Indexing occurrences instead of
+cycles is what makes faulted runs engine-invariant for free: all three
+engines pop/service events at identical cycles, so the same occurrence
+index fires at the same cycle everywhere.
+
+Fault kinds
+-----------
+
+``doorbell-drop``
+    The Nth popped event is lost in transit: the payload never reaches
+    the mailbox and no doorbell rings.  (Modelled at the pop so the
+    writer FSM never enters its WAIT state for an event nobody will
+    service — a literal dropped doorbell with a delivered payload
+    would deadlock the handshake, which the real SoC resolves with a
+    watchdog we do not model.)
+``doorbell-dup``
+    The Nth popped event is delivered, then delivered *again* verbatim
+    immediately after its verdict returns — a replayed doorbell.
+``event-corrupt``
+    The Nth popped event's target word is XORed with a non-zero mask
+    before transmission (transport bit-flips).  Only ``target`` is
+    corrupted so the encoding word — and hence the event's kind — stays
+    valid.
+``monitor-stall``
+    The monitor's response to the Nth delivered check is delayed by
+    ``param`` cycles (late wake / scheduling jitter inside the RoT).
+``monitor-reset``
+    The monitor's policy state is reset to its boot state immediately
+    before servicing the Nth delivered check (mid-run RoT reset).
+
+Named plans
+-----------
+
+:data:`FAULT_PLANS` registers named plan builders; :func:`build_plan`
+derives every random choice from ``sha256("fault:{name}:{seed}")`` so a
+campaign scenario's fault schedule is a pure function of its name and
+derived seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Tuple
+
+from repro.errors import FaultPlanError
+
+FAULT_DOORBELL_DROP = "doorbell-drop"
+FAULT_DOORBELL_DUP = "doorbell-dup"
+FAULT_EVENT_CORRUPT = "event-corrupt"
+FAULT_MONITOR_STALL = "monitor-stall"
+FAULT_MONITOR_RESET = "monitor-reset"
+
+#: Faults injected on the log-writer transport path (indexed by queue pop).
+TRANSPORT_FAULTS = frozenset(
+    {FAULT_DOORBELL_DROP, FAULT_DOORBELL_DUP, FAULT_EVENT_CORRUPT}
+)
+#: Faults injected into the monitor (indexed by delivered check).
+MONITOR_FAULTS = frozenset({FAULT_MONITOR_STALL, FAULT_MONITOR_RESET})
+
+ALL_FAULT_KINDS = TRANSPORT_FAULTS | MONITOR_FAULTS
+
+_TARGET_MASK_BITS = (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Args:
+        kind: one of the five fault kind constants.
+        index: 0-based event-occurrence index the fault first fires at.
+        count: number of consecutive occurrences affected (a window).
+        param: kind-specific parameter — the XOR mask for
+            ``event-corrupt``, the stall in cycles for
+            ``monitor-stall``; unused (0) otherwise.
+    """
+
+    kind: str
+    index: int
+    count: int = 1
+    param: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ALL_FAULT_KINDS:
+            raise FaultPlanError(f"unknown fault kind {self.kind!r}")
+        if self.index < 0:
+            raise FaultPlanError(f"fault index must be >= 0, got {self.index}")
+        if self.count < 1:
+            raise FaultPlanError(f"fault count must be >= 1, got {self.count}")
+        if self.kind == FAULT_EVENT_CORRUPT:
+            if not 0 < self.param <= _TARGET_MASK_BITS:
+                raise FaultPlanError(
+                    "event-corrupt needs a non-zero 64-bit XOR mask, "
+                    f"got {self.param:#x}"
+                )
+        elif self.kind == FAULT_MONITOR_STALL:
+            if self.param < 1:
+                raise FaultPlanError(
+                    f"monitor-stall needs a positive cycle delay, got {self.param}"
+                )
+        elif self.param != 0:
+            raise FaultPlanError(
+                f"{self.kind} takes no parameter, got {self.param}"
+            )
+
+    def to_json(self) -> Dict[str, int | str]:
+        return {
+            "kind": self.kind,
+            "index": self.index,
+            "count": self.count,
+            "param": self.param,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "FaultEvent":
+        try:
+            return cls(
+                kind=str(data["kind"]),
+                index=int(data["index"]),  # type: ignore[arg-type]
+                count=int(data.get("count", 1)),  # type: ignore[arg-type]
+                param=int(data.get("param", 0)),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FaultPlanError(f"malformed fault event {data!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of faults for one simulation run."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    note: str = ""
+
+    @property
+    def empty(self) -> bool:
+        return not self.events
+
+    @property
+    def kinds(self) -> frozenset:
+        return frozenset(event.kind for event in self.events)
+
+    @property
+    def needs_monitor(self) -> bool:
+        """True when the plan injects monitor faults, which require a
+        policy-host agent (the RV32 firmware is opaque to injection)."""
+        return bool(self.kinds & MONITOR_FAULTS)
+
+    @property
+    def total_stall_cycles(self) -> int:
+        """Upper bound on extra detection latency the plan's stalls can
+        cause (each stalled check is delayed by ``param`` at most once)."""
+        return sum(
+            event.param * event.count
+            for event in self.events
+            if event.kind == FAULT_MONITOR_STALL
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "events": [event.to_json() for event in self.events],
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "FaultPlan":
+        events = data.get("events", [])
+        if not isinstance(events, (list, tuple)):
+            raise FaultPlanError(f"fault plan events must be a list, got {events!r}")
+        return cls(
+            events=tuple(FaultEvent.from_json(e) for e in events),
+            note=str(data.get("note", "")),
+        )
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_json(data)
+
+
+# -- named plan registry ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanSpec:
+    """A registered named fault plan.
+
+    Attributes:
+        name: registry key (also the campaign scenario name part).
+        builder: seeded builder returning the plan's events.
+        needs_monitor: True when the plan contains monitor faults (so
+            the campaign grid can skip firmware-agent cells up front).
+        note: one-line description for reports.
+    """
+
+    name: str
+    builder: Callable[[random.Random], Tuple[FaultEvent, ...]]
+    needs_monitor: bool = False
+    note: str = ""
+
+
+def _plan_rng(name: str, seed: int) -> random.Random:
+    digest = hashlib.sha256(f"fault:{name}:{seed}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def _corrupt_mask(rng: random.Random) -> int:
+    # A non-zero 16-bit flip pattern somewhere in the low 48 bits —
+    # always lands inside the DRAM-resident target addresses the
+    # policies compare, so corruption is never a silent no-op mask.
+    mask = rng.randrange(1, 1 << 16)
+    return mask << rng.randrange(0, 33)
+
+
+def _drop_first(rng: random.Random) -> Tuple[FaultEvent, ...]:
+    return (FaultEvent(FAULT_DOORBELL_DROP, index=0),)
+
+
+def _drop_window(rng: random.Random) -> Tuple[FaultEvent, ...]:
+    return (FaultEvent(FAULT_DOORBELL_DROP, index=rng.randrange(1, 4), count=2),)
+
+
+def _dup_first(rng: random.Random) -> Tuple[FaultEvent, ...]:
+    return (FaultEvent(FAULT_DOORBELL_DUP, index=0),)
+
+
+def _dup_window(rng: random.Random) -> Tuple[FaultEvent, ...]:
+    return (FaultEvent(FAULT_DOORBELL_DUP, index=rng.randrange(1, 4), count=2),)
+
+
+def _corrupt_target(rng: random.Random) -> Tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            FAULT_EVENT_CORRUPT,
+            index=rng.randrange(0, 3),
+            param=_corrupt_mask(rng),
+        ),
+    )
+
+
+def _stall_late(rng: random.Random) -> Tuple[FaultEvent, ...]:
+    return (
+        FaultEvent(
+            FAULT_MONITOR_STALL,
+            index=rng.randrange(0, 3),
+            param=rng.randrange(120, 481),
+        ),
+    )
+
+
+def _stall_burst(rng: random.Random) -> Tuple[FaultEvent, ...]:
+    # Queue-overflow stress: stall six consecutive checks so the writer
+    # outpaces the monitor and the CFI queue backs up.
+    return (
+        FaultEvent(
+            FAULT_MONITOR_STALL,
+            index=0,
+            count=6,
+            param=rng.randrange(200, 501),
+        ),
+    )
+
+
+def _reset_early(rng: random.Random) -> Tuple[FaultEvent, ...]:
+    return (FaultEvent(FAULT_MONITOR_RESET, index=rng.randrange(1, 4)),)
+
+
+FAULT_PLANS: Dict[str, PlanSpec] = {
+    spec.name: spec
+    for spec in (
+        PlanSpec("drop-first", _drop_first,
+                 note="lose the very first CFI event in transit"),
+        PlanSpec("drop-window", _drop_window,
+                 note="lose two consecutive early events"),
+        PlanSpec("dup-first", _dup_first,
+                 note="replay the first event's doorbell"),
+        PlanSpec("dup-window", _dup_window,
+                 note="replay two consecutive early events"),
+        PlanSpec("corrupt-target", _corrupt_target,
+                 note="flip bits in an early event's target word"),
+        PlanSpec("stall-late", _stall_late, needs_monitor=True,
+                 note="delay one check's monitor response"),
+        PlanSpec("stall-burst", _stall_burst, needs_monitor=True,
+                 note="stall six consecutive checks (queue back-pressure)"),
+        PlanSpec("reset-early", _reset_early, needs_monitor=True,
+                 note="reset the monitor's policy state mid-run"),
+    )
+}
+
+
+def build_plan(name: str, seed: int) -> FaultPlan:
+    """Materialise the named plan for ``seed`` (pure and deterministic)."""
+    try:
+        spec = FAULT_PLANS[name]
+    except KeyError:
+        raise FaultPlanError(
+            f"unknown fault plan {name!r}; known: {', '.join(sorted(FAULT_PLANS))}"
+        ) from None
+    events = spec.builder(_plan_rng(name, seed))
+    return FaultPlan(events=events, note=spec.note)

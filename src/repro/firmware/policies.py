@@ -100,6 +100,11 @@ class ShadowStackPolicy:
     #: Static-oracle rule (see the EVENT_*/ORACLE_* block above).
     oracle_rule = ORACLE_RETURN_EXACT
 
+    #: Degradation-contract class: the verdict depends on accumulated
+    #: runtime state, so a monitor reset can flip later verdicts (see
+    #: :mod:`repro.faults.contract`).
+    monitor_state = "stateful"
+
     def __init__(
         self,
         capacity: int = 1024,
@@ -151,6 +156,12 @@ class ShadowStackPolicy:
         self.stack = self._unpack(blob) + self.stack
         self.stats.restores += 1
         return True
+
+    def reset(self) -> None:
+        """Return to the boot state (mid-run monitor-reset fault)."""
+        self.stack = []
+        self.spill_area = []
+        self.last_event = EVENT_SKIP
 
     # -- policy interface ---------------------------------------------------------
 
@@ -220,6 +231,10 @@ class ForwardEdgePolicy:
 
     oracle_rule = ORACLE_FORWARD_ENTRY
 
+    #: The label set is provisioned configuration, not accumulated
+    #: state — a monitor reset cannot change any later verdict.
+    monitor_state = "stateless"
+
     def __init__(self, valid_targets: Optional[Set[int]] = None):
         self.valid_targets: Set[int] = set(valid_targets or ())
         self.stats = PolicyStats()
@@ -227,6 +242,9 @@ class ForwardEdgePolicy:
     def allow(self, target: int) -> None:
         """Register a legitimate entry point."""
         self.valid_targets.add(target)
+
+    def reset(self) -> None:
+        """Boot state == provisioned state: nothing to clear."""
 
     def check(self, log: CommitLog) -> CheckResult:
         self.stats.checks += 1
@@ -268,6 +286,9 @@ class CoarseGrainedPolicy:
 
     oracle_rule = ORACLE_COARSE_PAIRED
 
+    #: Return sites learned from observed calls are accumulated state.
+    monitor_state = "stateful"
+
     def __init__(
         self,
         valid_return_sites: Optional[Set[int]] = None,
@@ -275,7 +296,15 @@ class CoarseGrainedPolicy:
     ):
         self.valid_return_sites: Set[int] = set(valid_return_sites or ())
         self.valid_entries: Set[int] = set(valid_entries or ())
+        # Boot-state snapshot for monitor-reset faults: the sites
+        # learned from observed calls are lost, the provisioned ones are
+        # not (they would be re-derived from the binary at boot).
+        self._provisioned_return_sites = frozenset(self.valid_return_sites)
         self.stats = PolicyStats()
+
+    def reset(self) -> None:
+        """Drop runtime-learned return sites (mid-run monitor reset)."""
+        self.valid_return_sites = set(self._provisioned_return_sites)
 
     def allow_return_site(self, address: int) -> None:
         """Register a call-preceded address (a legal coarse return target)."""
@@ -327,6 +356,26 @@ class CompositePolicy:
         self.policies = policies
         self.stats = PolicyStats()
         self.last_event: str = EVENT_SKIP
+
+    @property
+    def monitor_state(self) -> str:
+        """Stateful iff any member is (a reset perturbs that member)."""
+        return (
+            "stateful"
+            if any(
+                getattr(p, "monitor_state", "stateful") == "stateful"
+                for p in self.policies
+            )
+            else "stateless"
+        )
+
+    def reset(self) -> None:
+        """Reset every member that carries runtime state."""
+        for policy in self.policies:
+            reset = getattr(policy, "reset", None)
+            if reset is not None:
+                reset()
+        self.last_event = EVENT_SKIP
 
     @property
     def oracle_rules(self) -> Tuple[str, ...]:
@@ -400,6 +449,9 @@ class CryptoReturnPolicy:
     #: protection (the MAC changes *how*, not *what*, is enforced).
     oracle_rule = ORACLE_RETURN_EXACT
 
+    #: The tag table is accumulated runtime state.
+    monitor_state = "stateful"
+
     #: Modelled accelerator cost of one MAC over a (address, position)
     #: record on the standard RoT fabric: 4 message words + length +
     #: command + status poll + 8 digest reads ≈ 15 scratchpad-latency
@@ -423,6 +475,11 @@ class CryptoReturnPolicy:
     def _tag(self, address: int, position: int) -> bytes:
         record = address.to_bytes(8, "little") + position.to_bytes(8, "little")
         return self.accel.compute_hmac(self.key, record)
+
+    def reset(self) -> None:
+        """Return to the boot state (mid-run monitor-reset fault)."""
+        self.table = []
+        self.last_event = EVENT_SKIP
 
     def check(self, log: CommitLog) -> CheckResult:
         self.stats.checks += 1

@@ -148,6 +148,9 @@ class PolicyHost:
         self._prev_respond: Optional[int] = None
         self._prev_outcome = "ok"
         self._shadow: Optional[ShadowSession] = None
+        #: Fault controller hook (:mod:`repro.faults`); ``None`` keeps
+        #: the service path identical to the fault-free host.
+        self.faults = None
         mailbox.on_doorbell = self._on_doorbell
 
     # -- doorbell service -----------------------------------------------------
@@ -155,6 +158,15 @@ class PolicyHost:
     def _on_doorbell(self) -> None:
         if self._respond_at is not None:
             raise ProtocolError(f"{self.name}: doorbell while check in flight")
+        check_index = self.stats.checks
+        if self.faults is not None and self.faults.reset_before(check_index):
+            reset = getattr(self.policy, "reset", None)
+            if reset is None:
+                raise ConfigError(
+                    f"{self.name}: monitor-reset fault scheduled but policy "
+                    f"{type(self.policy).__name__} has no reset()"
+                )
+            reset()
         log = CommitLog.unpack(self.mailbox.collect())
         result = self.policy.check(log)
         violation = result is CheckResult.VIOLATION
@@ -169,6 +181,8 @@ class PolicyHost:
             if surcharge < 0:
                 raise ConfigError(f"{self.name}: negative host_extra_cycles")
             respond_at += surcharge
+        if self.faults is not None:
+            respond_at += self.faults.stall_cycles(check_index)
         if respond_at <= ring:
             raise SimulationError(
                 f"{self.name}: modelled completion at cycle {respond_at} "

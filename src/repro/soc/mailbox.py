@@ -129,6 +129,9 @@ class Mailbox:
         self.completion_pending = False
         self.doorbell_count = 0
         self.completion_count = 0
+        #: Fault controller observability hook (:mod:`repro.faults`);
+        #: purely a counter tap — never alters the handshake.
+        self.faults = None
 
     # -- device protocol -----------------------------------------------------
 
@@ -175,6 +178,8 @@ class Mailbox:
                 raise ProtocolError(f"{self.name}: doorbell rung while already pending")
             self.doorbell_pending = True
             self.doorbell_count += 1
+            if self.faults is not None:
+                self.faults.note_doorbell()
             if self.on_doorbell is not None:
                 self.on_doorbell()
         else:
@@ -186,6 +191,8 @@ class Mailbox:
         if level:
             self.completion_pending = True
             self.completion_count += 1
+            if self.faults is not None:
+                self.faults.note_completion()
             if self.on_completion is not None:
                 self.on_completion()
         else:

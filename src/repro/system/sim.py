@@ -36,6 +36,8 @@ class SimulationReport:
             entering the mailbox path to its verdict — stable even when
             violations are latched rather than raised — or ``None`` when
             no violation was flagged.
+        faults: fault-injection statistics when a fault controller was
+            attached to the SoC (see :mod:`repro.faults`), else ``None``.
     """
 
     cycles: int
@@ -45,6 +47,7 @@ class SimulationReport:
     cfi: Dict[str, object] = field(default_factory=dict)
     ibex_instructions: int = 0
     detection_latency: Optional[int] = None
+    faults: Optional[Dict[str, object]] = None
 
     @property
     def detected(self) -> bool:
@@ -548,5 +551,10 @@ class SystemSimulator:
             ibex_instructions=self.soc.rot.ibex.instret,
             detection_latency=(
                 cfi_stats.get("first_violation_latency") if violation else None
+            ),
+            faults=(
+                self.soc.faults.stats_summary()
+                if getattr(self.soc, "faults", None) is not None
+                else None
             ),
         )

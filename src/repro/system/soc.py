@@ -74,6 +74,10 @@ class TitanCfiSoc:
         #: :func:`repro.policyhost.mount_policy_host`).  The
         #: co-simulator schedules it instead of the RoT core.
         self.policy_host = None
+        #: Fault controller for the run, if one is attached (see
+        #: :func:`repro.faults.attach_faults`).  ``None`` means every
+        #: hook in the transport/monitor path is a no-op.
+        self.faults = None
 
     def load_host_program(self, program: Program) -> None:
         """Load a CVA6 program image and point the host core at it."""

@@ -1,0 +1,258 @@
+"""Hardened campaign runner: crashes, timeouts, retries, resume.
+
+Failure injection uses the runner's environment test hooks (the only
+way to make a *real* worker process die mid-sweep without mocking), so
+these tests exercise exactly the code paths a production campaign hits
+when a worker segfaults, hangs or flakes.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.checkpoint import (
+    ResultLog,
+    check_manifest,
+    load_results,
+    manifest_payload,
+    write_manifest,
+)
+from repro.campaign.cli import main
+from repro.campaign.runner import (
+    ENV_CRASH_SCENARIO,
+    ENV_FLAKY_DIR,
+    ENV_FLAKY_SCENARIO,
+    ENV_HANG_SCENARIO,
+    run_campaign,
+)
+from repro.campaign.spec import expand_grid
+from repro.errors import ConfigError, ScenarioTimeout, WorkerCrash
+
+
+@pytest.fixture
+def matrix():
+    # Reference-backend scenarios: fast enough to run dozens of times.
+    return expand_grid(
+        victim=["benign", "rop", "jop"],
+        policy=["shadow-stack"],
+    )
+
+
+class TestErrorTypes:
+    def test_scenario_timeout_carries_context(self):
+        err = ScenarioTimeout("ref/rop", 2.5)
+        assert err.scenario_name == "ref/rop"
+        assert err.seconds == 2.5
+        assert "2.5" in str(err)
+
+    def test_worker_crash_carries_exitcode(self):
+        err = WorkerCrash("ref/rop", exitcode=-9)
+        assert err.scenario_name == "ref/rop"
+        assert err.exitcode == -9
+        assert "ref/rop" in str(err)
+
+
+class TestArgumentValidation:
+    def test_jobs_below_one_rejected(self, matrix):
+        with pytest.raises(ConfigError, match="jobs"):
+            run_campaign(matrix, jobs=0)
+
+    def test_negative_retries_rejected(self, matrix):
+        with pytest.raises(ConfigError, match="retries"):
+            run_campaign(matrix, retries=-1)
+
+    def test_negative_backoff_rejected(self, matrix):
+        with pytest.raises(ConfigError, match="backoff"):
+            run_campaign(matrix, backoff=-0.1)
+
+    def test_cli_rejects_jobs_zero(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--matrix", "smoke", "--jobs", "0"])
+
+    def test_cli_rejects_non_integer_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--matrix", "smoke", "--jobs", "two"])
+
+    def test_cli_resume_conflicts_with_no_artifacts(self, tmp_path):
+        with pytest.raises(ConfigError, match="no-artifacts"):
+            main(["run", "--matrix", "smoke", "--resume", str(tmp_path),
+                  "--no-artifacts"])
+
+
+class TestWorkerCrashQuarantine:
+    def test_crashed_scenario_recorded_sweep_survives(self, matrix,
+                                                      monkeypatch):
+        victim_name = matrix[1].name
+        monkeypatch.setenv(ENV_CRASH_SCENARIO, victim_name)
+        payload = run_campaign(matrix, jobs=2, campaign_seed=3)
+        by_name = {r["name"]: r for r in payload["scenarios"]}
+        assert payload["scenario_count"] == len(matrix)
+        crashed = by_name[victim_name]
+        assert crashed["status"] == "crashed"
+        assert crashed["detected"] is None
+        assert crashed["expectation_met"] is None
+        assert "WorkerCrash" in crashed["error"] or victim_name in crashed["error"]
+        for name, result in by_name.items():
+            if name != victim_name:
+                assert result["status"] == "ok"
+                assert result["expectation_met"]
+
+    def test_crashed_rows_excluded_from_detection_counts(self, matrix,
+                                                         monkeypatch):
+        from repro.campaign.aggregate import finalize
+
+        monkeypatch.setenv(ENV_CRASH_SCENARIO, matrix[0].name)
+        payload = finalize(run_campaign(matrix, jobs=2, campaign_seed=3))
+        summary = payload["summary"]
+        assert summary["incomplete"] == {"crashed": 1}
+        total_classified = sum(
+            summary["counts"][k] for k in
+            ("true_positives", "false_positives",
+             "true_negatives", "false_negatives")
+        )
+        assert total_classified == len(matrix) - 1
+
+
+class TestScenarioTimeout:
+    def test_hung_worker_killed_and_recorded(self, matrix, monkeypatch):
+        hung_name = matrix[0].name
+        monkeypatch.setenv(ENV_HANG_SCENARIO, hung_name)
+        payload = run_campaign(matrix, jobs=2, campaign_seed=3, timeout=1.0)
+        by_name = {r["name"]: r for r in payload["scenarios"]}
+        assert by_name[hung_name]["status"] == "timeout"
+        assert "1.0" in by_name[hung_name]["error"]
+        ok = [r for r in payload["scenarios"] if r["status"] == "ok"]
+        assert len(ok) == len(matrix) - 1
+
+
+class TestRetries:
+    def _flaky_env(self, monkeypatch, tmp_path, name):
+        marker_dir = tmp_path / "flaky"
+        marker_dir.mkdir()
+        monkeypatch.setenv(ENV_FLAKY_SCENARIO, name)
+        monkeypatch.setenv(ENV_FLAKY_DIR, str(marker_dir))
+        return marker_dir
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_flaky_scenario_recovers_with_retry(self, matrix, monkeypatch,
+                                                tmp_path, jobs):
+        marker_dir = self._flaky_env(monkeypatch, tmp_path, matrix[2].name)
+        payload = run_campaign(matrix, jobs=jobs, campaign_seed=3,
+                               retries=1, backoff=0.01)
+        assert all(r["status"] == "ok" for r in payload["scenarios"])
+        assert all(r["expectation_met"] for r in payload["scenarios"])
+        # First attempt failed, second succeeded.
+        assert len(list(marker_dir.iterdir())) == 2
+
+    def test_exhausted_retries_record_error_status(self, matrix, monkeypatch,
+                                                   tmp_path):
+        self._flaky_env(monkeypatch, tmp_path, matrix[2].name)
+        payload = run_campaign(matrix, jobs=1, campaign_seed=3, retries=0)
+        by_name = {r["name"]: r for r in payload["scenarios"]}
+        failed = by_name[matrix[2].name]
+        assert failed["status"] == "error"
+        assert "SimulationError" in failed["error"]
+        assert sum(r["status"] == "ok" for r in payload["scenarios"]) == 2
+
+    def test_parallel_equals_serial_with_failures(self, matrix, monkeypatch,
+                                                  tmp_path):
+        monkeypatch.setenv(ENV_FLAKY_SCENARIO, matrix[1].name)
+        monkeypatch.setenv(ENV_FLAKY_DIR, str(tmp_path))
+        serial = run_campaign(matrix, jobs=1, campaign_seed=3, retries=0)
+        for path in tmp_path.iterdir():
+            path.unlink()
+        parallel = run_campaign(matrix, jobs=2, campaign_seed=3, retries=0)
+        for payload in (serial, parallel):
+            payload.pop("timing")
+            payload.pop("jobs")
+        assert serial == parallel
+
+
+class TestCheckpoint:
+    def test_result_log_round_trips(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        rows = [{"name": f"s{i}", "status": "ok", "detected": bool(i % 2)}
+                for i in range(5)]
+        with ResultLog(str(path)) as log:
+            for row in rows:
+                log.append(row)
+        assert load_results(str(path)) == rows
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with ResultLog(str(path)) as log:
+            log.append({"name": "a", "status": "ok"})
+            log.append({"name": "b", "status": "ok"})
+        with open(path, "a") as fh:
+            fh.write('{"name": "c", "stat')  # killed mid-write
+        assert [r["name"] for r in load_results(str(path))] == ["a", "b"]
+
+    def test_corrupt_interior_line_raises(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        path.write_text('{"name": "a"}\nnot json\n{"name": "b"}\n')
+        with pytest.raises(ConfigError, match="corrupt checkpoint"):
+            load_results(str(path))
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_results(str(tmp_path / "absent.jsonl")) == []
+
+    def test_manifest_mismatch_refused(self, tmp_path):
+        path = str(tmp_path / "manifest.json")
+        write_manifest(path, manifest_payload("smoke", 0, None, 10))
+        check_manifest(path, manifest_payload("smoke", 0, None, 10))
+        with pytest.raises(ConfigError, match="resume mismatch"):
+            check_manifest(path, manifest_payload("smoke", 1, None, 10))
+        with pytest.raises(ConfigError, match="resume mismatch"):
+            check_manifest(path, manifest_payload("faults", 0, None, 10))
+
+    def test_missing_manifest_refused(self, tmp_path):
+        with pytest.raises(ConfigError, match="no manifest"):
+            check_manifest(str(tmp_path / "manifest.json"),
+                           manifest_payload("smoke", 0, None, 1))
+
+
+class TestResumeEndToEnd:
+    """Kill a campaign halfway, resume, compare with the straight run."""
+
+    def _strip(self, payload):
+        return {k: v for k, v in payload.items() if k not in ("timing", "jobs")}
+
+    def test_resume_completes_to_identical_aggregate(self, tmp_path, capsys):
+        straight_dir = tmp_path / "straight"
+        resumed_dir = tmp_path / "resumed"
+
+        assert main(["run", "--matrix", "smoke", "--jobs", "1",
+                     "--out", str(straight_dir)]) == 0
+        straight = json.loads((straight_dir / "campaign.json").read_text())
+
+        # Re-run into a second directory, then simulate a crash: keep
+        # only half the checkpoint, drop the final artifacts.
+        assert main(["run", "--matrix", "smoke", "--jobs", "1",
+                     "--out", str(resumed_dir)]) == 0
+        lines = (resumed_dir / "results.jsonl").read_text().splitlines()
+        keep = len(lines) // 2
+        (resumed_dir / "results.jsonl").write_text(
+            "\n".join(lines[:keep]) + "\n"
+        )
+        (resumed_dir / "campaign.json").unlink()
+
+        capsys.readouterr()
+        assert main(["run", "--matrix", "smoke", "--jobs", "1",
+                     "--resume", str(resumed_dir)]) == 0
+        out = capsys.readouterr().out
+        assert f"resuming: {keep} scenario(s) checkpointed" in out
+
+        resumed = json.loads((resumed_dir / "campaign.json").read_text())
+        assert self._strip(resumed) == self._strip(straight)
+        # The compacted checkpoint holds every scenario exactly once.
+        names = [r["name"]
+                 for r in load_results(str(resumed_dir / "results.jsonl"))]
+        assert sorted(names) == [r["name"] for r in straight["scenarios"]]
+
+    def test_resume_against_other_matrix_refused(self, tmp_path):
+        out = tmp_path / "campaign"
+        assert main(["run", "--matrix", "smoke", "--jobs", "1",
+                     "--out", str(out)]) == 0
+        with pytest.raises(ConfigError, match="resume mismatch"):
+            main(["run", "--matrix", "synth-smoke", "--jobs", "1",
+                  "--resume", str(out)])

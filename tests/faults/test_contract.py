@@ -1,0 +1,129 @@
+"""Degradation contracts: allowed labels per (monitor state, fault kind)."""
+
+import pytest
+
+from repro.faults.contract import (
+    DEGRADATION_DETECT,
+    DEGRADATION_DETECT_LATE,
+    DEGRADATION_FAIL_SAFE,
+    DEGRADATION_MISS,
+    DEGRADATION_TRANSPARENT,
+    allowed_degradations,
+    classify_degradation,
+    evaluate_contract,
+)
+from repro.faults.plan import (
+    FAULT_DOORBELL_DROP,
+    FAULT_MONITOR_STALL,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.firmware.policies import (
+    CompositePolicy,
+    CoarseGrainedPolicy,
+    CryptoReturnPolicy,
+    ForwardEdgePolicy,
+    ShadowStackPolicy,
+)
+
+DROP_PLAN = FaultPlan((FaultEvent(FAULT_DOORBELL_DROP, index=0),))
+STALL_PLAN = FaultPlan((FaultEvent(FAULT_MONITOR_STALL, index=0, param=100),))
+
+
+class TestPolicyAnnotations:
+    """Every policy declares its monitor state and supports reset()."""
+
+    @pytest.mark.parametrize("factory,state", [
+        (ShadowStackPolicy, "stateful"),
+        (CryptoReturnPolicy, "stateful"),
+        (CoarseGrainedPolicy, "stateful"),
+        (lambda: ForwardEdgePolicy(frozenset({0x1000})), "stateless"),
+    ])
+    def test_monitor_state_attribute(self, factory, state):
+        policy = factory()
+        assert policy.monitor_state == state
+        policy.reset()  # must exist and not raise on a fresh instance
+
+    def test_composite_state_is_stateful_when_any_member_is(self):
+        composite = CompositePolicy([
+            ForwardEdgePolicy(frozenset({0x1000})),
+            ShadowStackPolicy(),
+        ])
+        assert composite.monitor_state == "stateful"
+        composite.reset()
+
+
+class TestAllowedDegradations:
+    def test_stall_never_licenses_a_verdict_change(self):
+        # The contract's teeth: a stall delays, it must not flip.
+        for state in ("stateful", "stateless"):
+            allowed = allowed_degradations(state, STALL_PLAN)
+            assert DEGRADATION_MISS not in allowed
+            assert DEGRADATION_FAIL_SAFE not in allowed
+            assert DEGRADATION_DETECT_LATE in allowed
+
+    def test_drop_licenses_a_documented_miss(self):
+        for state in ("stateful", "stateless"):
+            assert DEGRADATION_MISS in allowed_degradations(state, DROP_PLAN)
+
+    def test_empty_plan_allows_only_identity_labels(self):
+        allowed = allowed_degradations("stateful", FaultPlan())
+        assert allowed == frozenset(
+            {DEGRADATION_TRANSPARENT, DEGRADATION_DETECT}
+        )
+
+
+class TestClassify:
+    def test_detect_when_both_runs_detect_without_stalls(self):
+        label = classify_degradation(DROP_PLAN, True, True, 100, 100)
+        assert label == DEGRADATION_DETECT
+
+    def test_detect_late_needs_stalls_and_grown_latency(self):
+        assert classify_degradation(
+            STALL_PLAN, True, True, 100, 150
+        ) == DEGRADATION_DETECT_LATE
+        # Same latencies: not late, just detect.
+        assert classify_degradation(
+            STALL_PLAN, True, True, 100, 100
+        ) == DEGRADATION_DETECT
+
+    def test_fail_safe_is_detection_the_baseline_lacked(self):
+        assert classify_degradation(
+            DROP_PLAN, False, True, None, 50
+        ) == DEGRADATION_FAIL_SAFE
+
+    def test_miss_is_suppressed_detection(self):
+        assert classify_degradation(
+            DROP_PLAN, True, False, 80, None
+        ) == DEGRADATION_MISS
+
+    def test_transparent_when_neither_detects(self):
+        assert classify_degradation(
+            DROP_PLAN, False, False, None, None
+        ) == DEGRADATION_TRANSPARENT
+
+
+class TestEvaluate:
+    def test_detect_late_within_injected_budget_passes(self):
+        label, ok = evaluate_contract("stateful", STALL_PLAN,
+                                      True, True, 100, 190)
+        assert label == DEGRADATION_DETECT_LATE
+        assert ok
+
+    def test_detect_late_overshooting_budget_fails(self):
+        label, ok = evaluate_contract("stateful", STALL_PLAN,
+                                      True, True, 100, 201)
+        assert label == DEGRADATION_DETECT_LATE
+        assert not ok
+
+    def test_stall_induced_miss_breaks_the_contract(self):
+        label, ok = evaluate_contract("stateful", STALL_PLAN,
+                                      True, False, 100, None)
+        assert label == DEGRADATION_MISS
+        assert not ok
+
+    def test_drop_induced_miss_is_documented(self):
+        label, ok = evaluate_contract("stateless", DROP_PLAN,
+                                      True, False, 80, None)
+        assert label == DEGRADATION_MISS
+        assert ok

@@ -1,0 +1,113 @@
+"""Fault oracle: the delivered stream and static verdict prediction."""
+
+import random
+
+import pytest
+
+from repro.campaign.runner import capture_commit_logs
+from repro.campaign.spec import VICTIMS
+from repro.faults.oracle import delivered_stream, predict_verdict
+from repro.faults.plan import (
+    FAULT_DOORBELL_DROP,
+    FAULT_DOORBELL_DUP,
+    FAULT_EVENT_CORRUPT,
+    FAULT_MONITOR_RESET,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.firmware.policies import CheckResult, ShadowStackPolicy
+from repro.system.addresses import AddressMap
+
+
+@pytest.fixture(scope="module")
+def rop_logs():
+    program = VICTIMS["rop"].builder(AddressMap(), random.Random(1234))
+    logs, _hart = capture_commit_logs(program, AddressMap())
+    return logs
+
+
+@pytest.fixture(scope="module")
+def benign_logs():
+    program = VICTIMS["benign"].builder(AddressMap(), random.Random(1234))
+    logs, _hart = capture_commit_logs(program, AddressMap())
+    return logs
+
+
+class TestDeliveredStream:
+    def test_empty_plan_delivers_verbatim(self, rop_logs):
+        assert delivered_stream(rop_logs, FaultPlan()) == list(rop_logs)
+
+    def test_drop_removes_exactly_the_indexed_events(self, rop_logs):
+        plan = FaultPlan((FaultEvent(FAULT_DOORBELL_DROP, index=1, count=2),))
+        stream = delivered_stream(rop_logs, plan)
+        expected = [log for n, log in enumerate(rop_logs) if n not in (1, 2)]
+        assert stream == expected
+
+    def test_dup_delivers_back_to_back(self, rop_logs):
+        plan = FaultPlan((FaultEvent(FAULT_DOORBELL_DUP, index=0),))
+        stream = delivered_stream(rop_logs, plan)
+        assert len(stream) == len(rop_logs) + 1
+        assert stream[0] == stream[1] == rop_logs[0]
+        assert stream[2:] == list(rop_logs[1:])
+
+    def test_corrupt_flips_target_only(self, rop_logs):
+        mask = 0xA5A5
+        plan = FaultPlan((FaultEvent(FAULT_EVENT_CORRUPT, index=0, param=mask),))
+        stream = delivered_stream(rop_logs, plan)
+        original = rop_logs[0]
+        assert stream[0].target == original.target ^ mask
+        assert stream[0].pc == original.pc
+        assert stream[0].encoding == original.encoding
+        assert stream[0].kind == original.kind  # encoding untouched
+        assert stream[1:] == list(rop_logs[1:])
+
+
+class TestPredictVerdict:
+    def test_fault_free_prediction_matches_direct_replay(self, rop_logs):
+        policy = ShadowStackPolicy()
+        direct = None
+        for i, log in enumerate(rop_logs):
+            if policy.check(log) is CheckResult.VIOLATION:
+                direct = i + 1
+                break
+        prediction = predict_verdict(rop_logs, FaultPlan(),
+                                     ShadowStackPolicy())
+        assert prediction.detected
+        assert prediction.checks_until_detection == direct
+
+    def test_dropping_every_event_means_no_detection(self, rop_logs):
+        plan = FaultPlan((
+            FaultEvent(FAULT_DOORBELL_DROP, index=0, count=len(rop_logs)),
+        ))
+        prediction = predict_verdict(rop_logs, plan, ShadowStackPolicy())
+        assert not prediction.detected
+        assert prediction.delivered_checks == 0
+
+    def test_benign_stream_stays_clean(self, benign_logs):
+        prediction = predict_verdict(benign_logs, FaultPlan(),
+                                     ShadowStackPolicy())
+        assert not prediction.detected
+        assert prediction.delivered_checks == len(benign_logs)
+
+    def test_dropped_call_fails_safe_on_benign_run(self, benign_logs):
+        # Losing a call event desynchronises the shadow stack: the
+        # matching return then mismatches — the monitor fails closed.
+        plan = FaultPlan((FaultEvent(FAULT_DOORBELL_DROP, index=0),))
+        prediction = predict_verdict(benign_logs, plan, ShadowStackPolicy())
+        assert prediction.detected
+
+    def test_reset_consumes_fresh_policy_state(self, benign_logs):
+        # Reset mid-stream wipes the pushed return addresses; the next
+        # return underflows or mismatches, so a benign run turns into a
+        # fail-safe detection (unless the reset lands after the last
+        # call/return pair — index 1 is safely inside this program).
+        plan = FaultPlan((FaultEvent(FAULT_MONITOR_RESET, index=1),))
+        prediction = predict_verdict(benign_logs, plan, ShadowStackPolicy())
+        assert prediction.detected
+
+    def test_prediction_is_deterministic(self, rop_logs):
+        plan = FaultPlan((FaultEvent(FAULT_EVENT_CORRUPT, index=1,
+                                     param=0x1F00),))
+        first = predict_verdict(rop_logs, plan, ShadowStackPolicy())
+        second = predict_verdict(rop_logs, plan, ShadowStackPolicy())
+        assert first == second

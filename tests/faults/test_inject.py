@@ -1,0 +1,112 @@
+"""Fault controller semantics and SoC attachment rules."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults.inject import FaultController, attach_faults
+from repro.faults.plan import (
+    FAULT_DOORBELL_DROP,
+    FAULT_DOORBELL_DUP,
+    FAULT_EVENT_CORRUPT,
+    FAULT_MONITOR_RESET,
+    FAULT_MONITOR_STALL,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.firmware.policies import ShadowStackPolicy
+from repro.policyhost.host import mount_policy_host
+from repro.system.soc import build_soc
+
+
+class TestControllerExpansion:
+    def test_count_windows_expand_to_consecutive_indices(self):
+        plan = FaultPlan((FaultEvent(FAULT_DOORBELL_DROP, index=2, count=3),))
+        ctrl = FaultController(plan)
+        hits = [ctrl.transport_actions(n)[0] for n in range(7)]
+        assert hits == [False, False, True, True, True, False, False]
+
+    def test_empty_plan_is_identity(self):
+        ctrl = FaultController(FaultPlan())
+        for n in range(10):
+            assert ctrl.transport_actions(n) == (False, False, 0)
+            assert ctrl.stall_cycles(n) == 0
+            assert not ctrl.reset_before(n)
+        assert ctrl.fired == {kind: 0 for kind in ctrl.fired}
+
+    def test_drop_wins_over_dup_and_corrupt(self):
+        plan = FaultPlan((
+            FaultEvent(FAULT_DOORBELL_DROP, index=1),
+            FaultEvent(FAULT_DOORBELL_DUP, index=1),
+            FaultEvent(FAULT_EVENT_CORRUPT, index=1, param=0xFF),
+        ))
+        ctrl = FaultController(plan)
+        assert ctrl.transport_actions(1) == (True, False, 0)
+        assert ctrl.fired[FAULT_DOORBELL_DROP] == 1
+        assert ctrl.fired[FAULT_DOORBELL_DUP] == 0
+        assert ctrl.fired[FAULT_EVENT_CORRUPT] == 0
+
+    def test_dup_and_corrupt_compose_on_one_index(self):
+        plan = FaultPlan((
+            FaultEvent(FAULT_DOORBELL_DUP, index=0),
+            FaultEvent(FAULT_EVENT_CORRUPT, index=0, param=0xF0),
+        ))
+        assert FaultController(plan).transport_actions(0) == (False, True, 0xF0)
+
+    def test_stall_and_reset_tracked_separately(self):
+        plan = FaultPlan((
+            FaultEvent(FAULT_MONITOR_STALL, index=0, count=2, param=25),
+            FaultEvent(FAULT_MONITOR_RESET, index=1),
+        ))
+        ctrl = FaultController(plan)
+        assert ctrl.stall_cycles(0) == 25
+        assert ctrl.stall_cycles(1) == 25
+        assert ctrl.stall_cycles(2) == 0
+        assert not ctrl.reset_before(0)
+        assert ctrl.reset_before(1)
+        assert ctrl.stall_cycles_injected == 50
+        assert ctrl.fired[FAULT_MONITOR_STALL] == 2
+        assert ctrl.fired[FAULT_MONITOR_RESET] == 1
+
+    def test_stats_summary_filters_zero_families(self):
+        ctrl = FaultController(
+            FaultPlan((FaultEvent(FAULT_DOORBELL_DROP, index=0),))
+        )
+        ctrl.transport_actions(0)
+        summary = ctrl.stats_summary()
+        assert summary["armed"] == {FAULT_DOORBELL_DROP: 1}
+        assert summary["fired"] == {FAULT_DOORBELL_DROP: 1}
+        assert summary["stall_cycles_injected"] == 0
+
+
+class TestAttachment:
+    def test_none_plan_attaches_nothing(self):
+        soc = build_soc()
+        assert attach_faults(soc, None) is None
+        assert soc.faults is None
+        assert soc.cfi_stage.writer.faults is None
+
+    def test_transport_plan_wires_writer_mailbox_and_soc(self):
+        soc = build_soc()
+        plan = FaultPlan((FaultEvent(FAULT_DOORBELL_DROP, index=0),))
+        ctrl = attach_faults(soc, plan)
+        assert soc.faults is ctrl
+        assert soc.cfi_stage.writer.faults is ctrl
+        assert soc.cfi_mailbox.faults is ctrl
+
+    def test_monitor_plan_requires_policy_host(self):
+        soc = build_soc()  # firmware agent: no policy host mounted
+        plan = FaultPlan((FaultEvent(FAULT_MONITOR_RESET, index=0),))
+        with pytest.raises(FaultPlanError, match="policy-host agent"):
+            attach_faults(soc, plan)
+
+    def test_monitor_plan_attaches_to_mounted_host(self):
+        soc = build_soc()
+        mount_policy_host(soc, ShadowStackPolicy(), variant="irq")
+        plan = FaultPlan((FaultEvent(FAULT_MONITOR_STALL, index=0, param=10),))
+        ctrl = attach_faults(soc, plan)
+        assert soc.policy_host.faults is ctrl
+
+    def test_cfi_less_soc_rejected(self):
+        soc = build_soc(with_cfi=False)
+        with pytest.raises(FaultPlanError, match="without a CFI stage"):
+            attach_faults(soc, FaultPlan())
