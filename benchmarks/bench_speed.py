@@ -26,6 +26,7 @@ on any machine.
 from __future__ import annotations
 
 import json
+import random
 import sys
 import time
 from pathlib import Path
@@ -37,12 +38,15 @@ from repro.attacks.programs import (
 )
 from repro.attacks.rop import run_attack_scenario
 from repro.campaign.runner import run_campaign
-from repro.campaign.spec import smoke_matrix, synth_matrix
+from repro.campaign.spec import VICTIMS, smoke_matrix, synth_matrix
+from repro.core.config import TitanCfiConfig
 from repro.eval import table1
 from repro.firmware.policies import CryptoReturnPolicy, ShadowStackPolicy
 from repro.firmware.shadow_stack import FirmwareLayout, shadow_stack_firmware
+from repro.policyhost import mount_policy_host
 from repro.system.sim import SystemSimulator
 from repro.system.soc import build_soc
+from repro.system.topology import Topology
 
 SNAPSHOT = Path(__file__).resolve().parent.parent / "BENCH_speed.json"
 
@@ -160,6 +164,127 @@ def run_policyhost_mix(mode: str = None) -> dict:
     }
 
 
+#: Saturation sweep shape: hart counts and per-point seeds.  The attack
+#: always runs on hart 0; every peer hart runs the chatty
+#: ``deep-recursion`` victim so monitor load scales with N.
+SATURATION_NS = (1, 2, 4, 8)
+SATURATION_SEEDS = (1234, 2345, 3456, 4567, 5678)
+
+
+def _build_multihart_soc(n: int, victims, seed: int):
+    topo = Topology(n_harts=n)
+    config = TitanCfiConfig(raise_on_violation=False)
+    soc = build_soc(cfi_config=config, topology=topo)
+    for hart_id in range(n):
+        amap = topo.address_map(hart_id, soc.addresses)
+        program = VICTIMS[victims[hart_id]].builder(
+            amap, random.Random(seed + hart_id)
+        )
+        soc.load_host_program(program, hart_id=hart_id)
+    mount_policy_host(soc, ShadowStackPolicy())
+    return soc
+
+
+def run_multihart_mix(mode: str = None) -> dict:
+    """A small multi-hart mix: N=2 attack+benign and a staggered N=4
+    attack amid chatty peers, one shared monitor each.  Simulated
+    totals must be identical in every engine — the ``--smoke`` path
+    asserts exactly that.
+    """
+    cases = (
+        (2, ("rop", "benign"), None),
+        (4, ("rop", "deep-recursion", "deep-recursion", "deep-recursion"),
+         [0, 700, 1400, 2100]),
+    )
+    cycles = host_instructions = checks = 0
+    latencies = []
+    for n, victims, delays in cases:
+        soc = _build_multihart_soc(n, victims, 1234)
+        report = SystemSimulator(soc, mode=mode, start_delays=delays).run()
+        cycles += report.cycles
+        host_instructions += report.host_instructions
+        checks += report.cfi.get("checks_completed", 0)
+        latencies.append(report.detection_latency)
+    return {
+        "cycles": cycles,
+        "host_instructions": host_instructions,
+        "checks": checks,
+        "detection_latencies": latencies,
+    }
+
+
+def _percentile(sorted_values, q: float):
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return None
+    rank = max(1, -(-int(q * len(sorted_values) * 100) // 100))
+    index = min(len(sorted_values) - 1, rank - 1)
+    return sorted_values[index]
+
+
+def run_saturation_point(n: int, seed: int) -> dict:
+    """One saturation run: rop attack on hart 0, N-1 deep-recursion
+    peers hammering the shared monitor.  Returns simulated numbers
+    only (machine-independent)."""
+    victims = ("rop",) + ("deep-recursion",) * (n - 1)
+    soc = _build_multihart_soc(n, victims, seed)
+    report = SystemSimulator(soc).run()
+    cfi = report.cfi
+    check_latencies = []
+    for stage in soc.cfi_stages:
+        if stage is not None:
+            check_latencies.extend(stage.writer.stats.check_latencies)
+    return {
+        "cycles": report.cycles,
+        "detection_latency": report.detection_latency,
+        "checks_completed": cfi.get("checks_completed", 0),
+        "check_latencies": check_latencies,
+        "queue_high_water": cfi.get("queue_high_water", 0),
+        "full_stalls": cfi.get("full_stalls", 0),
+    }
+
+
+def run_saturation_sweep(ns=SATURATION_NS, seeds=SATURATION_SEEDS) -> list:
+    """The saturation benchmark: sweep the hart count and record how
+    detection latency and queue back-pressure respond as one monitor
+    absorbs N harts' event streams."""
+    points = []
+    for n in ns:
+        latencies = []
+        check_latencies = []
+        cycles = checks = full_stalls = high_water = 0
+        t0 = time.perf_counter()
+        for seed in seeds:
+            run = run_saturation_point(n, seed)
+            assert run["detection_latency"] is not None, (n, seed)
+            latencies.append(run["detection_latency"])
+            check_latencies.extend(run["check_latencies"])
+            cycles += run["cycles"]
+            checks += run["checks_completed"]
+            full_stalls += run["full_stalls"]
+            high_water = max(high_water, run["queue_high_water"])
+        seconds = time.perf_counter() - t0
+        latencies.sort()
+        check_latencies.sort()
+        points.append({
+            "n_harts": n,
+            "runs": len(seeds),
+            "detection_latency_p50": _percentile(latencies, 0.50),
+            "detection_latency_p90": _percentile(latencies, 0.90),
+            "detection_latency_max": latencies[-1],
+            "check_latency_p50": _percentile(check_latencies, 0.50),
+            "check_latency_p90": _percentile(check_latencies, 0.90),
+            "check_latency_max": check_latencies[-1],
+            "checks_completed": checks,
+            "queue_high_water": high_water,
+            "full_stalls": full_stalls,
+            "simulated_cycles": cycles,
+            "seconds_per_sweep": round(seconds, 6),
+            "cycles_per_sec": round(cycles / seconds),
+        })
+    return points
+
+
 def run_campaign_pass(sim_mode: str = None) -> dict:
     """One serial pass of the campaign smoke matrix (both backends).
 
@@ -270,6 +395,10 @@ def measure() -> dict:
             ),
             "cycles_per_sec": round(synth_totals["cycles"] / synth_seconds),
         },
+        # Saturation: one RoT monitor absorbing N harts' event streams.
+        # Simulated numbers (latencies, stalls, high-water) are
+        # machine-independent; only the seconds columns may move.
+        "saturation": run_saturation_sweep(),
         # Trajectory of the three execution engines on the same mix —
         # the batched column is what the headline "cosim" section runs.
         "batched": {
@@ -319,6 +448,27 @@ def render(payload: dict) -> str:
             f"{synth['scenarios_per_sec']} scenarios/sec "
             f"(oracle-checked), {synth['cycles_per_sec']:,} simulated cycles/sec",
         ]
+    saturation = payload.get("saturation")
+    if saturation:
+        lines += [
+            "  saturation (rop on hart 0, N-1 deep-recursion peers, "
+            "one shared monitor):",
+            "    N  det-lat p50/p90/max  check-lat p50/p90/max  "
+            "queue-hw  full-stalls  cycles/sec",
+        ]
+        for point in saturation:
+            lines.append(
+                f"    {point['n_harts']}  "
+                f"{point['detection_latency_p50']}/"
+                f"{point['detection_latency_p90']}/"
+                f"{point['detection_latency_max']:<12} "
+                f"{point['check_latency_p50']}/"
+                f"{point['check_latency_p90']}/"
+                f"{point['check_latency_max']:<12} "
+                f"{point['queue_high_water']:<9} "
+                f"{point['full_stalls']:<11} "
+                f"{point['cycles_per_sec']:,}"
+            )
     batched = payload.get("batched")
     if batched:
         lines += [
@@ -360,6 +510,14 @@ def test_policyhost_totals_match_across_engines():
     assert run_policyhost_mix(mode="batched") == busy
 
 
+def test_multihart_totals_match_across_engines():
+    """One shared monitor over N harts must be cycle-exact everywhere."""
+    busy = run_multihart_mix(mode="busy")
+    assert busy["cycles"] > 0 and busy["checks"] > 0
+    assert run_multihart_mix(mode="event-driven") == busy
+    assert run_multihart_mix(mode="batched") == busy
+
+
 def test_campaign_throughput(benchmark):
     run_campaign_pass()  # warm caches
     totals = benchmark.pedantic(run_campaign_pass, rounds=1, iterations=1)
@@ -388,6 +546,14 @@ def main(argv) -> int:
         assert phost["cycles"] > 0 and phost["checks"] > 0
         assert run_policyhost_mix(mode="busy") == phost
         assert run_policyhost_mix(mode="event-driven") == phost
+        # Multi-hart invariance: one monitor serving N harts (including
+        # a staggered start) must not move a single simulated number
+        # between the three engines.
+        multi = run_multihart_mix()
+        assert multi["cycles"] > 0 and multi["checks"] > 0
+        assert multi["detection_latencies"][0] is not None
+        assert run_multihart_mix(mode="busy") == multi
+        assert run_multihart_mix(mode="event-driven") == multi
         # Campaign-matrix invariance: the batched engine must not move a
         # single simulated cycle (or any per-scenario field) anywhere in
         # the smoke matrix versus the busy loop — a batching regression

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""One RoT monitor, N application harts: the many-hart topology.
+
+TitanCFI centralises CFI enforcement in the root of trust — so one
+monitor should protect *every* application core on the SoC, not just
+one.  This demo builds a four-hart topology sharing the single Ibex
+monitor through the arbitrated CFI mailbox and shows:
+
+1. **Attribution** — a ROP attack on hart 2 is detected and attributed
+   to hart 2; the benign peers stay clean.
+2. **Arbitration** — the per-hart log writers share the one mailbox
+   through a deterministic round-robin doorbell arbiter; the grant
+   counts show how the monitor's bandwidth was divided.
+3. **Saturation** — racing the attack hart against call-heavy peers
+   shows where the shared monitor's back-pressure lands (commit
+   stalls), while the handshake latency itself stays flat.
+
+Run:  PYTHONPATH=src python examples/multihart_demo.py
+"""
+
+import random
+
+from repro.attacks.programs import (
+    benign_program,
+    deep_recursion_program,
+    rop_program,
+)
+from repro.core.config import TitanCfiConfig
+from repro.firmware.policies import ShadowStackPolicy
+from repro.policyhost import mount_policy_host
+from repro.system import SystemSimulator, Topology, build_soc
+
+
+def build(victim_builders):
+    """A topology with one hart per builder, sharing one monitor."""
+    topo = Topology(n_harts=len(victim_builders))
+    soc = build_soc(
+        cfi_config=TitanCfiConfig(raise_on_violation=False), topology=topo
+    )
+    for hart_id, builder in enumerate(victim_builders):
+        amap = topo.address_map(hart_id, soc.addresses)
+        soc.load_host_program(builder(amap), hart_id=hart_id)
+    mount_policy_host(soc, ShadowStackPolicy())
+    return soc
+
+
+def main() -> None:
+    rng = random.Random(1234)
+
+    # 1. Attack on hart 2, benign peers everywhere else.
+    soc = build([
+        benign_program,
+        benign_program,
+        rop_program,
+        benign_program,
+    ])
+    report = SystemSimulator(soc).run()
+    print("four harts, ROP on hart 2:")
+    for row in report.per_hart:
+        verdict = "VIOLATION" if row["detected"] else "clean"
+        latency = (f" (detection latency {row['detection_latency']} cycles)"
+                   if row["detected"] else "")
+        print(f"  hart {row['hart']}: {verdict}{latency}")
+    assert [row["hart"] for row in report.per_hart if row["detected"]] == [2]
+
+    # 2. The doorbell arbiter divided the monitor between the writers.
+    print("doorbell grants per hart:", soc.doorbell_arbiter.grants)
+
+    # 3. Saturate the monitor: the attack hart races chatty peers.
+    def recursion(amap):
+        return deep_recursion_program(amap, depth=16 + rng.randrange(48))
+
+    for n in (2, 4, 8):
+        soc = build([rop_program] + [recursion] * (n - 1))
+        report = SystemSimulator(soc).run()
+        attacker = report.per_hart[0]
+        print(
+            f"N={n}: detection latency {attacker['detection_latency']} "
+            f"cycles, full-queue commit stalls {report.cfi['full_stalls']}, "
+            f"queue high-water {report.cfi['queue_high_water']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

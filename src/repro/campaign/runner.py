@@ -48,6 +48,7 @@ from repro.campaign.spec import (
     VICTIMS,
     Scenario,
     derive_seed,
+    expected_detection,
 )
 from repro.core.commit_log import CommitLog
 from repro.core.filter import CfiFilter
@@ -128,15 +129,22 @@ class ShardCache:
         self._memo[key] = value
         return value
 
-    def program(self, victim: str, seed: int) -> Program:
-        """The victim's assembled image for ``seed`` (memoised)."""
+    def program(self, victim: str, seed: int,
+                addresses: Optional[AddressMap] = None) -> Program:
+        """The victim's assembled image for ``seed`` (memoised).
+
+        ``addresses`` relocates the build (multi-hart cells lay each
+        hart's program in its own DRAM segment); the memo key carries
+        the placement base, so differently-placed builds never alias.
+        """
+        amap = addresses or AddressMap()
         if not self.enabled:
-            return VICTIMS[victim].builder(AddressMap(), random.Random(seed))
-        key = (victim, seed)
+            return VICTIMS[victim].builder(amap, random.Random(seed))
+        key = (victim, seed, amap.dram_base)
         program = self._programs.get(key)
         if program is None:
             self.misses += 1
-            program = VICTIMS[victim].builder(AddressMap(), random.Random(seed))
+            program = VICTIMS[victim].builder(amap, random.Random(seed))
             self._programs[key] = program
         else:
             self.hits += 1
@@ -454,6 +462,106 @@ def _run_cosim(scenario: Scenario, seed: int,
     return result
 
 
+def _run_multihart(scenario: Scenario, seed: int,
+                   sim_mode: Optional[str] = None) -> Dict[str, object]:
+    """Many-hart cosim backend: N application harts, one RoT monitor.
+
+    Each hart runs its own victim in its private DRAM segment; the
+    scenario's policy is instantiated once per hart (label sets resolved
+    against that hart's relocated program) and installed as the
+    monitor's per-hart shadow contexts.  Violations are latched, not
+    raised, so one hart's detection never aborts the peers — every hart
+    gets its own verdict, latency and expectation check; the headline
+    columns come from the attack hart.
+    """
+    from repro.core.config import TitanCfiConfig
+    from repro.policyhost.host import mount_policy_host
+    from repro.system.sim import SystemSimulator
+    from repro.system.soc import build_soc
+    from repro.system.topology import Topology
+
+    topo = Topology(n_harts=scenario.n_harts)
+    amap = AddressMap()
+    config = TitanCfiConfig(
+        queue_depth=scenario.queue_depth,
+        blocking=scenario.blocking,
+        raise_on_violation=False,
+    )
+    soc = build_soc(cfi_config=config, fabric=scenario.fabric, topology=topo)
+
+    hart_victims: List[str] = []
+    hart_programs: List[Program] = []
+    for hart_id in range(scenario.n_harts):
+        victim_name = scenario.victim_for_hart(hart_id)
+        hart_amap = topo.address_map(hart_id, amap)
+        # Per-hart seed: peers running the same seeded victim still get
+        # distinct program shapes, deterministically.
+        program = SHARD_CACHE.program(victim_name, seed + hart_id,
+                                      addresses=hart_amap)
+        soc.load_host_program(program, hart_id=hart_id)
+        hart_victims.append(victim_name)
+        hart_programs.append(program)
+
+    def policy_for(hart_id: int):
+        spec = VICTIMS[hart_victims[hart_id]]
+        return build_policy(scenario.policy, hart_programs[hart_id],
+                            spec.entry_points, spec.function_entries)
+
+    policy = policy_for(0)
+    for hart_id in range(1, scenario.n_harts):
+        policy.install_context(hart_id, policy_for(hart_id))
+    mount_policy_host(soc, policy, variant=scenario.firmware)
+
+    delays = None
+    if scenario.stagger:
+        delays = [hart_id * scenario.stagger
+                  for hart_id in range(scenario.n_harts)]
+    simulator = SystemSimulator(soc, mode=sim_mode, start_delays=delays)
+    report = simulator.run(max_cycles=scenario.max_cycles)
+
+    per_hart: List[Dict[str, object]] = []
+    assert report.per_hart is not None
+    for hart_id, entry in enumerate(report.per_hart):
+        victim_name = hart_victims[hart_id]
+        expected = expected_detection(victim_name, scenario.policy)
+        detected = bool(entry["detected"])
+        per_hart.append({
+            "hart": hart_id,
+            "victim": victim_name,
+            "attack": VICTIMS[victim_name].attack,
+            "detected": detected,
+            "violation_kind": entry["violation_kind"],
+            "detection_latency": entry["detection_latency"],
+            "instructions": entry["instructions"],
+            "stall_cycles": entry["stall_cycles"],
+            "cf_events": entry["cfi"].get("selected", 0),
+            "events_checked": entry["cfi"].get("checks_completed", 0),
+            "expected_detected": expected,
+            "expectation_met": detected == expected,
+            "gadget_executed": (
+                soc.harts[hart_id].regs.read(10) == GADGET_MARKER
+            ),
+        })
+
+    attack_row = per_hart[scenario.attack_hart]
+    busy = report.cycles - report.host_stall_cycles
+    return {
+        "cycles": report.cycles,
+        "host_instructions": report.host_instructions,
+        "cf_events": report.cfi.get("selected", 0),
+        "events_checked": report.cfi.get("checks_completed", 0),
+        "detected": attack_row["detected"],
+        "violation_kind": attack_row["violation_kind"],
+        "detection_latency": attack_row["detection_latency"],
+        "stall_cycles": report.host_stall_cycles,
+        "overhead_percent": (
+            round(100.0 * report.host_stall_cycles / busy, 3) if busy else 0.0
+        ),
+        "gadget_executed": attack_row["gadget_executed"],
+        "per_hart": per_hart,
+    }
+
+
 def run_scenario(scenario: Scenario, campaign_seed: int = 0,
                  sim_mode: Optional[str] = None) -> Dict[str, object]:
     """Execute one scenario; returns its JSON-ready result dict.
@@ -471,6 +579,8 @@ def run_scenario(scenario: Scenario, campaign_seed: int = 0,
     bundle = _victim_bundle(scenario, seed)
     if scenario.backend == BACKEND_REFERENCE:
         outcome = _run_reference(scenario, seed, bundle=bundle)
+    elif scenario.multihart:
+        outcome = _run_multihart(scenario, seed, sim_mode=sim_mode)
     elif scenario.backend == BACKEND_COSIM:
         outcome = _run_cosim(scenario, seed, sim_mode=sim_mode,
                              bundle=bundle)
@@ -513,11 +623,24 @@ def run_scenario(scenario: Scenario, campaign_seed: int = 0,
         # Marks results whose victim actually varies with the seed, so
         # artifact consumers know which rows a seed sweep perturbs.
         "seeded": VICTIMS[scenario.victim].seeded,
+        "n_harts": scenario.n_harts,
+        "attack_hart": scenario.attack_hart if scenario.multihart else None,
+        "hart_victims": (
+            list(scenario.resolved_hart_victims) if scenario.multihart else None
+        ),
+        "stagger": scenario.stagger if scenario.multihart else None,
+        "per_hart": None,
         "expected_detected": expected,
         "expected_source": expected_source,
         "expectation_met": detected == expected,
     }
     result.update(outcome)
+    if scenario.multihart:
+        # A multi-hart cell meets its expectation only when *every*
+        # hart's verdict matches its own victim's ground truth.
+        result["expectation_met"] = all(
+            row["expectation_met"] for row in outcome["per_hart"]
+        )
     return result
 
 
@@ -585,6 +708,13 @@ def _failure_result(scenario: Scenario, campaign_seed: int, status: str,
         "max_cycles": scenario.max_cycles,
         "seed": derive_seed(campaign_seed, scenario),
         "seeded": VICTIMS[scenario.victim].seeded,
+        "n_harts": scenario.n_harts,
+        "attack_hart": scenario.attack_hart if scenario.multihart else None,
+        "hart_victims": (
+            list(scenario.resolved_hart_victims) if scenario.multihart else None
+        ),
+        "stagger": scenario.stagger if scenario.multihart else None,
+        "per_hart": None,
         "expected_detected": None,
         "expected_source": None,
         "expectation_met": None,

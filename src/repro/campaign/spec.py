@@ -43,10 +43,11 @@ from repro.attacks.programs import (
     return_to_callsite_program,
     rop_program,
 )
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnknownHartError
 from repro.faults.plan import FAULT_PLANS
 from repro.isa.asm import Program
 from repro.system.addresses import AddressMap
+from repro.system.topology import Topology
 
 # --------------------------------------------------------------------------
 # Victims
@@ -312,6 +313,18 @@ class Scenario:
         fault_plan: named :data:`repro.faults.plan.FAULT_PLANS` entry to
             inject for the run (cosim backend only; monitor faults need
             a host-resolved mailbox agent).  ``None`` = fault-free.
+        n_harts: application harts in the topology (multi-hart cells
+            need the cosim backend with a host-resolved mailbox agent;
+            the one monitor keeps a shadow context per hart).
+        hart_victims: victims for the ``n_harts - 1`` harts other than
+            :attr:`attack_hart`, in hart-id order.  Empty = every peer
+            runs ``benign``.  Single-value identity (``()``) for
+            single-hart cells, so existing scenario names are stable.
+        attack_hart: the hart running :attr:`victim` — the cell's
+            headline detection verdict and latency come from it.
+        stagger: per-hart start offset step in cycles: hart ``i``
+            retires its first instruction ``i * stagger`` cycles in
+            (staggered-attack scheduling; engine-invariant).
     """
 
     victim: str
@@ -325,6 +338,10 @@ class Scenario:
     max_cycles: int = 10_000_000
     policy_backend: str = POLICY_BACKEND_AUTO
     fault_plan: Optional[str] = None
+    n_harts: int = 1
+    hart_victims: Tuple[str, ...] = ()
+    attack_hart: int = 0
+    stagger: int = 0
 
     def __post_init__(self):
         if self.victim not in VICTIMS:
@@ -338,6 +355,11 @@ class Scenario:
                 f"unknown policy backend {self.policy_backend!r} "
                 f"(have: {_POLICY_BACKENDS})"
             )
+        # Multi-hart count first (typed, reject-never-clamp): everything
+        # below — including ``resolved_policy_backend`` — compares
+        # ``n_harts``, so a non-int must not get that far.
+        if type(self.n_harts) is not int or self.n_harts != 1:
+            Topology(n_harts=self.n_harts)  # raises HartCountError
         if self.backend == BACKEND_COSIM and self.resolved_policy_backend is None:
             if self.policy == POLICY_NONE:
                 raise ConfigError(
@@ -373,6 +395,52 @@ class Scenario:
                     "faults, which need policy_backend='host' (the RV32 "
                     "firmware monitor cannot be injected into)"
                 )
+        # Remaining multi-hart axes (the hart count was checked above).
+        if not 0 <= self.attack_hart < self.n_harts:
+            raise UnknownHartError(self.attack_hart, self.n_harts)
+        if self.stagger < 0:
+            raise ConfigError("stagger must be >= 0")
+        if self.n_harts == 1:
+            if self.hart_victims:
+                raise ConfigError(
+                    "hart_victims needs a multi-hart cell (n_harts > 1)"
+                )
+            if self.stagger:
+                raise ConfigError(
+                    "stagger needs a multi-hart cell (n_harts > 1)"
+                )
+        else:
+            if self.backend != BACKEND_COSIM:
+                raise ConfigError(
+                    "multi-hart cells need the cosim backend (the "
+                    "reference backend has no shared-monitor timeline)"
+                )
+            if self.policy_backend == POLICY_BACKEND_FIRMWARE:
+                raise ConfigError(
+                    "the RV32 firmware keeps a single shadow context; "
+                    "multi-hart cells need policy_backend='host' (or "
+                    "'auto')"
+                )
+            if self.fault_plan is not None:
+                raise ConfigError(
+                    "fault injection is single-hart only (fault plans "
+                    "index a single writer's event stream)"
+                )
+            if self.hart_victims and len(self.hart_victims) != self.n_harts - 1:
+                raise ConfigError(
+                    f"{len(self.hart_victims)} hart_victims for "
+                    f"{self.n_harts} harts (need n_harts - 1: one per "
+                    "hart other than the attack hart)"
+                )
+            for name in (self.victim,) + tuple(self.hart_victims):
+                if name not in VICTIMS:
+                    raise ConfigError(f"unknown victim {name!r}")
+                if VICTIMS[name].synthetic:
+                    raise ConfigError(
+                        f"victim {name!r} is synthesized; multi-hart "
+                        "cells use the hand-written corpus (the static "
+                        "oracle is single-program)"
+                    )
 
     @property
     def resolved_policy_backend(self) -> Optional[str]:
@@ -383,6 +451,9 @@ class Scenario:
         if self.backend != BACKEND_COSIM or self.policy == POLICY_NONE:
             return None
         if self.policy_backend == POLICY_BACKEND_AUTO:
+            if self.n_harts > 1:
+                # Only the policy host demultiplexes per-hart contexts.
+                return POLICY_BACKEND_HOST
             return (POLICY_BACKEND_FIRMWARE
                     if self.policy == POLICY_SHADOW_STACK
                     else POLICY_BACKEND_HOST)
@@ -406,6 +477,13 @@ class Scenario:
                 parts.append(self.fabric)
             if self.fault_plan is not None:
                 parts.append(f"fault-{self.fault_plan}")
+            if self.n_harts > 1:
+                parts.append(f"n{self.n_harts}")
+                parts.append("+".join(self.resolved_hart_victims))
+                if self.attack_hart:
+                    parts.append(f"ah{self.attack_hart}")
+                if self.stagger:
+                    parts.append(f"g{self.stagger}")
         if self.max_cycles != 10_000_000:
             parts.append(f"c{self.max_cycles}")
         if self.seed:
@@ -419,6 +497,29 @@ class Scenario:
     @property
     def attack(self) -> Optional[str]:
         return VICTIMS[self.victim].attack
+
+    @property
+    def multihart(self) -> bool:
+        """True for cells simulating more than one application hart."""
+        return self.n_harts > 1
+
+    @property
+    def resolved_hart_victims(self) -> Tuple[str, ...]:
+        """Victims of the non-attack harts (defaults filled in)."""
+        if self.n_harts == 1:
+            return ()
+        if self.hart_victims:
+            return tuple(self.hart_victims)
+        return ("benign",) * (self.n_harts - 1)
+
+    def victim_for_hart(self, hart_id: int) -> str:
+        """The victim program hart ``hart_id`` runs."""
+        if not 0 <= hart_id < self.n_harts:
+            raise UnknownHartError(hart_id, self.n_harts)
+        if hart_id == self.attack_hart:
+            return self.victim
+        peers = self.resolved_hart_victims
+        return peers[hart_id if hart_id < self.attack_hart else hart_id - 1]
 
 
 def derive_seed(campaign_seed: int, scenario: Scenario) -> int:
@@ -456,9 +557,22 @@ def expand_grid(**axes: Sequence[object]) -> List[Scenario]:
                     queue_depth=[1, 8])
     """
     names = list(axes)
-    value_lists = [
-        list(v) if isinstance(v, (list, tuple)) else [v] for v in axes.values()
-    ]
+
+    def axis_values(name: str, value: object) -> List[object]:
+        if name == "hart_victims":
+            # A tuple/list of victim names is ONE axis value (the
+            # per-hart assignment); sweep by passing a list of tuples.
+            if isinstance(value, (list, tuple)):
+                if value and all(isinstance(v, (list, tuple)) for v in value):
+                    return [tuple(v) for v in value]
+                return [tuple(value)]
+            raise ConfigError(
+                "hart_victims axis takes a tuple of victim names "
+                "(or a list of such tuples to sweep)"
+            )
+        return list(value) if isinstance(value, (list, tuple)) else [value]
+
+    value_lists = [axis_values(n, v) for n, v in axes.items()]
     scenarios: List[Scenario] = []
     seen: set = set()
     for combo in itertools.product(*value_lists):
@@ -467,6 +581,28 @@ def expand_grid(**axes: Sequence[object]) -> List[Scenario]:
         # a bad field value (typo'd victim/policy name) must still
         # raise, or the matrix would silently shrink.
         fault_plan = kwargs.get("fault_plan")
+        n_harts = kwargs.get("n_harts", 1)
+        if isinstance(n_harts, int):
+            hart_victims = kwargs.get("hart_victims", ())
+            attack_hart = kwargs.get("attack_hart", 0)
+            if n_harts > 1:
+                # Multi-hart cells only exist on the cosim backend with
+                # a host mailbox agent and no fault plan; mixed sweeps
+                # drop the incompatible cells rather than raising.
+                if kwargs.get("backend") != BACKEND_COSIM:
+                    continue
+                if kwargs.get("policy_backend") == POLICY_BACKEND_FIRMWARE:
+                    continue
+                if fault_plan is not None:
+                    continue
+                if hart_victims and len(hart_victims) != n_harts - 1:
+                    continue
+                if isinstance(attack_hart, int) and attack_hart >= n_harts:
+                    continue
+            else:
+                # Multi-hart-only knobs drop their single-hart cells.
+                if hart_victims or kwargs.get("stagger") or attack_hart:
+                    continue
         if kwargs.get("backend") == BACKEND_COSIM:
             policy = kwargs.get("policy", POLICY_SHADOW_STACK)
             policy_backend = kwargs.get("policy_backend", POLICY_BACKEND_AUTO)
@@ -763,6 +899,88 @@ def faults_smoke_matrix() -> List[Scenario]:
     return scenarios
 
 
+def multihart_matrix() -> List[Scenario]:
+    """The many-hart campaign: one RoT monitor protecting N application
+    harts through the shared arbitrated mailbox.
+
+    Four blocks: the detection product at N ∈ {2, 4} (attacks with
+    benign peers, per policy), concurrent victims (two attack classes
+    in flight at once, under the composite monitor), staggered attacks
+    (the same attack fired from different harts at offset start times),
+    and monitor starvation (one attack hart racing N−1 chatty
+    deep-recursion peers that keep the doorbell arbiter saturated)."""
+    scenarios: List[Scenario] = []
+    for n in (2, 4):
+        scenarios += expand_grid(
+            victim=["benign", "rop", "jop", "ret-to-callsite"],
+            policy=[POLICY_SHADOW_STACK, POLICY_COMPOSITE],
+            backend=BACKEND_COSIM,
+            n_harts=n,
+        )
+    # Concurrent victims: a second attack class on the peer hart.
+    scenarios += expand_grid(
+        victim="rop",
+        policy=[POLICY_SHADOW_STACK, POLICY_COMPOSITE],
+        backend=BACKEND_COSIM,
+        n_harts=2,
+        hart_victims=[("jop",), ("ret-to-callsite",)],
+    )
+    # Staggered attacks: same cell, different launch hart and offset.
+    scenarios += expand_grid(
+        victim="rop",
+        backend=BACKEND_COSIM,
+        n_harts=4,
+        attack_hart=[0, 2],
+        stagger=[0, 750],
+    )
+    # Monitor starvation: N−1 call-heavy peers contend for the mailbox.
+    for n in (4, 8):
+        scenarios += expand_grid(
+            victim="rop",
+            policy=[POLICY_SHADOW_STACK, POLICY_CRYPTO_RETURN],
+            backend=BACKEND_COSIM,
+            n_harts=n,
+            hart_victims=("deep-recursion",) * (n - 1),
+        )
+    # The blocks overlap at their identity cells (e.g. the staggered
+    # sweep's attack_hart=0/stagger=0 combination is the detection
+    # product's rop cell); names pair artifacts and derive seeds, so
+    # duplicates must collapse here.
+    seen: set = set()
+    unique: List[Scenario] = []
+    for cell in scenarios:
+        if cell.name not in seen:
+            seen.add(cell.name)
+            unique.append(cell)
+    return unique
+
+
+def multihart_smoke_matrix() -> List[Scenario]:
+    """CI tier of the many-hart campaign: N ∈ {2, 4}, attacks with
+    benign and chatty peers plus one staggered cell — small enough for
+    the serial runner."""
+    scenarios = expand_grid(
+        victim=["benign", "rop"],
+        backend=BACKEND_COSIM,
+        n_harts=[2, 4],
+    )
+    scenarios += expand_grid(
+        victim="rop",
+        policy=POLICY_COMPOSITE,
+        backend=BACKEND_COSIM,
+        n_harts=2,
+        hart_victims=("jop",),
+    )
+    scenarios += expand_grid(
+        victim="rop",
+        backend=BACKEND_COSIM,
+        n_harts=4,
+        hart_victims=("deep-recursion",) * 3,
+        stagger=750,
+    )
+    return scenarios
+
+
 MATRICES: Dict[str, Callable[[], List[Scenario]]] = {
     "default": default_matrix,
     "smoke": smoke_matrix,
@@ -772,6 +990,8 @@ MATRICES: Dict[str, Callable[[], List[Scenario]]] = {
     "synth-smoke": synth_smoke_matrix,
     "faults": faults_matrix,
     "faults-smoke": faults_smoke_matrix,
+    "multihart": multihart_matrix,
+    "multihart-smoke": multihart_smoke_matrix,
 }
 
 

@@ -73,6 +73,16 @@ class LogWriter:
         master: AXI master identity of the CFI stage.
         raise_on_violation: raise :class:`CfiViolation` from
             :meth:`tick` on a bad verdict (else latch :attr:`fault`).
+        hart_id: source hart of this writer's commit stream (multi-hart
+            SoCs instantiate one writer per application hart).
+        arbiter: shared :class:`~repro.soc.mailbox.DoorbellArbiter`
+            gating the one CFI mailbox between writers; ``None`` in the
+            single-hart SoC keeps every code path byte-identical to the
+            historic FSM.
+        tag_hart_id: stamp the source hart id into the spare payload
+            byte (offset 28) of every transmission so the monitor can
+            demultiplex per-hart shadow contexts.  Off in single-hart
+            SoCs — the wire format stays exactly the 224-bit packet.
     """
 
     def __init__(
@@ -83,6 +93,9 @@ class LogWriter:
         queue: CfiQueue,
         master: str = "cfi-stage",
         raise_on_violation: bool = True,
+        hart_id: int = 0,
+        arbiter=None,
+        tag_hart_id: bool = False,
     ):
         self.axi = axi
         self.mailbox = mailbox
@@ -90,6 +103,9 @@ class LogWriter:
         self.queue = queue
         self.master = master
         self.raise_on_violation = raise_on_violation
+        self.hart_id = hart_id
+        self.arbiter = arbiter
+        self.tag_hart_id = tag_hart_id
         self.state = WriterState.IDLE
         self.stats = WriterStats()
         self.fault: Optional[CfiViolation] = None
@@ -106,13 +122,27 @@ class LogWriter:
 
     # -- helpers -------------------------------------------------------------
 
+    def _acquire(self) -> bool:
+        if self.arbiter is None:
+            return True
+        return self.arbiter.acquire(self.hart_id)
+
+    def _release(self) -> None:
+        if self.arbiter is not None:
+            self.arbiter.release(self.hart_id)
+
     def _start_transmission(self, log: CommitLog) -> None:
         self.current_log = log
         self._check_started = self.now
         # The payload moves as ceil(28/8) = 4 beats; the doorbell write is
         # a separate single-beat transaction (the paper's "final AXI
         # transaction sets the doorbell interrupt register").
-        payload_cycles = self.axi.write(self.master, self.mailbox_base, log.pack())
+        payload = log.pack()
+        if self.tag_hart_id:
+            # Multi-hart wire format: the source hart id rides in the
+            # first spare byte of the 32-byte data file (same 4 beats).
+            payload += bytes((self.hart_id, 0, 0, 0))
+        payload_cycles = self.axi.write(self.master, self.mailbox_base, payload)
         doorbell_cycles = self.axi.timings.transaction_cycles(8)
         self._countdown = payload_cycles + doorbell_cycles
         self.state = WriterState.WRITE
@@ -125,7 +155,10 @@ class LogWriter:
             drop, dup, mask = self.faults.transport_actions(n)
             if drop:
                 # The event is lost in transit: the pop consumed this
-                # cycle, the FSM stays IDLE, nothing reaches the mailbox.
+                # cycle, the FSM stays IDLE, nothing reaches the mailbox
+                # — and the channel grant goes straight back so peer
+                # writers cannot be starved by a lossy link.
+                self._release()
                 return
             if mask:
                 log = replace(log, target=(log.target ^ mask) & ((1 << 64) - 1))
@@ -161,6 +194,7 @@ class LogWriter:
         self.stats.checks_completed += 1
         self.stats.check_latencies.append(self.now - self._check_started)
         self.state = WriterState.IDLE
+        self._release()
         if self._dup_pending:
             self._redeliver = log
             self._dup_pending = False
@@ -186,10 +220,11 @@ class LogWriter:
         self.now += 1
         if self.state is WriterState.IDLE:
             if self._redeliver is not None:
-                if self.mailbox.ready:
+                if self._acquire() and self.mailbox.ready:
                     self._begin_redeliver()
-            elif not self.queue.empty and self.mailbox.ready:
-                self._begin_write()
+            elif not self.queue.empty:
+                if self._acquire() and self.mailbox.ready:
+                    self._begin_write()
             return
         if self.state is WriterState.WRITE:
             self.stats.busy_cycles += 1
@@ -245,11 +280,17 @@ class LogWriter:
         component's activity can change.
         """
         if self.state is WriterState.IDLE:
-            if self._redeliver is not None:
-                return 0 if self.mailbox.ready else self.UNBOUNDED
-            if not self.queue.empty and self.mailbox.ready:
-                return 0
-            return self.UNBOUNDED
+            if self._redeliver is None and self.queue.empty:
+                return self.UNBOUNDED
+            owner = self.arbiter.owner if self.arbiter is not None else None
+            if owner is not None and owner != self.hart_id:
+                # Contended channel: only the owner's release (their
+                # FSM activity) can grant us — an external signal.
+                return self.UNBOUNDED
+            # Owner is ``self`` when ``release`` handed us the grant
+            # while we were IDLE (round-robin rotation): the very next
+            # tick starts our transmission, so it must not be skipped.
+            return 0 if self.mailbox.ready else self.UNBOUNDED
         if self.state is WriterState.WAIT:
             return 0 if self.mailbox.completion_pending else self.UNBOUNDED
         # WRITE / CHECK: the countdown's final cycle transitions.

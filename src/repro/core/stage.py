@@ -27,10 +27,19 @@ class CfiStage:
         axi: host-domain crossbar (mailbox path).
         mailbox: the CFI mailbox device.
         config: stage parameters.
+        hart_id: the application hart this stage instruments (multi-hart
+            SoCs stamp out one stage per hart).
+        arbiter: shared doorbell arbiter gating the mailbox between
+            stages; ``None`` (single-hart) preserves the historic FSM
+            byte-for-byte.
+        tag_hart_id: stamp ``hart_id`` into the spare payload byte of
+            every transmitted log (multi-hart wire format).
     """
 
-    def __init__(self, axi: AxiXbar, mailbox: Mailbox, config: Optional[TitanCfiConfig] = None):
+    def __init__(self, axi: AxiXbar, mailbox: Mailbox, config: Optional[TitanCfiConfig] = None,
+                 hart_id: int = 0, arbiter=None, tag_hart_id: bool = False):
         self.config = config or TitanCfiConfig()
+        self.hart_id = hart_id
         self.filters = [CfiFilter(i) for i in range(self.config.commit_ports)]
         self.queue = CfiQueue(self.config.queue_depth)
         self.controller = QueueController(self.queue)
@@ -40,6 +49,9 @@ class CfiStage:
             self.config.mailbox_base,
             self.queue,
             raise_on_violation=self.config.raise_on_violation,
+            hart_id=hart_id,
+            arbiter=arbiter,
+            tag_hart_id=tag_hart_id,
         )
         # Pure-delegation accessors rebound to the writer's own methods:
         # the co-simulator calls them every scheduler iteration, and the

@@ -176,6 +176,58 @@ class WorkerCrash(CampaignError):
         self.exitcode = exitcode
 
 
+class TopologyError(ConfigError):
+    """An invalid multi-hart topology was requested."""
+
+
+class HartCountError(TopologyError):
+    """The requested application-hart count is outside the supported range.
+
+    Attributes:
+        n_harts: the rejected hart count.
+        max_harts: the largest supported count.
+    """
+
+    def __init__(self, n_harts: int, max_harts: int):
+        super().__init__(
+            f"unsupported hart count {n_harts}: topology supports "
+            f"1..{max_harts} application harts"
+        )
+        self.n_harts = n_harts
+        self.max_harts = max_harts
+
+
+class MemoryOverlapError(TopologyError):
+    """Two per-hart memory placements overlap, or a placement escapes
+    the host DRAM window into device space.
+
+    Attributes:
+        detail: human-readable description of the colliding regions.
+    """
+
+    def __init__(self, detail: str):
+        super().__init__(f"memory placement conflict: {detail}")
+        self.detail = detail
+
+
+class UnknownHartError(TopologyError):
+    """A scenario or component referenced a hart id the topology does
+    not instantiate.
+
+    Attributes:
+        hart_id: the out-of-range hart id.
+        n_harts: the number of harts the topology actually has.
+    """
+
+    def __init__(self, hart_id: int, n_harts: int):
+        super().__init__(
+            f"unknown hart id {hart_id}: topology has {n_harts} "
+            f"application hart{'s' if n_harts != 1 else ''} (ids 0..{n_harts - 1})"
+        )
+        self.hart_id = hart_id
+        self.n_harts = n_harts
+
+
 class FaultPlanError(ConfigError):
     """A fault-injection plan is malformed or incompatible with the
     scenario it was attached to (e.g. monitor faults without a policy

@@ -68,6 +68,50 @@ ORACLE_COARSE_PAIRED = "coarse-paired"    # returns call-preceded; indirect
                                           # transfers to *some* function entry
 
 
+class PerHartContextMixin:
+    """Per-hart shadow contexts for multi-hart monitors.
+
+    One monitor protecting N application harts keeps N independent
+    policy states — hart 1's calls must not satisfy hart 0's returns.
+    The policy instance itself *is* the hart-0 context (so single-hart
+    code paths are untouched); :meth:`context` lazily spawns a sibling
+    per additional hart, and :meth:`install_context` lets the campaign
+    runner provision contexts whose configuration (label sets derived
+    from per-hart program addresses) differs per hart.
+    """
+
+    def _spawn_context(self):
+        """Build a fresh sibling sharing this policy's configuration."""
+        raise NotImplementedError(
+            f"{type(self).__name__} cannot spawn per-hart contexts"
+        )
+
+    def context(self, hart_id: int):
+        """The policy state charged with application hart ``hart_id``."""
+        if hart_id == 0:
+            return self
+        contexts = self.__dict__.setdefault("_contexts", {})
+        ctx = contexts.get(hart_id)
+        if ctx is None:
+            ctx = self._spawn_context()
+            contexts[hart_id] = ctx
+        return ctx
+
+    def install_context(self, hart_id: int, policy) -> None:
+        """Provision an externally-built context for ``hart_id > 0``."""
+        if hart_id == 0:
+            raise ConfigError("hart 0's context is the policy itself")
+        self.__dict__.setdefault("_contexts", {})[hart_id] = policy
+
+    def reset_contexts(self) -> None:
+        """Reset every spawned/installed sibling (monitor-reset fault:
+        the whole monitor reboots, so every hart's state is lost)."""
+        for ctx in self.__dict__.get("_contexts", {}).values():
+            reset = getattr(ctx, "reset", None)
+            if reset is not None:
+                reset()
+
+
 @dataclass
 class PolicyStats:
     """Counters every policy keeps."""
@@ -81,7 +125,7 @@ class PolicyStats:
     restores: int = 0
 
 
-class ShadowStackPolicy:
+class ShadowStackPolicy(PerHartContextMixin):
     """Return-address protection via a shadow stack (paper §V-B).
 
     The resident stack lives in (modelled) RoT scratchpad; on overflow
@@ -162,6 +206,12 @@ class ShadowStackPolicy:
         self.stack = []
         self.spill_area = []
         self.last_event = EVENT_SKIP
+        self.reset_contexts()
+
+    def _spawn_context(self) -> "ShadowStackPolicy":
+        return ShadowStackPolicy(
+            self.capacity, self.spill_entries, accel=self.accel, key=self.key
+        )
 
     # -- policy interface ---------------------------------------------------------
 
@@ -221,7 +271,7 @@ class ShadowStackPolicy:
         self.spill_area[block] = (bytes(damaged), tag)
 
 
-class ForwardEdgePolicy:
+class ForwardEdgePolicy(PerHartContextMixin):
     """Label-based forward-edge CFI (the paper's "any policy" claim).
 
     Indirect transfers (indirect calls and jumps) must land on an
@@ -245,6 +295,13 @@ class ForwardEdgePolicy:
 
     def reset(self) -> None:
         """Boot state == provisioned state: nothing to clear."""
+        self.reset_contexts()
+
+    def _spawn_context(self) -> "ForwardEdgePolicy":
+        # Default sibling inherits the provisioned labels; harts whose
+        # programs live at different addresses get theirs provisioned by
+        # the campaign runner through install_context instead.
+        return ForwardEdgePolicy(self.valid_targets)
 
     def check(self, log: CommitLog) -> CheckResult:
         self.stats.checks += 1
@@ -268,7 +325,7 @@ class ForwardEdgePolicy:
         return CheckResult.OK
 
 
-class CoarseGrainedPolicy:
+class CoarseGrainedPolicy(PerHartContextMixin):
     """Coarse-grained CFI in the style of the early binary-level schemes
     (Burow et al.'s survey, categories with label granularity "any").
 
@@ -305,6 +362,12 @@ class CoarseGrainedPolicy:
     def reset(self) -> None:
         """Drop runtime-learned return sites (mid-run monitor reset)."""
         self.valid_return_sites = set(self._provisioned_return_sites)
+        self.reset_contexts()
+
+    def _spawn_context(self) -> "CoarseGrainedPolicy":
+        return CoarseGrainedPolicy(
+            self._provisioned_return_sites, self.valid_entries
+        )
 
     def allow_return_site(self, address: int) -> None:
         """Register a call-preceded address (a legal coarse return target)."""
@@ -340,7 +403,7 @@ class CoarseGrainedPolicy:
         return CheckResult.OK
 
 
-class CompositePolicy:
+class CompositePolicy(PerHartContextMixin):
     """Run several policies on each log; any violation wins."""
 
     #: Most-specific-first precedence for the composite's own
@@ -376,6 +439,19 @@ class CompositePolicy:
             if reset is not None:
                 reset()
         self.last_event = EVENT_SKIP
+        self.reset_contexts()
+
+    def _spawn_context(self) -> "CompositePolicy":
+        members = []
+        for policy in self.policies:
+            spawn = getattr(policy, "_spawn_context", None)
+            if spawn is None:
+                raise ConfigError(
+                    f"composite member {type(policy).__name__} cannot "
+                    "spawn per-hart contexts"
+                )
+            members.append(spawn())
+        return CompositePolicy(members)
 
     @property
     def oracle_rules(self) -> Tuple[str, ...]:
@@ -423,7 +499,7 @@ class CompositePolicy:
 COMPOSITE_MEMBERS: Tuple[type, ...] = (ShadowStackPolicy, ForwardEdgePolicy)
 
 
-class CryptoReturnPolicy:
+class CryptoReturnPolicy(PerHartContextMixin):
     """MAC-authenticated return addresses, in the spirit of CCFI
     (Mashtizadeh et al.): instead of hiding the shadow stack in trusted
     scratchpad, every pushed return address is *tagged* with an HMAC
@@ -480,6 +556,10 @@ class CryptoReturnPolicy:
         """Return to the boot state (mid-run monitor-reset fault)."""
         self.table = []
         self.last_event = EVENT_SKIP
+        self.reset_contexts()
+
+    def _spawn_context(self) -> "CryptoReturnPolicy":
+        return CryptoReturnPolicy(accel=self.accel, key=self.key)
 
     def check(self, log: CommitLog) -> CheckResult:
         self.stats.checks += 1

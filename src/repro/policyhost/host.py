@@ -130,18 +130,40 @@ class PolicyHost:
         model: calibrated response model (see
             :func:`repro.policyhost.calibration.calibrate`).
         name: diagnostic name.
+        n_harts: application harts served.  With more than one, every
+            transmission carries the source hart id in payload byte 28
+            (the multi-hart wire format) and the host demultiplexes the
+            check into the policy's per-hart context
+            (:meth:`repro.firmware.policies.PerHartContextMixin.context`);
+            verdicts, service latencies and check counts are additionally
+            recorded per hart.
     """
 
     def __init__(self, policy: Policy, mailbox: Mailbox,
-                 model: ResponseModel, name: str = "policy-host"):
+                 model: ResponseModel, name: str = "policy-host",
+                 n_harts: int = 1):
         if not hasattr(policy, "check"):
             raise ConfigError(f"{name}: policy object has no check() method")
+        if n_harts < 1:
+            raise ConfigError(f"{name}: n_harts must be >= 1")
+        if n_harts > 1 and not hasattr(policy, "context"):
+            raise ConfigError(
+                f"{name}: policy {type(policy).__name__} has no per-hart "
+                "context() — it cannot serve a multi-hart SoC"
+            )
         self.policy = policy
         self.mailbox = mailbox
         self.model = model
         self.name = name
+        self.n_harts = n_harts
         self.now = 0
         self.stats = PolicyHostStats()
+        #: Per-hart statistics (multi-hart hosts only; ``None`` keeps
+        #: the single-hart summary shape unchanged).
+        self.hart_stats: Optional[List[PolicyHostStats]] = (
+            [PolicyHostStats() for _ in range(n_harts)] if n_harts > 1 else None
+        )
+        self._inflight_hart = 0
         self._respond_at: Optional[int] = None
         self._verdict = VERDICT_OK
         self._ring_at = 0
@@ -167,15 +189,30 @@ class PolicyHost:
                     f"{type(self.policy).__name__} has no reset()"
                 )
             reset()
-        log = CommitLog.unpack(self.mailbox.collect())
-        result = self.policy.check(log)
+        data = self.mailbox.collect()
+        log = CommitLog.unpack(data)
+        if self.n_harts > 1:
+            # Multi-hart wire format: the source hart id rides in the
+            # first spare payload byte; the check runs against that
+            # hart's shadow context.
+            hart_id = data[28]
+            if hart_id >= self.n_harts:
+                raise ProtocolError(
+                    f"{self.name}: payload tagged with unknown hart "
+                    f"{hart_id} (serving {self.n_harts})"
+                )
+            context = self.policy.context(hart_id)
+        else:
+            hart_id = 0
+            context = self.policy
+        result = context.check(log)
         violation = result is CheckResult.VIOLATION
         path_key = resolve_path_key(
-            log.encoding, violation, getattr(self.policy, "last_event", None)
+            log.encoding, violation, getattr(context, "last_event", None)
         )
         ring = self.now
         respond_at = self._schedule(ring, log, path_key)
-        extra = getattr(self.policy, "host_extra_cycles", None)
+        extra = getattr(context, "host_extra_cycles", None)
         if extra is not None:
             surcharge = extra(log, result)
             if surcharge < 0:
@@ -193,11 +230,18 @@ class PolicyHost:
         self._respond_at = respond_at
         self._verdict = VERDICT_VIOLATION if violation else VERDICT_OK
         self._ring_at = ring
+        self._inflight_hart = hart_id
         self._prev_outcome = "bad" if violation else "ok"
         self.stats.checks += 1
         if violation:
             self.stats.violations += 1
         self.stats.by_path[path_key] = self.stats.by_path.get(path_key, 0) + 1
+        if self.hart_stats is not None:
+            hstats = self.hart_stats[hart_id]
+            hstats.checks += 1
+            if violation:
+                hstats.violations += 1
+            hstats.by_path[path_key] = hstats.by_path.get(path_key, 0) + 1
 
     def _schedule(self, ring: int, log: CommitLog,
                   path_key: Tuple[str, str]) -> int:
@@ -206,6 +250,15 @@ class PolicyHost:
         if self._prev_respond is None:
             if ring >= model.boot_tail_start:
                 return model.boot_response(ring, path_key)
+            if self.n_harts > 1:
+                # The boot-epoch shadow rig replays the single-hart
+                # firmware against the raw log stream — an interleaved
+                # multi-hart stream would corrupt its replay state.
+                # Model the level-sensitive doorbell instead: the
+                # monitor finishes booting, then services the pending
+                # ring as if it arrived at the boot tail.  Deterministic
+                # and engine-invariant (a pure function of ring time).
+                return model.boot_response(model.boot_tail_start, path_key)
             # The doorbell beat the RoT boot sequence: answer the whole
             # boot epoch from an exact replay rig.
             self._shadow = model.open_shadow()
@@ -224,6 +277,10 @@ class PolicyHost:
     def _respond(self) -> None:
         self.mailbox.respond(self._verdict)
         self.stats.service_latencies.append(self.now - self._ring_at)
+        if self.hart_stats is not None:
+            self.hart_stats[self._inflight_hart].service_latencies.append(
+                self.now - self._ring_at
+            )
         self._prev_respond = self.now
         self._respond_at = None
 
@@ -259,13 +316,25 @@ class PolicyHost:
 
     def stats_summary(self) -> dict:
         """Aggregated statistics for reports and tests."""
-        return {
+        summary = {
             "checks": self.stats.checks,
             "violations": self.stats.violations,
             "mean_service_latency": self.stats.mean_service_latency,
             "shadow_checks": self.stats.shadow_checks,
             "by_path": dict(self.stats.by_path),
         }
+        if self.hart_stats is not None:
+            summary["per_hart"] = [
+                {
+                    "hart": i,
+                    "checks": hstats.checks,
+                    "violations": hstats.violations,
+                    "mean_service_latency": hstats.mean_service_latency,
+                    "by_path": dict(hstats.by_path),
+                }
+                for i, hstats in enumerate(self.hart_stats)
+            ]
+        return summary
 
 
 def mount_policy_host(soc, policy: Policy, variant: str = "irq",
@@ -294,6 +363,7 @@ def mount_policy_host(soc, policy: Policy, variant: str = "irq",
         config = soc.rot.config
         model = calibrate(variant=variant, fabric=config.fabric,
                           wake_cycles=config.wake_cycles)
-    host = PolicyHost(policy, soc.cfi_mailbox, model)
+    host = PolicyHost(policy, soc.cfi_mailbox, model,
+                      n_harts=getattr(soc, "n_harts", 1))
     soc.policy_host = host
     return host

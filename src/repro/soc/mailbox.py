@@ -280,6 +280,103 @@ class CfiMailbox(Mailbox):
         super()._set_completion(level)
 
 
+class DoorbellArbiter:
+    """Round-robin grant of the shared CFI mailbox to N log writers.
+
+    In the multi-hart SoC every application hart has its own commit
+    pipeline and log-writer FSM, but they share the one CFI mailbox in
+    front of the RoT monitor.  Hardware-wise this is a doorbell arbiter:
+    a writer *requests* the channel when it has a log to send, holds the
+    *grant* for the whole handshake (payload + doorbell + completion +
+    verdict read-back), and releases it when the check finishes.
+
+    Timing/determinism contract (asserted by the three-engine
+    equivalence suites):
+
+    * **Combinational grant when idle.**  ``acquire`` from a writer
+      while no grant is outstanding succeeds on the same cycle — an
+      uncontended multi-hart writer sees exactly the single-hart
+      mailbox timing.
+    * **Round-robin rotation under contention.**  While a grant is
+      held, later ``acquire`` calls register level-sensitive requests.
+      ``release`` hands the grant to the next requesting port after
+      the releasing one, scanning circularly — so sustained contention
+      alternates fairly and no port starves.
+    * **Deterministic same-cycle ordering.**  Components tick in port
+      order within a cycle, so when several writers first request on
+      the same cycle the lowest port wins the idle grant and the rest
+      queue; replaying the same tick order reproduces the same grants
+      in every engine.
+    """
+
+    def __init__(self, n_ports: int):
+        if not isinstance(n_ports, int) or n_ports < 1:
+            raise ConfigError(f"doorbell arbiter needs >= 1 port, got {n_ports!r}")
+        self.n_ports = n_ports
+        #: Port currently holding the grant, or ``None``.
+        self.owner: Optional[int] = None
+        self._requests: List[bool] = [False] * n_ports
+        #: Grant counters per port (fairness observability).
+        self.grants: List[int] = [0] * n_ports
+
+    def _check_port(self, port: int) -> None:
+        if not 0 <= port < self.n_ports:
+            raise ProtocolError(
+                f"doorbell arbiter: port {port} out of range 0..{self.n_ports - 1}"
+            )
+
+    def acquire(self, port: int) -> bool:
+        """Request the channel for ``port``; True when granted.
+
+        Idempotent per cycle: a granted owner re-acquiring keeps its
+        grant, an ungranted requester keeps its request pending.
+        """
+        self._check_port(port)
+        if self.owner == port:
+            return True
+        if self.owner is None:
+            # Idle channel: combinational grant.  ``release`` hands the
+            # grant over before clearing ownership, so an idle channel
+            # implies no queued requests to arbitrate against.
+            self.owner = port
+            self.grants[port] += 1
+            self._requests[port] = False
+            return True
+        self._requests[port] = True
+        return False
+
+    def withdraw(self, port: int) -> None:
+        """Drop a pending request (the writer no longer has traffic)."""
+        self._check_port(port)
+        self._requests[port] = False
+
+    def release(self, port: int) -> None:
+        """Finish ``port``'s handshake and re-arbitrate.
+
+        The grant rotates to the next requesting port after the
+        releasing one (round robin); with no requests pending the
+        channel goes idle.
+        """
+        self._check_port(port)
+        if self.owner != port:
+            raise ProtocolError(
+                f"doorbell arbiter: port {port} released a grant owned by "
+                f"{self.owner!r}"
+            )
+        for step in range(1, self.n_ports + 1):
+            nxt = (port + step) % self.n_ports
+            if self._requests[nxt]:
+                self.owner = nxt
+                self.grants[nxt] += 1
+                self._requests[nxt] = False
+                return
+        self.owner = None
+
+    def requesting(self, port: int) -> bool:
+        self._check_port(port)
+        return self._requests[port]
+
+
 #: Verdict values written into data[0] by the CFI firmware (§IV-C).
 VERDICT_OK = 0
 VERDICT_VIOLATION = 1

@@ -11,11 +11,14 @@ if TYPE_CHECKING:
     from repro.system.addresses import AddressMap
     from repro.system.sim import SimulationReport, SystemSimulator
     from repro.system.soc import FabricProfile, TitanCfiSoc, build_soc
+    from repro.system.topology import HartPlacement, Topology
 
 __all__ = [
     "AddressMap",
     "FabricProfile",
+    "HartPlacement",
     "TitanCfiSoc",
+    "Topology",
     "build_soc",
     "SystemSimulator",
     "SimulationReport",
@@ -24,7 +27,9 @@ __all__ = [
 _LAZY = {
     "AddressMap": ("repro.system.addresses", "AddressMap"),
     "FabricProfile": ("repro.system.soc", "FabricProfile"),
+    "HartPlacement": ("repro.system.topology", "HartPlacement"),
     "TitanCfiSoc": ("repro.system.soc", "TitanCfiSoc"),
+    "Topology": ("repro.system.topology", "Topology"),
     "build_soc": ("repro.system.soc", "build_soc"),
     "SystemSimulator": ("repro.system.sim", "SystemSimulator"),
     "SimulationReport": ("repro.system.sim", "SimulationReport"),

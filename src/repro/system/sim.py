@@ -1,4 +1,4 @@
-"""Cycle-interleaved co-simulation of host core, CFI stage and RoT.
+"""Cycle-interleaved co-simulation of host core(s), CFI stage(s) and RoT.
 
 The simulator advances a global cycle counter.  Each hart carries a
 cycle *debt*: after retiring an instruction costing N cycles it stays
@@ -7,16 +7,21 @@ This interleaving is what lets the reproduction observe the paper's
 end-to-end behaviour: CVA6 stalling on a full CFI queue while Ibex is
 still busy checking, the doorbell→wake latency, and the completion
 hand-back — all in one coherent timeline.
+
+Multi-hart topologies (N application harts sharing the one RoT monitor)
+run on the same three engines.  Per cycle the application harts tick in
+hart-id order, then the RoT core / policy host, then every CFI stage in
+hart-id order — the ordering every engine replays identically, which is
+what makes the shared-mailbox doorbell arbitration deterministic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.log_writer import LogWriter
-from repro.errors import CfiViolation, SimulationError
-from repro.hart.core import StepEvent
+from repro.errors import CfiViolation, ConfigError, SimulationError
 from repro.system.soc import TitanCfiSoc
 
 
@@ -27,10 +32,15 @@ class SimulationReport:
     Attributes:
         cycles: global cycles until the host halted (and the CFI path
             drained).
-        host_instructions: instructions the host retired.
-        host_stall_cycles: cycles the commit stage was inhibited.
-        violation: the CFI violation that ended the run, if any.
-        cfi: CFI stage statistics summary (empty when CFI is absent).
+        host_instructions: instructions the host retired (summed over
+            application harts in multi-hart runs).
+        host_stall_cycles: cycles the commit stage was inhibited
+            (summed over application harts).
+        violation: the CFI violation that ended the run, if any (in
+            multi-hart runs: the raised one, else the lowest-hart
+            latched fault).
+        cfi: CFI stage statistics summary (empty when CFI is absent;
+            aggregated over stages in multi-hart runs).
         ibex_instructions: instructions the RoT core retired.
         detection_latency: cycles from the first violating commit log
             entering the mailbox path to its verdict — stable even when
@@ -38,6 +48,10 @@ class SimulationReport:
             no violation was flagged.
         faults: fault-injection statistics when a fault controller was
             attached to the SoC (see :mod:`repro.faults`), else ``None``.
+        per_hart: per-application-hart breakdown for multi-hart runs
+            (one dict per hart: instructions, stalls, verdict, latency,
+            CFI stats); ``None`` on single-hart runs, whose report is
+            unchanged from the historic shape.
     """
 
     cycles: int
@@ -48,6 +62,7 @@ class SimulationReport:
     ibex_instructions: int = 0
     detection_latency: Optional[int] = None
     faults: Optional[Dict[str, object]] = None
+    per_hart: Optional[List[Dict[str, object]]] = None
 
     @property
     def detected(self) -> bool:
@@ -105,17 +120,24 @@ class SystemSimulator:
               whole instruction *windows* in a tight in-hart loop
               (:meth:`repro.hart.core.Hart.run_n`) whenever the
               interaction analysis proves no cross-component event can
-              occur: the host runs while the CFI path is parked and
-              Ibex is asleep/debt-bound, and Ibex runs the firmware
-              while the host is halted, stalled or debt-bound.
+              occur: an application hart runs while the CFI path is
+              parked and every peer is asleep/halted/debt-bound, Ibex
+              runs the firmware while every application hart is
+              inactive, and concurrently-active application harts run
+              windows fully confined to their disjoint DRAM segments.
 
             The observable timeline is cycle-exact in every mode: all
             ``SimulationReport`` fields and every per-cycle statistic
             match the busy-loop simulation.
+        start_delays: optional per-hart start offsets in cycles
+            (staggered boot): hart ``i`` retires its first instruction
+            after ``start_delays[i]`` cycles.  Modelled as initial cycle
+            debt, so it is engine-invariant by construction.
     """
 
     def __init__(self, soc: TitanCfiSoc, run_rot: bool = True,
-                 event_driven: bool = True, mode: Optional[str] = None):
+                 event_driven: bool = True, mode: Optional[str] = None,
+                 start_delays: Optional[Sequence[int]] = None):
         if mode is None:
             mode = MODE_BATCHED if event_driven else MODE_BUSY
         if mode not in _MODES:
@@ -132,20 +154,45 @@ class SystemSimulator:
         self.event_driven = mode != MODE_BUSY
         self.batched = mode == MODE_BATCHED
         self.now = 0
-        self._host_debt = 0
-        self._ibex_debt = 0
         self.violation: Optional[CfiViolation] = None
-        # Store-safe windows for the batched loops: the host may write
-        # DRAM freely (mailboxes are cross-component), Ibex anything on
-        # its private TL-UL fabric below the TL2AXI bridge (mailbox
-        # writes through the bridge are the firmware's handshake).
+        # Application side, plural; index = topology hart id.
+        self._apps = list(soc.harts)
+        self._commits = list(soc.commits)
+        self._stages = list(soc.cfi_stages)
+        self._live_stages = [s for s in self._stages if s is not None]
+        self._n = len(self._apps)
+        self._single = self._n == 1
+        self._debts = [0] * self._n
+        if start_delays is not None:
+            delays = list(start_delays)
+            if len(delays) != self._n:
+                raise ConfigError(
+                    f"{len(delays)} start delays for {self._n} harts"
+                )
+            for i, delay in enumerate(delays):
+                if not isinstance(delay, int) or delay < 0:
+                    raise ConfigError(f"invalid start delay {delay!r}")
+                self._debts[i] = delay
+        self._ibex_debt = 0
+        # Store-safe windows for the batched loops: an application hart
+        # may write DRAM freely (mailboxes are cross-component), Ibex
+        # anything on its private TL-UL fabric below the TL2AXI bridge
+        # (mailbox writes through the bridge are the firmware's
+        # handshake).  Concurrent multi-hart windows confine each hart
+        # to its own disjoint DRAM segment instead.
         addresses = soc.addresses
         self._host_window = (
-            addresses.dram_base, addresses.dram_base + addresses.dram_size
+            addresses.dram_base, addresses.dram_base + soc.dram.size
         )
         self._ibex_window = (0, addresses.ot_bridge_base)
+        self._seg_windows = [
+            (p.dram_base, p.dram_base + p.dram_size)
+            for p in soc.topology.placements(addresses)
+        ]
         # Component handles hoisted once — the scheduler loop touches
         # them every iteration and the ``self.soc.…`` chains add up.
+        # The scalar handles are the hart-0 aliases the single-hart
+        # fast paths below use.
         self._cva6 = soc.cva6
         self._ibex = soc.rot.ibex
         self._commit = soc.commit
@@ -160,16 +207,32 @@ class SystemSimulator:
         return POLICY_BACKEND_FIRMWARE
 
     def tick(self) -> None:
-        """Advance the whole platform by one cycle."""
-        self.now += 1
+        """Advance the whole platform by one cycle.
 
-        # Host side: commit stage (includes CFI stall protocol).
-        if self._host_debt > 0:
-            self._host_debt -= 1
-        elif not self._cva6.halted:
-            result = self._commit.try_advance()
-            if result is not None and result.cycles > 1:
-                self._host_debt = result.cycles - 1
+        Component order within the cycle (identical in every engine,
+        and the source of the doorbell arbiter's determinism): the
+        application harts in hart-id order, the RoT core / policy host,
+        then every CFI stage in hart-id order.
+        """
+        self.now += 1
+        debts = self._debts
+
+        # Host side: commit stage(s) (includes CFI stall protocol).
+        if self._single:
+            if debts[0] > 0:
+                debts[0] -= 1
+            elif not self._cva6.halted:
+                result = self._commit.try_advance()
+                if result is not None and result.cycles > 1:
+                    debts[0] = result.cycles - 1
+        else:
+            for i in range(self._n):
+                if debts[i] > 0:
+                    debts[i] -= 1
+                elif not self._apps[i].halted:
+                    result = self._commits[i].try_advance()
+                    if result is not None and result.cycles > 1:
+                        debts[i] = result.cycles - 1
 
         # RoT side: Ibex services mailbox interrupts / polls.
         if self.run_rot:
@@ -186,29 +249,45 @@ class SystemSimulator:
         if self._phost is not None:
             self._phost.tick()
 
-        # CFI log writer FSM (may raise CfiViolation on a bad verdict).
-        if self._stage is not None:
-            self._stage.tick()
+        # CFI log writer FSM(s) (may raise CfiViolation on a bad verdict).
+        if self._single:
+            if self._stage is not None:
+                self._stage.tick()
+        else:
+            for stage in self._live_stages:
+                stage.tick()
 
     # -- event-driven fast path ---------------------------------------------------
 
     def _skippable_cycles(self) -> int:
         """Cycles the whole platform can fast-forward with no event.
 
-        The bound is the minimum "next interesting cycle" over the three
-        clocked components: the host commit stage (cycle debt), the Ibex
-        core (cycle debt or WFI sleep) and the CFI log-writer FSM
-        (transaction countdowns).  0 means the very next tick can change
-        state and must be stepped normally.
+        The bound is the minimum "next interesting cycle" over every
+        clocked component: each application hart's commit stage (cycle
+        debt), the Ibex core (cycle debt or WFI sleep) and each CFI
+        log-writer FSM (transaction countdowns).  0 means the very next
+        tick can change state and must be stepped normally.
         """
         bound = _UNBOUNDED
-        if not self._cva6.halted:
-            if self._host_debt > 0:
-                bound = self._host_debt
-            elif not self._commit.stall_skippable():
-                return 0
-            # A skippable stall is bounded below by whoever can release
-            # it (the log writer or the RoT core).
+        debts = self._debts
+        if self._single:
+            if not self._cva6.halted:
+                if debts[0] > 0:
+                    bound = debts[0]
+                elif not self._commit.stall_skippable():
+                    return 0
+                # A skippable stall is bounded below by whoever can
+                # release it (the log writer or the RoT core).
+        else:
+            for i in range(self._n):
+                if self._apps[i].halted:
+                    continue
+                debt = debts[i]
+                if debt > 0:
+                    if debt < bound:
+                        bound = debt
+                elif not self._commits[i].stall_skippable():
+                    return 0
         if self.run_rot:
             ibex = self._ibex
             if not ibex.halted:
@@ -226,13 +305,21 @@ class SystemSimulator:
                 return 0
             if host_bound < bound:
                 bound = host_bound
-        stage = self._stage
-        if stage is not None:
-            writer_bound = stage.skippable_cycles()
-            if writer_bound <= 0:
-                return 0
-            if writer_bound < bound:
-                bound = writer_bound
+        if self._single:
+            stage = self._stage
+            if stage is not None:
+                writer_bound = stage.skippable_cycles()
+                if writer_bound <= 0:
+                    return 0
+                if writer_bound < bound:
+                    bound = writer_bound
+        else:
+            for stage in self._live_stages:
+                writer_bound = stage.skippable_cycles()
+                if writer_bound <= 0:
+                    return 0
+                if writer_bound < bound:
+                    bound = writer_bound
         return 0 if bound >= _UNBOUNDED else bound
 
     def _advance(self, cycles: int) -> None:
@@ -243,10 +330,19 @@ class SystemSimulator:
         log writer's counters advance — without per-cycle dispatch.
         """
         self.now += cycles
-        if self._host_debt > 0:
-            self._host_debt -= min(cycles, self._host_debt)
-        elif not self._cva6.halted and self._commit.stall_skippable():
-            self._commit.skip_stall(cycles)
+        debts = self._debts
+        if self._single:
+            if debts[0] > 0:
+                debts[0] -= min(cycles, debts[0])
+            elif not self._cva6.halted and self._commit.stall_skippable():
+                self._commit.skip_stall(cycles)
+        else:
+            for i in range(self._n):
+                if debts[i] > 0:
+                    debts[i] -= min(cycles, debts[i])
+                elif (not self._apps[i].halted
+                      and self._commits[i].stall_skippable()):
+                    self._commits[i].skip_stall(cycles)
         if self.run_rot:
             ibex = self._ibex
             if self._ibex_debt > 0:
@@ -255,13 +351,17 @@ class SystemSimulator:
                 ibex.sleep_for(cycles)
         if self._phost is not None:
             self._phost.skip(cycles)
-        if self._stage is not None:
-            self._stage.skip(cycles)
+        if self._single:
+            if self._stage is not None:
+                self._stage.skip(cycles)
+        else:
+            for stage in self._live_stages:
+                stage.skip(cycles)
 
     # -- batched fast path --------------------------------------------------------
 
     def _batch_host(self, max_cycles: int) -> bool:
-        """Run the host through one interaction-free instruction window.
+        """Run the (single) host through one interaction-free window.
 
         Eligible when the host is the *only* component that can act for
         the window: commit uninhibited, Ibex unable to execute (asleep
@@ -276,7 +376,8 @@ class SystemSimulator:
         skipped ones.
         """
         cva6 = self._cva6
-        if self._host_debt or cva6.halted or cva6.sleeping:
+        debts = self._debts
+        if debts[0] or cva6.halted or cva6.sleeping:
             return False
         commit = self._commit
         if commit.stalled:
@@ -317,7 +418,7 @@ class SystemSimulator:
         # is exactly the host's remaining cycle debt.
         advanced = min(spent, budget)
         self.now += advanced
-        self._host_debt = spent - advanced
+        debts[0] = spent - advanced
         commit.note_batch_retired(retired)
         if self.run_rot and not ibex.halted:
             if self._ibex_debt > 0:
@@ -333,14 +434,15 @@ class SystemSimulator:
     def _batch_ibex(self, max_cycles: int) -> bool:
         """Run Ibex through one interaction-free firmware window.
 
-        The mirror image of :meth:`_batch_host`: eligible while the host
-        cannot retire anything (halted, stalled on the CFI queue, or
-        debt-bound) and the log-writer FSM cannot transition (its
-        ``skippable_cycles`` bound the window; ``WAIT`` is unbounded
-        because only Ibex's own completion write — a window boundary —
-        releases it).  Stall statistics for the inhibited host replay in
-        bulk through the same :meth:`CommitStage.skip_stall` bookkeeping
-        the event-driven path uses.
+        The mirror image of :meth:`_batch_host`: eligible while no
+        application hart can retire anything (halted, stalled on the
+        CFI queue, or debt-bound) and no log-writer FSM can transition
+        (their ``skippable_cycles`` bound the window; ``WAIT`` is
+        unbounded because only Ibex's own completion write — a window
+        boundary — releases it).  Stall statistics for the inhibited
+        hart(s) replay in bulk through the same
+        :meth:`CommitStage.skip_stall` bookkeeping the event-driven
+        path uses.
         """
         if not self.run_rot:
             return False
@@ -348,18 +450,23 @@ class SystemSimulator:
         if self._ibex_debt or ibex.halted or ibex.sleeping:
             return False
         budget = max_cycles - self.now - 1
-        cva6 = self._cva6
-        host_stalled = False
-        if not cva6.halted:
-            if self._host_debt > 0:
-                if self._host_debt < budget:
-                    budget = self._host_debt
-            elif self._commit.stall_skippable():
-                host_stalled = True
+        debts = self._debts
+        stalled = [False] * self._n
+        sleeping = [False] * self._n
+        for i in range(self._n):
+            hart = self._apps[i]
+            if hart.halted:
+                continue
+            if debts[i] > 0:
+                if debts[i] < budget:
+                    budget = debts[i]
+            elif hart.sleeping:
+                sleeping[i] = True
+            elif self._commits[i].stall_skippable():
+                stalled[i] = True
             else:
                 return False
-        stage = self._stage
-        if stage is not None:
+        for stage in self._live_stages:
             writer_bound = stage.skippable_cycles()
             if writer_bound <= 0:
                 return False
@@ -376,32 +483,38 @@ class SystemSimulator:
             # The window ended by *executing* an out-of-window store
             # (mailbox verdict/completion, doorbell clear...).  Its
             # retire cycle is T; replay everything else's view of
-            # cycles 1..T in order: the host's stall/debt bulk first,
-            # then the writer's T-1 no-change cycles, then its real
-            # tick at T — which observes the store's effects exactly as
-            # the busy loop's same-cycle writer tick would (and may
-            # raise the resulting CfiViolation, caught by run()).
+            # cycles 1..T in order: the harts' stall/debt bulk first,
+            # then each writer's T-1 no-change cycles, then their real
+            # ticks at T in hart order — which observe the store's
+            # effects exactly as the busy loop's same-cycle writer
+            # ticks would (and may raise the resulting CfiViolation,
+            # caught by run()).
             advanced = spent - term_cost + 1
             self._ibex_debt = spent - advanced
         else:
             advanced = min(spent, budget)
             self._ibex_debt = spent - advanced
         self.now += advanced
-        if not cva6.halted:
-            if self._host_debt > 0:
-                self._host_debt -= min(advanced, self._host_debt)
-            elif host_stalled:
-                self._commit.skip_stall(advanced)
-        if stage is not None:
-            if term_cost:
+        for i in range(self._n):
+            if debts[i] > 0:
+                debts[i] -= min(advanced, debts[i])
+            elif sleeping[i]:
+                self._apps[i].sleep_for(advanced)
+            elif stalled[i]:
+                self._commits[i].skip_stall(advanced)
+        if term_cost:
+            for stage in self._live_stages:
                 stage.skip(advanced - 1)
+            for stage in self._live_stages:
                 stage.tick()
-            else:
+        else:
+            for stage in self._live_stages:
                 stage.skip(advanced)
         return True
 
     def _batch_dual(self, max_cycles: int) -> bool:
-        """Run *both* harts through one fully-isolated window.
+        """Run the single host *and* Ibex through one fully-isolated
+        window.
 
         Covers the phase neither solo window can: host and Ibex both
         actively executing (e.g. the host retiring between commit-log
@@ -425,7 +538,8 @@ class SystemSimulator:
             return False
         cva6 = self._cva6
         ibex = self._ibex
-        if self._host_debt or cva6.halted or cva6.sleeping:
+        debts = self._debts
+        if debts[0] or cva6.halted or cva6.sleeping:
             return False
         if self._ibex_debt or ibex.halted or ibex.sleeping:
             return False
@@ -463,34 +577,233 @@ class SystemSimulator:
         advanced = host_spent if host_spent < span else span
         self.now += advanced
         self._ibex_debt = ibex_spent - advanced
-        self._host_debt = host_spent - advanced
+        debts[0] = host_spent - advanced
         if host_retired:
             self._commit.note_batch_retired(host_retired)
         if stage is not None and advanced:
             stage.skip(advanced)
         return True
 
+    def _batch_solo(self, idx: int, max_cycles: int) -> bool:
+        """Run application hart ``idx`` through one window while every
+        peer hart is provably inert (multi-hart generalisation of
+        :meth:`_batch_host`: "peer hart parked" becomes "all peer harts
+        parked/bounded").
+
+        A halted/sleeping/stall-skippable peer replays in bulk exactly
+        as the event-driven path replays it; a debt-bound peer bounds
+        the window so it cannot resume inside it.
+        """
+        apps = self._apps
+        debts = self._debts
+        hart = apps[idx]
+        budget = max_cycles - self.now - 1
+        sleeping_peers: List[int] = []
+        stalled_peers: List[int] = []
+        for j in range(self._n):
+            if j == idx:
+                continue
+            peer = apps[j]
+            if peer.halted:
+                continue
+            if debts[j] > 0:
+                if debts[j] < budget:
+                    budget = debts[j]
+            elif peer.sleeping:
+                sleeping_peers.append(j)
+            elif self._commits[j].stall_skippable():
+                stalled_peers.append(j)
+            else:
+                return False
+        ibex = self._ibex
+        if self.run_rot and not ibex.halted:
+            if self._ibex_debt > 0:
+                if self._ibex_debt < budget:
+                    budget = self._ibex_debt
+            elif not ibex.sleeping or ibex.interrupt_pending:
+                return False
+        phost = self._phost
+        if phost is not None:
+            host_bound = phost.skippable_cycles()
+            if host_bound <= 0:
+                return False
+            if host_bound < budget:
+                budget = host_bound
+        for stage in self._live_stages:
+            writer_bound = stage.skippable_cycles()
+            if writer_bound <= 0:
+                return False
+            if writer_bound < budget:
+                budget = writer_bound
+        if budget <= 0:
+            return False
+        retired, spent, _term = hart.run_n(
+            budget, *self._host_window, stop_before_cfi=True
+        )
+        if not retired:
+            return False
+        advanced = min(spent, budget)
+        self.now += advanced
+        debts[idx] = spent - advanced
+        self._commits[idx].note_batch_retired(retired)
+        for j in range(self._n):
+            if j != idx and debts[j] > 0:
+                debts[j] -= min(advanced, debts[j])
+        for j in sleeping_peers:
+            apps[j].sleep_for(advanced)
+        for j in stalled_peers:
+            self._commits[j].skip_stall(advanced)
+        if self.run_rot and not ibex.halted:
+            if self._ibex_debt > 0:
+                self._ibex_debt -= min(advanced, self._ibex_debt)
+            elif ibex.sleeping:
+                ibex.sleep_for(advanced)
+        if phost is not None:
+            phost.skip(advanced)
+        for stage in self._live_stages:
+            stage.skip(advanced)
+        return True
+
+    def _batch_apps(self, active: List[int], max_cycles: int) -> bool:
+        """Run several concurrently-active application harts through
+        fully-confined windows (the multi-hart analogue of
+        :meth:`_batch_dual`).
+
+        Soundness: each active hart's window allows loads *and* stores
+        only inside its own disjoint DRAM segment, every window stops
+        before CFI-relevant instructions (nothing reaches the shared
+        mailbox path), the writers / policy host are bounded, and no
+        application hart has a wired interrupt line.  Each hart's
+        run-ahead past the jointly-accounted span melts as cycle debt,
+        exactly as the dual window treats Ibex run-ahead.
+        """
+        apps = self._apps
+        debts = self._debts
+        budget = max_cycles - self.now - 1
+        sleeping_peers: List[int] = []
+        stalled_peers: List[int] = []
+        active_set = set(active)
+        for j in range(self._n):
+            if j in active_set:
+                if apps[j]._irq_wired:
+                    return False
+                continue
+            peer = apps[j]
+            if peer.halted:
+                continue
+            if debts[j] > 0:
+                if debts[j] < budget:
+                    budget = debts[j]
+            elif peer.sleeping:
+                sleeping_peers.append(j)
+            elif self._commits[j].stall_skippable():
+                stalled_peers.append(j)
+            else:
+                return False
+        ibex = self._ibex
+        if self.run_rot and not ibex.halted:
+            if self._ibex_debt > 0:
+                if self._ibex_debt < budget:
+                    budget = self._ibex_debt
+            elif not ibex.sleeping or ibex.interrupt_pending:
+                return False
+        phost = self._phost
+        if phost is not None:
+            host_bound = phost.skippable_cycles()
+            if host_bound <= 0:
+                return False
+            if host_bound < budget:
+                budget = host_bound
+        for stage in self._live_stages:
+            writer_bound = stage.skippable_cycles()
+            if writer_bound <= 0:
+                return False
+            if writer_bound < budget:
+                budget = writer_bound
+        if budget <= 0:
+            return False
+        spans: List[int] = []
+        retirements: List[int] = []
+        total_retired = 0
+        for i in active:
+            retired, spent, _term = apps[i].run_n(
+                budget, *self._seg_windows[i],
+                stop_before_cfi=True, confined=True,
+            )
+            spans.append(spent)
+            retirements.append(retired)
+            total_retired += retired
+        if not total_retired:
+            return False
+        advanced = min(min(spans), budget)
+        self.now += advanced
+        for pos, i in enumerate(active):
+            debts[i] = spans[pos] - advanced
+            if retirements[pos]:
+                self._commits[i].note_batch_retired(retirements[pos])
+        if advanced == 0:
+            # Run-ahead was recorded as debt but the joint clock did
+            # not move (some hart stopped on an immediate boundary);
+            # the caller's fixed-point loop re-dispatches with the
+            # stopped hart now solo.
+            return True
+        for j in range(self._n):
+            if j not in active_set and debts[j] > 0:
+                debts[j] -= min(advanced, debts[j])
+        for j in sleeping_peers:
+            apps[j].sleep_for(advanced)
+        for j in stalled_peers:
+            self._commits[j].skip_stall(advanced)
+        if self.run_rot and not ibex.halted:
+            if self._ibex_debt > 0:
+                self._ibex_debt -= min(advanced, self._ibex_debt)
+            elif ibex.sleeping:
+                ibex.sleep_for(advanced)
+        if phost is not None:
+            phost.skip(advanced)
+        for stage in self._live_stages:
+            stage.skip(advanced)
+        return True
+
     def _batch_any(self, max_cycles: int) -> bool:
         """Dispatch to the one window shape the current state allows.
 
-        At most one of the three windows can be eligible — a host
-        window needs Ibex parked/debt-bound, an Ibex window an inactive
-        host, and the dual window both harts active — so one cheap
-        state probe picks the candidate instead of running all three
-        eligibility prologues every scheduler iteration.
+        Single-hart: at most one of the three windows can be eligible —
+        a host window needs Ibex parked/debt-bound, an Ibex window an
+        inactive host, and the dual window both harts active — so one
+        cheap state probe picks the candidate instead of running all
+        three eligibility prologues every scheduler iteration.
+
+        Multi-hart: the probe classifies the application harts into the
+        currently-active set and picks a solo, multi-confined or
+        firmware window accordingly.
         """
-        cva6 = self._cva6
-        if not (self._host_debt or cva6.halted or cva6.sleeping
-                or self._commit.stalled):
-            ibex = self._ibex
-            if (self.run_rot and not self._ibex_debt
-                    and not ibex.halted and not ibex.sleeping):
-                return self._batch_dual(max_cycles)
-            return self._batch_host(max_cycles)
-        return self._batch_ibex(max_cycles)
+        debts = self._debts
+        if self._single:
+            cva6 = self._cva6
+            if not (debts[0] or cva6.halted or cva6.sleeping
+                    or self._commit.stalled):
+                ibex = self._ibex
+                if (self.run_rot and not self._ibex_debt
+                        and not ibex.halted and not ibex.sleeping):
+                    return self._batch_dual(max_cycles)
+                return self._batch_host(max_cycles)
+            return self._batch_ibex(max_cycles)
+        active: List[int] = []
+        for i in range(self._n):
+            hart = self._apps[i]
+            if not (debts[i] or hart.halted or hart.sleeping
+                    or self._commits[i].stalled):
+                active.append(i)
+        if not active:
+            return self._batch_ibex(max_cycles)
+        if len(active) == 1:
+            return self._batch_solo(active[0], max_cycles)
+        return self._batch_apps(active, max_cycles)
 
     def run(self, max_cycles: int = 10_000_000) -> SimulationReport:
-        """Run until the host halts and the CFI pipeline drains.
+        """Run until every application hart halts and the CFI pipeline
+        drains.
 
         A CFI violation stops the run immediately and is reported, not
         re-raised — detection is the expected outcome of attack runs.
@@ -500,7 +813,7 @@ class SystemSimulator:
         try:
             while self.now < max_cycles:
                 self.tick()
-                if self._cva6.halted and self._quiescent():
+                if self._all_halted() and self._quiescent():
                     break
                 if event_driven:
                     # Apply clock jumps and batched windows to a fixed
@@ -529,32 +842,106 @@ class SystemSimulator:
             self.violation = violation
         return self.report()
 
+    def _all_halted(self) -> bool:
+        if self._single:
+            return self._cva6.halted
+        return all(hart.halted for hart in self._apps)
+
     def _quiescent(self) -> bool:
-        if self.soc.cfi_stage is None:
-            return True
-        return self.soc.cfi_stage.quiescent and not self.soc.commit.stalled
+        for stage, commit in zip(self._stages, self._commits):
+            if stage is not None and not stage.quiescent:
+                return False
+            if commit.stalled:
+                return False
+        return True
 
     def report(self) -> SimulationReport:
         """Snapshot the run's statistics."""
-        cfi_stats: Dict[str, object] = {}
-        if self.soc.cfi_stage is not None:
-            cfi_stats = self.soc.cfi_stage.stats_summary()
-        violation = self.violation or (
-            self.soc.cfi_stage.violation if self.soc.cfi_stage else None
+        if self._single:
+            cfi_stats: Dict[str, object] = {}
+            if self._stage is not None:
+                cfi_stats = self._stage.stats_summary()
+            violation = self.violation or (
+                self._stage.violation if self._stage is not None else None
+            )
+            return SimulationReport(
+                cycles=self.now,
+                host_instructions=self._cva6.instret,
+                host_stall_cycles=self._commit.stall_cycles,
+                violation=violation,
+                cfi=cfi_stats,
+                ibex_instructions=self._ibex.instret,
+                detection_latency=(
+                    cfi_stats.get("first_violation_latency") if violation else None
+                ),
+                faults=(
+                    self.soc.faults.stats_summary()
+                    if getattr(self.soc, "faults", None) is not None
+                    else None
+                ),
+            )
+        return self._report_multi()
+
+    def _report_multi(self) -> SimulationReport:
+        per_hart: List[Dict[str, object]] = []
+        aggregate: Dict[str, object] = {}
+        first_violation: Optional[CfiViolation] = None
+        first_latency: Optional[int] = None
+        latency_samples = 0
+        latency_sum = 0.0
+        for i in range(self._n):
+            stage = self._stages[i]
+            stats = stage.stats_summary() if stage is not None else {}
+            hart_violation = stage.violation if stage is not None else None
+            entry: Dict[str, object] = {
+                "hart": i,
+                "instructions": self._apps[i].instret,
+                "stall_cycles": self._commits[i].stall_cycles,
+                "detected": hart_violation is not None,
+                "violation_kind": (
+                    hart_violation.kind if hart_violation is not None else None
+                ),
+                "detection_latency": (
+                    stats.get("first_violation_latency")
+                    if hart_violation is not None else None
+                ),
+                "cfi": stats,
+            }
+            per_hart.append(entry)
+            if hart_violation is not None and first_violation is None:
+                first_violation = hart_violation
+                first_latency = entry["detection_latency"]
+            for key in ("examined", "selected", "full_stalls",
+                        "conflict_stalls", "logs_sent", "checks_completed",
+                        "violations"):
+                if key in stats:
+                    aggregate[key] = aggregate.get(key, 0) + stats[key]
+            checks = stats.get("checks_completed", 0)
+            if checks:
+                latency_samples += checks
+                latency_sum += stats.get("mean_check_latency", 0.0) * checks
+            if "queue_high_water" in stats:
+                aggregate["queue_high_water"] = max(
+                    aggregate.get("queue_high_water", 0),
+                    stats["queue_high_water"],
+                )
+        aggregate["mean_check_latency"] = (
+            latency_sum / latency_samples if latency_samples else 0.0
         )
+        aggregate["first_violation_latency"] = first_latency
+        violation = self.violation or first_violation
         return SimulationReport(
             cycles=self.now,
-            host_instructions=self.soc.cva6.instret,
-            host_stall_cycles=self.soc.commit.stall_cycles,
+            host_instructions=sum(h.instret for h in self._apps),
+            host_stall_cycles=sum(c.stall_cycles for c in self._commits),
             violation=violation,
-            cfi=cfi_stats,
-            ibex_instructions=self.soc.rot.ibex.instret,
-            detection_latency=(
-                cfi_stats.get("first_violation_latency") if violation else None
-            ),
+            cfi=aggregate,
+            ibex_instructions=self._ibex.instret,
+            detection_latency=first_latency if violation is not None else None,
             faults=(
                 self.soc.faults.stats_summary()
                 if getattr(self.soc, "faults", None) is not None
                 else None
             ),
+            per_hart=per_hart,
         )

@@ -4,16 +4,25 @@
 stage tapped into its commit stage, the AXI host crossbar with an IOPMP
 guard on the CFI mailbox, both mailboxes, and the OpenTitan RoT behind
 the TL2AXI bridge with its PLIC listening to the CFI doorbell.
+
+A :class:`~repro.system.topology.Topology` scales the application side:
+N CVA6-class harts, each with a private DRAM segment and its own commit
+pipeline + CFI stage, all sharing the single CFI mailbox through a
+round-robin :class:`~repro.soc.mailbox.DoorbellArbiter` in front of the
+one Ibex monitor.  The default single-hart topology reproduces the
+historic fixed two-hart SoC byte- and cycle-exactly (no arbiter object,
+no hart-id tagging — identical wire traffic).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 from repro.core.config import TitanCfiConfig
 from repro.core.stage import CfiStage
 from repro.cva6.commit import CommitStage
+from repro.errors import UnknownHartError
 from repro.hart.core import Hart
 from repro.hart.ports import MapPort
 from repro.hart.timing import Cva6Timing
@@ -22,9 +31,10 @@ from repro.mem.map import MemoryMap
 from repro.mem.memory import Ram
 from repro.opentitan.rot import OpenTitan, RotConfig
 from repro.soc.axi import AxiTimings, AxiXbar
-from repro.soc.mailbox import CfiMailbox, Mailbox
+from repro.soc.mailbox import CfiMailbox, DoorbellArbiter, Mailbox
 from repro.soc.pmp import IoPmp
 from repro.system.addresses import CFI_IRQ_SOURCE, SCMI_IRQ_SOURCE, AddressMap
+from repro.system.topology import Topology
 
 
 @dataclass(frozen=True)
@@ -42,11 +52,17 @@ class FabricProfile:
 
 
 class TitanCfiSoc:
-    """Handle to every component of a built system."""
+    """Handle to every component of a built system.
+
+    The application side is plural — ``harts[i]`` / ``commits[i]`` /
+    ``cfi_stages[i]`` for topology hart ``i`` — with the single-hart
+    aliases ``cva6`` / ``commit`` / ``cfi_stage`` bound to hart 0.
+    """
 
     def __init__(
         self,
         addresses: AddressMap,
+        topology: Topology,
         host_map: MemoryMap,
         axi: AxiXbar,
         pmp: IoPmp,
@@ -54,11 +70,13 @@ class TitanCfiSoc:
         cfi_mailbox: CfiMailbox,
         scmi_mailbox: Mailbox,
         rot: OpenTitan,
-        cva6: Hart,
-        cfi_stage: Optional[CfiStage],
-        commit: CommitStage,
+        harts: List[Hart],
+        cfi_stages: List[Optional[CfiStage]],
+        commits: List[CommitStage],
+        doorbell_arbiter: Optional[DoorbellArbiter] = None,
     ):
         self.addresses = addresses
+        self.topology = topology
         self.host_map = host_map
         self.axi = axi
         self.pmp = pmp
@@ -66,9 +84,14 @@ class TitanCfiSoc:
         self.cfi_mailbox = cfi_mailbox
         self.scmi_mailbox = scmi_mailbox
         self.rot = rot
-        self.cva6 = cva6
-        self.cfi_stage = cfi_stage
-        self.commit = commit
+        self.harts = harts
+        self.cfi_stages = cfi_stages
+        self.commits = commits
+        self.doorbell_arbiter = doorbell_arbiter
+        # Hart-0 aliases: the entire single-hart API surface.
+        self.cva6 = harts[0]
+        self.cfi_stage = cfi_stages[0]
+        self.commit = commits[0]
         #: Python policy agent serving the CFI mailbox in place of the
         #: Ibex firmware, if one is mounted (see
         #: :func:`repro.policyhost.mount_policy_host`).  The
@@ -79,10 +102,17 @@ class TitanCfiSoc:
         #: hook in the transport/monitor path is a no-op.
         self.faults = None
 
-    def load_host_program(self, program: Program) -> None:
-        """Load a CVA6 program image and point the host core at it."""
+    @property
+    def n_harts(self) -> int:
+        """Number of application harts (the Ibex monitor not included)."""
+        return len(self.harts)
+
+    def load_host_program(self, program: Program, hart_id: int = 0) -> None:
+        """Load a program image and point one application hart at it."""
+        if not 0 <= hart_id < len(self.harts):
+            raise UnknownHartError(hart_id, len(self.harts))
         self.host_map.write_bytes(program.base, program.data)
-        self.cva6.pc = program.base
+        self.harts[hart_id].pc = program.base
 
     def load_firmware(self, image: bytes) -> None:
         """Load the CFI firmware into the RoT boot ROM."""
@@ -96,6 +126,7 @@ def build_soc(
     protect_mailbox: bool = True,
     with_cfi: bool = True,
     wake_cycles: int = 45,
+    topology: Optional[Topology] = None,
 ) -> TitanCfiSoc:
     """Assemble the reference SoC.
 
@@ -108,15 +139,21 @@ def build_soc(
         with_cfi: when False, builds the unprotected baseline platform
             (used to measure raw execution cycles).
         wake_cycles: Ibex doorbell→wake latency.
+        topology: application-side layout; ``None`` builds the historic
+            single protected hart.
     """
     amap = addresses or AddressMap()
+    topo = topology or Topology()
     config = cfi_config or TitanCfiConfig(mailbox_base=amap.cfi_mailbox_base)
+    placements = topo.placements(amap)
+    multihart = topo.n_harts > 1
 
     host_map = MemoryMap("host")
-    dram = Ram(amap.dram_size, "dram")
+    dram_base, dram_end = topo.dram_extent(amap)
+    dram = Ram(dram_end - dram_base, "dram")
     cfi_mailbox = CfiMailbox()
     scmi_mailbox = Mailbox(name="scmi-mailbox")
-    host_map.add(amap.dram_base, dram, latency=1, tag="dram", name="dram")
+    host_map.add(dram_base, dram, latency=1, tag="dram", name="dram")
     host_map.add(amap.cfi_mailbox_base, cfi_mailbox, latency=1,
                  tag="cfi-mailbox", name="cfi-mailbox")
     host_map.add(amap.scmi_mailbox_base, scmi_mailbox, latency=1,
@@ -143,19 +180,41 @@ def build_soc(
         lambda level: rot.plic.set_level(SCMI_IRQ_SOURCE, level)
     )
 
-    cva6 = Hart(
-        MapPort(host_map),
-        Cva6Timing(),
-        xlen=64,
-        reset_pc=amap.dram_base,
-        name="cva6",
-    )
+    # The arbiter only exists when there is something to arbitrate: the
+    # single-hart SoC keeps the writer's historic ungated fast path.
+    arbiter = DoorbellArbiter(topo.n_harts) if (multihart and with_cfi) else None
 
-    cfi_stage = CfiStage(axi, cfi_mailbox, config) if with_cfi else None
-    commit = CommitStage(cva6, cfi_stage)
+    harts: List[Hart] = []
+    cfi_stages: List[Optional[CfiStage]] = []
+    commits: List[CommitStage] = []
+    for placement in placements:
+        name = "cva6" if not multihart else f"cva6.{placement.hart_id}"
+        hart = Hart(
+            MapPort(host_map),
+            Cva6Timing(),
+            xlen=64,
+            reset_pc=placement.dram_base,
+            name=name,
+        )
+        stage = (
+            CfiStage(
+                axi,
+                cfi_mailbox,
+                config,
+                hart_id=placement.hart_id,
+                arbiter=arbiter,
+                tag_hart_id=multihart,
+            )
+            if with_cfi
+            else None
+        )
+        harts.append(hart)
+        cfi_stages.append(stage)
+        commits.append(CommitStage(hart, stage))
 
     return TitanCfiSoc(
         addresses=amap,
+        topology=topo,
         host_map=host_map,
         axi=axi,
         pmp=pmp,
@@ -163,7 +222,8 @@ def build_soc(
         cfi_mailbox=cfi_mailbox,
         scmi_mailbox=scmi_mailbox,
         rot=rot,
-        cva6=cva6,
-        cfi_stage=cfi_stage,
-        commit=commit,
+        harts=harts,
+        cfi_stages=cfi_stages,
+        commits=commits,
+        doorbell_arbiter=arbiter,
     )

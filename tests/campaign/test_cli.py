@@ -135,6 +135,71 @@ class TestCompare:
         assert "verdict flips: none" in out
 
 
+class TestCompareDisjointSets:
+    """``report --compare`` across campaigns whose scenario sets only
+    partially overlap — or not at all.  Comparison pairs by name, so
+    unmatched cells must land in added/removed (never crash, never
+    count as flips)."""
+
+    @pytest.fixture(scope="class")
+    def payload_disjoint(self):
+        from repro.campaign.aggregate import finalize
+
+        matrix = expand_grid(
+            victim=["fwd-jump", "indirect-clean"],
+            policy=["forward-edge"],
+        )
+        return finalize(run_campaign(matrix, jobs=1, campaign_seed=11))
+
+    def test_fully_disjoint_sets_compare_cleanly(self, payload,
+                                                 payload_disjoint):
+        from repro.campaign.aggregate import compare_payloads
+
+        comparison = compare_payloads(payload, payload_disjoint)
+        assert comparison["scenarios"]["common"] == 0
+        assert len(comparison["scenarios"]["removed"]) == len(
+            payload["scenarios"]
+        )
+        assert len(comparison["scenarios"]["added"]) == len(
+            payload_disjoint["scenarios"]
+        )
+        assert comparison["verdict_flips"] == []
+        assert comparison["latency"]["per_scenario_changes"] == []
+        # No policy exists on both sides: no rate deltas, not a crash.
+        assert comparison["detection_rate_delta"] == {}
+
+    def test_fully_disjoint_sets_render(self, payload, payload_disjoint):
+        from repro.campaign.aggregate import compare_payloads, render_comparison
+
+        text = render_comparison(compare_payloads(payload, payload_disjoint))
+        assert "0 common" in text
+        assert "verdict flips: none" in text
+
+    def test_shrunk_matrix_reported_as_removed(self, payload):
+        from repro.campaign.aggregate import compare_payloads, finalize
+
+        matrix = expand_grid(victim=["benign", "rop"],
+                             policy=["shadow-stack"])
+        subset = finalize(run_campaign(matrix, jobs=1, campaign_seed=11))
+        comparison = compare_payloads(payload, subset)
+        assert comparison["scenarios"]["common"] == len(subset["scenarios"])
+        assert comparison["scenarios"]["added"] == []
+        assert len(comparison["scenarios"]["removed"]) == (
+            len(payload["scenarios"]) - len(subset["scenarios"])
+        )
+        assert comparison["verdict_flips"] == []
+
+    def test_cli_compare_tolerates_disjoint_artifacts(
+            self, payload, payload_disjoint, tmp_path, capsys):
+        paths_a = write_artifacts(payload, tmp_path / "a")
+        paths_b = write_artifacts(payload_disjoint, tmp_path / "b")
+        code = main(["report", "--compare", str(paths_a["json"]),
+                     str(paths_b["json"])])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 common" in out
+
+
 class TestCli:
     def test_list(self, capsys):
         assert main(["list", "--matrix", "smoke"]) == 0

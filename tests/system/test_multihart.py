@@ -1,0 +1,265 @@
+"""N-hart topologies must be cycle-exact in every engine — and the
+single-hart topology must be cycle-identical to the historic SoC.
+
+Mirrors ``tests/system/test_batched.py`` for the multi-hart subsystem:
+every report field (including the per-hart breakdown and aggregated CFI
+statistics) must be identical across the busy, event-driven and batched
+engines, and a ``Topology()`` SoC must be indistinguishable from one
+built without a topology at all.
+"""
+
+import random
+
+import pytest
+
+from repro.campaign.spec import VICTIMS
+from repro.core.config import TitanCfiConfig
+from repro.errors import ConfigError
+from repro.firmware.policies import (
+    CompositePolicy,
+    CryptoReturnPolicy,
+    ShadowStackPolicy,
+)
+from repro.firmware.shadow_stack import FirmwareLayout, shadow_stack_firmware
+from repro.policyhost import mount_policy_host
+from repro.system.sim import MODE_BATCHED, MODE_BUSY, MODE_EVENT, SystemSimulator
+from repro.system.soc import build_soc
+from repro.system.topology import Topology
+
+MODES = (MODE_BUSY, MODE_EVENT, MODE_BATCHED)
+
+#: Hand-written (non-synthetic) victims usable on any hart.
+CORPUS = sorted(name for name, spec in VICTIMS.items() if not spec.synthetic)
+
+
+def _report_key(report):
+    return (
+        report.cycles,
+        report.host_instructions,
+        report.host_stall_cycles,
+        report.ibex_instructions,
+        report.detected,
+        report.detection_latency,
+        report.cfi,
+        report.per_hart,
+    )
+
+
+def _build_multihart(victims, policy_factory=ShadowStackPolicy, seed=1234):
+    topo = Topology(n_harts=len(victims))
+    soc = build_soc(
+        cfi_config=TitanCfiConfig(raise_on_violation=False), topology=topo
+    )
+    for hart_id, victim in enumerate(victims):
+        amap = topo.address_map(hart_id, soc.addresses)
+        program = VICTIMS[victim].builder(amap, random.Random(seed + hart_id))
+        soc.load_host_program(program, hart_id=hart_id)
+    mount_policy_host(soc, policy_factory())
+    return soc
+
+
+def _run_multihart(victims, mode, policy_factory=ShadowStackPolicy,
+                   seed=1234, start_delays=None):
+    soc = _build_multihart(victims, policy_factory=policy_factory, seed=seed)
+    report = SystemSimulator(soc, mode=mode, start_delays=start_delays).run()
+    return report, soc
+
+
+class TestSingleHartIdentity:
+    """``Topology()`` must be invisible: same SoC, same timeline."""
+
+    @pytest.mark.parametrize("victim", sorted(VICTIMS))
+    def test_firmware_reports_identical_to_legacy(self, victim):
+        keys = []
+        for topology in (None, Topology()):
+            soc = build_soc(topology=topology)
+            firmware = shadow_stack_firmware("irq", FirmwareLayout(soc.addresses))
+            soc.load_firmware(firmware.data)
+            program = VICTIMS[victim].builder(soc.addresses, random.Random(1234))
+            soc.load_host_program(program)
+            keys.append(_report_key(SystemSimulator(soc).run()))
+        assert keys[0] == keys[1]
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("victim", ["benign", "rop", "deep-recursion"])
+    def test_every_engine_matches_legacy(self, victim, mode):
+        keys = []
+        for topology in (None, Topology()):
+            soc = build_soc(topology=topology)
+            firmware = shadow_stack_firmware("irq", FirmwareLayout(soc.addresses))
+            soc.load_firmware(firmware.data)
+            program = VICTIMS[victim].builder(soc.addresses, random.Random(1234))
+            soc.load_host_program(program)
+            keys.append(_report_key(SystemSimulator(soc, mode=mode).run()))
+        assert keys[0] == keys[1]
+
+    @pytest.mark.parametrize(
+        "policy_factory", [ShadowStackPolicy, CryptoReturnPolicy]
+    )
+    def test_policy_host_matches_legacy(self, policy_factory):
+        keys = []
+        for topology in (None, Topology()):
+            soc = build_soc(
+                cfi_config=TitanCfiConfig(raise_on_violation=False),
+                topology=topology,
+            )
+            program = VICTIMS["rop"].builder(soc.addresses, random.Random(1234))
+            soc.load_host_program(program)
+            mount_policy_host(soc, policy_factory())
+            keys.append(_report_key(SystemSimulator(soc).run()))
+        assert keys[0] == keys[1]
+
+    def test_single_hart_report_has_no_per_hart_breakdown(self):
+        soc = build_soc(topology=Topology())
+        firmware = shadow_stack_firmware("irq", FirmwareLayout(soc.addresses))
+        soc.load_firmware(firmware.data)
+        program = VICTIMS["benign"].builder(soc.addresses, random.Random(1234))
+        soc.load_host_program(program)
+        assert SystemSimulator(soc).run().per_hart is None
+
+
+class TestMultiHartEngineEquivalence:
+    """All three engines, field-for-field, per-hart included."""
+
+    @pytest.mark.parametrize("victims", [
+        ("rop", "benign"),
+        ("benign", "rop"),
+        ("jop", "deep-recursion", "indirect-clean"),
+        ("rop", "deep-recursion", "deep-recursion", "deep-recursion"),
+    ])
+    def test_reports_identical_across_modes(self, victims):
+        reference = None
+        for mode in MODES:
+            report, _ = _run_multihart(victims, mode)
+            key = _report_key(report)
+            if reference is None:
+                reference = key
+            else:
+                assert key == reference, (victims, mode)
+
+    @pytest.mark.parametrize("policy_factory", [CryptoReturnPolicy,
+                                                ShadowStackPolicy])
+    def test_policies_identical_across_modes(self, policy_factory):
+        keys = [
+            _report_key(_run_multihart(("rop", "deep-recursion"), mode,
+                                       policy_factory=policy_factory)[0])
+            for mode in MODES
+        ]
+        assert keys[0] == keys[1] == keys[2]
+
+    def test_architectural_state_identical(self):
+        snapshots = []
+        for mode in MODES:
+            _, soc = _run_multihart(("rop", "benign", "deep-recursion"), mode)
+            snapshots.append(tuple(
+                (hart.regs.snapshot(), hart.cycle) for hart in soc.harts
+            ))
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+
+    def test_staggered_start_identical_across_modes(self):
+        keys = [
+            _report_key(_run_multihart(
+                ("rop", "deep-recursion", "benign", "deep-recursion"), mode,
+                start_delays=[0, 700, 1400, 2100])[0])
+            for mode in MODES
+        ]
+        assert keys[0] == keys[1] == keys[2]
+
+
+class TestPerHartReport:
+    def test_attack_hart_flagged_peers_clean(self):
+        report, _ = _run_multihart(("rop", "benign"), MODE_BATCHED)
+        assert report.detected
+        assert report.per_hart is not None and len(report.per_hart) == 2
+        attacker, peer = report.per_hart
+        assert attacker["hart"] == 0 and attacker["detected"]
+        assert attacker["violation_kind"] is not None
+        assert attacker["detection_latency"] == report.detection_latency
+        assert peer["hart"] == 1 and not peer["detected"]
+        assert peer["detection_latency"] is None
+
+    def test_attack_on_peer_hart_attributed_correctly(self):
+        report, _ = _run_multihart(("benign", "benign", "rop"), MODE_BATCHED)
+        assert report.detected
+        flagged = [h for h in report.per_hart if h["detected"]]
+        assert [h["hart"] for h in flagged] == [2]
+        assert report.detection_latency == flagged[0]["detection_latency"]
+
+    def test_aggregate_cfi_sums_per_hart_stages(self):
+        report, _ = _run_multihart(("rop", "deep-recursion"), MODE_BATCHED)
+        for counter in ("examined", "selected", "logs_sent",
+                        "checks_completed", "full_stalls"):
+            assert report.cfi[counter] == sum(
+                h["cfi"].get(counter, 0) for h in report.per_hart
+            )
+        assert report.cfi["queue_high_water"] == max(
+            h["cfi"].get("queue_high_water", 0) for h in report.per_hart
+        )
+        assert report.host_instructions == sum(
+            h["instructions"] for h in report.per_hart
+        )
+
+    def test_policy_host_demultiplexes_per_hart_stats(self):
+        _, soc = _run_multihart(("rop", "benign"), MODE_BATCHED)
+        summary = soc.policy_host.stats_summary()
+        per_hart = summary["per_hart"]
+        assert len(per_hart) == 2
+        assert all(entry["checks"] > 0 for entry in per_hart)
+
+
+class TestStartDelayValidation:
+    def test_wrong_length_rejected(self):
+        soc = _build_multihart(("benign", "benign"))
+        with pytest.raises(ConfigError):
+            SystemSimulator(soc, start_delays=[0])
+
+    @pytest.mark.parametrize("delay", [-1, 1.5, "0"])
+    def test_bad_delay_rejected(self, delay):
+        soc = _build_multihart(("benign", "benign"))
+        with pytest.raises(ConfigError):
+            SystemSimulator(soc, start_delays=[0, delay])
+
+    def test_stagger_defers_peer_work(self):
+        prompt, _ = _run_multihart(("benign", "benign"), MODE_BATCHED)
+        delayed, _ = _run_multihart(("benign", "benign"), MODE_BATCHED,
+                                    start_delays=[0, 5000])
+        assert delayed.cycles > prompt.cycles
+        assert (delayed.host_instructions == prompt.host_instructions)
+
+
+class TestPerHartPolicyContexts:
+    def test_context_zero_is_the_policy_itself(self):
+        policy = ShadowStackPolicy()
+        assert policy.context(0) is policy
+
+    def test_contexts_spawn_lazily_and_cache(self):
+        policy = ShadowStackPolicy(capacity=7)
+        ctx = policy.context(3)
+        assert ctx is not policy
+        assert isinstance(ctx, ShadowStackPolicy)
+        assert ctx.capacity == 7
+        assert policy.context(3) is ctx
+
+    def test_composite_spawns_member_contexts(self):
+        policy = CompositePolicy([ShadowStackPolicy(), CryptoReturnPolicy()])
+        ctx = policy.context(1)
+        assert isinstance(ctx, CompositePolicy)
+        assert ctx is not policy
+
+    def test_install_context_rejects_hart_zero(self):
+        policy = ShadowStackPolicy()
+        with pytest.raises(ConfigError):
+            policy.install_context(0, ShadowStackPolicy())
+
+    def test_install_context_overrides_spawn(self):
+        policy = ShadowStackPolicy()
+        provisioned = ShadowStackPolicy(capacity=3)
+        policy.install_context(1, provisioned)
+        assert policy.context(1) is provisioned
+
+    def test_reset_resets_every_context(self):
+        policy = ShadowStackPolicy()
+        ctx = policy.context(1)
+        ctx.stack.append(0xDEADBEEF)
+        policy.reset()
+        assert ctx.stack == []
