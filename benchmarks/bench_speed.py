@@ -171,9 +171,9 @@ SATURATION_NS = (1, 2, 4, 8)
 SATURATION_SEEDS = (1234, 2345, 3456, 4567, 5678)
 
 
-def _build_multihart_soc(n: int, victims, seed: int):
+def _build_multihart_soc(n: int, victims, seed: int, lossy: bool = False):
     topo = Topology(n_harts=n)
-    config = TitanCfiConfig(raise_on_violation=False)
+    config = TitanCfiConfig(raise_on_violation=False, lossy=lossy)
     soc = build_soc(cfi_config=config, topology=topo)
     for hart_id in range(n):
         amap = topo.address_map(hart_id, soc.addresses)
@@ -222,13 +222,15 @@ def _percentile(sorted_values, q: float):
     return sorted_values[index]
 
 
-def run_saturation_point(n: int, seed: int) -> dict:
+def run_saturation_point(n: int, seed: int, lossy: bool = False,
+                         mode: str = None) -> dict:
     """One saturation run: rop attack on hart 0, N-1 deep-recursion
     peers hammering the shared monitor.  Returns simulated numbers
-    only (machine-independent)."""
+    only (machine-independent).  ``lossy=True`` swaps back-pressure
+    stalls for drop-oldest queues (graceful degradation mode)."""
     victims = ("rop",) + ("deep-recursion",) * (n - 1)
-    soc = _build_multihart_soc(n, victims, seed)
-    report = SystemSimulator(soc).run()
+    soc = _build_multihart_soc(n, victims, seed, lossy=lossy)
+    report = SystemSimulator(soc, mode=mode).run()
     cfi = report.cfi
     check_latencies = []
     for stage in soc.cfi_stages:
@@ -241,47 +243,64 @@ def run_saturation_point(n: int, seed: int) -> dict:
         "check_latencies": check_latencies,
         "queue_high_water": cfi.get("queue_high_water", 0),
         "full_stalls": cfi.get("full_stalls", 0),
+        "dropped": cfi.get("dropped", 0),
     }
 
 
-def run_saturation_sweep(ns=SATURATION_NS, seeds=SATURATION_SEEDS) -> list:
+def run_saturation_sweep(ns=SATURATION_NS, seeds=SATURATION_SEEDS,
+                         lossy: bool = False) -> list:
     """The saturation benchmark: sweep the hart count and record how
     detection latency and queue back-pressure respond as one monitor
-    absorbs N harts' event streams."""
+    absorbs N harts' event streams.
+
+    With ``lossy=True`` the same sweep runs in drop-oldest mode:
+    back-pressure stalls collapse to ~0 and the pressure shows up in
+    the drop counter instead (cores never stall, the monitor sheds
+    load).  A shed event can carry the verdict, so lossy detection is
+    best-effort — the sweep records how many runs still detected
+    rather than asserting all of them do."""
     points = []
     for n in ns:
         latencies = []
         check_latencies = []
-        cycles = checks = full_stalls = high_water = 0
+        cycles = checks = full_stalls = high_water = dropped = 0
         t0 = time.perf_counter()
         for seed in seeds:
-            run = run_saturation_point(n, seed)
-            assert run["detection_latency"] is not None, (n, seed)
-            latencies.append(run["detection_latency"])
+            run = run_saturation_point(n, seed, lossy=lossy)
+            if not lossy:
+                assert run["detection_latency"] is not None, (n, seed)
+                assert run["dropped"] == 0, (n, seed)
+            if run["detection_latency"] is not None:
+                latencies.append(run["detection_latency"])
             check_latencies.extend(run["check_latencies"])
             cycles += run["cycles"]
             checks += run["checks_completed"]
             full_stalls += run["full_stalls"]
+            dropped += run["dropped"]
             high_water = max(high_water, run["queue_high_water"])
         seconds = time.perf_counter() - t0
         latencies.sort()
         check_latencies.sort()
-        points.append({
+        point = {
             "n_harts": n,
             "runs": len(seeds),
             "detection_latency_p50": _percentile(latencies, 0.50),
             "detection_latency_p90": _percentile(latencies, 0.90),
-            "detection_latency_max": latencies[-1],
+            "detection_latency_max": latencies[-1] if latencies else None,
             "check_latency_p50": _percentile(check_latencies, 0.50),
             "check_latency_p90": _percentile(check_latencies, 0.90),
-            "check_latency_max": check_latencies[-1],
+            "check_latency_max": check_latencies[-1] if check_latencies else None,
             "checks_completed": checks,
             "queue_high_water": high_water,
             "full_stalls": full_stalls,
             "simulated_cycles": cycles,
             "seconds_per_sweep": round(seconds, 6),
             "cycles_per_sec": round(cycles / seconds),
-        })
+        }
+        if lossy:
+            point["dropped"] = dropped
+            point["detections"] = len(latencies)
+        points.append(point)
     return points
 
 
@@ -399,6 +418,9 @@ def measure() -> dict:
         # Simulated numbers (latencies, stalls, high-water) are
         # machine-independent; only the seconds columns may move.
         "saturation": run_saturation_sweep(),
+        # The same sweep with drop-oldest queues: stalls collapse to
+        # ~0, drops and latency tails absorb the pressure instead.
+        "saturation_lossy": run_saturation_sweep(lossy=True),
         # Trajectory of the three execution engines on the same mix —
         # the batched column is what the headline "cosim" section runs.
         "batched": {
@@ -465,6 +487,24 @@ def render(payload: dict) -> str:
                 f"{point['check_latency_p50']}/"
                 f"{point['check_latency_p90']}/"
                 f"{point['check_latency_max']:<12} "
+                f"{point['queue_high_water']:<9} "
+                f"{point['full_stalls']:<11} "
+                f"{point['cycles_per_sec']:,}"
+            )
+    lossy = payload.get("saturation_lossy")
+    if lossy:
+        lines += [
+            "  saturation, lossy queues (drop-oldest, cores never stall):",
+            "    N  det-lat p50/p90  detections  dropped  "
+            "queue-hw  full-stalls  cycles/sec",
+        ]
+        for point in lossy:
+            lines.append(
+                f"    {point['n_harts']}  "
+                f"{point['detection_latency_p50']}/"
+                f"{point['detection_latency_p90']:<12} "
+                f"{point['detections']}/{point['runs']:<7} "
+                f"{point['dropped']:<8} "
                 f"{point['queue_high_water']:<9} "
                 f"{point['full_stalls']:<11} "
                 f"{point['cycles_per_sec']:,}"
@@ -554,6 +594,21 @@ def main(argv) -> int:
         assert multi["detection_latencies"][0] is not None
         assert run_multihart_mix(mode="busy") == multi
         assert run_multihart_mix(mode="event-driven") == multi
+        # Lossy-queue invariance: while the queue never fills (N=1)
+        # drop-oldest mode must be cycle-identical to blocking mode
+        # with a zero drop counter — lossiness may only act at the
+        # full-queue edge.  A saturated lossy run (N=2) must trade
+        # every stall for drops and stay identical in every engine.
+        strict_point = run_saturation_point(1, 1234)
+        lossy_point = run_saturation_point(1, 1234, lossy=True)
+        assert lossy_point == strict_point
+        assert lossy_point["dropped"] == 0
+        saturated = run_saturation_point(2, 1234, lossy=True)
+        assert saturated["full_stalls"] == 0 and saturated["dropped"] > 0
+        assert run_saturation_point(2, 1234, lossy=True,
+                                    mode="busy") == saturated
+        assert run_saturation_point(2, 1234, lossy=True,
+                                    mode="event-driven") == saturated
         # Campaign-matrix invariance: the batched engine must not move a
         # single simulated cycle (or any per-scenario field) anywhere in
         # the smoke matrix versus the busy loop — a batching regression

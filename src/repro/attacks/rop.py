@@ -59,6 +59,7 @@ def run_attack_scenario(
     policy_backend: str = POLICY_BACKEND_FIRMWARE,
     policy: Optional[Policy] = None,
     fault_plan=None,
+    lossy: bool = False,
 ) -> AttackOutcome:
     """Run ``program`` on a TitanCFI-protected SoC.
 
@@ -85,13 +86,16 @@ def run_attack_scenario(
         fault_plan: a :class:`repro.faults.FaultPlan` to attach for the
             run (``None`` leaves every fault hook detached — the
             fault-free path is cycle-identical with the layer present).
+        lossy: run the CFI queue in lossy (drop-oldest) mode instead of
+            stalling commit on overflow.
     """
     if policy_backend not in POLICY_BACKENDS:
         raise ConfigError(
             f"unknown policy backend {policy_backend!r} (have: {POLICY_BACKENDS})"
         )
     if soc is None:
-        config = TitanCfiConfig(queue_depth=queue_depth, blocking=blocking)
+        config = TitanCfiConfig(queue_depth=queue_depth, blocking=blocking,
+                                lossy=lossy)
         soc = build_soc(cfi_config=config, fabric=fabric)
         if policy_backend == POLICY_BACKEND_HOST:
             from repro.policyhost.host import mount_policy_host

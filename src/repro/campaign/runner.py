@@ -411,6 +411,7 @@ def _run_cosim(scenario: Scenario, seed: int,
         policy_backend=policy_backend,
         policy=policy,
         fault_plan=plan,
+        lossy=scenario.lossy,
     )
     report = outcome.report
     busy = report.cycles - report.host_stall_cycles
@@ -462,6 +463,18 @@ def _run_cosim(scenario: Scenario, seed: int,
     return result
 
 
+def _multihart_baseline(scenario: Scenario, seed: int,
+                        sim_mode: Optional[str]) -> Dict[str, object]:
+    """The adversary-free sibling a cross-hart fault cell degrades
+    against: same topology, same per-hart seeds, same defense/lossy
+    knobs, plan detached.  Memoised per shard."""
+    base = dataclasses.replace(scenario, fault_plan=None, fault_hart=None)
+    return SHARD_CACHE.memo(
+        ("xhart-baseline", base.name, seed, sim_mode),
+        lambda: _run_multihart(base, seed, sim_mode=sim_mode),
+    )
+
+
 def _run_multihart(scenario: Scenario, seed: int,
                    sim_mode: Optional[str] = None) -> Dict[str, object]:
     """Many-hart cosim backend: N application harts, one RoT monitor.
@@ -473,6 +486,13 @@ def _run_multihart(scenario: Scenario, seed: int,
     raised, so one hart's detection never aborts the peers — every hart
     gets its own verdict, latency and expectation check; the headline
     columns come from the attack hart.
+
+    Cross-hart fault cells additionally attach the scenario's plan
+    scoped to ``fault_hart`` and grade every hart against the per-hart
+    degradation contract: the compromised hart must end the run
+    quarantined, and every benign peer's verdict, violation kind and
+    detection latency must be bit-identical to the adversary-free
+    baseline run.
     """
     from repro.core.config import TitanCfiConfig
     from repro.policyhost.host import mount_policy_host
@@ -485,6 +505,7 @@ def _run_multihart(scenario: Scenario, seed: int,
     config = TitanCfiConfig(
         queue_depth=scenario.queue_depth,
         blocking=scenario.blocking,
+        lossy=scenario.lossy,
         raise_on_violation=False,
     )
     soc = build_soc(cfi_config=config, fabric=scenario.fabric, topology=topo)
@@ -510,7 +531,16 @@ def _run_multihart(scenario: Scenario, seed: int,
     policy = policy_for(0)
     for hart_id in range(1, scenario.n_harts):
         policy.install_context(hart_id, policy_for(hart_id))
-    mount_policy_host(soc, policy, variant=scenario.firmware)
+    mount_policy_host(soc, policy, variant=scenario.firmware,
+                      defense=scenario.defense)
+
+    plan = None
+    if scenario.fault_plan is not None:
+        from repro.faults import attach_faults
+        from repro.faults.plan import build_plan
+
+        plan = build_plan(scenario.fault_plan, seed).scoped(scenario.fault_hart)
+        attach_faults(soc, plan)
 
     delays = None
     if scenario.stagger:
@@ -536,6 +566,8 @@ def _run_multihart(scenario: Scenario, seed: int,
             "stall_cycles": entry["stall_cycles"],
             "cf_events": entry["cfi"].get("selected", 0),
             "events_checked": entry["cfi"].get("checks_completed", 0),
+            "dropped": entry["cfi"].get("dropped", 0),
+            "quarantined": bool(entry.get("quarantined", False)),
             "expected_detected": expected,
             "expectation_met": detected == expected,
             "gadget_executed": (
@@ -543,9 +575,92 @@ def _run_multihart(scenario: Scenario, seed: int,
             ),
         })
 
+    adversarial = plan is not None and plan.adversarial
+    baseline: Optional[Dict[str, object]] = None
+    if adversarial:
+        from repro.faults.contract import (
+            ROLE_ATTACKER,
+            ROLE_BENIGN,
+            evaluate_hart_contract,
+        )
+        from repro.faults.oracle import predict_adversarial
+
+        baseline = _multihart_baseline(scenario, seed, sim_mode)
+        baseline_rows = baseline["per_hart"]
+        for hart_id, row in enumerate(per_hart):
+            role = (ROLE_ATTACKER if hart_id == scenario.fault_hart
+                    else ROLE_BENIGN)
+            base_row = baseline_rows[hart_id]
+            label, contract_ok = evaluate_hart_contract(
+                plan, role, base_row, row, bool(row["quarantined"])
+            )
+            if role == ROLE_ATTACKER:
+                # The fault oracle owns the compromised hart's verdict
+                # expectation (its stream is adversarial, not its
+                # victim's).
+                expected = predict_adversarial(
+                    plan, bool(base_row["detected"])
+                )
+                row["expected_detected"] = expected
+                row["expectation_met"] = row["detected"] == expected
+            row.update({
+                "role": role,
+                "degradation": label,
+                "contract_ok": contract_ok,
+                "baseline_detected": base_row["detected"],
+                "baseline_detection_latency": base_row["detection_latency"],
+            })
+    elif plan is not None:
+        # Benign (transport/monitor) plan scoped to one hart of a
+        # multi-hart cell: the faulted hart is graded exactly like a
+        # single-hart fault run — oracle replay of its own fault-free
+        # stream, degradation contract against its baseline row.  Peers
+        # keep their table expectations (a shared-monitor fault may
+        # legitimately shift their latencies, never their verdicts).
+        from repro.faults.contract import evaluate_contract
+        from repro.faults.oracle import predict_verdict
+
+        baseline = _multihart_baseline(scenario, seed, sim_mode)
+        fault_hart = scenario.fault_hart
+        base_row = baseline["per_hart"][fault_hart]
+        row = per_hart[fault_hart]
+        hart_amap = topo.address_map(fault_hart, amap)
+
+        def compute_logs():
+            logs, _hart = capture_commit_logs(
+                hart_programs[fault_hart], hart_amap,
+                max_steps=scenario.max_cycles)
+            return logs
+
+        logs = SHARD_CACHE.memo(
+            ("fault-logs", hart_victims[fault_hart], seed + fault_hart,
+             hart_amap.dram_base, scenario.max_cycles),
+            compute_logs,
+        )
+        oracle_policy = policy_for(fault_hart)
+        monitor_state = getattr(oracle_policy, "monitor_state", "stateful")
+        prediction = predict_verdict(logs, plan, oracle_policy)
+        label, contract_ok = evaluate_contract(
+            monitor_state,
+            plan,
+            bool(base_row["detected"]),
+            bool(row["detected"]),
+            base_row["detection_latency"],
+            row["detection_latency"],
+        )
+        row["expected_detected"] = prediction.detected
+        row["expectation_met"] = row["detected"] == prediction.detected
+        row.update({
+            "role": "faulted",
+            "degradation": label,
+            "contract_ok": contract_ok,
+            "baseline_detected": base_row["detected"],
+            "baseline_detection_latency": base_row["detection_latency"],
+        })
+
     attack_row = per_hart[scenario.attack_hart]
     busy = report.cycles - report.host_stall_cycles
-    return {
+    result: Dict[str, object] = {
         "cycles": report.cycles,
         "host_instructions": report.host_instructions,
         "cf_events": report.cfi.get("selected", 0),
@@ -559,7 +674,28 @@ def _run_multihart(scenario: Scenario, seed: int,
         ),
         "gadget_executed": attack_row["gadget_executed"],
         "per_hart": per_hart,
+        "quarantined_harts": [
+            row["hart"] for row in per_hart if row["quarantined"]
+        ],
     }
+    if plan is not None:
+        assert baseline is not None
+        faulted_row = per_hart[scenario.fault_hart]
+        result.update({
+            "fault_stats": report.faults,
+            # The headline expectation follows the attack hart's row
+            # (the oracle's, when the attack hart is the faulted one;
+            # its victim's table verdict otherwise).
+            "predicted_detected": attack_row["expected_detected"],
+            "degradation": faulted_row["degradation"],
+            "contract_ok": (
+                all(row["contract_ok"] for row in per_hart) if adversarial
+                else faulted_row["contract_ok"]
+            ),
+            "baseline_detected": baseline["detected"],
+            "baseline_detection_latency": baseline["detection_latency"],
+        })
+    return result
 
 
 def run_scenario(scenario: Scenario, campaign_seed: int = 0,
@@ -602,6 +738,9 @@ def run_scenario(scenario: Scenario, campaign_seed: int = 0,
     result: Dict[str, object] = {
         "status": "ok",
         "fault_plan": scenario.fault_plan,
+        "fault_hart": scenario.fault_hart,
+        "lossy": scenario.lossy if scenario.backend == BACKEND_COSIM else None,
+        "defense": scenario.defense if scenario.multihart else None,
         "degradation": None,
         "contract_ok": None,
         "baseline_detected": None,
@@ -689,6 +828,9 @@ def _failure_result(scenario: Scenario, campaign_seed: int, status: str,
         "status": status,
         "error": detail,
         "fault_plan": scenario.fault_plan,
+        "fault_hart": scenario.fault_hart,
+        "lossy": scenario.lossy if scenario.backend == BACKEND_COSIM else None,
+        "defense": scenario.defense if scenario.multihart else None,
         "degradation": None,
         "contract_ok": None,
         "baseline_detected": None,

@@ -325,6 +325,16 @@ class Scenario:
         stagger: per-hart start offset step in cycles: hart ``i``
             retires its first instruction ``i * stagger`` cycles in
             (staggered-attack scheduling; engine-invariant).
+        fault_hart: the hart :attr:`fault_plan` is scoped to.  Required
+            for multi-hart fault cells (an unscoped plan on N > 1 would
+            silently fault hart 0); single-hart cells leave it ``None``.
+        lossy: run the CFI queues in lossy (drop-oldest) mode instead
+            of stalling commit on overflow.  Cosim only; incompatible
+            with ``blocking``.
+        defense: mount the monitor's cross-hart defense layer (per-hart
+            strike accounting, spoof fail-safing, hold watchdog, and
+            quarantine).  Needs a multi-hart cosim cell — the doorbell
+            arbiter hosts the quarantine latch.
     """
 
     victim: str
@@ -342,6 +352,9 @@ class Scenario:
     hart_victims: Tuple[str, ...] = ()
     attack_hart: int = 0
     stagger: int = 0
+    fault_hart: Optional[int] = None
+    lossy: bool = False
+    defense: bool = False
 
     def __post_init__(self):
         if self.victim not in VICTIMS:
@@ -395,6 +408,43 @@ class Scenario:
                     "faults, which need policy_backend='host' (the RV32 "
                     "firmware monitor cannot be injected into)"
                 )
+            if FAULT_PLANS[self.fault_plan].adversarial:
+                if self.n_harts < 2:
+                    raise ConfigError(
+                        f"fault plan {self.fault_plan!r} models a "
+                        "compromised hart attacking its peers; it needs "
+                        "a multi-hart cell (n_harts > 1)"
+                    )
+                if not self.defense:
+                    raise ConfigError(
+                        f"fault plan {self.fault_plan!r} is adversarial; "
+                        "the per-hart degradation contract needs "
+                        "defense=True (the quarantining monitor)"
+                    )
+        if self.fault_hart is not None:
+            if self.fault_plan is None:
+                raise ConfigError("fault_hart needs a fault_plan")
+            if (type(self.fault_hart) is not int
+                    or not 0 <= self.fault_hart < self.n_harts):
+                raise UnknownHartError(self.fault_hart, self.n_harts)
+        if self.defense and (self.backend != BACKEND_COSIM
+                             or self.n_harts < 2):
+            raise ConfigError(
+                "defense (the quarantining monitor) needs a multi-hart "
+                "cosim cell — the doorbell arbiter hosts the quarantine "
+                "latch"
+            )
+        if self.lossy:
+            if self.backend != BACKEND_COSIM:
+                raise ConfigError(
+                    "lossy queues need the cosim backend (the reference "
+                    "backend has no queue to shed from)"
+                )
+            if self.blocking:
+                raise ConfigError(
+                    "lossy and blocking are mutually exclusive (blocking "
+                    "waits on the very check a lossy queue would shed)"
+                )
         # Remaining multi-hart axes (the hart count was checked above).
         if not 0 <= self.attack_hart < self.n_harts:
             raise UnknownHartError(self.attack_hart, self.n_harts)
@@ -421,10 +471,10 @@ class Scenario:
                     "multi-hart cells need policy_backend='host' (or "
                     "'auto')"
                 )
-            if self.fault_plan is not None:
+            if self.fault_plan is not None and self.fault_hart is None:
                 raise ConfigError(
-                    "fault injection is single-hart only (fault plans "
-                    "index a single writer's event stream)"
+                    "multi-hart fault injection needs fault_hart (an "
+                    "unscoped plan would silently fault hart 0)"
                 )
             if self.hart_victims and len(self.hart_victims) != self.n_harts - 1:
                 raise ConfigError(
@@ -477,6 +527,12 @@ class Scenario:
                 parts.append(self.fabric)
             if self.fault_plan is not None:
                 parts.append(f"fault-{self.fault_plan}")
+                if self.fault_hart is not None:
+                    parts.append(f"fh{self.fault_hart}")
+            if self.lossy:
+                parts.append("lossy")
+            if self.defense:
+                parts.append("guard")
             if self.n_harts > 1:
                 parts.append(f"n{self.n_harts}")
                 parts.append("+".join(self.resolved_hart_victims))
@@ -587,26 +643,40 @@ def expand_grid(**axes: Sequence[object]) -> List[Scenario]:
             attack_hart = kwargs.get("attack_hart", 0)
             if n_harts > 1:
                 # Multi-hart cells only exist on the cosim backend with
-                # a host mailbox agent and no fault plan; mixed sweeps
-                # drop the incompatible cells rather than raising.
+                # a host mailbox agent; fault cells also need a scoped
+                # fault hart.  Mixed sweeps drop the incompatible cells
+                # rather than raising.
                 if kwargs.get("backend") != BACKEND_COSIM:
                     continue
                 if kwargs.get("policy_backend") == POLICY_BACKEND_FIRMWARE:
                     continue
-                if fault_plan is not None:
+                if fault_plan is not None and kwargs.get("fault_hart") is None:
+                    continue
+                if fault_plan is None and kwargs.get("fault_hart") is not None:
                     continue
                 if hart_victims and len(hart_victims) != n_harts - 1:
                     continue
                 if isinstance(attack_hart, int) and attack_hart >= n_harts:
                     continue
+                fault_hart = kwargs.get("fault_hart")
+                if isinstance(fault_hart, int) and fault_hart >= n_harts:
+                    continue
             else:
                 # Multi-hart-only knobs drop their single-hart cells.
                 if hart_victims or kwargs.get("stagger") or attack_hart:
+                    continue
+                if kwargs.get("defense") or kwargs.get("fault_hart") is not None:
+                    continue
+                if (fault_plan is not None and fault_plan in FAULT_PLANS
+                        and FAULT_PLANS[fault_plan].adversarial):
                     continue
         if kwargs.get("backend") == BACKEND_COSIM:
             policy = kwargs.get("policy", POLICY_SHADOW_STACK)
             policy_backend = kwargs.get("policy_backend", POLICY_BACKEND_AUTO)
             if policy == POLICY_NONE:
+                continue
+            if kwargs.get("lossy") and kwargs.get("blocking"):
+                # Lossy sheds the very check blocking waits on.
                 continue
             if (policy_backend == POLICY_BACKEND_FIRMWARE
                     and policy != POLICY_SHADOW_STACK):
@@ -624,9 +694,10 @@ def expand_grid(**axes: Sequence[object]) -> List[Scenario]:
                                 else POLICY_BACKEND_HOST)
                 if resolved != POLICY_BACKEND_HOST:
                     continue
-        elif fault_plan is not None:
-            # Fault plans are cosim-only; mixed-backend sweeps drop the
-            # reference cells.
+        elif (fault_plan is not None or kwargs.get("lossy")
+                or kwargs.get("defense")):
+            # Fault plans, lossy queues and the defense layer are
+            # cosim-only; mixed-backend sweeps drop the reference cells.
             continue
         scenario = Scenario(**kwargs)
         # Scenario.name omits knobs its backend ignores, so equivalent
@@ -835,7 +906,11 @@ TRANSPORT_FAULT_PLANS: Tuple[str, ...] = tuple(sorted(
     name for name, spec in FAULT_PLANS.items() if not spec.needs_monitor
 ))
 MONITOR_FAULT_PLANS: Tuple[str, ...] = tuple(sorted(
-    name for name, spec in FAULT_PLANS.items() if spec.needs_monitor
+    name for name, spec in FAULT_PLANS.items()
+    if spec.needs_monitor and not spec.adversarial
+))
+ADVERSARIAL_FAULT_PLANS: Tuple[str, ...] = tuple(sorted(
+    name for name, spec in FAULT_PLANS.items() if spec.adversarial
 ))
 
 
@@ -858,7 +933,7 @@ def faults_matrix() -> List[Scenario]:
         policy=list(ENFORCING_POLICIES),
         backend=BACKEND_COSIM,
         policy_backend=POLICY_BACKEND_HOST,
-        fault_plan=sorted(FAULT_PLANS),
+        fault_plan=list(TRANSPORT_FAULT_PLANS) + list(MONITOR_FAULT_PLANS),
     )
     # Queue-overflow stress: a stalled monitor at depth 1/2 makes the
     # writer outpace it, exercising the back-pressure paths under fault.
@@ -981,6 +1056,75 @@ def multihart_smoke_matrix() -> List[Scenario]:
     return scenarios
 
 
+def xhart_matrix() -> List[Scenario]:
+    """The cross-hart adversarial campaign: a compromised hart attacks
+    its peers through the shared CFI transport while the monitor's
+    defense layer (quarantine, fail-safe, hold watchdog) is mounted.
+
+    Each cell pairs a real attack victim on hart 0 (its detection is
+    the benign-unaffected contract's probe) with chatty deep-recursion
+    peers; the adversarial plan is scoped to :attr:`Scenario.fault_hart`.
+    Guarded no-adversary cells anchor the per-hart baseline, and a
+    fault-hart sweep at N=4 moves the compromised hart around the
+    arbiter's rotation."""
+    scenarios: List[Scenario] = []
+    for n in (2, 4):
+        common = dict(
+            victim="rop",
+            policy=[POLICY_SHADOW_STACK, POLICY_COMPOSITE],
+            backend=BACKEND_COSIM,
+            policy_backend=POLICY_BACKEND_HOST,
+            n_harts=n,
+            hart_victims=("deep-recursion",) * (n - 1),
+            defense=True,
+        )
+        # Guarded no-adversary baselines (the defense layer itself must
+        # not perturb a clean run's verdicts).
+        scenarios += expand_grid(**common)
+        scenarios += expand_grid(
+            **common,
+            fault_plan=list(ADVERSARIAL_FAULT_PLANS),
+            fault_hart=1,
+        )
+    # The compromised hart's position must not matter: sweep it across
+    # the N=4 arbiter rotation.
+    scenarios += expand_grid(
+        victim="rop",
+        backend=BACKEND_COSIM,
+        policy_backend=POLICY_BACKEND_HOST,
+        n_harts=4,
+        hart_victims=("deep-recursion",) * 3,
+        fault_plan=list(ADVERSARIAL_FAULT_PLANS),
+        fault_hart=[2, 3],
+        defense=True,
+    )
+    return scenarios
+
+
+def xhart_smoke_matrix() -> List[Scenario]:
+    """CI tier of the cross-hart campaign: N=2, every adversarial plan
+    plus the guarded baseline — small enough for the serial runner."""
+    scenarios = expand_grid(
+        victim="rop",
+        backend=BACKEND_COSIM,
+        policy_backend=POLICY_BACKEND_HOST,
+        n_harts=2,
+        hart_victims=("deep-recursion",),
+        defense=True,
+    )
+    scenarios += expand_grid(
+        victim="rop",
+        backend=BACKEND_COSIM,
+        policy_backend=POLICY_BACKEND_HOST,
+        n_harts=2,
+        hart_victims=("deep-recursion",),
+        fault_plan=list(ADVERSARIAL_FAULT_PLANS),
+        fault_hart=1,
+        defense=True,
+    )
+    return scenarios
+
+
 MATRICES: Dict[str, Callable[[], List[Scenario]]] = {
     "default": default_matrix,
     "smoke": smoke_matrix,
@@ -992,6 +1136,8 @@ MATRICES: Dict[str, Callable[[], List[Scenario]]] = {
     "faults-smoke": faults_smoke_matrix,
     "multihart": multihart_matrix,
     "multihart-smoke": multihart_smoke_matrix,
+    "xhart": xhart_matrix,
+    "xhart-smoke": xhart_smoke_matrix,
 }
 
 

@@ -28,6 +28,14 @@ class TitanCfiConfig:
             as a single control flow instruction is retired").  This
             also makes detection synchronous: no instruction after a
             violating transfer can retire.
+        lossy: non-blocking lossy queue mode.  A push against a full
+            queue evicts the *oldest* buffered log (counted in
+            ``StallStats.dropped``) instead of inhibiting commit, so
+            saturation degrades into measurable detection-latency
+            growth and drop counters rather than commit back-pressure.
+            Mutually exclusive with ``blocking`` (which exists to
+            guarantee synchronous detection — silently shedding events
+            would contradict it).
     """
 
     queue_depth: int = 8
@@ -35,12 +43,19 @@ class TitanCfiConfig:
     mailbox_base: int = 0x9000_0000
     raise_on_violation: bool = True
     blocking: bool = False
+    lossy: bool = False
 
     def __post_init__(self):
         if self.queue_depth < 1:
             raise ConfigError("queue_depth must be >= 1")
         if self.commit_ports < 1:
             raise ConfigError("commit_ports must be >= 1")
+        if self.lossy and self.blocking:
+            raise ConfigError(
+                "lossy and blocking are mutually exclusive: blocking "
+                "guarantees synchronous detection, a lossy queue sheds "
+                "events"
+            )
 
 
 #: Check latencies measured by the firmware analysis (paper §V-C): the

@@ -119,6 +119,14 @@ class LogWriter:
         self._event_index = 0
         self._redeliver: Optional[CommitLog] = None
         self._dup_pending = False
+        # Adversarial (compromised-hart) state, driven by the fault
+        # controller: a one-shot forged source-hart id, a countdown of
+        # fabricated events still to inject, and the grant-squatting
+        # latch.  All stay inert without an adversarial fault plan.
+        self._tx_tag: Optional[int] = None
+        self._flood_pending = 0
+        self._hold_pending = False
+        self._held = False
 
     # -- helpers -------------------------------------------------------------
 
@@ -131,6 +139,15 @@ class LogWriter:
         if self.arbiter is not None:
             self.arbiter.release(self.hart_id)
 
+    def _gated(self) -> bool:
+        """True when the monitor quarantined this writer off the shared
+        channel (its acquires are refused for good — the FSM freezes)."""
+        return (
+            self.arbiter is not None
+            and self.arbiter.quarantine_active
+            and self.arbiter.quarantined(self.hart_id)
+        )
+
     def _start_transmission(self, log: CommitLog) -> None:
         self.current_log = log
         self._check_started = self.now
@@ -141,7 +158,10 @@ class LogWriter:
         if self.tag_hart_id:
             # Multi-hart wire format: the source hart id rides in the
             # first spare byte of the 32-byte data file (same 4 beats).
-            payload += bytes((self.hart_id, 0, 0, 0))
+            # A hart-spoof fault forges this byte for one transmission.
+            tag = self.hart_id if self._tx_tag is None else self._tx_tag
+            self._tx_tag = None
+            payload += bytes((tag, 0, 0, 0))
         payload_cycles = self.axi.write(self.master, self.mailbox_base, payload)
         doorbell_cycles = self.axi.timings.transaction_cycles(8)
         self._countdown = payload_cycles + doorbell_cycles
@@ -164,6 +184,13 @@ class LogWriter:
                 log = replace(log, target=(log.target ^ mask) & ((1 << 64) - 1))
             if dup:
                 self._dup_pending = True
+            spoof, flood, hold = self.faults.adversarial_actions(n)
+            if spoof is not None:
+                self._tx_tag = spoof
+            if flood:
+                self._flood_pending += flood
+            if hold:
+                self._hold_pending = True
         self._start_transmission(log)
 
     def _begin_redeliver(self) -> None:
@@ -194,10 +221,32 @@ class LogWriter:
         self.stats.checks_completed += 1
         self.stats.check_latencies.append(self.now - self._check_started)
         self.state = WriterState.IDLE
-        self._release()
+        if self._hold_pending:
+            # Arbiter-hold: the compromised writer finishes its own
+            # handshake but never releases the channel grant, squatting
+            # on the shared mailbox until the monitor's watchdog evicts
+            # it (``DoorbellArbiter.force_release``).
+            self._hold_pending = False
+            self._held = True
+        else:
+            self._release()
         if self._dup_pending:
             self._redeliver = log
             self._dup_pending = False
+        elif self._flood_pending > 0:
+            # Doorbell-flood: fabricate a control-flow event out of thin
+            # air — a forged ``ret`` to an attacker-chosen address — and
+            # replay it as the next transmission.  Chained through the
+            # redeliver slot so each burst member occupies the channel
+            # for a full handshake, starving peers of the arbiter.
+            self._flood_pending -= 1
+            assert log is not None
+            self._redeliver = replace(
+                log,
+                encoding=0x0000_8067,  # jalr x0, 0(ra) — a return
+                next_address=(log.pc + 4) & ((1 << 64) - 1),
+                target=0xDEAD_BEE0,
+            )
         if verdict != VERDICT_OK:
             self.stats.violations += 1
             if self.stats.first_violation_latency is None:
@@ -219,6 +268,13 @@ class LogWriter:
         """Advance the FSM by one cycle."""
         self.now += 1
         if self.state is WriterState.IDLE:
+            if self._held or self._gated():
+                # Squatting on the grant (arbiter-hold) or quarantined
+                # off the channel: the FSM is frozen — only the
+                # monitor's watchdog / quarantine release could ever
+                # change that, and neither un-freezes a compromised
+                # writer within a run.
+                return
             if self._redeliver is not None:
                 if self._acquire() and self.mailbox.ready:
                     self._begin_redeliver()
@@ -258,11 +314,13 @@ class LogWriter:
         relies on (a window that enqueues nothing keeps the writer
         parked for its whole span).
         """
-        return (
-            self.state is WriterState.IDLE
-            and self.queue.empty
-            and self._redeliver is None
-        )
+        if self.state is not WriterState.IDLE:
+            return False
+        if self._held or self._gated():
+            # Frozen by the defense layer: provably inert regardless of
+            # queue contents (ticks are pure ``now`` advances).
+            return True
+        return self.queue.empty and self._redeliver is None
 
     # -- event-driven fast path ---------------------------------------------------
 
@@ -280,6 +338,12 @@ class LogWriter:
         component's activity can change.
         """
         if self.state is WriterState.IDLE:
+            if self._held or self._gated():
+                # Frozen (grant-squatting or quarantined): no tick of
+                # this FSM can transition; the monitor's watchdog is the
+                # only party with a pending event, and the policy host
+                # bounds the batched window by it.
+                return self.UNBOUNDED
             if self._redeliver is None and self.queue.empty:
                 return self.UNBOUNDED
             owner = self.arbiter.owner if self.arbiter is not None else None

@@ -47,6 +47,7 @@ class StallStats:
     conflict_stalls: int = 0    # cycles stalled due to dual CF retirement
     total_offered: int = 0      # CF logs offered by the filters
     total_accepted: int = 0     # CF logs actually pushed
+    dropped: int = 0            # oldest logs evicted (lossy mode only)
 
 
 class QueueController:
@@ -56,10 +57,15 @@ class QueueController:
     per-port filters produced this cycle and returns how many leading
     entries the commit stage may retire; the rest must be replayed next
     cycle (the model of "inhibiting the commit stage").
+
+    In lossy mode a full queue never inhibits commit: the oldest
+    buffered log is evicted (and counted) to make room, so back-pressure
+    turns into event loss the reports can measure.
     """
 
-    def __init__(self, queue: CfiQueue):
+    def __init__(self, queue: CfiQueue, lossy: bool = False):
         self.queue = queue
+        self.lossy = lossy
         self.stats = StallStats()
 
     def record_full_stall(self, cycles: int = 1) -> None:
@@ -97,9 +103,15 @@ class QueueController:
                 self.stats.total_offered -= 1  # will be re-offered
                 break
             if self.queue.full:
-                self.record_full_stall()
-                self.stats.total_offered -= 1  # will be re-offered
-                break
+                if self.lossy:
+                    # Drop-oldest: shed the stalest buffered event so
+                    # this cycle's push lands and commit never stalls.
+                    self.queue.pop()
+                    self.stats.dropped += 1
+                else:
+                    self.record_full_stall()
+                    self.stats.total_offered -= 1  # will be re-offered
+                    break
             self.queue.push(log)
             self.stats.total_accepted += 1
             pushed_this_cycle = True

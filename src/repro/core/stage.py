@@ -42,7 +42,7 @@ class CfiStage:
         self.hart_id = hart_id
         self.filters = [CfiFilter(i) for i in range(self.config.commit_ports)]
         self.queue = CfiQueue(self.config.queue_depth)
-        self.controller = QueueController(self.queue)
+        self.controller = QueueController(self.queue, lossy=self.config.lossy)
         self.writer = LogWriter(
             axi,
             mailbox,
@@ -161,6 +161,7 @@ class CfiStage:
             "selected": sum(f.stats.selected for f in self.filters),
             "full_stalls": self.controller.stats.full_stalls,
             "conflict_stalls": self.controller.stats.conflict_stalls,
+            "dropped": self.controller.stats.dropped,
             "logs_sent": self.writer.stats.logs_sent,
             "checks_completed": self.writer.stats.checks_completed,
             "violations": self.writer.stats.violations,

@@ -56,7 +56,9 @@ class CommitStage:
         if self._blocked:
             return not self.cfi.quiescent
         if self._skid is not None:
-            return self.cfi.queue.full
+            # A lossy queue accepts the skidded log on the very next
+            # cycle (drop-oldest), so the stall is never skippable.
+            return self.cfi.queue.full and not self.cfi.controller.lossy
         return False
 
     def note_batch_retired(self, count: int) -> None:
@@ -99,10 +101,12 @@ class CommitStage:
             self._blocked = False
 
         if self._skid is not None:
-            if self.cfi.queue.full:
+            if self.cfi.queue.full and not self.cfi.controller.lossy:
                 # Fast replay-fail: a single-port push against a full
                 # queue is exactly what the controller would reject;
                 # account the full-stall without the arbitration walk.
+                # (A lossy controller never rejects — it sheds the
+                # oldest entry — so it must take the real push path.)
                 self.cfi.controller.record_full_stall()
                 self.stall_cycles += 1
                 return None

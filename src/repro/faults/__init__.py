@@ -10,6 +10,15 @@ check), so all three execution engines observe identical faulted
 behaviour; :mod:`repro.faults.oracle` predicts the expected verdict
 under fault, and :mod:`repro.faults.contract` checks each policy's
 degradation contract (detect / detect-late / fail-safe / miss).
+
+Beyond the benign-transport model, plans can be *hart-scoped* (each
+event indexes a named writer's stream) and carry compromised-hart
+adversarial kinds — ``hart-spoof``, ``doorbell-flood``,
+``arbiter-hold`` — against which the policy-host monitor mounts a
+quarantine defense; :func:`~repro.faults.contract.evaluate_hart_contract`
+checks the resulting per-hart degradation contract (attacker
+fail-safe-quarantined, benign peers bit-identical to the adversary-free
+baseline).
 """
 
 from repro.faults.contract import (
@@ -17,16 +26,26 @@ from repro.faults.contract import (
     DEGRADATION_DETECT_LATE,
     DEGRADATION_FAIL_SAFE,
     DEGRADATION_MISS,
+    DEGRADATION_QUARANTINE,
     DEGRADATION_TRANSPARENT,
     allowed_degradations,
     evaluate_contract,
+    evaluate_hart_contract,
 )
-from repro.faults.inject import FaultController, attach_faults
-from repro.faults.oracle import FaultPrediction, predict_verdict
+from repro.faults.inject import FaultController, FaultDirectory, attach_faults
+from repro.faults.oracle import (
+    FaultPrediction,
+    predict_adversarial,
+    predict_verdict,
+)
 from repro.faults.plan import (
+    ADVERSARIAL_FAULTS,
+    FAULT_ARBITER_HOLD,
     FAULT_DOORBELL_DROP,
     FAULT_DOORBELL_DUP,
+    FAULT_DOORBELL_FLOOD,
     FAULT_EVENT_CORRUPT,
+    FAULT_HART_SPOOF,
     FAULT_MONITOR_RESET,
     FAULT_MONITOR_STALL,
     FAULT_PLANS,
@@ -36,18 +55,24 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "ADVERSARIAL_FAULTS",
     "DEGRADATION_DETECT",
     "DEGRADATION_DETECT_LATE",
     "DEGRADATION_FAIL_SAFE",
     "DEGRADATION_MISS",
+    "DEGRADATION_QUARANTINE",
     "DEGRADATION_TRANSPARENT",
+    "FAULT_ARBITER_HOLD",
     "FAULT_DOORBELL_DROP",
     "FAULT_DOORBELL_DUP",
+    "FAULT_DOORBELL_FLOOD",
     "FAULT_EVENT_CORRUPT",
+    "FAULT_HART_SPOOF",
     "FAULT_MONITOR_RESET",
     "FAULT_MONITOR_STALL",
     "FAULT_PLANS",
     "FaultController",
+    "FaultDirectory",
     "FaultEvent",
     "FaultPlan",
     "FaultPrediction",
@@ -55,5 +80,7 @@ __all__ = [
     "attach_faults",
     "build_plan",
     "evaluate_contract",
+    "evaluate_hart_contract",
+    "predict_adversarial",
     "predict_verdict",
 ]

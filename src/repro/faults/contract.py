@@ -24,6 +24,17 @@ injected fault kinds:
     event itself was dropped in transit), and always recorded.
 ``transparent``
     A benign run stayed benign: the fault was absorbed.
+``fail-safe-quarantine``
+    The monitor's defense layer identified a *compromised hart*
+    (spoofed source id, doorbell flood, held arbiter grant) and
+    quarantined it off the shared channel — the adversarial analogue of
+    failing closed.
+
+Adversarial plans additionally carry a **per-hart** contract
+(:func:`evaluate_hart_contract`): the attacking hart must end the run
+quarantined, while every benign peer's verdict *and* detection latency
+must be bit-identical to the adversary-free baseline — degradation may
+never leak across harts.
 
 The contract is keyed on the policy's ``monitor_state`` class attribute
 ("stateful" / "stateless", see :mod:`repro.firmware.policies`) rather
@@ -35,9 +46,13 @@ from __future__ import annotations
 from typing import FrozenSet, Optional, Tuple
 
 from repro.faults.plan import (
+    ADVERSARIAL_FAULTS,
+    FAULT_ARBITER_HOLD,
     FAULT_DOORBELL_DROP,
     FAULT_DOORBELL_DUP,
+    FAULT_DOORBELL_FLOOD,
     FAULT_EVENT_CORRUPT,
+    FAULT_HART_SPOOF,
     FAULT_MONITOR_RESET,
     FAULT_MONITOR_STALL,
     FaultPlan,
@@ -48,6 +63,20 @@ DEGRADATION_DETECT_LATE = "detect-late"
 DEGRADATION_FAIL_SAFE = "fail-safe"
 DEGRADATION_MISS = "documented-miss"
 DEGRADATION_TRANSPARENT = "transparent"
+DEGRADATION_QUARANTINE = "fail-safe-quarantine"
+
+#: Roles for the per-hart adversarial contract.
+ROLE_ATTACKER = "attacker"
+ROLE_BENIGN = "benign"
+
+#: Adversarial kinds' allowed labels are role-agnostic at the *run*
+#: level (the per-hart contract below is the strong check): the defense
+#: may quarantine the compromised hart, and the run's attack verdict
+#: must be unchanged relative to the adversary-free baseline.
+_ADVERSARIAL_ALLOWED = frozenset(
+    {DEGRADATION_DETECT, DEGRADATION_QUARANTINE, DEGRADATION_FAIL_SAFE,
+     DEGRADATION_TRANSPARENT}
+)
 
 #: Allowed degradation labels per (monitor_state, fault kind).
 _ALLOWED = {
@@ -96,6 +125,14 @@ _ALLOWED = {
         {DEGRADATION_DETECT, DEGRADATION_MISS, DEGRADATION_FAIL_SAFE,
          DEGRADATION_TRANSPARENT}
     ),
+    # Compromised-hart kinds: the defense fails closed (quarantine);
+    # spoofed/forged events may also surface as plain violations.
+    ("stateless", FAULT_HART_SPOOF): _ADVERSARIAL_ALLOWED,
+    ("stateful", FAULT_HART_SPOOF): _ADVERSARIAL_ALLOWED,
+    ("stateless", FAULT_DOORBELL_FLOOD): _ADVERSARIAL_ALLOWED,
+    ("stateful", FAULT_DOORBELL_FLOOD): _ADVERSARIAL_ALLOWED,
+    ("stateless", FAULT_ARBITER_HOLD): _ADVERSARIAL_ALLOWED,
+    ("stateful", FAULT_ARBITER_HOLD): _ADVERSARIAL_ALLOWED,
 }
 
 
@@ -158,3 +195,72 @@ def evaluate_contract(
     ):
         ok = False
     return label, ok
+
+
+#: Benign-peer fields that must match the adversary-free baseline
+#: bit-for-bit: the verdict, its kind, and the detection latency.
+_BENIGN_IDENTITY_FIELDS = ("detected", "violation_kind", "detection_latency")
+
+
+def evaluate_hart_contract(
+    plan: FaultPlan,
+    role: str,
+    baseline_row: dict,
+    row: dict,
+    quarantined: bool,
+) -> Tuple[str, bool]:
+    """Per-hart degradation contract for an adversarial run.
+
+    Args:
+        plan: the (hart-scoped) adversarial fault plan of the run.
+        role: :data:`ROLE_ATTACKER` for the hart the plan compromises,
+            :data:`ROLE_BENIGN` for every peer.
+        baseline_row: the hart's per-hart report row from the
+            adversary-free baseline run (same seed, same topology).
+        row: the hart's per-hart report row from the adversarial run.
+        quarantined: whether the monitor ended the run with this hart
+            quarantined.
+
+    Returns ``(label, ok)``:
+
+    * **attacker** — ``ok`` iff the defense quarantined it (label
+      ``fail-safe-quarantine``); an un-quarantined attacker is a
+      ``documented-miss`` contract violation.  A benign hart must
+      *never* be quarantined.
+    * **benign** — ``ok`` iff ``detected``, ``violation_kind`` and
+      ``detection_latency`` are bit-identical to the baseline row *and*
+      the hart is not quarantined: degradation must not leak across
+      harts.
+    """
+    if not plan.kinds & ADVERSARIAL_FAULTS:
+        raise ValueError(
+            "evaluate_hart_contract applies to adversarial plans only; "
+            f"got kinds {sorted(plan.kinds)}"
+        )
+    if role == ROLE_ATTACKER:
+        if quarantined:
+            return DEGRADATION_QUARANTINE, True
+        return DEGRADATION_MISS, False
+    if role != ROLE_BENIGN:
+        raise ValueError(f"unknown hart role {role!r}")
+    identical = all(
+        baseline_row.get(field) == row.get(field)
+        for field in _BENIGN_IDENTITY_FIELDS
+    )
+    ok = identical and not quarantined
+    if not ok:
+        # Perturbed peer: name the damage relative to its baseline.
+        label = classify_degradation(
+            plan,
+            bool(baseline_row.get("detected")),
+            bool(row.get("detected")),
+            baseline_row.get("detection_latency"),
+            row.get("detection_latency"),
+        )
+        if quarantined:
+            label = DEGRADATION_QUARANTINE
+        return label, False
+    label = (
+        DEGRADATION_DETECT if row.get("detected") else DEGRADATION_TRANSPARENT
+    )
+    return label, True

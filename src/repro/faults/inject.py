@@ -2,21 +2,30 @@
 
 One :class:`FaultController` is attached per simulation run via
 :func:`attach_faults`; the log writer consults it at every queue pop
-(transport faults) and the policy host at every delivered check
-(monitor faults).  The controller is pure bookkeeping — it never ticks,
-owns no clock, and with an empty plan every query returns the identity
-answer, so attaching an empty controller is cycle-invisible.
+(transport + adversarial faults) and the policy host at every delivered
+check (monitor faults).  The controller is pure bookkeeping — it never
+ticks, owns no clock, and with an empty plan every query returns the
+identity answer, so attaching an empty controller is cycle-invisible.
+
+On a multi-hart SoC :func:`attach_faults` instead builds a
+:class:`FaultDirectory`: one controller per scoped hart, each wired to
+that hart's own log writer, with merged statistics.  Plans attached to
+an N > 1 topology **must** be hart-scoped — an unscoped plan would
+silently fault hart 0 — and every scope must name an instantiated hart.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple
 
-from repro.errors import FaultPlanError
+from repro.errors import FaultPlanError, UnknownHartError
 from repro.faults.plan import (
+    FAULT_ARBITER_HOLD,
     FAULT_DOORBELL_DROP,
     FAULT_DOORBELL_DUP,
+    FAULT_DOORBELL_FLOOD,
     FAULT_EVENT_CORRUPT,
+    FAULT_HART_SPOOF,
     FAULT_MONITOR_RESET,
     FAULT_MONITOR_STALL,
     FaultPlan,
@@ -37,6 +46,9 @@ class FaultController:
         self._corrupt: Dict[int, int] = {}
         self._stall: Dict[int, int] = {}
         self._reset: Set[int] = set()
+        self._spoof: Dict[int, int] = {}
+        self._flood: Dict[int, int] = {}
+        self._hold: Set[int] = set()
         for event in plan.events:
             indices = range(event.index, event.index + event.count)
             if event.kind == FAULT_DOORBELL_DROP:
@@ -51,6 +63,14 @@ class FaultController:
                     self._stall[i] = event.param
             elif event.kind == FAULT_MONITOR_RESET:
                 self._reset.update(indices)
+            elif event.kind == FAULT_HART_SPOOF:
+                for i in indices:
+                    self._spoof[i] = event.param
+            elif event.kind == FAULT_DOORBELL_FLOOD:
+                for i in indices:
+                    self._flood[i] = event.param
+            elif event.kind == FAULT_ARBITER_HOLD:
+                self._hold.update(indices)
         #: Scheduled occurrence slots per family (for armed-vs-fired stats).
         self.armed = {
             FAULT_DOORBELL_DROP: len(self._drop),
@@ -58,6 +78,9 @@ class FaultController:
             FAULT_EVENT_CORRUPT: len(self._corrupt),
             FAULT_MONITOR_STALL: len(self._stall),
             FAULT_MONITOR_RESET: len(self._reset),
+            FAULT_HART_SPOOF: len(self._spoof),
+            FAULT_DOORBELL_FLOOD: len(self._flood),
+            FAULT_ARBITER_HOLD: len(self._hold),
         }
         self.fired = {kind: 0 for kind in self.armed}
         self.doorbells_observed = 0
@@ -84,6 +107,36 @@ class FaultController:
         if mask:
             self.fired[FAULT_EVENT_CORRUPT] += 1
         return False, dup, mask
+
+    def adversarial_actions(self, n: int) -> Tuple[Optional[int], int, bool]:
+        """Compromised-hart actions for the ``n``-th popped event.
+
+        Returns ``(spoof_id, flood_burst, hold)``: a forged source-hart
+        id (``None`` when the tag is honest), the number of fabricated
+        events to inject after this one's verdict, and whether to squat
+        on the doorbell grant after this event.  All identity for a
+        plan without adversarial kinds.
+        """
+        spoof = self._spoof.get(n)
+        if spoof is not None:
+            self.fired[FAULT_HART_SPOOF] += 1
+        flood = self._flood.get(n, 0)
+        if flood:
+            self.fired[FAULT_DOORBELL_FLOOD] += 1
+        hold = n in self._hold
+        if hold:
+            self.fired[FAULT_ARBITER_HOLD] += 1
+        return spoof, flood, hold
+
+    def controller(self, hart: int) -> "Optional[FaultController]":
+        """The controller handling ``hart``'s event stream.
+
+        The single-controller form serves every hart (its plan is
+        unscoped / single-hart); :class:`FaultDirectory` overrides this
+        with a real per-hart lookup, giving the policy host one uniform
+        accessor.
+        """
+        return self
 
     # -- monitor path (policy host, indexed by delivered check) ------------------
 
@@ -123,28 +176,125 @@ class FaultController:
         }
 
 
+class FaultDirectory:
+    """Per-hart fault controllers for a multi-hart SoC.
+
+    One :class:`FaultController` per scoped hart, each built from
+    :meth:`FaultPlan.for_hart` and wired to that hart's own log writer,
+    so each hart's fault indices count *its* event stream.  The
+    directory itself takes the SoC-level hooks (mailbox observability
+    wires, policy-host accessor, merged statistics).
+    """
+
+    def __init__(self, plan: FaultPlan, n_harts: int):
+        self.plan = plan
+        self.n_harts = n_harts
+        self.controllers: Dict[int, FaultController] = {
+            hart: FaultController(plan.for_hart(hart)) for hart in plan.harts
+        }
+        self.doorbells_observed = 0
+        self.completions_observed = 0
+
+    def controller(self, hart: int) -> Optional[FaultController]:
+        """The controller scoped to ``hart``, or ``None`` (no faults)."""
+        return self.controllers.get(hart)
+
+    # -- mailbox observability wires (SoC-level, not per-hart) -------------------
+
+    def note_doorbell(self) -> None:
+        self.doorbells_observed += 1
+
+    def note_completion(self) -> None:
+        self.completions_observed += 1
+
+    # -- reporting ----------------------------------------------------------------
+
+    @property
+    def stall_cycles_injected(self) -> int:
+        return sum(c.stall_cycles_injected for c in self.controllers.values())
+
+    def stats_summary(self) -> Dict[str, object]:
+        """Merged per-run fault statistics with a per-hart breakdown."""
+        armed: Dict[str, int] = {}
+        fired: Dict[str, int] = {}
+        for ctrl in self.controllers.values():
+            for kind, v in ctrl.armed.items():
+                if v:
+                    armed[kind] = armed.get(kind, 0) + v
+            for kind, v in ctrl.fired.items():
+                if v:
+                    fired[kind] = fired.get(kind, 0) + v
+        return {
+            "armed": armed,
+            "fired": fired,
+            "doorbells_observed": self.doorbells_observed,
+            "completions_observed": self.completions_observed,
+            "stall_cycles_injected": self.stall_cycles_injected,
+            "per_hart": {
+                str(hart): ctrl.stats_summary()
+                for hart, ctrl in sorted(self.controllers.items())
+            },
+        }
+
+
 def attach_faults(soc, plan: Optional[FaultPlan]):
     """Wire a fault controller into a built SoC.
 
-    Hooks the log writer (transport faults), the CFI mailbox
-    (doorbell/completion observability), and the policy host (monitor
-    faults) when one is mounted.  Monitor faults require a policy-host
-    agent — the RV32 firmware is an opaque binary we cannot inject
-    into — so attaching a monitor plan to a firmware-agent SoC raises
+    Hooks the log writer (transport + adversarial faults), the CFI
+    mailbox (doorbell/completion observability), and the policy host
+    (monitor faults) when one is mounted.  Monitor and adversarial
+    faults require a policy-host agent — the RV32 firmware is an opaque
+    binary we cannot inject into (nor does it mount the quarantine
+    defense) — so attaching such a plan to a firmware-agent SoC raises
     :class:`~repro.errors.FaultPlanError`.
 
-    Returns the attached :class:`FaultController` (or ``None`` when
-    ``plan`` is ``None``).
+    Scoping rules:
+
+    * every ``hart`` scope must name an instantiated hart
+      (:class:`~repro.errors.UnknownHartError` otherwise);
+    * on an N > 1 topology the plan must be fully hart-scoped — an
+      unscoped event would *silently* fault hart 0
+      (:class:`~repro.errors.FaultPlanError`);
+    * adversarial kinds additionally need N > 1 (a lone hart has no
+      peers to attack).
+
+    Returns the attached :class:`FaultController` (N = 1) or
+    :class:`FaultDirectory` (N > 1), or ``None`` when ``plan`` is
+    ``None``.
     """
     if plan is None:
         return None
     if soc.cfi_stage is None:
         raise FaultPlanError("cannot attach faults to a SoC without a CFI stage")
+    n_harts = soc.n_harts
+    for hart in plan.harts:
+        if hart >= n_harts:
+            raise UnknownHartError(hart, n_harts)
     if plan.needs_monitor and soc.policy_host is None:
         raise FaultPlanError(
-            "monitor faults (stall/reset) require a policy-host agent; "
+            "monitor and adversarial faults require a policy-host agent; "
             "the RV32 firmware monitor cannot be injected into"
         )
+    if plan.adversarial and n_harts == 1:
+        raise FaultPlanError(
+            "adversarial faults model a compromised hart attacking its "
+            "peers; they need a multi-hart topology (n_harts > 1)"
+        )
+    if n_harts > 1:
+        if not plan.hart_scoped:
+            raise FaultPlanError(
+                "fault plans on a multi-hart topology must be hart-scoped "
+                "(FaultPlan.scoped(hart)): an unscoped plan would silently "
+                "fault hart 0"
+            )
+        directory = FaultDirectory(plan, n_harts)
+        for hart, ctrl in directory.controllers.items():
+            soc.cfi_stages[hart].writer.faults = ctrl
+        soc.cfi_mailbox.faults = directory
+        if soc.policy_host is not None:
+            soc.policy_host.faults = directory
+        soc.faults = directory
+        return directory
     controller = FaultController(plan)
     soc.cfi_stage.writer.faults = controller
     soc.cfi_mailbox.faults = controller

@@ -26,7 +26,12 @@ from typing import List, Optional, Sequence
 
 from repro.core.commit_log import CommitLog
 from repro.faults.inject import FaultController
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import (
+    ADVERSARIAL_FAULTS,
+    FAULT_DOORBELL_FLOOD,
+    FAULT_HART_SPOOF,
+    FaultPlan,
+)
 from repro.firmware.policies import CheckResult, Policy
 
 
@@ -93,3 +98,24 @@ def predict_verdict(
                 delivered_checks=i + 1,
             )
     return FaultPrediction(detected=False, delivered_checks=len(stream))
+
+
+def predict_adversarial(plan: FaultPlan, baseline_detected: bool) -> bool:
+    """Expected ``detected`` flag for the *attacking* hart of an
+    adversarial plan (a static expectation, no replay needed).
+
+    A spoofed source id is caught by the monitor's owner/tag
+    inconsistency check, and a flood's fabricated forged-return events
+    always violate any return-checking policy — both surface as
+    detections against the compromised hart.  An ``arbiter-hold``
+    fabricates no event: the watchdog quarantines the squatter, but the
+    hart's own (possibly benign) stream keeps its baseline verdict.
+    """
+    if not plan.kinds & ADVERSARIAL_FAULTS:
+        raise ValueError(
+            "predict_adversarial applies to adversarial plans only; "
+            f"got kinds {sorted(plan.kinds)}"
+        )
+    if plan.kinds & {FAULT_HART_SPOOF, FAULT_DOORBELL_FLOOD}:
+        return True
+    return baseline_detected

@@ -111,6 +111,20 @@ class PerHartContextMixin:
             if reset is not None:
                 reset()
 
+    def quarantine_context(self, hart_id: int) -> None:
+        """Mark ``hart_id``'s context as quarantined by the monitor's
+        defense layer.  Purely observational — the context object keeps
+        its state (forensics read it after the run), and the sealing
+        itself happens at the doorbell arbiter; the mark survives
+        :meth:`reset_contexts` just as the arbiter latch survives a
+        monitor reboot."""
+        self.__dict__.setdefault("_quarantined_contexts", set()).add(hart_id)
+
+    @property
+    def quarantined_contexts(self) -> frozenset:
+        """Hart ids whose contexts the defense layer has sealed."""
+        return frozenset(self.__dict__.get("_quarantined_contexts", ()))
+
 
 @dataclass
 class PolicyStats:

@@ -20,10 +20,11 @@ from repro.policyhost.calibration import (
     calibrate,
     configure_chain_table,
 )
-from repro.policyhost.host import PolicyHost, mount_policy_host
+from repro.policyhost.host import MonitorDefense, PolicyHost, mount_policy_host
 from repro.policyhost.latency import host_check_latencies
 
 __all__ = [
+    "MonitorDefense",
     "PolicyHost",
     "ResponseModel",
     "calibrate",

@@ -96,6 +96,97 @@ def resolve_path_key(encoding: int, violation: bool,
     return name, "bad" if violation else "ok"
 
 
+#: Violation verdicts a hart may accumulate before the defense layer
+#: quarantines it (a flooding hart's fabricated events are violations).
+QUARANTINE_STRIKES = 3
+#: Cycles the monitor waits after a completion for the doorbell grant
+#: to move on before declaring the owner a squatter (arbiter-hold).
+#: Generous against the slowest honest handshake tail (a verdict read
+#: plus release take tens of cycles) yet bounded for the contract.
+HOLD_BUDGET = 2048
+#: Fixed turnaround of a fail-safe response (spoofed source id): the
+#: monitor answers VIOLATION without consulting any policy context.
+FAILSAFE_CYCLES = 32
+
+
+class MonitorDefense:
+    """Cross-hart defense state of a multi-hart monitor.
+
+    Tracks per-hart violation strikes and quarantine flags, and owns
+    the countermeasures: a quarantined hart is sealed off the shared
+    doorbell channel (:meth:`repro.soc.mailbox.DoorbellArbiter.quarantine`)
+    and its policy context is marked
+    (:meth:`repro.firmware.policies.PerHartContextMixin.quarantine_context`),
+    while every benign peer's verdict path is untouched — the defense
+    only ever *removes* a misbehaving requester from the shared fabric.
+    """
+
+    def __init__(self, arbiter, n_harts: int, policy, stages=None):
+        self.arbiter = arbiter
+        self.n_harts = n_harts
+        self.policy = policy
+        #: Per-hart CFI stages (for the quarantine-lossy flip); absent
+        #: in unit tests that exercise the defense bookkeeping alone.
+        self.stages = stages
+        self.strikes = [0] * n_harts
+        self.quarantined = [False] * n_harts
+        self.spoofs_detected = 0
+        self.floods_quarantined = 0
+        self.holds_released = 0
+        self.failsafe_responses = 0
+
+    def quarantine(self, hart_id: int) -> bool:
+        """Seal ``hart_id`` off the channel; False when already sealed."""
+        if self.quarantined[hart_id]:
+            return False
+        self.quarantined[hart_id] = True
+        self.arbiter.quarantine(hart_id)
+        if self.stages is not None and self.stages[hart_id] is not None:
+            # Graceful degradation: the sealed hart's writer is frozen,
+            # so its CFI queue would fill and wedge the core on commit
+            # back-pressure forever.  Flip that one queue into lossy
+            # mode — its events are shed (and counted in ``dropped``)
+            # while every benign peer keeps its blocking, verdict-exact
+            # queue.
+            self.stages[hart_id].controller.lossy = True
+        mark = getattr(self.policy, "quarantine_context", None)
+        if mark is not None:
+            mark(hart_id)
+        return True
+
+    def strike(self, hart_id: int) -> bool:
+        """Record a violation verdict; True when it trips quarantine."""
+        self.strikes[hart_id] += 1
+        if (
+            self.strikes[hart_id] >= QUARANTINE_STRIKES
+            and not self.quarantined[hart_id]
+        ):
+            self.quarantine(hart_id)
+            self.floods_quarantined += 1
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Clear strike counters (monitor reboot).  Quarantine flags
+        survive on purpose: the arbiter seal is a hardware latch only a
+        platform reset clears, and forgetting a compromised hart on a
+        monitor reboot would hand the attacker a reset-to-escape path."""
+        self.strikes = [0] * self.n_harts
+
+    def summary(self) -> dict:
+        """JSON-able defense state for reports and contracts."""
+        return {
+            "quarantined": [
+                i for i, sealed in enumerate(self.quarantined) if sealed
+            ],
+            "strikes": list(self.strikes),
+            "spoofs_detected": self.spoofs_detected,
+            "floods_quarantined": self.floods_quarantined,
+            "holds_released": self.holds_released,
+            "failsafe_responses": self.failsafe_responses,
+        }
+
+
 @dataclass
 class PolicyHostStats:
     """Lifetime statistics of one policy host."""
@@ -141,7 +232,8 @@ class PolicyHost:
 
     def __init__(self, policy: Policy, mailbox: Mailbox,
                  model: ResponseModel, name: str = "policy-host",
-                 n_harts: int = 1):
+                 n_harts: int = 1, arbiter=None, defense: bool = False,
+                 stages=None):
         if not hasattr(policy, "check"):
             raise ConfigError(f"{name}: policy object has no check() method")
         if n_harts < 1:
@@ -150,6 +242,11 @@ class PolicyHost:
             raise ConfigError(
                 f"{name}: policy {type(policy).__name__} has no per-hart "
                 "context() — it cannot serve a multi-hart SoC"
+            )
+        if defense and (n_harts < 2 or arbiter is None):
+            raise ConfigError(
+                f"{name}: the cross-hart defense needs a multi-hart SoC "
+                "with a doorbell arbiter (n_harts > 1)"
             )
         self.policy = policy
         self.mailbox = mailbox
@@ -173,6 +270,17 @@ class PolicyHost:
         #: Fault controller hook (:mod:`repro.faults`); ``None`` keeps
         #: the service path identical to the fault-free host.
         self.faults = None
+        #: Cross-hart defense layer; ``None`` (the default) keeps the
+        #: service path identical to the defenseless host.
+        self.defense: Optional[MonitorDefense] = (
+            MonitorDefense(arbiter, n_harts, policy, stages=stages)
+            if defense else None
+        )
+        #: Arbiter-hold watchdog: armed after every completion, fires
+        #: exactly at its deadline cycle (engine-invariant by being a
+        #: pure function of the respond cycle).
+        self._watch_at: Optional[int] = None
+        self._watch_count = 0
         mailbox.on_doorbell = self._on_doorbell
 
     # -- doorbell service -----------------------------------------------------
@@ -180,17 +288,7 @@ class PolicyHost:
     def _on_doorbell(self) -> None:
         if self._respond_at is not None:
             raise ProtocolError(f"{self.name}: doorbell while check in flight")
-        check_index = self.stats.checks
-        if self.faults is not None and self.faults.reset_before(check_index):
-            reset = getattr(self.policy, "reset", None)
-            if reset is None:
-                raise ConfigError(
-                    f"{self.name}: monitor-reset fault scheduled but policy "
-                    f"{type(self.policy).__name__} has no reset()"
-                )
-            reset()
         data = self.mailbox.collect()
-        log = CommitLog.unpack(data)
         if self.n_harts > 1:
             # Multi-hart wire format: the source hart id rides in the
             # first spare payload byte; the check runs against that
@@ -201,10 +299,41 @@ class PolicyHost:
                     f"{self.name}: payload tagged with unknown hart "
                     f"{hart_id} (serving {self.n_harts})"
                 )
+            if self.defense is not None:
+                owner = self.defense.arbiter.owner
+                if owner is not None and owner != hart_id:
+                    # The payload's source tag disagrees with the hart
+                    # actually holding the doorbell grant: a spoofed
+                    # id.  Fail safe — quarantine the true sender and
+                    # answer VIOLATION without letting the forged event
+                    # anywhere near a policy context (the impersonated
+                    # hart's shadow state must stay untouched).
+                    self._fail_safe(owner)
+                    return
             context = self.policy.context(hart_id)
         else:
             hart_id = 0
             context = self.policy
+        # Monitor faults are scoped per hart: the fault controller and
+        # the delivered-check index both follow the tagged source hart
+        # (the single-hart controller resolves to itself at index 0).
+        ctrl = (
+            self.faults.controller(hart_id) if self.faults is not None else None
+        )
+        check_index = (
+            self.hart_stats[hart_id].checks
+            if self.hart_stats is not None
+            else self.stats.checks
+        )
+        if ctrl is not None and ctrl.reset_before(check_index):
+            reset = getattr(self.policy, "reset", None)
+            if reset is None:
+                raise ConfigError(
+                    f"{self.name}: monitor-reset fault scheduled but policy "
+                    f"{type(self.policy).__name__} has no reset()"
+                )
+            reset()
+        log = CommitLog.unpack(data)
         result = context.check(log)
         violation = result is CheckResult.VIOLATION
         path_key = resolve_path_key(
@@ -218,8 +347,8 @@ class PolicyHost:
             if surcharge < 0:
                 raise ConfigError(f"{self.name}: negative host_extra_cycles")
             respond_at += surcharge
-        if self.faults is not None:
-            respond_at += self.faults.stall_cycles(check_index)
+        if ctrl is not None:
+            respond_at += ctrl.stall_cycles(check_index)
         if respond_at <= ring:
             raise SimulationError(
                 f"{self.name}: modelled completion at cycle {respond_at} "
@@ -241,6 +370,36 @@ class PolicyHost:
             hstats.checks += 1
             if violation:
                 hstats.violations += 1
+            hstats.by_path[path_key] = hstats.by_path.get(path_key, 0) + 1
+        if self.defense is not None and violation:
+            # Repeated violation verdicts from one hart (a doorbell
+            # flood's fabricated events, or any persistently compromised
+            # stream) trip the strike counter into quarantine.
+            self.defense.strike(hart_id)
+
+    def _fail_safe(self, hart_id: int) -> None:
+        """Answer a spoofed transmission: VIOLATION after a fixed
+        turnaround, charged to ``hart_id`` (the channel's true owner),
+        with every policy context left untouched."""
+        defense = self.defense
+        assert defense is not None
+        defense.spoofs_detected += 1
+        defense.failsafe_responses += 1
+        defense.quarantine(hart_id)
+        ring = self.now
+        path_key = ("spoof", "fail-safe")
+        self._respond_at = ring + FAILSAFE_CYCLES
+        self._verdict = VERDICT_VIOLATION
+        self._ring_at = ring
+        self._inflight_hart = hart_id
+        self._prev_outcome = "bad"
+        self.stats.checks += 1
+        self.stats.violations += 1
+        self.stats.by_path[path_key] = self.stats.by_path.get(path_key, 0) + 1
+        if self.hart_stats is not None:
+            hstats = self.hart_stats[hart_id]
+            hstats.checks += 1
+            hstats.violations += 1
             hstats.by_path[path_key] = hstats.by_path.get(path_key, 0) + 1
 
     def _schedule(self, ring: int, log: CommitLog,
@@ -283,6 +442,31 @@ class PolicyHost:
             )
         self._prev_respond = self.now
         self._respond_at = None
+        if self.defense is not None:
+            # Arm the arbiter-hold watchdog: the grant must move on
+            # (release observed via the arbiter's change counter) within
+            # the budget, or the owner is a squatter.  The deadline is a
+            # pure function of the respond cycle, so all three engines
+            # fire it on the same cycle.
+            self._watch_at = self.now + HOLD_BUDGET
+            self._watch_count = self.defense.arbiter.change_count
+
+    def _fire_watchdog(self) -> None:
+        defense = self.defense
+        assert defense is not None
+        self._watch_at = None
+        arbiter = defense.arbiter
+        if arbiter.change_count != self._watch_count:
+            return  # the channel moved on: a healthy handshake tail
+        owner = arbiter.owner
+        if owner is None:
+            return
+        # The grant has not budged since the completion: quarantine the
+        # squatter and force the channel back into rotation so starved
+        # peers resume.
+        defense.quarantine(owner)
+        arbiter.force_release(owner)
+        defense.holds_released += 1
 
     # -- scheduling contract (same shape as the log writer's) ----------------
 
@@ -291,17 +475,23 @@ class PolicyHost:
         self.now += 1
         if self._respond_at == self.now:
             self._respond()
+        if self._watch_at == self.now:
+            self._fire_watchdog()
 
     @property
     def parked(self) -> bool:
-        """True when no check is in flight (only a doorbell can act)."""
-        return self._respond_at is None
+        """True when no check is in flight and no watchdog is armed
+        (only a doorbell can act)."""
+        return self._respond_at is None and self._watch_at is None
 
     def skippable_cycles(self) -> int:
         """Cycles :meth:`tick` can fast-forward with no state change."""
-        if self._respond_at is None:
-            return UNBOUNDED
-        return self._respond_at - self.now - 1
+        bound = UNBOUNDED
+        if self._respond_at is not None:
+            bound = self._respond_at - self.now - 1
+        if self._watch_at is not None:
+            bound = min(bound, self._watch_at - self.now - 1)
+        return bound
 
     def skip(self, cycles: int) -> None:
         """Jump ``cycles`` no-change cycles (caller respects the bound)."""
@@ -311,6 +501,11 @@ class PolicyHost:
             raise SimulationError(
                 f"{self.name}: skip of {cycles} cycles crosses the pending "
                 f"completion at cycle {self._respond_at}"
+            )
+        if self._watch_at is not None and self.now + cycles >= self._watch_at:
+            raise SimulationError(
+                f"{self.name}: skip of {cycles} cycles crosses the watchdog "
+                f"deadline at cycle {self._watch_at}"
             )
         self.now += cycles
 
@@ -334,11 +529,14 @@ class PolicyHost:
                 }
                 for i, hstats in enumerate(self.hart_stats)
             ]
+        if self.defense is not None:
+            summary["defense"] = self.defense.summary()
         return summary
 
 
 def mount_policy_host(soc, policy: Policy, variant: str = "irq",
-                      model: Optional[ResponseModel] = None) -> PolicyHost:
+                      model: Optional[ResponseModel] = None,
+                      defense: bool = False) -> PolicyHost:
     """Mount ``policy`` as the SoC's mailbox agent (replacing firmware).
 
     The RoT's Ibex core is left frozen (the co-simulator detects the
@@ -353,6 +551,10 @@ def mount_policy_host(soc, policy: Policy, variant: str = "irq",
             (``"irq"`` or ``"polling"``).
         model: calibration override (defaults to the memoised model for
             the SoC's fabric and wake latency).
+        defense: mount the cross-hart :class:`MonitorDefense` layer
+            (spoof detection, flood strikes, arbiter-hold watchdog).
+            Requires a multi-hart SoC; off by default so every historic
+            run stays cycle-identical.
 
     Returns:
         the mounted :class:`PolicyHost` (also at ``soc.policy_host``).
@@ -364,6 +566,9 @@ def mount_policy_host(soc, policy: Policy, variant: str = "irq",
         model = calibrate(variant=variant, fabric=config.fabric,
                           wake_cycles=config.wake_cycles)
     host = PolicyHost(policy, soc.cfi_mailbox, model,
-                      n_harts=getattr(soc, "n_harts", 1))
+                      n_harts=getattr(soc, "n_harts", 1),
+                      arbiter=getattr(soc, "doorbell_arbiter", None),
+                      defense=defense,
+                      stages=getattr(soc, "cfi_stages", None))
     soc.policy_host = host
     return host

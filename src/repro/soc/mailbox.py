@@ -318,6 +318,15 @@ class DoorbellArbiter:
         self._requests: List[bool] = [False] * n_ports
         #: Grant counters per port (fairness observability).
         self.grants: List[int] = [0] * n_ports
+        self._quarantined: List[bool] = [False] * n_ports
+        #: Fast guard for the writers' per-tick gating check: stays
+        #: False (one attribute read) until the first quarantine.
+        self.quarantine_active: bool = False
+        #: Monotonic count of ownership transitions (grant, release,
+        #: forced release).  The monitor's hold watchdog samples it: a
+        #: frozen count across the watchdog budget means the owner is
+        #: squatting on the channel.
+        self.change_count: int = 0
 
     def _check_port(self, port: int) -> None:
         if not 0 <= port < self.n_ports:
@@ -330,8 +339,11 @@ class DoorbellArbiter:
 
         Idempotent per cycle: a granted owner re-acquiring keeps its
         grant, an ungranted requester keeps its request pending.
+        A quarantined port is refused outright and registers nothing.
         """
         self._check_port(port)
+        if self._quarantined[port]:
+            return False
         if self.owner == port:
             return True
         if self.owner is None:
@@ -341,6 +353,7 @@ class DoorbellArbiter:
             self.owner = port
             self.grants[port] += 1
             self._requests[port] = False
+            self.change_count += 1
             return True
         self._requests[port] = True
         return False
@@ -355,7 +368,9 @@ class DoorbellArbiter:
 
         The grant rotates to the next requesting port after the
         releasing one (round robin); with no requests pending the
-        channel goes idle.
+        channel goes idle.  A port quarantined mid-handshake may still
+        release — the in-flight handshake finishes cleanly; only new
+        acquires are gated.
         """
         self._check_port(port)
         if self.owner != port:
@@ -369,12 +384,48 @@ class DoorbellArbiter:
                 self.owner = nxt
                 self.grants[nxt] += 1
                 self._requests[nxt] = False
+                self.change_count += 1
                 return
         self.owner = None
+        self.change_count += 1
 
     def requesting(self, port: int) -> bool:
         self._check_port(port)
         return self._requests[port]
+
+    def quarantined(self, port: int) -> bool:
+        self._check_port(port)
+        return self._quarantined[port]
+
+    def quarantine(self, port: int) -> None:
+        """Gate ``port`` off the channel: its pending request is dropped
+        and every future ``acquire`` is refused.  A grant the port
+        already holds is untouched (the in-flight handshake completes;
+        a squatting owner needs :meth:`force_release`)."""
+        self._check_port(port)
+        self._quarantined[port] = True
+        self._requests[port] = False
+        self.quarantine_active = True
+
+    def force_release(self, port: int) -> None:
+        """Revoke ``port``'s grant without its cooperation (the
+        monitor's hold-watchdog action) and re-arbitrate round-robin."""
+        self._check_port(port)
+        if self.owner != port:
+            raise ProtocolError(
+                f"doorbell arbiter: force_release of port {port} but the "
+                f"grant is owned by {self.owner!r}"
+            )
+        for step in range(1, self.n_ports + 1):
+            nxt = (port + step) % self.n_ports
+            if self._requests[nxt]:
+                self.owner = nxt
+                self.grants[nxt] += 1
+                self._requests[nxt] = False
+                self.change_count += 1
+                return
+        self.owner = None
+        self.change_count += 1
 
 
 #: Verdict values written into data[0] by the CFI firmware (§IV-C).

@@ -889,6 +889,7 @@ class SystemSimulator:
         first_latency: Optional[int] = None
         latency_samples = 0
         latency_sum = 0.0
+        arbiter = getattr(self.soc, "doorbell_arbiter", None)
         for i in range(self._n):
             stage = self._stages[i]
             stats = stage.stats_summary() if stage is not None else {}
@@ -905,6 +906,9 @@ class SystemSimulator:
                     stats.get("first_violation_latency")
                     if hart_violation is not None else None
                 ),
+                "quarantined": bool(
+                    arbiter is not None and arbiter.quarantined(i)
+                ),
                 "cfi": stats,
             }
             per_hart.append(entry)
@@ -912,8 +916,8 @@ class SystemSimulator:
                 first_violation = hart_violation
                 first_latency = entry["detection_latency"]
             for key in ("examined", "selected", "full_stalls",
-                        "conflict_stalls", "logs_sent", "checks_completed",
-                        "violations"):
+                        "conflict_stalls", "dropped", "logs_sent",
+                        "checks_completed", "violations"):
                 if key in stats:
                     aggregate[key] = aggregate.get(key, 0) + stats[key]
             checks = stats.get("checks_completed", 0)

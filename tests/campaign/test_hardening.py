@@ -249,6 +249,51 @@ class TestResumeEndToEnd:
                  for r in load_results(str(resumed_dir / "results.jsonl"))]
         assert sorted(names) == [r["name"] for r in straight["scenarios"]]
 
+    def test_forced_crash_resume_keeps_per_hart_rows_exact(
+            self, tmp_path, monkeypatch):
+        """A worker crash on a multi-hart adversarial cell, then a
+        resume, must reproduce the straight run's per-hart rows exactly:
+        every scenario present once, every hart's row present once, no
+        duplicated or lost rows, contracts intact."""
+        crash_name = ("cosim/rop/shadow-stack/host/irq/q8/"
+                      "fault-xhart-spoof/fh1/guard/n2/deep-recursion")
+        straight_dir = tmp_path / "straight"
+        crashed_dir = tmp_path / "crashed"
+
+        assert main(["run", "--matrix", "xhart-smoke", "--jobs", "1",
+                     "--out", str(straight_dir)]) == 0
+        straight = json.loads((straight_dir / "campaign.json").read_text())
+        assert crash_name in [r["name"] for r in straight["scenarios"]]
+
+        monkeypatch.setenv(ENV_CRASH_SCENARIO, crash_name)
+        # Exit 1: the crashed row leaves the campaign incomplete.
+        assert main(["run", "--matrix", "xhart-smoke", "--jobs", "2",
+                     "--out", str(crashed_dir)]) == 1
+        rows = load_results(str(crashed_dir / "results.jsonl"))
+        assert [r["name"] for r in rows if r["status"] == "crashed"] \
+            == [crash_name]
+
+        monkeypatch.delenv(ENV_CRASH_SCENARIO)
+        (crashed_dir / "campaign.json").unlink()
+        assert main(["run", "--matrix", "xhart-smoke", "--jobs", "1",
+                     "--resume", str(crashed_dir)]) == 0
+
+        resumed = json.loads((crashed_dir / "campaign.json").read_text())
+        by_name = {r["name"]: r for r in resumed["scenarios"]}
+        assert len(by_name) == len(resumed["scenarios"])
+        for ref in straight["scenarios"]:
+            row = by_name[ref["name"]]
+            assert row["status"] == "ok"
+            assert [h["hart"] for h in row["per_hart"]] \
+                == list(range(ref["n_harts"]))
+            assert row["per_hart"] == ref["per_hart"]
+            assert row["contract_ok"] == ref["contract_ok"]
+        # The compacted checkpoint too: one row per scenario, each with
+        # a full complement of per-hart rows.
+        final_rows = load_results(str(crashed_dir / "results.jsonl"))
+        assert sorted(r["name"] for r in final_rows) \
+            == sorted(by_name)
+
     def test_resume_against_other_matrix_refused(self, tmp_path):
         out = tmp_path / "campaign"
         assert main(["run", "--matrix", "smoke", "--jobs", "1",

@@ -4,7 +4,7 @@ The scenario layer must reject every inconsistent multi-hart cell with
 a *typed* error (never silently fix it up), produce stable names for
 the consistent ones, and the grid expander must drop — not raise on —
 cross-field combinations that cannot exist (multi-hart on the reference
-backend, firmware agents, fault plans).  A small N=2 run through the
+backend, firmware agents, unscoped fault plans).  A small N=2 run through the
 real runner closes the loop: per-hart rows, aggregate verdict, and
 engine invariance.
 """
@@ -61,9 +61,13 @@ class TestMultiHartValidation:
         with pytest.raises(ConfigError, match="shadow context"):
             _cell(policy_backend="firmware")
 
-    def test_fault_plans_rejected(self):
-        with pytest.raises(ConfigError, match="single-hart"):
+    def test_unscoped_fault_plan_rejected(self):
+        # Fault plans are allowed on multi-hart cells since the
+        # cross-hart PR, but only hart-scoped: an unscoped plan would
+        # silently fault hart 0.
+        with pytest.raises(ConfigError, match="silently fault hart 0"):
             _cell(fault_plan="drop-first")
+        assert _cell(fault_plan="drop-first", fault_hart=1).fault_hart == 1
 
     def test_hart_victims_length_must_be_n_minus_one(self):
         with pytest.raises(ConfigError, match="hart_victims"):

@@ -208,3 +208,32 @@ class TestSmokeMatrixEndToEnd:
     def test_summarize_is_pure(self):
         payload = run_campaign(smoke_matrix()[:4], jobs=1)
         assert summarize(payload["scenarios"]) == summarize(payload["scenarios"])
+
+
+class TestXhartMatrixEndToEnd:
+    def test_every_cell_meets_the_per_hart_contract(self):
+        from repro.campaign.spec import resolve_matrix
+
+        payload = run_campaign(resolve_matrix("xhart-smoke"), jobs=1)
+        rows = payload["scenarios"]
+        assert all(r["status"] == "ok" and r["expectation_met"]
+                   for r in rows)
+        guarded = [r for r in rows if r["fault_plan"] is None]
+        attacked = [r for r in rows if r["fault_plan"] is not None]
+        assert len(guarded) == 1 and len(attacked) == 3
+        base_rows = guarded[0]["per_hart"]
+        assert guarded[0]["quarantined_harts"] == []
+        for r in attacked:
+            assert r["contract_ok"] is True
+            assert r["degradation"] == "fail-safe-quarantine"
+            assert r["quarantined_harts"] == [r["fault_hart"]]
+            for hart_id, row in enumerate(r["per_hart"]):
+                if hart_id == r["fault_hart"]:
+                    assert row["role"] == "attacker" and row["quarantined"]
+                else:
+                    assert row["role"] == "benign"
+                    # The hard contract: benign rows bit-identical to
+                    # the guarded no-adversary baseline.
+                    for field in ("detected", "violation_kind",
+                                  "detection_latency"):
+                        assert row[field] == base_rows[hart_id][field]

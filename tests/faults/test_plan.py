@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import FaultPlanError
 from repro.faults.plan import (
+    ADVERSARIAL_FAULTS,
     FAULT_DOORBELL_DROP,
     FAULT_DOORBELL_DUP,
     FAULT_EVENT_CORRUPT,
@@ -110,7 +111,9 @@ class TestRegistry:
     @pytest.mark.parametrize("name", sorted(FAULT_PLANS))
     def test_plan_kinds_stay_in_one_family_set(self, name):
         plan = build_plan(name, 3)
-        assert plan.kinds <= (TRANSPORT_FAULTS | MONITOR_FAULTS)
+        assert plan.kinds <= (
+            TRANSPORT_FAULTS | MONITOR_FAULTS | ADVERSARIAL_FAULTS
+        )
 
     def test_seed_perturbs_windowed_plans(self):
         # The windowed plans draw their index from the seeded RNG, so

@@ -125,7 +125,8 @@ class TestArbiterUnit:
             arb.release(-1)
 
 
-def _build(victims, seed=1234, fault_plan=None, same_seed=False):
+def _build(victims, seed=1234, fault_plan=None, same_seed=False,
+           defense=False):
     topo = Topology(n_harts=len(victims))
     soc = build_soc(
         cfi_config=TitanCfiConfig(raise_on_violation=False), topology=topo
@@ -135,7 +136,7 @@ def _build(victims, seed=1234, fault_plan=None, same_seed=False):
         rng = random.Random(seed if same_seed else seed + hart_id)
         program = VICTIMS[victim].builder(amap, rng)
         soc.load_host_program(program, hart_id=hart_id)
-    mount_policy_host(soc, ShadowStackPolicy())
+    mount_policy_host(soc, ShadowStackPolicy(), defense=defense)
     if fault_plan is not None:
         attach_faults(soc, fault_plan)
     return soc
@@ -198,6 +199,49 @@ class TestArbitratedHandshakes:
         assert keys[0] == keys[1] == keys[2]
 
 
+class TestArbiterFairness:
+    """A requester that never stops asking must not starve its peers:
+    round-robin rotation bounds every port's wait at one full turn, and
+    a holder that never *releases* is bounded by the monitor's hold
+    watchdog (which force-releases and quarantines the squatter)."""
+
+    def test_permanent_requester_cannot_starve_peers(self):
+        arb = DoorbellArbiter(4)
+        arb.acquire(0)           # greedy port wins the idle channel
+        for port in (1, 2, 3):
+            arb.acquire(port)    # peers queue behind it
+        served = []
+        for _ in range(8):
+            owner = arb.owner
+            served.append(owner)
+            arb.release(owner)
+            arb.acquire(0)       # the greedy port re-asserts instantly
+        # Every peer is granted within one rotation — the greedy port
+        # does not win again until the whole backlog has been served.
+        assert served[:4] == [0, 1, 2, 3]
+
+    def test_held_grant_is_watchdog_released_across_engines(self):
+        from repro.faults import build_plan
+
+        plan = build_plan("xhart-hold", 99).scoped(1)
+        victims = ("rop", "deep-recursion")
+        keys = []
+        for mode in MODES:
+            soc = _build(victims, fault_plan=plan, defense=True)
+            report = SystemSimulator(soc, mode=mode).run()
+            keys.append(_key(report))
+            defense = soc.policy_host.defense.summary()
+            assert defense["holds_released"] == 1
+            assert soc.doorbell_arbiter.quarantined(1)
+            # The peer hart's wait was bounded: its stream kept flowing
+            # past the hold and completed every check, and its attack
+            # still landed.
+            peer = report.per_hart[0]
+            assert peer["cfi"]["checks_completed"] == peer["cfi"]["logs_sent"] > 0
+            assert report.detected
+        assert keys[0] == keys[1] == keys[2]
+
+
 class TestArbiterUnderTransportFaults:
     """Doorbell drop/dup faults target hart 0's writer; the grant
     discipline must stay deterministic and engine-invariant around
@@ -206,11 +250,11 @@ class TestArbiterUnderTransportFaults:
     DROP = FaultPlan(
         events=(FaultEvent(kind=FAULT_DOORBELL_DROP, index=0, count=2),),
         note="drop hart 0's first two events",
-    )
+    ).scoped(0)
     DUP = FaultPlan(
         events=(FaultEvent(kind=FAULT_DOORBELL_DUP, index=1, count=1),),
         note="redeliver hart 0's second event",
-    )
+    ).scoped(0)
 
     @pytest.mark.parametrize("plan", [DROP, DUP], ids=["drop", "dup"])
     def test_faulted_reports_identical_across_engines(self, plan):
