@@ -339,6 +339,50 @@ def run_synth_pass(sim_mode: str = None) -> dict:
     }
 
 
+def run_incremental_sweep() -> dict:
+    """Cold vs warm store on the smoke matrix through the sweep service.
+
+    Submits the smoke matrix twice against a fresh service root: the
+    cold sweep executes every cell into the content-addressed store,
+    the warm sweep must resolve 100 % from it (0 cells executed) and
+    produce a byte-identical ``campaign.json``.  Wall-clock columns are
+    machine-dependent; the hit/executed accounting and the byte
+    identity are invariants the ``--smoke`` path asserts.
+    """
+    import tempfile
+
+    from repro.service import SweepService
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as root:
+        service = SweepService(root, code_version="bench")
+        service.submit("smoke")
+        t0 = time.perf_counter()
+        (cold,) = service.serve_once()
+        cold_seconds = time.perf_counter() - t0
+        service.submit("smoke")
+        t0 = time.perf_counter()
+        (warm,) = service.serve_once()
+        warm_seconds = time.perf_counter() - t0
+        identical = (
+            (service.job_dir("job-0001") / "campaign.json").read_bytes()
+            == (service.job_dir("job-0002") / "campaign.json").read_bytes()
+        )
+    return {
+        "matrix": "smoke",
+        "cells": cold["cells"],
+        "cold_executed": cold["executed"],
+        "warm_executed": warm["executed"],
+        "warm_hits": warm["hits"],
+        "warm_hit_rate": round(warm["hits"] / warm["cells"], 4),
+        "artifacts_identical": identical,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "cold_scenarios_per_sec": round(cold["cells"] / cold_seconds, 1),
+        "warm_scenarios_per_sec": round(warm["cells"] / warm_seconds, 1),
+        "warm_speedup": round(cold_seconds / warm_seconds, 1),
+    }
+
+
 def _timed(fn, min_seconds: float = 0.3, min_rounds: int = 3):
     """Repeat ``fn`` until ``min_seconds`` of samples exist; return
     (best-round seconds, last result)."""
@@ -414,6 +458,9 @@ def measure() -> dict:
             ),
             "cycles_per_sec": round(synth_totals["cycles"] / synth_seconds),
         },
+        # Incremental sweeps: smoke matrix through the sweep service,
+        # cold (empty store) vs warm (100 % store hits).
+        "incremental": run_incremental_sweep(),
         # Saturation: one RoT monitor absorbing N harts' event streams.
         # Simulated numbers (latencies, stalls, high-water) are
         # machine-independent; only the seconds columns may move.
@@ -469,6 +516,21 @@ def render(payload: dict) -> str:
             f"    {synth['seconds_per_pass'] * 1000:.1f} ms / pass, "
             f"{synth['scenarios_per_sec']} scenarios/sec "
             f"(oracle-checked), {synth['cycles_per_sec']:,} simulated cycles/sec",
+        ]
+    incremental = payload.get("incremental")
+    if incremental:
+        lines += [
+            f"  incremental sweep (service store, {incremental['cells']} "
+            "smoke cells):",
+            f"    cold: {incremental['cold_seconds'] * 1000:.1f} ms "
+            f"({incremental['cold_scenarios_per_sec']} scenarios/sec, "
+            f"{incremental['cold_executed']} executed)",
+            f"    warm: {incremental['warm_seconds'] * 1000:.1f} ms "
+            f"({incremental['warm_scenarios_per_sec']} scenarios/sec, "
+            f"hit rate {incremental['warm_hit_rate']:.0%}, "
+            f"{incremental['warm_speedup']}x) — artifacts "
+            + ("byte-identical" if incremental["artifacts_identical"]
+               else "DIVERGED"),
         ]
     saturation = payload.get("saturation")
     if saturation:
@@ -626,6 +688,14 @@ def main(argv) -> int:
         synth_busy = run_synth_pass(sim_mode="busy")
         assert synth["cycles"] == synth_busy["cycles"]
         assert synth["results"] == synth_busy["results"]
+        # Incremental-sweep invariants: the warm service pass executes
+        # nothing (100 % store hits) and reproduces the cold run's
+        # campaign.json byte for byte.
+        incremental = run_incremental_sweep()
+        assert incremental["cold_executed"] == incremental["cells"]
+        assert incremental["warm_executed"] == 0
+        assert incremental["warm_hit_rate"] == 1.0
+        assert incremental["artifacts_identical"]
         summary = {k: campaign[k] for k in ("scenarios", "cycles")}
         print("bench_speed smoke ok:", totals, summary,
               {"policyhost_cycles": phost["cycles"],

@@ -35,6 +35,7 @@ from repro.campaign.spec import (
     faults_smoke_matrix,
     resolve_matrix,
     smoke_matrix,
+    spec_key,
 )
 
 __all__ = [
@@ -59,6 +60,7 @@ __all__ = [
     "run_campaign",
     "run_scenario",
     "smoke_matrix",
+    "spec_key",
     "summarize",
     "to_csv",
     "write_artifacts",

@@ -2,7 +2,10 @@
 
 Three subcommands:
 
-* ``list`` — print the scenario matrix (name, expected verdict).
+* ``list`` — print the scenario matrix (name, expected verdict);
+  ``--json`` emits one object per scenario with its canonical resolved
+  spec, derived seed and stable spec hash, so the sweep service and
+  external tooling can enumerate cells without importing internals.
 * ``run`` — execute a matrix (sharded by ``--jobs``), write artifacts
   (``campaign.json``, ``campaign.csv``, streamed ``results.jsonl``) and
   print the detection-matrix report.  On a synthesized scenario whose
@@ -42,7 +45,13 @@ from repro.campaign.checkpoint import (
     write_manifest,
 )
 from repro.campaign.runner import run_campaign
-from repro.campaign.spec import MATRICES, VICTIMS, resolve_matrix
+from repro.campaign.spec import (
+    MATRICES,
+    VICTIMS,
+    derive_seed,
+    resolve_matrix,
+    spec_key,
+)
 from repro.errors import ConfigError
 
 DEFAULT_OUT = Path("artifacts/campaign")
@@ -91,6 +100,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
     list_cmd = sub.add_parser("list", help="print the scenario matrix")
     list_cmd.add_argument("--matrix", default="default", choices=sorted(MATRICES))
+    list_cmd.add_argument("--json", action="store_true", dest="as_json",
+                          help="machine-readable listing: one object per "
+                               "scenario with its canonical resolved spec, "
+                               "derived seed and stable spec hash")
+    list_cmd.add_argument("--seed", type=int, default=0,
+                          help="campaign seed the derived per-scenario "
+                               "seeds and spec hashes are computed for "
+                               "(default: 0; --json only)")
 
     run_cmd = sub.add_parser("run", help="execute a scenario matrix")
     run_cmd.add_argument("--matrix", default="default", choices=sorted(MATRICES))
@@ -142,6 +159,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     scenarios = resolve_matrix(args.matrix)
+    if args.as_json:
+        listing = [
+            {
+                "name": scenario.name,
+                "matrix": args.matrix,
+                "expected_detected": scenario.expected_detected,
+                "seed": derive_seed(args.seed, scenario),
+                "spec_hash": spec_key(scenario, args.seed),
+                "spec": scenario.canonical(),
+            }
+            for scenario in scenarios
+        ]
+        print(json.dumps(listing, indent=2))
+        return 0
     width = max(len(s.name) for s in scenarios)
     for scenario in scenarios:
         verdict = "DETECT" if scenario.expected_detected else "pass"

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import json
 import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -546,6 +547,43 @@ class Scenario:
             parts.append(f"s{self.seed}")
         return "/".join(parts)
 
+    def canonical(self) -> Dict[str, object]:
+        """The fully-resolved spec as plain data — the cell's semantic
+        identity.
+
+        Knobs the backend ignores are normalised to ``None`` (mirroring
+        the result-dict columns), and the ``auto`` policy backend and
+        default ``hart_victims`` are resolved, so two :class:`Scenario`
+        instances that would execute identically canonicalise to equal
+        dicts.  This is the payload behind :func:`spec_key` — the
+        content-addressed result store's scenario identity — so it must
+        cover **every** field that can change a result.
+        """
+        cosim = self.backend == BACKEND_COSIM
+        multihart = self.n_harts > 1
+        return {
+            "backend": self.backend,
+            "victim": self.victim,
+            "policy": self.policy,
+            "policy_backend": self.resolved_policy_backend,
+            "firmware": self.firmware if cosim else None,
+            "queue_depth": self.queue_depth if cosim else None,
+            "blocking": self.blocking if cosim else None,
+            "fabric": self.fabric if cosim else None,
+            "lossy": self.lossy if cosim else None,
+            "fault_plan": self.fault_plan,
+            "fault_hart": self.fault_hart,
+            "defense": self.defense if multihart else None,
+            "n_harts": self.n_harts,
+            "hart_victims": (
+                list(self.resolved_hart_victims) if multihart else None
+            ),
+            "attack_hart": self.attack_hart if multihart else None,
+            "stagger": self.stagger if multihart else None,
+            "seed": self.seed,
+            "max_cycles": self.max_cycles,
+        }
+
     @property
     def expected_detected(self) -> bool:
         return expected_detection(self.victim, self.policy)
@@ -592,6 +630,30 @@ def derive_seed(campaign_seed: int, scenario: Scenario) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+def spec_key(scenario: Scenario, campaign_seed: int = 0) -> str:
+    """Canonical, stable content hash of a fully-resolved scenario.
+
+    SHA-256 over the scenario's name, its :meth:`Scenario.canonical`
+    spec (serialised with sorted keys, so Python dict ordering can
+    never perturb it) and the **derived** per-scenario seed — the three
+    inputs that determine a result.  The simulator engine is *not* part
+    of the key: all three engines are cycle-exact by contract (asserted
+    by the equivalence suites and ``bench_speed --smoke``), so a result
+    computed under any engine is valid for every other.
+
+    This is the scenario half of the content-addressed result store's
+    key; :func:`repro.service.store.code_fingerprint` supplies the
+    code-version half.
+    """
+    payload = {
+        "name": scenario.name,
+        "spec": scenario.canonical(),
+        "derived_seed": derive_seed(campaign_seed, scenario),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
 # --------------------------------------------------------------------------
 # Grid expansion
 # --------------------------------------------------------------------------
@@ -606,7 +668,13 @@ def expand_grid(**axes: Sequence[object]) -> List[Scenario]:
     cells (reference-backend scenarios that differ only in cosim-only
     knobs such as ``firmware`` or ``queue_depth``) are dropped, so
     grids can sweep policies, backends and policy backends together; a
-    bad field *value* (a typo'd victim or policy name) still raises::
+    bad field *value* (a typo'd victim or policy name) still raises.
+    Two cells sharing a name may only collapse when their
+    :meth:`Scenario.canonical` specs are equal (they would execute
+    identically); a *semantic* collision — same name, different
+    resolved spec — raises a :class:`~repro.errors.ConfigError` listing
+    the duplicates, because scenario names key artifacts and the result
+    store's spec hashes must stay injective over a matrix::
 
         expand_grid(victim=["rop", "benign"],
                     policy=["shadow-stack", "coarse"],
@@ -630,7 +698,8 @@ def expand_grid(**axes: Sequence[object]) -> List[Scenario]:
 
     value_lists = [axis_values(n, v) for n, v in axes.items()]
     scenarios: List[Scenario] = []
-    seen: set = set()
+    seen: Dict[str, Dict[str, object]] = {}
+    collisions: List[str] = []
     for combo in itertools.product(*value_lists):
         kwargs = dict(zip(names, combo))
         # Only the known *cross-field* incompatibilities are skippable;
@@ -701,11 +770,23 @@ def expand_grid(**axes: Sequence[object]) -> List[Scenario]:
             continue
         scenario = Scenario(**kwargs)
         # Scenario.name omits knobs its backend ignores, so equivalent
-        # cells from a mixed-backend sweep collapse to the first one.
-        if scenario.name in seen:
+        # cells from a mixed-backend sweep collapse to the first one —
+        # but only *equivalent* ones: a name shared by two semantically
+        # different cells would silently drop one and alias its store
+        # key, so that is collected and raised below.
+        canonical = scenario.canonical()
+        prior = seen.get(scenario.name)
+        if prior is not None:
+            if prior != canonical and scenario.name not in collisions:
+                collisions.append(scenario.name)
             continue
-        seen.add(scenario.name)
+        seen[scenario.name] = canonical
         scenarios.append(scenario)
+    if collisions:
+        raise ConfigError(
+            "scenario-name collisions in grid (distinct resolved specs "
+            f"share a name; store keys must be injective): {sorted(collisions)}"
+        )
     return scenarios
 
 

@@ -234,6 +234,55 @@ class FaultPlanError(ConfigError):
     host to inject them into)."""
 
 
+class ServiceError(ReproError):
+    """Base class for sweep-service failures (job queue, result store)."""
+
+
+class JobStateError(ServiceError):
+    """A job was asked to make an illegal state transition (e.g.
+    cancelling a job that already finished), or the journal references
+    a job it never recorded a submission for.
+
+    Attributes:
+        job_id: the job the transition was attempted on.
+        state: the job's current state, or ``None`` for unknown jobs.
+        requested: the state the transition asked for, if any.
+    """
+
+    def __init__(self, job_id: str, state: "str | None" = None,
+                 requested: "str | None" = None, message: str = ""):
+        if not message:
+            if state is None:
+                message = f"unknown job {job_id!r}"
+            else:
+                message = (f"job {job_id!r} is {state!r} and cannot "
+                           f"transition to {requested!r}")
+        super().__init__(message)
+        self.job_id = job_id
+        self.state = state
+        self.requested = requested
+
+
+class StoreCorruptError(ServiceError):
+    """A result-store object or service journal failed to parse.
+
+    The store's write path is atomic (temp file + rename + fsync), so a
+    corrupt object means external tampering or disk damage — never a
+    crash of ours — and must fail loudly instead of being silently
+    re-executed over.
+
+    Attributes:
+        path: the corrupt file.
+    """
+
+    def __init__(self, path: str, detail: str = ""):
+        message = f"{path}: corrupt service data"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.path = path
+
+
 class CalibrationError(ReproError):
     """The trace-model calibration failed to converge."""
 

@@ -1,0 +1,47 @@
+"""Campaign-as-a-service: persistent sweeps over the campaign engine.
+
+Turns the batch campaign runner into a backend: sweep requests become
+durable jobs in an fsync'd journal (:mod:`repro.service.jobs`), a
+drain loop executes them incrementally against a content-addressed
+result store keyed by spec hash × code fingerprint
+(:mod:`repro.service.store`, :mod:`repro.service.queue`), and a
+static HTML dashboard renders detection/latency trajectories across
+code versions (:mod:`repro.service.dashboard`).
+
+CLI: ``python -m repro.service {submit,serve,status,cancel,gc,dashboard}``.
+"""
+
+from repro.service.dashboard import render_dashboard, write_dashboard
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    STATES,
+    Job,
+    JobJournal,
+)
+from repro.service.queue import SweepService
+from repro.service.store import (
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    code_fingerprint,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobJournal",
+    "QUEUED",
+    "RUNNING",
+    "ResultStore",
+    "STATES",
+    "STORE_SCHEMA_VERSION",
+    "SweepService",
+    "code_fingerprint",
+    "render_dashboard",
+    "write_dashboard",
+]

@@ -1,0 +1,418 @@
+"""Static HTML dashboard rendered from the service's durable state.
+
+Pure function of what is on disk — the journal, the per-job
+``campaign.json``/``sweep.json`` artifacts, and the content-addressed
+store — so it can be re-rendered at any time, served by any static
+file host, and never goes stale silently.  Stdlib only: tables are
+plain HTML, trend lines are hand-rolled inline SVG polylines.
+
+Sections:
+
+* **store** — object counts per code version (current one flagged);
+* **jobs** — every journaled job with its state and the sweep's
+  hit/executed/invalidated accounting, linking each job's artifacts
+  and reproducer bundles;
+* **per-matrix results** — for the latest completed job of each
+  matrix: the per-policy detection matrix, detection-latency
+  percentiles, benign overhead by config, and (where the matrix
+  carries them) fault-degradation and quarantined-hart columns;
+* **deltas** — :func:`~repro.campaign.aggregate.compare_payloads`
+  between consecutive completed jobs of the same matrix (the
+  ``report --compare`` view, inlined);
+* **trends** — per-policy detection rate and p50 detection latency
+  across code versions, straight from the store.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.aggregate import compare_payloads
+from repro.service.jobs import DONE, FAILED, Job
+from repro.service.queue import SWEEP_NAME, SweepService
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a1a; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .3rem; }
+h2 { margin-top: 2rem; border-bottom: 1px solid #bbb; }
+table { border-collapse: collapse; margin: .8rem 0; }
+th, td { border: 1px solid #ccc; padding: .25rem .6rem;
+         text-align: left; font-size: .9rem; }
+th { background: #f0f0f0; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.state-done { color: #0a7b22; font-weight: 600; }
+.state-failed, .state-cancelled { color: #b00020; font-weight: 600; }
+.state-queued, .state-running { color: #8a6d00; font-weight: 600; }
+.current { background: #eaf6ea; }
+.muted { color: #777; font-size: .85rem; }
+svg { background: #fafafa; border: 1px solid #ddd; }
+"""
+
+_TREND_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+                 "#8c564b")
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+           numeric_from: int = 1) -> str:
+    """Render an HTML table; columns >= ``numeric_from`` right-align."""
+    out = ["<table><tr>"]
+    out.extend(f"<th>{_esc(h)}</th>" for h in headers)
+    out.append("</tr>")
+    for row in rows:
+        out.append("<tr>")
+        for col, cell in enumerate(row):
+            css = ' class="num"' if col >= numeric_from else ""
+            out.append(f"<td{css}>{_esc(cell)}</td>")
+        out.append("</tr>")
+    out.append("</table>")
+    return "".join(out)
+
+
+def _load_json(path: Path) -> Optional[Dict[str, object]]:
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (json.JSONDecodeError, OSError):
+        return None
+
+
+# --------------------------------------------------------------------------
+# Sections
+# --------------------------------------------------------------------------
+
+def _store_section(service: SweepService) -> str:
+    store = service.store
+    versions = store.versions()
+    rows = []
+    for version in versions:
+        current = version == store.code_version
+        rows.append((
+            version + (" (current)" if current else ""),
+            store.count(version),
+        ))
+    if not rows:
+        return "<p class='muted'>store is empty</p>"
+    return _table(["code version", "cached cells"], rows)
+
+
+def _job_row(service: SweepService, job: Job) -> List[object]:
+    sweep = _load_json(service.job_dir(job.job_id) / SWEEP_NAME) or {}
+    stats = sweep or job.stats
+
+    def stat(key: str) -> object:
+        value = stats.get(key)
+        return "-" if value is None else value
+
+    links = []
+    artifact = service.job_dir(job.job_id) / "campaign.json"
+    if artifact.exists():
+        rel = artifact.relative_to(service.root).as_posix()
+        links.append(f'<a href="{_esc(rel)}">campaign.json</a>')
+    repro_dir = service.job_dir(job.job_id) / "reproducers"
+    for bundle in sorted(repro_dir.glob("*.json")):
+        rel = bundle.relative_to(service.root).as_posix()
+        links.append(f'<a href="{_esc(rel)}">{_esc(bundle.name)}</a>')
+    return [
+        job.job_id,
+        job.matrix,
+        f'<span class="state-{job.state}">{_esc(job.state)}</span>',
+        stat("cells"), stat("hits"), stat("executed"),
+        stat("invalidated"), stat("failed"),
+        " ".join(links) or "-",
+    ]
+
+
+def _jobs_section(service: SweepService,
+                  jobs: Dict[str, Job]) -> str:
+    if not jobs:
+        return "<p class='muted'>no jobs submitted</p>"
+    headers = ["job", "matrix", "state", "cells", "hits", "executed",
+               "invalidated", "failed", "artifacts"]
+    out = ["<table><tr>"]
+    out.extend(f"<th>{_esc(h)}</th>" for h in headers)
+    out.append("</tr>")
+    for job in jobs.values():
+        cells = _job_row(service, job)
+        out.append("<tr>")
+        for col, cell in enumerate(cells):
+            # state and artifact-link cells carry markup built above
+            raw = col in (2, len(cells) - 1)
+            css = ' class="num"' if 3 <= col < len(cells) - 1 else ""
+            out.append(f"<td{css}>{cell if raw else _esc(cell)}</td>")
+        out.append("</tr>")
+    out.append("</table>")
+    return "".join(out)
+
+
+def _latest_payloads(service: SweepService, jobs: Dict[str, Job],
+                     ) -> Dict[str, List[Tuple[str, Dict[str, object]]]]:
+    """Completed payloads grouped by matrix, in submission order."""
+    grouped: Dict[str, List[Tuple[str, Dict[str, object]]]] = {}
+    for job in jobs.values():
+        if job.state not in (DONE, FAILED):
+            continue
+        payload = _load_json(service.job_dir(job.job_id) / "campaign.json")
+        if payload is None:
+            continue
+        grouped.setdefault(job.matrix, []).append((job.job_id, payload))
+    return grouped
+
+
+def _matrix_section(matrix: str, job_id: str,
+                    payload: Dict[str, object]) -> str:
+    summary = payload.get("summary") or {}
+    parts = [f"<h3>{_esc(matrix)} <span class='muted'>(latest: "
+             f"{_esc(job_id)}, {_esc(payload.get('scenario_count', '?'))} "
+             "cells)</span></h3>"]
+
+    detection = summary.get("detection_matrix") or {}
+    if detection:
+        attacks = sorted({a for cells in detection.values() for a in cells}
+                         - {"benign"})
+        headers = ["policy"] + attacks + ["benign (FP)"]
+        rows = []
+        for policy in sorted(detection):
+            cells = detection[policy]
+            row: List[object] = [policy]
+            for attack in attacks + ["benign"]:
+                cell = cells.get(attack)
+                row.append(f"{cell['detected']}/{cell['runs']}"
+                           if cell else "-")
+            rows.append(row)
+        parts.append(_table(headers, rows))
+
+    latency = summary.get("detection_latency_cycles") or {}
+    if latency:
+        parts.append(_table(
+            ["detection latency (cycles)", "min", "p50", "p90", "max"],
+            [["cosim", latency["min"], latency["p50"], latency["p90"],
+              latency["max"]]],
+        ))
+
+    overhead = summary.get("overhead_percent_by_config") or {}
+    if overhead:
+        parts.append(_table(
+            ["benign overhead", "mean %", "max %"],
+            [[key, stats["mean"], stats["max"]]
+             for key, stats in overhead.items()],
+        ))
+
+    # Degradation / quarantine columns (fault and multi-hart matrices).
+    fault_rows = []
+    for row in payload.get("scenarios") or []:
+        if row.get("fault_plan") is None and not row.get("quarantined_harts"):
+            continue
+        quarantined = row.get("quarantined_harts")
+        fault_rows.append([
+            row.get("name"),
+            row.get("fault_plan") or "-",
+            row.get("degradation") or "-",
+            ("yes" if row.get("contract_ok")
+             else "-" if row.get("contract_ok") is None else "NO"),
+            (",".join(str(h) for h in quarantined)
+             if quarantined else "-"),
+        ])
+    if fault_rows:
+        parts.append(_table(
+            ["scenario", "fault plan", "degradation", "contract ok",
+             "quarantined harts"],
+            fault_rows,
+        ))
+    return "".join(parts)
+
+
+def _delta_section(history: List[Tuple[str, Dict[str, object]]]) -> str:
+    """Inline ``report --compare`` between consecutive jobs of a matrix."""
+    parts = []
+    for (old_id, old), (new_id, new) in zip(history, history[1:]):
+        try:
+            delta = compare_payloads(old, new)
+        except ValueError as exc:
+            parts.append(f"<p class='muted'>{_esc(old_id)} → "
+                         f"{_esc(new_id)}: {_esc(exc)}</p>")
+            continue
+        flips = delta["verdict_flips"]
+        rates = delta["detection_rate_delta"]
+        latencies = delta["latency"]["per_scenario_changes"]
+        lines = [f"<h4>{_esc(old_id)} → {_esc(new_id)}</h4>"]
+        if not flips and not rates and not latencies:
+            lines.append("<p class='muted'>no verdict, rate or latency "
+                         "changes</p>")
+        if flips:
+            lines.append(_table(
+                ["verdict flip", "old", "new", "expected"],
+                [[f["name"], f["old"], f["new"], f["expected"]]
+                 for f in flips],
+            ))
+        if rates:
+            lines.append(_table(
+                ["policy", "detection-rate delta"],
+                [[policy, f"{value:+.4f}"]
+                 for policy, value in rates.items()],
+            ))
+        if latencies:
+            lines.append(_table(
+                ["scenario", "latency old", "new", "delta"],
+                [[c["name"], c["old"], c["new"], f"{c['delta']:+d}"]
+                 for c in latencies[:15]],
+            ))
+        parts.append("".join(lines))
+    return "".join(parts)
+
+
+def _polyline(series: Sequence[Optional[float]], lo: float, hi: float,
+              width: int, height: int, color: str) -> str:
+    """One SVG polyline; gaps (None) break the line into segments."""
+    n = len(series)
+    span = hi - lo or 1.0
+    points: List[str] = []
+    segments: List[str] = []
+    for index, value in enumerate(series):
+        if value is None:
+            if len(points) > 1:
+                segments.append(" ".join(points))
+            points = []
+            continue
+        x = 10 + (width - 20) * (index / max(n - 1, 1))
+        y = height - 10 - (height - 20) * ((value - lo) / span)
+        points.append(f"{x:.1f},{y:.1f}")
+    if len(points) > 1:
+        segments.append(" ".join(points))
+    svg = [
+        f'<polyline points="{seg}" fill="none" stroke="{color}" '
+        'stroke-width="2"/>' for seg in segments
+    ]
+    # Single-point series still show up as a dot.
+    if not segments and points:
+        x, y = points[0].split(",")
+        svg.append(f'<circle cx="{x}" cy="{y}" r="3" fill="{color}"/>')
+    return "".join(svg)
+
+
+def _trend_section(service: SweepService) -> str:
+    """Per-policy detection rate and p50 latency across code versions."""
+    store = service.store
+    versions = store.versions()
+    if not versions:
+        return "<p class='muted'>no stored results yet</p>"
+
+    # rate[policy][version_index], latency likewise.
+    rates: Dict[str, List[Optional[float]]] = {}
+    latencies: Dict[str, List[Optional[float]]] = {}
+    for index, version in enumerate(versions):
+        per_policy: Dict[str, List[int]] = {}
+        per_latency: Dict[str, List[int]] = {}
+        for record in store.iter_records(version):
+            result = record["result"]
+            policy = str(result.get("policy"))
+            if result.get("attack") is not None:
+                cell = per_policy.setdefault(policy, [0, 0])
+                cell[0] += int(bool(result.get("detected")))
+                cell[1] += 1
+                if (result.get("detected")
+                        and result.get("detection_latency") is not None):
+                    per_latency.setdefault(policy, []).append(
+                        int(result["detection_latency"]))
+        for policy, (hits, runs) in per_policy.items():
+            series = rates.setdefault(policy, [None] * len(versions))
+            series[index] = hits / runs if runs else None
+        for policy, values in per_latency.items():
+            ordered = sorted(values)
+            series = latencies.setdefault(policy, [None] * len(versions))
+            series[index] = float(ordered[len(ordered) // 2])
+
+    if not rates:
+        return "<p class='muted'>no attack cells stored yet</p>"
+
+    parts = []
+    for title, data, lo, hi in (
+        ("detection rate (attack cells)", rates, 0.0, 1.0),
+        ("p50 detection latency (cycles)", latencies, None, None),
+    ):
+        if not data:
+            continue
+        values = [v for series in data.values() for v in series
+                  if v is not None]
+        if not values:
+            continue
+        bottom = lo if lo is not None else min(values)
+        top = hi if hi is not None else max(values)
+        width, height = 420, 140
+        lines = [f"<h4>{_esc(title)}</h4>",
+                 f'<svg width="{width}" height="{height}" '
+                 f'viewBox="0 0 {width} {height}">']
+        legend = []
+        for color_index, policy in enumerate(sorted(data)):
+            color = _TREND_COLORS[color_index % len(_TREND_COLORS)]
+            lines.append(_polyline(data[policy], bottom, top,
+                                   width, height, color))
+            legend.append(f'<span style="color:{color}">&#9632; '
+                          f"{_esc(policy)}</span>")
+        lines.append("</svg>")
+        lines.append("<p class='muted'>" + " &nbsp; ".join(legend)
+                     + f" &nbsp; (x: {len(versions)} code version"
+                     + ("s" if len(versions) != 1 else "") + ", left = "
+                     "oldest; y: "
+                     f"{bottom:g}..{top:g})</p>")
+        parts.append("".join(lines))
+    return "".join(parts)
+
+
+# --------------------------------------------------------------------------
+# Entry points
+# --------------------------------------------------------------------------
+
+def render_dashboard(service: SweepService) -> str:
+    """The complete dashboard as a self-contained HTML page."""
+    jobs = service.jobs()
+    grouped = _latest_payloads(service, jobs)
+
+    sections = [
+        "<h2>Result store</h2>", _store_section(service),
+        "<h2>Jobs</h2>", _jobs_section(service, jobs),
+    ]
+    if grouped:
+        sections.append("<h2>Latest results per matrix</h2>")
+        for matrix in sorted(grouped):
+            job_id, payload = grouped[matrix][-1]
+            sections.append(_matrix_section(matrix, job_id, payload))
+        deltas = [
+            _delta_section(history)
+            for _matrix, history in sorted(grouped.items())
+            if len(history) > 1
+        ]
+        deltas = [d for d in deltas if d]
+        if deltas:
+            sections.append("<h2>Deltas between runs</h2>")
+            sections.extend(deltas)
+    sections.append("<h2>Trends across code versions</h2>")
+    sections.append(_trend_section(service))
+
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<title>TitanCFI sweep service</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        "<h1>TitanCFI sweep service</h1>"
+        f"<p class='muted'>service root: {_esc(service.root)} · "
+        f"code version: {_esc(service.store.code_version)}</p>"
+        + "".join(sections)
+        + "</body></html>\n"
+    )
+
+
+def write_dashboard(service: SweepService,
+                    out: Optional[Path] = None) -> Path:
+    """Render and write ``dashboard.html`` (default: the service root)."""
+    out = Path(out) if out is not None else service.root / "dashboard.html"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_dashboard(service))
+    return out

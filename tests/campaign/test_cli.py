@@ -207,6 +207,32 @@ class TestCli:
         assert "scenarios in matrix 'smoke'" in out
         assert "expected=DETECT" in out
 
+    def test_list_json(self, capsys):
+        """Machine-readable listing: canonical spec, derived seed and
+        stable spec hash per cell, so external tooling can enumerate
+        the matrix without importing internals."""
+        from repro.campaign.spec import derive_seed, resolve_matrix, spec_key
+
+        assert main(["list", "--matrix", "smoke", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        scenarios = {s.name: s for s in resolve_matrix("smoke")}
+        assert {entry["name"] for entry in listing} == set(scenarios)
+        for entry in listing:
+            scenario = scenarios[entry["name"]]
+            assert entry["matrix"] == "smoke"
+            assert entry["spec"] == json.loads(
+                json.dumps(scenario.canonical()))
+            assert entry["seed"] == derive_seed(0, scenario)
+            assert entry["spec_hash"] == spec_key(scenario, 0)
+
+    def test_list_json_seed_changes_hashes(self, capsys):
+        main(["list", "--matrix", "smoke", "--json"])
+        base = json.loads(capsys.readouterr().out)
+        main(["list", "--matrix", "smoke", "--json", "--seed", "7"])
+        seeded = json.loads(capsys.readouterr().out)
+        assert all(a["spec_hash"] != b["spec_hash"]
+                   for a, b in zip(base, seeded))
+
     def test_run_synth_smoke(self, tmp_path, capsys):
         """The synth tier end-to-end through the CLI: every generated
         scenario's simulated verdict matches the oracle (exit 0, no

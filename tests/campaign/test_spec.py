@@ -16,6 +16,7 @@ from repro.campaign.spec import (
     expected_detection,
     resolve_matrix,
     smoke_matrix,
+    spec_key,
 )
 from repro.errors import ConfigError
 
@@ -252,3 +253,117 @@ class TestMatrices:
     def test_registry_names_resolvable(self):
         for name in MATRICES:
             assert resolve_matrix(name)
+
+
+class TestSpecHash:
+    """Stability contract of the store key (``spec_key``): invariant
+    under equivalent-spec round-trips, sensitive to every axis."""
+
+    def test_deterministic(self):
+        scenario = Scenario(victim="rop", backend=BACKEND_COSIM)
+        assert spec_key(scenario) == spec_key(scenario)
+        assert len(spec_key(scenario)) == 64
+
+    def test_canonical_is_json_round_trip_stable(self):
+        """Dict ordering must not matter: the canonical spec survives a
+        serialize/parse cycle and a key-shuffled rebuild unchanged."""
+        import json as json_mod
+
+        scenario = Scenario(victim="rop", backend=BACKEND_COSIM,
+                            policy="composite", queue_depth=4)
+        canonical = scenario.canonical()
+        round_trip = json_mod.loads(json_mod.dumps(canonical))
+        assert round_trip == canonical
+        shuffled = dict(reversed(list(canonical.items())))
+        assert (json_mod.dumps(shuffled, sort_keys=True)
+                == json_mod.dumps(canonical, sort_keys=True))
+
+    def test_equivalent_specs_hash_equal(self):
+        """Axes the cell does not consume are canonicalised away:
+        an explicit policy backend equal to the auto-resolution, and
+        cosim-only knobs on a reference cell, must not split the key."""
+        auto = Scenario(victim="rop", backend=BACKEND_COSIM,
+                        policy="composite", policy_backend="auto")
+        host = Scenario(victim="rop", backend=BACKEND_COSIM,
+                        policy="composite", policy_backend="host")
+        assert spec_key(auto) == spec_key(host)
+
+        irq = Scenario(victim="rop", firmware="irq")
+        polling = Scenario(victim="rop", firmware="polling")
+        assert irq.backend == BACKEND_REFERENCE
+        assert spec_key(irq) == spec_key(polling)
+
+    def test_every_axis_flip_changes_the_hash(self):
+        base = Scenario(victim="rop", backend=BACKEND_COSIM,
+                        policy="composite")
+        key = spec_key(base)
+        flipped = [
+            Scenario(victim="jop", backend=BACKEND_COSIM,
+                     policy="composite"),
+            Scenario(victim="rop", backend=BACKEND_COSIM,
+                     policy="shadow-stack"),
+            Scenario(victim="rop", backend=BACKEND_COSIM,
+                     policy="composite", queue_depth=4),
+            Scenario(victim="rop", backend=BACKEND_COSIM,
+                     policy="composite", lossy=True),
+            Scenario(victim="rop", backend=BACKEND_COSIM,
+                     policy="composite", fault_plan="drop-first"),
+            Scenario(victim="rop", backend=BACKEND_COSIM,
+                     policy="composite", seed=7),
+            Scenario(victim="rop", backend=BACKEND_COSIM,
+                     policy="composite", n_harts=2),
+            Scenario(victim="rop", backend=BACKEND_COSIM,
+                     policy="composite", n_harts=2, defense=True),
+            Scenario(victim="rop", backend=BACKEND_COSIM,
+                     policy="composite", n_harts=2,
+                     hart_victims=("jop",)),
+        ]
+        keys = [spec_key(s) for s in flipped]
+        assert key not in keys
+        assert len(set(keys)) == len(keys)
+
+    def test_campaign_seed_is_part_of_the_key(self):
+        scenario = Scenario(victim="rop", backend=BACKEND_COSIM)
+        assert spec_key(scenario, 0) != spec_key(scenario, 1)
+
+    def test_matrix_keys_injective(self):
+        """Every registered matrix maps to pairwise-distinct keys."""
+        for name in MATRICES:
+            scenarios = resolve_matrix(name)
+            keys = {spec_key(s) for s in scenarios}
+            assert len(keys) == len(scenarios), name
+
+
+class TestNameCollisions:
+    """``expand_grid`` must never silently drop a *semantically
+    distinct* cell that happens to share a scenario name."""
+
+    def test_equivalent_cells_still_collapse(self):
+        scenarios = expand_grid(
+            victim="rop",
+            backend=["reference", "cosim"],
+            firmware=["irq", "polling"],
+        )
+        assert sum(s.backend == "reference" for s in scenarios) == 1
+
+    def test_distinct_specs_sharing_a_name_raise(self, monkeypatch):
+        """Victims whose names join ambiguously with the multi-hart
+        '+'-separator produce equal scenario names from different
+        resolved specs — that must raise, listing the duplicates."""
+        import dataclasses
+
+        monkeypatch.setitem(
+            VICTIMS, "rop+rop",
+            dataclasses.replace(VICTIMS["rop"], name="rop+rop"))
+        monkeypatch.setitem(
+            VICTIMS, "rop+benign",
+            dataclasses.replace(VICTIMS["benign"], name="rop+benign"))
+        with pytest.raises(ConfigError) as err:
+            expand_grid(
+                victim="rop",
+                backend=BACKEND_COSIM,
+                n_harts=3,
+                hart_victims=[("rop+rop", "benign"), ("rop", "rop+benign")],
+            )
+        assert "collision" in str(err.value)
+        assert "n3/rop+rop+benign" in str(err.value)

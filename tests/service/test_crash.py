@@ -1,0 +1,92 @@
+"""Kill-and-restart convergence: the acceptance criterion, for real.
+
+A serving process is killed mid-job via the ``os._exit`` crash hook
+(the closest deterministic stand-in for ``kill -9`` — no atexit
+handlers, no flushes), then a fresh ``serve --once`` resumes from the
+journal + store.  The converged service tree must be *bit-identical*
+to an uninterrupted run: every store object, ``campaign.json`` and
+``campaign.csv``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.service.queue import ENV_CRASH_AFTER_PUTS
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _run_service(root, *argv, extra_env=None, check=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop(ENV_CRASH_AFTER_PUTS, None)
+    if extra_env:
+        env.update(extra_env)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.service", "--root", str(root), *argv],
+        env=env, capture_output=True, text=True, timeout=300,
+    )
+    if check and proc.returncode != 0:
+        raise AssertionError(
+            f"service {argv} exited {proc.returncode}:\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    return proc
+
+
+def _store_snapshot(root):
+    objects = Path(root) / "store" / "objects"
+    return {
+        path.relative_to(objects).as_posix(): path.read_bytes()
+        for path in sorted(objects.rglob("*.json"))
+    }
+
+
+def test_kill_mid_job_then_restart_converges(tmp_path):
+    interrupted = tmp_path / "interrupted"
+    reference = tmp_path / "reference"
+
+    # Reference: one uninterrupted cold run of the smoke matrix.
+    _run_service(reference, "submit", "--matrix", "smoke",
+                 "--batch-size", "4")
+    _run_service(reference, "serve", "--once")
+
+    # Interrupted: the server dies after 5 stored cells (mid-batch 2).
+    _run_service(interrupted, "submit", "--matrix", "smoke",
+                 "--batch-size", "4")
+    crash = _run_service(interrupted, "serve", "--once",
+                         extra_env={ENV_CRASH_AFTER_PUTS: "5"},
+                         check=False)
+    assert crash.returncode == 13, crash.stdout + crash.stderr
+
+    # The journal must say 'running' (orphaned), and the store must
+    # hold exactly the cells that were durably written before death.
+    status = _run_service(interrupted, "status", "--json")
+    (job,) = json.loads(status.stdout)
+    assert job["state"] == "running"
+    partial = _store_snapshot(interrupted)
+    assert len(partial) == 5
+
+    # Restart: the orphaned job resumes and completes.
+    _run_service(interrupted, "serve", "--once")
+    status = _run_service(interrupted, "status", "--json")
+    (job,) = json.loads(status.stdout)
+    assert job["state"] == "done"
+    # Resumed accounting: the 5 stored cells hit, the rest executed.
+    assert job["stats"]["hits"] == 5
+    assert job["stats"]["executed"] == job["stats"]["cells"] - 5
+
+    # Bit-identical convergence: store objects and campaign artifacts.
+    assert _store_snapshot(interrupted) == _store_snapshot(reference)
+    for name in ("campaign.json", "campaign.csv"):
+        a = (interrupted / "jobs" / "job-0001" / name).read_bytes()
+        b = (reference / "jobs" / "job-0001" / name).read_bytes()
+        assert a == b, name
+
+    # The partially-written cells were never rewritten differently.
+    converged = _store_snapshot(interrupted)
+    for key, blob in partial.items():
+        assert converged[key] == blob

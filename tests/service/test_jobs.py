@@ -1,0 +1,114 @@
+"""Job journal: durable events, crash-tolerant replay, state rules."""
+
+import json
+
+import pytest
+
+from repro.errors import JobStateError, StoreCorruptError
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobJournal,
+)
+
+
+def _journal(tmp_path):
+    return JobJournal(tmp_path / "journal.jsonl")
+
+
+class TestReplay:
+    def test_submit_then_transitions(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submit(Job(job_id="job-0001", matrix="smoke"))
+        journal.transition("job-0001", RUNNING)
+        journal.transition("job-0001", DONE, cells=21, hits=0, executed=21)
+        jobs = journal.replay()
+        job = jobs["job-0001"]
+        assert job.state == DONE
+        assert job.stats == {"cells": 21, "hits": 0, "executed": 21}
+
+    def test_submission_order_preserved(self, tmp_path):
+        journal = _journal(tmp_path)
+        for n in (1, 2, 3):
+            journal.submit(Job(job_id=f"job-{n:04d}", matrix="smoke"))
+        assert list(journal.replay()) == ["job-0001", "job-0002", "job-0003"]
+        assert journal.submit_count() == 3
+
+    def test_fresh_job_is_queued(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submit(Job(job_id="job-0001", matrix="smoke"))
+        assert journal.replay()["job-0001"].state == QUEUED
+
+    def test_torn_tail_is_ignored(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submit(Job(job_id="job-0001", matrix="smoke"))
+        journal.transition("job-0001", RUNNING)
+        with open(journal.path, "a") as fh:
+            fh.write('{"event": "state", "job_id": "job-0001", "sta')
+        assert journal.replay()["job-0001"].state == RUNNING
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submit(Job(job_id="job-0001", matrix="smoke"))
+        with open(journal.path, "a") as fh:
+            fh.write("GARBAGE\n")
+        journal.transition("job-0001", RUNNING)
+        with pytest.raises(StoreCorruptError):
+            journal.replay()
+
+    def test_state_for_unknown_job_raises(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.transition("job-9999", RUNNING)
+        with pytest.raises(JobStateError) as err:
+            journal.replay()
+        assert err.value.job_id == "job-9999"
+
+    def test_terminal_state_wins(self, tmp_path):
+        """A cancel recorded while an orphaned job sat 'running' must
+        not be undone by the dead server's stale completion event."""
+        journal = _journal(tmp_path)
+        journal.submit(Job(job_id="job-0001", matrix="smoke"))
+        journal.transition("job-0001", RUNNING)
+        journal.transition("job-0001", CANCELLED)
+        journal.transition("job-0001", DONE)
+        assert journal.replay()["job-0001"].state == CANCELLED
+
+    def test_unknown_state_name_rejected(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submit(Job(job_id="job-0001", matrix="smoke"))
+        with pytest.raises(JobStateError):
+            journal.transition("job-0001", "paused")
+
+    def test_batch_events_are_progress_only(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submit(Job(job_id="job-0001", matrix="smoke"))
+        journal.batch("job-0001", 0, 16)
+        job = journal.replay()["job-0001"]
+        assert job.state == QUEUED
+        assert job.stats == {}
+
+
+class TestDurability:
+    def test_events_are_one_json_line_each(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.submit(Job(job_id="job-0001", matrix="smoke",
+                           campaign_seed=7, workers=2, batch_size=4))
+        journal.transition("job-0001", FAILED, failed=3)
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 2
+        submit = json.loads(lines[0])
+        assert submit["event"] == "submit"
+        assert submit["job"]["campaign_seed"] == 7
+        assert submit["job"]["batch_size"] == 4
+        assert "time" in submit
+
+    def test_describe_is_json_ready(self, tmp_path):
+        job = Job(job_id="job-0001", matrix="smoke", state=DONE,
+                  stats={"cells": 2})
+        snapshot = json.loads(json.dumps(job.describe()))
+        assert snapshot["state"] == DONE
+        assert snapshot["stats"] == {"cells": 2}
