@@ -383,6 +383,73 @@ def run_incremental_sweep() -> dict:
     }
 
 
+def run_coverage_pass(iters: int = 60, seed: int = 3) -> dict:
+    """Coverage-guided fuzz loop vs blind generation at DOUBLE the budget.
+
+    Runs one bounded guided loop (``iters`` candidates, serial) and the
+    uniform seed sweep with ``2 * iters`` candidates through the same
+    measurement pipeline, then compares distinct coverage points and
+    CPU seconds.  The point counts are functions of the simulation
+    alone — machine-independent, identical on every run — so the
+    guided > uniform margin is an invariant the ``--smoke`` path
+    asserts; only the seconds columns may move.  Also measures the
+    frontier-draw overhead: the per-candidate steering cost the loop
+    pays on top of plain generation.
+    """
+    import tempfile
+
+    from repro.coverage import CoverageCorpus, CoverageMap, FuzzConfig, fuzz
+    from repro.coverage import uniform_baseline
+    from repro.coverage.fuzz import (
+        CORPUS_DIR,
+        MAP_NAME,
+        _draw_parent,
+        candidate_seed,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="bench-coverage-") as root:
+        cpu0, t0 = time.process_time(), time.perf_counter()
+        guided = fuzz(root, FuzzConfig(iterations=iters, seed=seed))
+        guided_cpu = time.process_time() - cpu0
+        guided_seconds = time.perf_counter() - t0
+        # Frontier-draw overhead on the final state (what steering adds
+        # per candidate beyond generate + simulate).
+        coverage = CoverageMap.from_json(
+            json.loads((Path(root) / MAP_NAME).read_text())
+        )
+        corpus = CoverageCorpus(Path(root) / CORPUS_DIR)
+        draws = 256
+        t0 = time.perf_counter()
+        for index in range(draws):
+            _draw_parent(candidate_seed(seed, index, salt="parent"),
+                         coverage, corpus)
+        draw_seconds = time.perf_counter() - t0
+    cpu0, t0 = time.process_time(), time.perf_counter()
+    uniform = uniform_baseline(iters * 2, seed=seed)
+    uniform_cpu = time.process_time() - cpu0
+    uniform_seconds = time.perf_counter() - t0
+    return {
+        "guided_iterations": iters,
+        "uniform_iterations": iters * 2,
+        "guided_points": guided["distinct_points"],
+        "uniform_points": uniform["distinct_points"],
+        "guided_corpus_size": guided["corpus_size"],
+        "oracle_disagreements": (guided["oracle_disagreements"]
+                                 + uniform["oracle_disagreements"]),
+        "guided_seconds": round(guided_seconds, 6),
+        "uniform_seconds": round(uniform_seconds, 6),
+        "guided_cpu_seconds": round(guided_cpu, 6),
+        "uniform_cpu_seconds": round(uniform_cpu, 6),
+        "guided_points_per_cpu_sec": round(
+            guided["distinct_points"] / guided_cpu, 1
+        ),
+        "uniform_points_per_cpu_sec": round(
+            uniform["distinct_points"] / uniform_cpu, 1
+        ),
+        "frontier_draw_us": round(draw_seconds / draws * 1e6, 1),
+    }
+
+
 def _timed(fn, min_seconds: float = 0.3, min_rounds: int = 3):
     """Repeat ``fn`` until ``min_seconds`` of samples exist; return
     (best-round seconds, last result)."""
@@ -461,6 +528,9 @@ def measure() -> dict:
         # Incremental sweeps: smoke matrix through the sweep service,
         # cold (empty store) vs warm (100 % store hits).
         "incremental": run_incremental_sweep(),
+        # Coverage-guided synthesis vs blind generation at double the
+        # iteration budget (point counts are machine-independent).
+        "coverage": run_coverage_pass(),
         # Saturation: one RoT monitor absorbing N harts' event streams.
         # Simulated numbers (latencies, stalls, high-water) are
         # machine-independent; only the seconds columns may move.
@@ -531,6 +601,23 @@ def render(payload: dict) -> str:
             f"{incremental['warm_speedup']}x) — artifacts "
             + ("byte-identical" if incremental["artifacts_identical"]
                else "DIVERGED"),
+        ]
+    coverage = payload.get("coverage")
+    if coverage:
+        lines += [
+            f"  coverage-guided synthesis (guided "
+            f"{coverage['guided_iterations']} iters vs uniform "
+            f"{coverage['uniform_iterations']}):",
+            f"    guided:  {coverage['guided_points']} distinct points in "
+            f"{coverage['guided_cpu_seconds'] * 1000:.1f} ms CPU "
+            f"({coverage['guided_points_per_cpu_sec']} points/cpu-sec, "
+            f"corpus {coverage['guided_corpus_size']})",
+            f"    uniform: {coverage['uniform_points']} distinct points in "
+            f"{coverage['uniform_cpu_seconds'] * 1000:.1f} ms CPU "
+            f"({coverage['uniform_points_per_cpu_sec']} points/cpu-sec) "
+            "at 2x the budget",
+            f"    frontier draw: {coverage['frontier_draw_us']} us/draw, "
+            f"oracle disagreements: {coverage['oracle_disagreements']}",
         ]
     saturation = payload.get("saturation")
     if saturation:
@@ -696,6 +783,18 @@ def main(argv) -> int:
         assert incremental["warm_executed"] == 0
         assert incremental["warm_hit_rate"] == 1.0
         assert incremental["artifacts_identical"]
+        # Coverage-guided synthesis invariants: the point counts are
+        # machine-independent, so the guided loop must beat blind
+        # generation given DOUBLE the iteration budget, and every
+        # simulated verdict must agree with the static oracle.
+        coverage = run_coverage_pass()
+        assert coverage["guided_points"] > coverage["uniform_points"], (
+            f"guided loop ({coverage['guided_points']} points) failed to "
+            f"dominate uniform generation at 2x budget "
+            f"({coverage['uniform_points']} points)"
+        )
+        assert coverage["oracle_disagreements"] == 0
+        assert coverage["guided_corpus_size"] > 0
         summary = {k: campaign[k] for k in ("scenarios", "cycles")}
         print("bench_speed smoke ok:", totals, summary,
               {"policyhost_cycles": phost["cycles"],

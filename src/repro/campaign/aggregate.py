@@ -50,6 +50,7 @@ CSV_FIELDS = (
     "overhead_percent", "gadget_executed",
     "status", "fault_plan", "degradation", "contract_ok",
     "baseline_detected", "baseline_detection_latency",
+    "coverage_points", "coverage_digest",
 )
 
 
@@ -72,6 +73,15 @@ def _percentiles(values: Sequence[float]) -> Dict[str, float]:
     }
 
 
+def _points_by_axis(points: Sequence[str]) -> Dict[str, int]:
+    """Distinct coverage points grouped by their ``axis:`` prefix."""
+    axes: Dict[str, int] = {}
+    for point in points:
+        axis = point.split(":", 1)[0]
+        axes[axis] = axes.get(axis, 0) + 1
+    return dict(sorted(axes.items()))
+
+
 def summarize(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
     """Aggregate scenario results into the campaign summary."""
     counts = {"true_positives": 0, "false_positives": 0,
@@ -86,6 +96,9 @@ def summarize(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
     fault_latencies: List[int] = []
     faults: Dict[str, Dict[str, object]] = {}
     contract_failures: List[str] = []
+    coverage_points: set = set()
+    coverage_shapes: set = set()
+    covered_scenarios = 0
 
     for result in results:
         status = str(result.get("status", "ok"))
@@ -111,6 +124,11 @@ def summarize(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
             if (result["detected"]
                     and result["detection_latency"] is not None):
                 fault_latencies.append(int(result["detection_latency"]))
+        shape = result.get("coverage")
+        if shape is not None:
+            covered_scenarios += 1
+            coverage_shapes.add(str(shape["digest"]))
+            coverage_points.update(str(point) for point in shape["points"])
         attack = result["attack"]
         detected = bool(result["detected"])
         if attack is not None and detected:
@@ -165,6 +183,12 @@ def summarize(results: Sequence[Dict[str, object]]) -> Dict[str, object]:
             "contract_failures": sorted(contract_failures),
             "by_plan": dict(sorted(faults.items())),
             "detection_latency_under_fault": _percentiles(fault_latencies),
+        },
+        "coverage": {
+            "scenarios": covered_scenarios,
+            "distinct_shapes": len(coverage_shapes),
+            "distinct_points": len(coverage_points),
+            "points_by_axis": _points_by_axis(coverage_points),
         },
     }
 
@@ -296,6 +320,18 @@ def render_report(payload: Dict[str, object]) -> str:
     for key, stats in summary["overhead_percent_by_config"].items():
         lines.append(
             f"benign overhead {key}: mean={stats['mean']}% max={stats['max']}%"
+        )
+
+    coverage = summary.get("coverage") or {}
+    if coverage.get("scenarios"):
+        axes = ", ".join(
+            f"{axis}={count}"
+            for axis, count in coverage["points_by_axis"].items()
+        )
+        lines.append(
+            f"coverage: {coverage['distinct_points']} distinct points over "
+            f"{coverage['distinct_shapes']} shapes "
+            f"({coverage['scenarios']} synthetic scenarios; {axes})"
         )
 
     timing = payload.get("timing")

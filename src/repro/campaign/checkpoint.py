@@ -42,8 +42,13 @@ class ResultLog:
         self.path = path
         self._fh = open(path, "a" if append else "w", encoding="utf-8")
 
-    def append(self, result: Dict[str, object]) -> None:
+    def append(self, result: Dict[str, object], sync: bool = True) -> None:
         self._fh.write(json.dumps(result, sort_keys=True) + "\n")
+        if sync:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force written lines to disk (for batched ``append`` calls)."""
         self._fh.flush()
         os.fsync(self._fh.fileno())
 

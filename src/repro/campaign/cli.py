@@ -46,7 +46,6 @@ from repro.campaign.checkpoint import (
 )
 from repro.campaign.runner import run_campaign
 from repro.campaign.spec import (
-    MATRICES,
     VICTIMS,
     derive_seed,
     resolve_matrix,
@@ -99,7 +98,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     list_cmd = sub.add_parser("list", help="print the scenario matrix")
-    list_cmd.add_argument("--matrix", default="default", choices=sorted(MATRICES))
+    # No argparse ``choices``: an unknown name must reach resolve_matrix,
+    # whose typed ConfigError lists the registry (exit code 2, one line)
+    # instead of argparse's unstructured usage dump.
+    list_cmd.add_argument("--matrix", default="default")
     list_cmd.add_argument("--json", action="store_true", dest="as_json",
                           help="machine-readable listing: one object per "
                                "scenario with its canonical resolved spec, "
@@ -110,7 +112,7 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(default: 0; --json only)")
 
     run_cmd = sub.add_parser("run", help="execute a scenario matrix")
-    run_cmd.add_argument("--matrix", default="default", choices=sorted(MATRICES))
+    run_cmd.add_argument("--matrix", default="default")
     run_cmd.add_argument(
         "--jobs", type=_positive_int, default=None,
         help="worker processes, >= 1 (1 = serial in-process fallback). "
@@ -299,11 +301,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list(args)
-    if args.command == "run":
-        return _cmd_run(args)
-    return _cmd_report(args)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_report(args)
+    except ConfigError as exc:
+        # Typed configuration mistakes (unknown matrix name, bad spec)
+        # come out as one actionable line, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -242,7 +242,28 @@ def _victim_bundle(scenario: Scenario, seed: int):
         return None
     from repro.synth import bundle_for_seed
 
-    return bundle_for_seed(spec.synth_family, seed, AddressMap().dram_base)
+    return bundle_for_seed(spec.synth_family, seed, AddressMap().dram_base,
+                           features=spec.synth_features)
+
+
+#: Memoised per-victim coverage shapes: one scenario's program is run
+#: under every policy, but its shape only needs extracting once.
+_SHAPES: Dict[Tuple[str, int], object] = {}
+_SHAPE_CACHE_LIMIT = 1024
+
+
+def _scenario_shape(victim: str, seed: int, bundle):
+    """The (memoised) coverage shape of a synthetic scenario's program."""
+    key = (victim, seed)
+    cached = _SHAPES.get(key)
+    if cached is None:
+        from repro.coverage.shape import shape_vector
+
+        if len(_SHAPES) >= _SHAPE_CACHE_LIMIT:
+            _SHAPES.clear()
+        cached = _SHAPES[key] = shape_vector(bundle.model,
+                                             program=bundle.program)
+    return cached
 
 
 def _build_policy(scenario: Scenario, program: Program, bundle=None):
@@ -774,6 +795,20 @@ def run_scenario(scenario: Scenario, campaign_seed: int = 0,
         "expectation_met": detected == expected,
     }
     result.update(outcome)
+    if bundle is not None:
+        # Synthetic victims carry their coverage shape so campaign
+        # artifacts feed the same map the guided fuzz loop steers by.
+        vector = _scenario_shape(scenario.victim, seed, bundle)
+        result["coverage_points"] = len(vector.points)
+        result["coverage_digest"] = vector.digest
+        result["coverage"] = {
+            "digest": vector.digest,
+            "points": list(vector.points),
+        }
+    else:
+        result["coverage_points"] = None
+        result["coverage_digest"] = None
+        result["coverage"] = None
     if scenario.multihart:
         # A multi-hart cell meets its expectation only when *every*
         # hart's verdict matches its own victim's ground truth.
@@ -827,6 +862,9 @@ def _failure_result(scenario: Scenario, campaign_seed: int, status: str,
     return {
         "status": status,
         "error": detail,
+        "coverage_points": None,
+        "coverage_digest": None,
+        "coverage": None,
         "fault_plan": scenario.fault_plan,
         "fault_hart": scenario.fault_hart,
         "lossy": scenario.lossy if scenario.backend == BACKEND_COSIM else None,

@@ -93,6 +93,7 @@ class VictimSpec:
     function_entries: Tuple[str, ...] = ()
     seeded: bool = False
     synth_family: Optional[str] = None
+    synth_features: Tuple[str, ...] = ()
 
     @property
     def synthetic(self) -> bool:
@@ -142,7 +143,9 @@ def _build_fwd_jump(addresses: AddressMap, rng: random.Random) -> Program:
     return indirect_jump_program(addresses, corrupt=True)
 
 
-def _synth_builder(family: str) -> Callable[[AddressMap, random.Random], Program]:
+def _synth_builder(
+    family: str, features: Tuple[str, ...] = ()
+) -> Callable[[AddressMap, random.Random], Program]:
     """Victim builder generating a program procedurally from the RNG.
 
     The import stays local: :mod:`repro.synth` is only loaded when a
@@ -153,9 +156,16 @@ def _synth_builder(family: str) -> Callable[[AddressMap, random.Random], Program
     def build(addresses: AddressMap, rng: random.Random) -> Program:
         from repro.synth import bundle_from_rng
 
-        return bundle_from_rng(family, rng, addresses.dram_base).program
+        return bundle_from_rng(family, rng, addresses.dram_base,
+                               features=features).program
 
     return build
+
+
+#: Generator growth features the coverage campaign's victims carry
+#: (kept literal so the registry needs no synth import at module scope;
+#: a test pins it to :data:`repro.synth.generator.FEATURES`).
+COVERAGE_FEATURES: Tuple[str, ...] = ("recursion", "tailcall")
 
 
 #: All registered victims, by name.
@@ -208,12 +218,50 @@ VICTIMS: Dict[str, VictimSpec] = {
         VictimSpec("synth-ret-to-callsite", _synth_builder("ret-to-callsite"),
                    attack=ATTACK_RET_TO_CALLSITE,
                    seeded=True, synth_family="ret-to-callsite"),
+        # Coverage-campaign victims: the same families grown with the
+        # feature set the guided fuzz loop steers toward — bounded
+        # recursion and indirect tail calls exercise the shadow-stack
+        # depth profile and the forward-edge label sets in shapes the
+        # plain synth pipeline never emits.
+        VictimSpec("cov-benign",
+                   _synth_builder("benign", COVERAGE_FEATURES),
+                   seeded=True, synth_family="benign",
+                   synth_features=COVERAGE_FEATURES),
+        VictimSpec("cov-rop",
+                   _synth_builder("rop", COVERAGE_FEATURES),
+                   attack=ATTACK_ROP,
+                   seeded=True, synth_family="rop",
+                   synth_features=COVERAGE_FEATURES),
+        VictimSpec("cov-jop",
+                   _synth_builder("jop", COVERAGE_FEATURES),
+                   attack=ATTACK_JOP,
+                   seeded=True, synth_family="jop",
+                   synth_features=COVERAGE_FEATURES),
+        VictimSpec("cov-call-hijack",
+                   _synth_builder("call-hijack", COVERAGE_FEATURES),
+                   attack=ATTACK_CALL_HIJACK,
+                   seeded=True, synth_family="call-hijack",
+                   synth_features=COVERAGE_FEATURES),
+        VictimSpec("cov-ret-to-callsite",
+                   _synth_builder("ret-to-callsite", COVERAGE_FEATURES),
+                   attack=ATTACK_RET_TO_CALLSITE,
+                   seeded=True, synth_family="ret-to-callsite",
+                   synth_features=COVERAGE_FEATURES),
     )
 }
 
-#: The synthesized subset of the registry, by name.
+#: The synthesized subset of the registry, by name (the plain synth
+#: campaign's sweep — feature-grown coverage victims stay out so the
+#: existing matrices keep their exact scenario sets).
 SYNTH_VICTIMS: Tuple[str, ...] = tuple(sorted(
-    name for name, spec in VICTIMS.items() if spec.synthetic
+    name for name, spec in VICTIMS.items()
+    if spec.synthetic and not spec.synth_features
+))
+
+#: Feature-grown victims backing the ``coverage`` matrix.
+COVERAGE_VICTIMS: Tuple[str, ...] = tuple(sorted(
+    name for name, spec in VICTIMS.items()
+    if spec.synthetic and spec.synth_features
 ))
 
 # --------------------------------------------------------------------------
@@ -981,6 +1029,50 @@ def synth_smoke_matrix() -> List[Scenario]:
     return scenarios
 
 
+def coverage_matrix() -> List[Scenario]:
+    """The coverage campaign: feature-grown victims (bounded recursion
+    + indirect tail calls layered onto every synthesis family) × every
+    reference policy × a seed sweep, plus a cosim cross-check slice.
+
+    Complements ``python -m repro.coverage run`` (the guided fuzz loop
+    writes the same artifact schema): this matrix pins the *generator
+    features* under the standard campaign machinery, the fuzz loop
+    explores *mutation space* beyond it."""
+    scenarios = expand_grid(
+        victim=list(COVERAGE_VICTIMS),
+        policy=list(REFERENCE_POLICIES),
+        backend=BACKEND_REFERENCE,
+        seed=list(SYNTH_SEEDS),
+    )
+    # Recursion stresses exactly the shadow-stack depth machinery, so
+    # re-check a slice cycle-accurately on both mailbox agents.
+    scenarios += expand_grid(
+        victim=["cov-rop", "cov-benign"],
+        backend=BACKEND_COSIM,
+        seed=[1],
+    )
+    scenarios += expand_grid(
+        victim=["cov-jop", "cov-ret-to-callsite"],
+        policy=POLICY_COMPOSITE,
+        backend=BACKEND_COSIM,
+        policy_backend=POLICY_BACKEND_HOST,
+        seed=[1],
+    )
+    return scenarios
+
+
+def coverage_smoke_matrix() -> List[Scenario]:
+    """CI tier of the coverage campaign: two seeds per feature-grown
+    victim against the policy cross section, reference backend only."""
+    return expand_grid(
+        victim=list(COVERAGE_VICTIMS),
+        policy=[POLICY_SHADOW_STACK, POLICY_FORWARD_EDGE, POLICY_COARSE,
+                POLICY_COMPOSITE],
+        backend=BACKEND_REFERENCE,
+        seed=[1, 2],
+    )
+
+
 #: Fault-plan names by family (kept in sync with the registry by the
 #: comprehension — an unknown name would fail Scenario validation).
 TRANSPORT_FAULT_PLANS: Tuple[str, ...] = tuple(sorted(
@@ -1213,6 +1305,8 @@ MATRICES: Dict[str, Callable[[], List[Scenario]]] = {
     "policyhost": policyhost_matrix,
     "synth": synth_matrix,
     "synth-smoke": synth_smoke_matrix,
+    "coverage": coverage_matrix,
+    "coverage-smoke": coverage_smoke_matrix,
     "faults": faults_matrix,
     "faults-smoke": faults_smoke_matrix,
     "multihart": multihart_matrix,

@@ -1,0 +1,322 @@
+"""Seeded IR-level mutators over synthesized victim models.
+
+Each mutator takes ``(rng, model)`` and returns a structurally mutated
+*copy* (or ``None`` when inapplicable) that stays inside the synthesis
+IR's contract: unique uids, unique counter registers, an acyclic call
+graph, attack-op pairing rules — everything
+:func:`repro.synth.ir.check_model` enforces, so the static oracle's
+``plan_events`` walk remains the mutant's ground truth exactly as for
+generator output.  :func:`mutate` is the loop's entry point: it tries
+mutators in a seed-chosen order and returns the first candidate that
+re-validates, clamped to the generator's event budget.
+
+The mutator set covers the coverage axes :mod:`repro.coverage.shape`
+measures: splicing call subtrees (call-depth, n-grams), retargeting
+indirect sites (fan-out), re-nesting loops (loop-nesting), relocating
+the planted attack (attack-context), chaining a second dispatcher
+gadget (n-grams, cfkind), and planting the PR-10 IR growth — bounded
+recursion and indirect tail calls — that uniform seed generation never
+emits.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import SynthError
+from repro.synth.generator import MAX_EVENTS, _clamp_events
+from repro.synth.ir import (
+    LOOP_REGS,
+    MAX_RECURSION_DEPTH,
+    check_model,
+    model_ops,
+)
+
+#: Functions a mutator must never grow or retarget into: the attack
+#: helpers and recursion targets are pure-filler by contract, and a
+#: tail-calling function must keep its tail call as the final op.
+_RESERVED = ("fn_rtc_helper", "fn_rtc_victim")
+
+
+def _next_uid(model: dict) -> int:
+    return max((op["uid"] for op in model_ops(model)), default=0) + 1
+
+
+def _free_loop_regs(model: dict) -> List[str]:
+    used = {op["reg"] for op in model_ops(model)
+            if op["op"] in ("loop", "recurse")}
+    return [reg for reg in LOOP_REGS if reg not in used]
+
+
+def _recurse_fns(model: dict) -> List[str]:
+    return [op["fn"] for op in model_ops(model) if op["op"] == "recurse"]
+
+
+def _host_functions(model: dict) -> List[dict]:
+    """Functions eligible to receive an inserted op."""
+    recursed = set(_recurse_fns(model))
+    hosts = []
+    for function in model["functions"]:
+        name, body = function["name"], function["body"]
+        if name in _RESERVED or name in recursed:
+            continue
+        if body and body[-1]["op"] == "tailcall":
+            continue
+        hosts.append(function)
+    return hosts
+
+
+def _callees(model: dict) -> List[str]:
+    """Functions a new call edge may legally target."""
+    recursed = set(_recurse_fns(model))
+    return [
+        f["name"] for f in model["functions"]
+        if f["name"] != "main" and f["name"] not in _RESERVED
+        and f["name"] not in recursed
+    ]
+
+
+def _reaches(model: dict, src: str, dst: str) -> bool:
+    """Is ``dst`` reachable from ``src`` over the static call graph?"""
+    edges: Dict[str, List[str]] = {f["name"]: [] for f in model["functions"]}
+    for function in model["functions"]:
+        for op in model_ops({"functions": [function], "attack": None}):
+            if op["op"] in ("call", "tailcall"):
+                edges[function["name"]].append(op["callee"])
+            elif op["op"] == "recurse":
+                edges[function["name"]].append(op["fn"])
+    seen = set()
+    stack = [src]
+    while stack:
+        name = stack.pop()
+        if name == dst:
+            return True
+        if name in seen:
+            continue
+        seen.add(name)
+        stack.extend(edges.get(name, []))
+    return False
+
+
+def _insert(rng: random.Random, function: dict, op: dict) -> None:
+    body = function["body"]
+    body.insert(rng.randint(0, len(body)), op)
+
+
+# --------------------------------------------------------------------------
+# The mutators
+# --------------------------------------------------------------------------
+
+def _splice_call(rng: random.Random, model: dict) -> Optional[dict]:
+    """Duplicate an existing call subtree into another legal site."""
+    calls = [op for op in model_ops(model) if op["op"] == "call"
+             and op["callee"] in _callees(model)]
+    if not calls:
+        return None
+    template = rng.choice(calls)
+    hosts = [f for f in _host_functions(model)
+             if not _reaches(model, template["callee"], f["name"])]
+    if not hosts:
+        return None
+    host = rng.choice(hosts)
+    _insert(rng, host, {
+        "op": "call", "uid": _next_uid(model),
+        "callee": template["callee"],
+        "indirect": rng.random() < 0.5,
+    })
+    return model
+
+
+def _retarget_indirect(rng: random.Random, model: dict) -> Optional[dict]:
+    """Re-aim a call site: flip its encoding or change its callee."""
+    sites: List[Tuple[str, dict]] = []
+    for function in model["functions"]:
+        for op in model_ops({"functions": [function], "attack": None}):
+            if op["op"] == "call":
+                sites.append((function["name"], op))
+    if not sites:
+        return None
+    caller, op = rng.choice(sites)
+    if rng.random() < 0.5:
+        op["indirect"] = not op["indirect"]
+        return model
+    options = [
+        name for name in _callees(model)
+        if name != op["callee"] and not _reaches(model, name, caller)
+    ]
+    if not options:
+        return None
+    op["callee"] = rng.choice(options)
+    return model
+
+
+def _renest_loops(rng: random.Random, model: dict) -> Optional[dict]:
+    """Wrap a slice in a new loop, rescale a count, or unwrap a loop."""
+    moves = []
+    loops = [op for op in model_ops(model) if op["op"] == "loop"]
+    hosts = [f for f in _host_functions(model) if f["body"]]
+    if hosts and _free_loop_regs(model):
+        moves.append("wrap")
+    if loops:
+        moves.append("rescale")
+        moves.append("unwrap")
+    if not moves:
+        return None
+    move = rng.choice(moves)
+    if move == "wrap":
+        host = rng.choice(hosts)
+        body = host["body"]
+        start = rng.randrange(0, len(body))
+        stop = min(len(body), start + rng.randint(1, 2))
+        inner, body[start:stop] = body[start:stop], []
+        body.insert(start, {
+            "op": "loop", "uid": _next_uid(model),
+            "reg": _free_loop_regs(model)[0],
+            "count": rng.randint(2, 4), "body": inner,
+        })
+        return model
+    loop = rng.choice(loops)
+    if move == "rescale":
+        loop["count"] = max(1, min(6, loop["count"] * 2 if
+                                   rng.random() < 0.5 else loop["count"] // 2))
+        return model
+    # unwrap: splice the loop body back into its parent sequence
+    def unwrap(body: List[dict]) -> bool:
+        for index, op in enumerate(body):
+            if op is loop:
+                body[index:index + 1] = op["body"]
+                return True
+            if op["op"] == "loop" and unwrap(op["body"]):
+                return True
+        return False
+
+    for function in model["functions"]:
+        if unwrap(function["body"]):
+            return model
+    return None
+
+
+def _relocate_attack(rng: random.Random, model: dict) -> Optional[dict]:
+    """Move the planted attack to a different structural context."""
+    attack = model.get("attack")
+    if not attack:
+        return None
+    if attack["kind"] == "rop":
+        recursed = set(_recurse_fns(model))
+        victims = [
+            f["name"] for f in model["functions"]
+            if f["name"] not in ("main", attack["victim"])
+            and f["name"] not in _RESERVED and f["name"] not in recursed
+            and not (f["body"] and f["body"][-1]["op"] == "tailcall")
+        ]
+        if not victims:
+            return None
+        attack["victim"] = rng.choice(victims)
+        return model
+
+    uid = attack["uid"]
+
+    def extract(body: List[dict]) -> Optional[dict]:
+        for index, op in enumerate(body):
+            if op["uid"] == uid:
+                return body.pop(index)
+            if op["op"] == "loop":
+                found = extract(op["body"])
+                if found is not None:
+                    return found
+        return None
+
+    planted = None
+    for function in model["functions"]:
+        planted = extract(function["body"])
+        if planted is not None:
+            break
+    if planted is None:
+        return None
+    _insert(rng, rng.choice(_host_functions(model)), planted)
+    return model
+
+
+def _chain_gadget(rng: random.Random, model: dict) -> Optional[dict]:
+    """Plant a second benign dispatcher: more gadget substrate on the
+    path, denser ijump n-grams, a bigger static jump-table footprint."""
+    _insert(rng, rng.choice(_host_functions(model)), {
+        "op": "dispatch", "uid": _next_uid(model),
+        "handlers": [rng.randint(1, 3), rng.randint(1, 3)],
+    })
+    return model
+
+
+def _plant_recursion(rng: random.Random, model: dict) -> Optional[dict]:
+    """Grow a dedicated bounded-recursion function and its site."""
+    regs = _free_loop_regs(model)
+    if not regs:
+        return None
+    uid = _next_uid(model)
+    fn_name = f"fn_rec_{uid}"
+    if any(f["name"] == fn_name for f in model["functions"]):
+        return None
+    model["functions"].append({
+        "name": fn_name,
+        "body": [{"op": "alu", "uid": uid + 1, "n": rng.randint(1, 2)}],
+    })
+    _insert(rng, rng.choice(_host_functions(model)), {
+        "op": "recurse", "uid": uid, "fn": fn_name,
+        "depth": rng.randint(2, MAX_RECURSION_DEPTH), "reg": regs[0],
+    })
+    return model
+
+
+def _plant_tailcall(rng: random.Random, model: dict) -> Optional[dict]:
+    """Grow a frameless wrapper ending in an indirect tail call."""
+    uid = _next_uid(model)
+    wrapper, leaf = f"fn_tc_{uid}", f"fn_tc_{uid}_leaf"
+    if any(f["name"] in (wrapper, leaf) for f in model["functions"]):
+        return None
+    model["functions"].append({"name": wrapper, "body": [
+        {"op": "alu", "uid": uid + 1, "n": rng.randint(1, 2)},
+        {"op": "tailcall", "uid": uid + 2, "callee": leaf},
+    ]})
+    model["functions"].append({"name": leaf, "body": [
+        {"op": "alu", "uid": uid + 3, "n": rng.randint(1, 2)},
+    ]})
+    _insert(rng, rng.choice(_host_functions(model)), {
+        "op": "call", "uid": uid, "callee": wrapper,
+        "indirect": rng.random() < 0.5,
+    })
+    return model
+
+
+#: Registry, in definition order (the rng picks the trial order).
+MUTATORS: Dict[str, Callable[[random.Random, dict], Optional[dict]]] = {
+    "splice-call": _splice_call,
+    "retarget-indirect": _retarget_indirect,
+    "renest-loops": _renest_loops,
+    "relocate-attack": _relocate_attack,
+    "chain-gadget": _chain_gadget,
+    "plant-recursion": _plant_recursion,
+    "plant-tailcall": _plant_tailcall,
+}
+
+
+def mutate(model: dict, rng: random.Random) -> Optional[Tuple[str, dict]]:
+    """One mutation step: ``(mutator name, valid mutant)`` or ``None``.
+
+    Mutators are tried in a seed-chosen order; the first whose output
+    re-validates (event budget clamped, :func:`check_model` clean) wins.
+    The input model is never modified.
+    """
+    order = rng.sample(list(MUTATORS), len(MUTATORS))
+    for name in order:
+        candidate = MUTATORS[name](rng, copy.deepcopy(model))
+        if candidate is None:
+            continue
+        try:
+            _clamp_events(candidate)
+            check_model(candidate)
+        except SynthError:
+            continue
+        return name, candidate
+    return None

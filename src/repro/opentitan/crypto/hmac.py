@@ -2,13 +2,22 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.opentitan.crypto.sha256 import sha256
 
 _BLOCK = 64
 
 
+@lru_cache(maxsize=65536)
 def hmac_sha256(key: bytes, message: bytes) -> bytes:
-    """HMAC-SHA256 tag of ``message`` under ``key`` (32 bytes)."""
+    """HMAC-SHA256 tag of ``message`` under ``key`` (32 bytes).
+
+    Memoized: the function is pure, and the shadow-stack policy tags
+    the same (address, depth) records over and over as loops push and
+    pop identical frames — cycle accounting stays in the accel model,
+    which charges per *operation*, not per Python recomputation.
+    """
     if len(key) > _BLOCK:
         key = sha256(key)
     key = key.ljust(_BLOCK, b"\x00")

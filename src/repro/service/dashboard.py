@@ -206,6 +206,19 @@ def _matrix_section(matrix: str, job_id: str,
              for key, stats in overhead.items()],
         ))
 
+    # Coverage panel (matrices with synthetic victims carry per-row
+    # shape vectors; the summary unions them into a campaign-level map).
+    coverage = summary.get("coverage") or {}
+    if coverage.get("scenarios"):
+        axes = coverage.get("points_by_axis") or {}
+        parts.append(_table(
+            ["coverage", "distinct points", "distinct shapes",
+             "scenarios"] + list(axes),
+            [["map", coverage.get("distinct_points"),
+              coverage.get("distinct_shapes"), coverage.get("scenarios")]
+             + [axes[axis] for axis in axes]],
+        ))
+
     # Degradation / quarantine columns (fault and multi-hart matrices).
     fault_rows = []
     for row in payload.get("scenarios") or []:

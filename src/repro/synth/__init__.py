@@ -26,12 +26,13 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.isa.asm import Program
-from repro.synth.generator import FAMILIES, MAX_EVENTS, generate
+from repro.synth.generator import FAMILIES, FEATURES, MAX_EVENTS, generate
 from repro.synth.ir import emit, label_sets, plan_events
 from repro.synth.oracle import ORACLE_POLICIES, expected_verdicts, resolve_events
 
 __all__ = [
     "FAMILIES",
+    "FEATURES",
     "MAX_EVENTS",
     "ORACLE_POLICIES",
     "SynthBundle",
@@ -72,7 +73,7 @@ class SynthBundle:
 #: Memoised bundles: generation, assembly and the oracle are pure
 #: functions of the key, so campaigns sweeping hundreds of seeds pay
 #: each build once per process.  Bounded like the assembly cache.
-_BUNDLES: Dict[Tuple[str, int, int], SynthBundle] = {}
+_BUNDLES: Dict[Tuple[str, int, int, Tuple[str, ...]], SynthBundle] = {}
 _BUNDLE_CACHE_LIMIT = 1024
 
 
@@ -81,13 +82,19 @@ def clear_bundle_cache() -> None:
     _BUNDLES.clear()
 
 
-def bundle(family: str, seed: int, base: int) -> SynthBundle:
-    """The (memoised) bundle for ``(family, seed)`` loaded at ``base``."""
-    key = (family, seed, base)
+def bundle(family: str, seed: int, base: int,
+           features: Tuple[str, ...] = ()) -> SynthBundle:
+    """The (memoised) bundle for ``(family, seed)`` loaded at ``base``.
+
+    ``features`` forwards to :func:`repro.synth.generator.generate` —
+    the coverage campaign's victims grow bounded recursion and indirect
+    tail calls on top of the family pipeline.
+    """
+    key = (family, seed, base, features)
     cached = _BUNDLES.get(key)
     if cached is not None:
         return cached
-    model = generate(family, seed)
+    model = generate(family, seed, features=features)
     program = emit(model, base)
     entry_points, function_entries = label_sets(model)
     built = SynthBundle(
@@ -115,11 +122,14 @@ def _draw(rng: random.Random) -> int:
     return rng.getrandbits(64)
 
 
-def bundle_from_rng(family: str, rng: random.Random, base: int) -> SynthBundle:
+def bundle_from_rng(family: str, rng: random.Random, base: int,
+                    features: Tuple[str, ...] = ()) -> SynthBundle:
     """Bundle for a victim builder's ``(addresses, rng)`` call."""
-    return bundle(family, _draw(rng), base)
+    return bundle(family, _draw(rng), base, features=features)
 
 
-def bundle_for_seed(family: str, scenario_seed: int, base: int) -> SynthBundle:
+def bundle_for_seed(family: str, scenario_seed: int, base: int,
+                    features: Tuple[str, ...] = ()) -> SynthBundle:
     """Bundle for a scenario's derived seed (the runner-side entry)."""
-    return bundle(family, _draw(random.Random(scenario_seed)), base)
+    return bundle(family, _draw(random.Random(scenario_seed)), base,
+                  features=features)

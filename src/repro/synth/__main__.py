@@ -20,7 +20,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.synth import FAMILIES, bundle
+from repro.synth import FAMILIES, FEATURES, bundle
 from repro.synth.corpus import make_entry, save_entry
 from repro.synth.ir import emit_source
 from repro.synth.minimize import minimize_model
@@ -34,7 +34,24 @@ def _base() -> int:
 
 
 def _cmd_show(args: argparse.Namespace) -> int:
-    found = bundle(args.family, args.seed, _base())
+    features = tuple(args.feature or ())
+    found = bundle(args.family, args.seed, _base(), features=features)
+    if args.coverage:
+        from repro.coverage.shape import shape_vector
+
+        vector = shape_vector(found.model, program=found.program)
+        if args.json:
+            import json
+
+            print(json.dumps(vector.to_json(), indent=2, sort_keys=True))
+            return 0
+        print(f"# coverage shape ({args.family}, seed {args.seed}): "
+              f"{vector.digest}, {len(vector.points)} points")
+        for axis, points in vector.axes().items():
+            print(f"#   {axis}:")
+            for point in points:
+                print(f"#     {point}")
+        return 0
     print(emit_source(found.model, _base()))
     print(f"# planned events ({args.family}, seed {args.seed}):")
     from repro.synth import plan_events
@@ -91,6 +108,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     show = sub.add_parser("show", help="print one generated program")
     show.add_argument("--family", default="benign", choices=FAMILIES)
     show.add_argument("--seed", type=int, default=0)
+    show.add_argument("--feature", action="append", choices=FEATURES,
+                      help="grow the program with a generator feature "
+                           "(repeatable; e.g. recursion, tailcall)")
+    show.add_argument("--coverage", action="store_true",
+                      help="print the program's coverage shape vector "
+                           "instead of its assembly")
+    show.add_argument("--json", action="store_true",
+                      help="with --coverage: machine-readable vector")
 
     verify = sub.add_parser("verify", help="oracle-vs-simulation sweep")
     verify.add_argument("--seeds", type=int, default=8,

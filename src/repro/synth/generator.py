@@ -19,13 +19,26 @@ cheap on every backend without losing seed determinism.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.errors import SynthError
-from repro.synth.ir import LOOP_REGS, SCHEMA, check_model, plan_events
+from repro.synth.ir import (
+    LOOP_REGS,
+    MAX_RECURSION_DEPTH,
+    SCHEMA,
+    check_model,
+    plan_events,
+)
 
 #: Synthesis families (the campaign's ``synth-*`` victims map onto these).
 FAMILIES = ("benign", "rop", "jop", "call-hijack", "ret-to-callsite")
+
+#: Opt-in generator features (see :func:`generate`): each grows the
+#: model with one structural construct *after* the family pipeline has
+#: consumed its draws, so ``generate(family, seed)`` without features
+#: stays byte-identical across releases — the campaign registry's
+#: pure-function-of-the-seed contract.
+FEATURES = ("recursion", "tailcall")
 
 #: Upper bound on a generated program's CFI-relevant event stream.
 MAX_EVENTS = 500
@@ -167,6 +180,64 @@ _MUTATORS = {
 }
 
 
+# --------------------------------------------------------------------------
+# Opt-in feature growth (bounded recursion, indirect tail calls)
+# --------------------------------------------------------------------------
+
+def _plant_sites(model: dict) -> List[dict]:
+    """Functions a grown construct may be planted into: everything but
+    the attack-reserved pure-filler helpers and feature-owned leaves."""
+    reserved = ("fn_rtc_helper", "fn_rtc_victim")
+    return [
+        f for f in model["functions"]
+        if f["name"] not in reserved and not f["name"].startswith("fn_rec_")
+        and not f["name"].startswith("fn_tc_")
+    ]
+
+
+def _grow_recursion(b: _Builder, model: dict) -> None:
+    """Append a dedicated self-recursive function and plant its site."""
+    reg = b.take_loop_reg()
+    if reg is None:
+        return
+    uid = b.uid()
+    fn_name = f"fn_rec_{uid}"
+    model["functions"].append({"name": fn_name, "body": [b.alu(1, 2)]})
+    site = {
+        "op": "recurse", "uid": uid, "fn": fn_name,
+        "depth": b.rng.randint(2, min(4, MAX_RECURSION_DEPTH)), "reg": reg,
+    }
+    function = b.rng.choice(_plant_sites(model))
+    body = function["body"]
+    body.insert(b.rng.randint(0, len(body)), site)
+
+
+def _grow_tailcall(b: _Builder, model: dict) -> None:
+    """Append a frameless wrapper that tail-calls a new leaf, and plant
+    a call to the wrapper (the tail call itself is an indirect jump)."""
+    uid = b.uid()
+    wrapper = f"fn_tc_{uid}"
+    leaf = f"fn_tc_{uid}_leaf"
+    model["functions"].append({"name": wrapper, "body": [
+        b.alu(1, 2),
+        {"op": "tailcall", "uid": b.uid(), "callee": leaf},
+    ]})
+    model["functions"].append({"name": leaf, "body": [b.alu(1, 2)]})
+    site = {
+        "op": "call", "uid": b.uid(), "callee": wrapper,
+        "indirect": b.rng.random() < 0.35,
+    }
+    function = b.rng.choice(_plant_sites(model))
+    body = function["body"]
+    body.insert(b.rng.randint(0, len(body)), site)
+
+
+_FEATURES = {
+    "recursion": _grow_recursion,
+    "tailcall": _grow_tailcall,
+}
+
+
 def _clamp_events(model: dict) -> dict:
     """Halve loop counts until the planned stream fits :data:`MAX_EVENTS`."""
     for _ in range(8):
@@ -190,15 +261,30 @@ def _iter_loops(model: dict):
     return (op for op in model_ops(model) if op["op"] == "loop")
 
 
-def generate(family: str, seed: int) -> dict:
-    """Generate the model for ``(family, seed)`` (pure and deterministic)."""
+def generate(family: str, seed: int,
+             features: Tuple[str, ...] = ()) -> dict:
+    """Generate the model for ``(family, seed)`` (pure and deterministic).
+
+    ``features`` opts into structural growth — ``"recursion"`` plants a
+    bounded self-recursive function, ``"tailcall"`` a frameless wrapper
+    ending in an indirect tail call.  Feature draws happen strictly
+    after the family pipeline's, so the default ``features=()`` output
+    is byte-identical to what earlier releases generated for the same
+    ``(family, seed)``.
+    """
     if family not in FAMILIES:
         raise SynthError(f"unknown synthesis family {family!r} "
                          f"(have: {', '.join(FAMILIES)})")
+    for feature in features:
+        if feature not in _FEATURES:
+            raise SynthError(f"unknown generator feature {feature!r} "
+                             f"(have: {', '.join(FEATURES)})")
     b = _Builder(random.Random(seed))
     model = _benign_model(b)
     if family != "benign":
         _MUTATORS[family](b, model)
+    for feature in features:
+        _FEATURES[feature](b, model)
     model = _clamp_events(model)
     check_model(model)
     return model

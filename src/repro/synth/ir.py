@@ -48,6 +48,17 @@ Ops (every op carries a model-unique integer ``uid``):
   ``fn_rtc_helper`` whose fall-through (a *valid* call site) is the
   diversion target of ``fn_rtc_victim``'s corrupted return (only
   present when ``attack.kind == "ret-to-callsite"``).
+* ``{"op": "recurse", "uid": u, "fn": name, "depth": d, "reg": "s4"}``
+  — bounded self-recursion: the site seeds ``reg`` (from
+  :data:`LOOP_REGS`, unique like a loop counter) with ``d`` and calls
+  ``fn``, which re-calls itself until the counter drains.  ``fn`` is
+  dedicated to its one recurse op: pure filler, never referenced by
+  any other op, so the unwind depth is exactly ``d`` by construction.
+* ``{"op": "tailcall", "uid": u, "callee": name}`` — an indirect tail
+  call (``la``/``jr``): must be the *last* op of a frameless non-main
+  function, whose intact ``ra`` the pure-filler ``callee`` returns
+  through — one planned ijump plus the callee's return, and the
+  enclosing function's own ``ret`` never retires.
 
 Attacks (at most one per model):
 
@@ -87,6 +98,11 @@ LOOP_REGS = ("s4", "s5", "s6", "s7", "s8", "s9")
 
 #: Attack kinds (values of ``model["attack"]["kind"]``).
 ATTACK_KINDS = ("rop", "jop", "call-hijack", "ret-to-callsite")
+
+#: Bound on a ``recurse`` op's total invocation count.  Keeps the
+#: planned unwind (2 × depth events) small against the generator's
+#: event budget and the stack well inside the victim's DRAM window.
+MAX_RECURSION_DEPTH = 8
 
 _STACK_TOP_OFF = 0xF0_0000
 #: DRAM area holding dispatch tables and hijacked function-pointer
@@ -173,6 +189,22 @@ def check_model(model: dict) -> None:
             elif op["op"] == "rtc":
                 if kind != "ret-to-callsite":
                     raise SynthError("rtc op without a ret-to-callsite attack")
+            elif op["op"] == "recurse":
+                if op["fn"] not in by_name:
+                    raise SynthError(f"recurse into unknown function {op['fn']!r}")
+                if not 1 <= op["depth"] <= MAX_RECURSION_DEPTH:
+                    raise SynthError(
+                        f"recurse depth {op['depth']} outside "
+                        f"1..{MAX_RECURSION_DEPTH}"
+                    )
+                if op["reg"] not in LOOP_REGS:
+                    raise SynthError(f"recurse reg {op['reg']!r} not in pool")
+                loop_regs.append(op["reg"])
+            elif op["op"] == "tailcall":
+                if op["callee"] not in by_name:
+                    raise SynthError(
+                        f"tail call to unknown function {op['callee']!r}"
+                    )
             else:
                 raise SynthError(f"unknown op {op['op']!r}")
     if len(set(uids)) != len(uids):
@@ -181,8 +213,12 @@ def check_model(model: dict) -> None:
         raise SynthError("loop registers must be unique across the model")
 
     # The call graph must be acyclic (the plan walk would not terminate).
+    # Recursion is allowed only through the bounded ``recurse`` op, whose
+    # self-edge lives outside this graph and drains a counted register.
     calling: Dict[str, List[str]] = {
-        f["name"]: [op["callee"] for op in _ops(f["body"]) if op["op"] == "call"]
+        f["name"]: [op["callee"] for op in _ops(f["body"])
+                    if op["op"] in ("call", "tailcall")]
+        + [op["fn"] for op in _ops(f["body"]) if op["op"] == "recurse"]
         for f in functions
     }
     state: Dict[str, int] = {}
@@ -198,6 +234,65 @@ def check_model(model: dict) -> None:
         state[name] = 2
 
     visit("main")
+
+    def pure_filler(name: str) -> bool:
+        return all(op["op"] == "alu" for op in _ops(by_name[name]["body"]))
+
+    # ``recurse`` targets are dedicated: pure filler, non-main, exactly
+    # one recurse op each, and referenced by nothing else — the emitted
+    # self-call/counter pattern is the *only* way in, which is what
+    # bounds the unwind.
+    recursed: Dict[str, int] = {}
+    for op in [o for o in model_ops(model) if o["op"] == "recurse"]:
+        if op["fn"] in recursed:
+            raise SynthError(f"function {op['fn']!r} has two recurse sites")
+        recursed[op["fn"]] = op["uid"]
+    for fn_name in recursed:
+        if fn_name == "main" or not pure_filler(fn_name):
+            raise SynthError(
+                f"recurse target {fn_name!r} must be a pure-filler "
+                "non-main function"
+            )
+        referenced = (
+            any(op["op"] in ("call", "tailcall")
+                and op.get("callee") == fn_name
+                for op in model_ops(model))
+            or any(op["op"] == "hijack" and op["decoy"] == fn_name
+                   for op in model_ops(model))
+            or (kind == "rop" and attack["victim"] == fn_name)
+            or fn_name in ("fn_rtc_helper", "fn_rtc_victim")
+        )
+        if referenced:
+            raise SynthError(
+                f"recurse target {fn_name!r} may not be referenced by "
+                "other ops"
+            )
+
+    # ``tailcall`` sites: last op of a frameless non-main function, into
+    # a pure-filler leaf that returns through the intact ``ra``.
+    for function in functions:
+        tails = [op for op in _ops(function["body"]) if op["op"] == "tailcall"]
+        if not tails:
+            continue
+        name = function["name"]
+        body = function["body"]
+        if name == "main":
+            raise SynthError("main cannot end in a tail call")
+        if len(tails) != 1 or not body or body[-1] is not tails[0]:
+            raise SynthError(
+                f"tail call in {name!r} must be its single final op"
+            )
+        if any(op["op"] in ("call", "hijack", "rtc", "recurse")
+               for op in _ops(body)) or _corruption(model, name) is not None:
+            raise SynthError(
+                f"tail-calling function {name!r} must stay frameless"
+            )
+        callee = tails[0]["callee"]
+        if callee == "main" or callee == name or not pure_filler(callee) \
+                or callee in recursed or _corruption(model, callee) is not None:
+            raise SynthError(
+                f"tail callee {callee!r} must be a pure-filler leaf"
+            )
 
     if kind == "rop":
         victim = attack["victim"]
@@ -228,7 +323,13 @@ def check_model(model: dict) -> None:
 # --------------------------------------------------------------------------
 
 def _has_calls(body: List[dict]) -> bool:
-    return any(op["op"] in ("call", "hijack", "rtc") for op in _ops(body))
+    return any(op["op"] in ("call", "hijack", "rtc", "recurse")
+               for op in _ops(body))
+
+
+def _recurse_sites(model: dict) -> Dict[str, dict]:
+    """Map each bounded-recursion target function to its recurse op."""
+    return {op["fn"]: op for op in model_ops(model) if op["op"] == "recurse"}
 
 
 def _corruption(model: dict, name: str) -> Optional[str]:
@@ -244,9 +345,14 @@ def _corruption(model: dict, name: str) -> Optional[str]:
 
 
 def _needs_frame(model: dict, function: dict) -> bool:
-    """A function saves/restores ``ra`` iff it makes calls or its saved
-    return address is the planted attack's corruption target."""
-    return _has_calls(function["body"]) or _corruption(model, function["name"]) is not None
+    """A function saves/restores ``ra`` iff it makes calls (the
+    self-call of a recursion target included) or its saved return
+    address is the planted attack's corruption target."""
+    return (
+        _has_calls(function["body"])
+        or function["name"] in _recurse_sites(model)
+        or _corruption(model, function["name"]) is not None
+    )
 
 
 def _indirect_targets(model: dict) -> List[str]:
@@ -255,6 +361,8 @@ def _indirect_targets(model: dict) -> List[str]:
     targets = []
     for op in model_ops(model):
         if op["op"] == "call" and op["indirect"]:
+            targets.append(op["callee"])
+        elif op["op"] == "tailcall":
             targets.append(op["callee"])
         elif op["op"] == "hijack":
             targets.append(op["decoy"])
@@ -286,6 +394,7 @@ def emit_source(model: dict, base: int) -> str:
     jop = _jop_uid(model)
     slots = _dispatch_index(model)
     ep_targets = set(_indirect_targets(model))
+    recursion = _recurse_sites(model)
     attack = model.get("attack")
     kind = attack["kind"] if attack else None
 
@@ -373,6 +482,15 @@ def emit_source(model: dict, base: int) -> str:
                 out.append(f"cf_{uid}_b:")
                 out.append("    call fn_rtc_victim")
                 out.append(f"ret_{uid}_b:")
+            elif t == "recurse":
+                out.append(f"    li   {op['reg']}, {op['depth']}")
+                out.append(f"cf_{uid}:")
+                out.append(f"    call {op['fn']}")
+                out.append(f"ret_{uid}:")
+            elif t == "tailcall":
+                out.append(f"    la   t2, {op['callee']}")
+                out.append(f"cf_{uid}:")
+                out.append("    jr   t2")
         return out
 
     for function in model["functions"]:
@@ -394,6 +512,16 @@ def emit_source(model: dict, base: int) -> str:
             lines.append("    addi sp, sp, -16")
             lines.append("    sd   ra, 8(sp)")
         lines += emit_body(function["body"])
+        rec = recursion.get(name)
+        if rec is not None:
+            # The bounded self-call: drain the site-seeded counter, then
+            # unwind through the shared epilogue — every level's saved
+            # ``ra`` is distinct, so shadow stacks see exact pairing.
+            lines.append(f"    addi {rec['reg']}, {rec['reg']}, -1")
+            lines.append(f"    blez {rec['reg']}, rec_{rec['uid']}_done")
+            lines.append(f"cf_rec_{rec['uid']}:")
+            lines.append(f"    call {name}")
+            lines.append(f"rec_{rec['uid']}_done:")
         divert = _corruption(model, name)
         if divert is not None:
             lines.append("    # ... overflow overruns into the saved ra slot ...")
@@ -487,8 +615,19 @@ def plan_events(model: dict) -> List[PlanEvent]:
 
     def run_function(name: str, ret_label: str) -> None:
         nonlocal done
-        run_body(functions[name]["body"])
+        body = functions[name]["body"]
+        tail = body[-1] if body and body[-1]["op"] == "tailcall" else None
+        run_body(body[:-1] if tail is not None else body)
         if done:
+            return
+        if tail is not None:
+            # The enclosing function's own ``ret`` never retires: the
+            # pure-filler callee returns through the intact ``ra``.
+            events.append(PlanEvent("ijump", f"cf_{tail['uid']}",
+                                    tail["callee"]))
+            events.append(PlanEvent(
+                "return", f"cf_ret_{tail['callee']}", ret_label,
+            ))
             return
         divert = _corruption(model, name)
         if divert is not None:
@@ -550,6 +689,25 @@ def plan_events(model: dict) -> List[PlanEvent]:
                 run_function("fn_rtc_victim", f"ret_{uid}_b")
                 if done:
                     return
+            elif t == "recurse":
+                # depth invocations: the site call, depth-1 self-calls,
+                # then the unwind — the deepest levels return to the
+                # self-call's fall-through, the outermost to the site.
+                fn = op["fn"]
+                events.append(PlanEvent(
+                    "call", f"cf_{uid}", fn,
+                    next=f"ret_{uid}", indirect=False,
+                ))
+                for _ in range(op["depth"] - 1):
+                    events.append(PlanEvent(
+                        "call", f"cf_rec_{uid}", fn,
+                        next=f"rec_{uid}_done", indirect=False,
+                    ))
+                for _ in range(op["depth"] - 1):
+                    events.append(PlanEvent(
+                        "return", f"cf_ret_{fn}", f"rec_{uid}_done",
+                    ))
+                events.append(PlanEvent("return", f"cf_ret_{fn}", f"ret_{uid}"))
 
     run_body(functions["main"]["body"])
     return events

@@ -73,10 +73,13 @@ class TestArgumentValidation:
         with pytest.raises(SystemExit):
             main(["run", "--matrix", "smoke", "--jobs", "two"])
 
-    def test_cli_resume_conflicts_with_no_artifacts(self, tmp_path):
-        with pytest.raises(ConfigError, match="no-artifacts"):
-            main(["run", "--matrix", "smoke", "--resume", str(tmp_path),
-                  "--no-artifacts"])
+    def test_cli_resume_conflicts_with_no_artifacts(self, tmp_path, capsys):
+        code = main(["run", "--matrix", "smoke", "--resume", str(tmp_path),
+                     "--no-artifacts"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error: ")
+        assert "no-artifacts" in captured.err
 
 
 class TestWorkerCrashQuarantine:
@@ -294,10 +297,12 @@ class TestResumeEndToEnd:
         assert sorted(r["name"] for r in final_rows) \
             == sorted(by_name)
 
-    def test_resume_against_other_matrix_refused(self, tmp_path):
+    def test_resume_against_other_matrix_refused(self, tmp_path, capsys):
         out = tmp_path / "campaign"
         assert main(["run", "--matrix", "smoke", "--jobs", "1",
                      "--out", str(out)]) == 0
-        with pytest.raises(ConfigError, match="resume mismatch"):
-            main(["run", "--matrix", "synth-smoke", "--jobs", "1",
-                  "--resume", str(out)])
+        code = main(["run", "--matrix", "synth-smoke", "--jobs", "1",
+                     "--resume", str(out)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error: resume mismatch" in captured.err

@@ -1,0 +1,81 @@
+"""Mutator invariants: seeded determinism, contract-preserving output,
+and a measurable coverage delta against the parent."""
+
+import copy
+import random
+
+import pytest
+
+from repro.coverage.mutate import MUTATORS, mutate
+from repro.coverage.shape import shape_vector
+from repro.synth import MAX_EVENTS, FAMILIES
+from repro.synth.generator import generate
+from repro.synth.ir import check_model, plan_events
+from repro.system.addresses import AddressMap
+
+BASE = AddressMap().dram_base
+
+CASES = [(family, seed) for family in FAMILIES for seed in range(3)]
+
+
+@pytest.mark.parametrize("family,seed", CASES)
+def test_deterministic_per_rng_seed(family, seed):
+    model = generate(family, seed)
+    assert mutate(model, random.Random(99)) == mutate(model, random.Random(99))
+
+
+@pytest.mark.parametrize("family,seed", CASES)
+def test_input_model_never_modified(family, seed):
+    model = generate(family, seed)
+    pristine = copy.deepcopy(model)
+    mutate(model, random.Random(7))
+    assert model == pristine
+
+
+@pytest.mark.parametrize("family,seed", CASES)
+def test_mutants_stay_inside_the_ir_contract(family, seed):
+    """Every produced mutant re-validates and fits the event budget —
+    the oracle's ``plan_events`` walk stays its ground truth."""
+    model = generate(family, seed)
+    for rng_seed in range(6):
+        found = mutate(model, random.Random(rng_seed))
+        if found is None:
+            continue
+        name, mutant = found
+        assert name in MUTATORS
+        check_model(mutant)
+        assert len(plan_events(mutant)) <= MAX_EVENTS
+
+
+def test_mutants_move_coverage_axes():
+    """Most mutants must differ from their parent on at least one
+    coverage axis (identical-vector mutants are legal but the loop's
+    novelty gate rejects them — they may not dominate the stream)."""
+    produced = moved = 0
+    for family, seed in CASES:
+        model = generate(family, seed)
+        parent = shape_vector(model, base=BASE)
+        for rng_seed in range(4):
+            found = mutate(model, random.Random(rng_seed))
+            if found is None:
+                continue
+            produced += 1
+            mutant_vector = shape_vector(found[1], base=BASE)
+            if parent.differing_axes(mutant_vector):
+                moved += 1
+    assert produced > len(CASES), "mutators fired too rarely"
+    assert moved / produced > 0.5, (moved, produced)
+
+
+def test_feature_planting_mutators_reach_new_axes():
+    """plant-recursion / plant-tailcall introduce points uniform
+    generation never emits (non-baseline recursion and tailcall)."""
+    model = generate("benign", 0)
+    parent = shape_vector(model, base=BASE)
+    rec = MUTATORS["plant-recursion"](random.Random(1), copy.deepcopy(model))
+    tail = MUTATORS["plant-tailcall"](random.Random(1), copy.deepcopy(model))
+    assert rec is not None and tail is not None
+    check_model(rec)
+    check_model(tail)
+    assert "recursion" in parent.differing_axes(shape_vector(rec, base=BASE))
+    assert "tailcall" in parent.differing_axes(shape_vector(tail, base=BASE))

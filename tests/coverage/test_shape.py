@@ -1,0 +1,137 @@
+"""Coverage-shape invariants: vectors are pure functions of the model,
+identical across processes, and the map's feedback calculus is exact."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.coverage.shape import AXES, CoverageMap, ShapeVector, shape_vector
+from repro.errors import ConfigError
+from repro.synth import FAMILIES, bundle
+from repro.synth.generator import generate
+from repro.system.addresses import AddressMap
+
+BASE = AddressMap().dram_base
+
+SEEDS = range(4)
+
+
+def vector_for(family: str, seed: int, features=()) -> ShapeVector:
+    found = bundle(family, seed, BASE, features=tuple(features))
+    return shape_vector(found.model, program=found.program)
+
+
+class TestShapeVector:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_deterministic_per_seed(self, family):
+        for seed in SEEDS:
+            assert vector_for(family, seed) == vector_for(family, seed)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_assembly_path_matches_bundle_path(self, family):
+        """With and without a pre-assembled image, same vector."""
+        model = generate(family, 3)
+        found = bundle(family, 3, BASE)
+        assert shape_vector(model, base=BASE) == shape_vector(
+            found.model, program=found.program
+        )
+
+    def test_identical_across_process_restarts(self):
+        """A fresh interpreter computes the same digests (no hash
+        randomization, iteration order or id() leaks into vectors)."""
+        code = (
+            "from repro.coverage.shape import shape_vector\n"
+            "from repro.synth import FAMILIES, bundle\n"
+            "from repro.system.addresses import AddressMap\n"
+            "base = AddressMap().dram_base\n"
+            "for family in FAMILIES:\n"
+            "    found = bundle(family, 2, base)\n"
+            "    v = shape_vector(found.model, program=found.program)\n"
+            "    print(family, v.digest)\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            check=True,
+        ).stdout.splitlines()
+        for line in out:
+            family, digest = line.split()
+            assert vector_for(family, 2).digest == digest, family
+
+    def test_every_point_carries_a_known_axis(self):
+        for family in FAMILIES:
+            for point in vector_for(family, 1).points:
+                assert point.split(":", 1)[0] in AXES, point
+
+    def test_features_move_their_axes(self):
+        base = vector_for("rop", 5)
+        grown = vector_for("rop", 5, features=("recursion", "tailcall"))
+        assert {"recursion", "tailcall"} <= set(base.differing_axes(grown))
+
+    def test_points_sorted_and_deduplicated(self):
+        vector = ShapeVector(points=("b:1", "a:1", "b:1"))
+        assert vector.points == ("a:1", "b:1")
+
+    def test_json_round_trip(self):
+        vector = vector_for("jop", 0)
+        clone = ShapeVector.from_json(json.loads(json.dumps(vector.to_json())))
+        assert clone == vector and clone.digest == vector.digest
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ConfigError, match="shape schema"):
+            ShapeVector.from_json({"schema": 99, "points": []})
+
+
+class TestCoverageMap:
+    def test_merge_reports_exact_novelty(self):
+        cov = CoverageMap()
+        first = ShapeVector(points=("a:1", "b:1"))
+        assert cov.merge(first) == ("a:1", "b:1")
+        assert cov.merge(ShapeVector(points=("b:1", "c:1"))) == ("c:1",)
+        assert not cov.is_novel(first)
+        assert cov.observations == 2 and len(cov) == 3
+
+    def test_novelty_does_not_mutate(self):
+        cov = CoverageMap()
+        vector = ShapeVector(points=("a:1",))
+        assert cov.novelty(vector) == ("a:1",)
+        assert len(cov) == 0 and cov.observations == 0
+
+    def test_rarity_prefers_unseen_then_rare(self):
+        cov = CoverageMap()
+        common = ShapeVector(points=("a:1",))
+        rare = ShapeVector(points=("b:1",))
+        for _ in range(4):
+            cov.merge(common)
+        for _ in range(2):
+            cov.merge(rare)
+        novel = ShapeVector(points=("z:1",))
+        assert cov.rarity(novel) > cov.rarity(rare) > cov.rarity(common)
+        assert cov.rarity(ShapeVector(points=("z:1", "a:1"))) > cov.rarity(novel)
+
+    def test_frontier_deterministic_tiebreak(self):
+        cov = CoverageMap()
+        cov.merge(ShapeVector(points=("a:1",)))
+        twin = ShapeVector(points=("a:1",))
+        ranked = cov.frontier([("k2", twin), ("k1", twin), ("k3", twin)], k=2)
+        assert ranked == ["k1", "k2"]
+
+    def test_by_axis_counts_distinct_points(self):
+        cov = CoverageMap()
+        cov.merge(ShapeVector(points=("a:1", "a:2", "b:1")))
+        cov.merge(ShapeVector(points=("a:1",)))
+        assert cov.by_axis() == {"a": 2, "b": 1}
+
+    def test_json_round_trip_byte_stable(self):
+        cov = CoverageMap()
+        for family in FAMILIES:
+            cov.merge(vector_for(family, 0))
+        text = json.dumps(cov.to_json(), sort_keys=True)
+        clone = CoverageMap.from_json(json.loads(text))
+        assert clone == cov
+        assert json.dumps(clone.to_json(), sort_keys=True) == text
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ConfigError, match="coverage-map schema"):
+            CoverageMap.from_json({"schema": 0, "points": {}})

@@ -1,0 +1,200 @@
+"""PR-10 IR growth: bounded recursion and indirect tail calls.
+
+Feature-grown models must validate, plan exactly what the emitted image
+executes, and leave the featureless output of ``generate`` untouched;
+``check_model`` must reject every way a recurse/tailcall construct can
+break its contract."""
+
+import copy
+
+import pytest
+
+from repro.attacks.programs import CLEAN_MARKER, GADGET_MARKER
+from repro.campaign.runner import capture_commit_logs
+from repro.errors import SynthError
+from repro.isa.cflow import CfKind
+from repro.synth import FAMILIES, bundle
+from repro.synth.generator import FEATURES, generate
+from repro.synth.ir import (
+    MAX_RECURSION_DEPTH,
+    check_model,
+    model_ops,
+    plan_events,
+)
+from repro.synth.oracle import resolve_events
+from repro.system.addresses import AddressMap
+
+ADDRESSES = AddressMap()
+BASE = ADDRESSES.dram_base
+
+_KIND = {
+    "call": CfKind.CALL,
+    "return": CfKind.RETURN,
+    "ijump": CfKind.INDIRECT_JUMP,
+}
+
+
+def featured(family: str, seed: int) -> dict:
+    return generate(family, seed, FEATURES)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_featured_models_validate_deterministically(self, family):
+        for seed in range(4):
+            model = featured(family, seed)
+            check_model(model)
+            assert model == featured(family, seed)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_features_grow_their_constructs(self, family):
+        ops = {op["op"] for op in model_ops(featured(family, 1))}
+        assert {"recurse", "tailcall"} <= ops
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_featureless_output_untouched(self, family):
+        """Feature draws happen after the family pipeline's, so growth
+        extends the base model rather than reshaping it: the attack and
+        every base function survive identically."""
+        base = generate(family, 2)
+        grown = featured(family, 2)
+        assert generate(family, 2, ()) == base
+        assert grown["attack"] == base["attack"]
+        names = {f["name"] for f in grown["functions"]}
+        assert {f["name"] for f in base["functions"]} <= names
+
+    def test_unknown_feature_rejected(self):
+        with pytest.raises(SynthError, match="unknown generator feature"):
+            generate("benign", 1, ("warp",))
+
+    def test_recursion_depth_within_bound(self):
+        for family in FAMILIES:
+            for op in model_ops(featured(family, 3)):
+                if op["op"] == "recurse":
+                    assert 1 <= op["depth"] <= MAX_RECURSION_DEPTH
+
+
+class TestPlanMatchesExecution:
+    """The differential, extended to the grown IR: the planned stream
+    of a recursing, tail-calling program equals the captured one."""
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_planned_stream_equals_captured_stream(self, family, seed):
+        found = bundle(family, seed, BASE, features=FEATURES)
+        logs, _hart = capture_commit_logs(found.program, ADDRESSES)
+        planned = resolve_events(found.model, found.program)
+        assert len(planned) == len(logs), (family, seed)
+        for event, log in zip(planned, logs):
+            assert log.kind is _KIND[event.kind]
+            assert log.pc == event.pc
+            assert log.target == event.target
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_marker_semantics_survive_growth(self, family):
+        found = bundle(family, 1, BASE, features=FEATURES)
+        _logs, hart = capture_commit_logs(found.program, ADDRESSES)
+        expected = CLEAN_MARKER if family == "benign" else GADGET_MARKER
+        assert hart.regs.read(10) == expected
+
+    def test_recursion_unwind_depth_exact(self):
+        """A recurse op plans exactly d calls and d returns of its
+        dedicated function per arrival at the site (the site may sit
+        inside a loop, so totals are a positive multiple of d)."""
+        model = featured("benign", 0)
+        (recurse,) = [op for op in model_ops(model) if op["op"] == "recurse"]
+        events = plan_events(model)
+        calls = [e for e in events
+                 if e.kind == "call" and e.target == recurse["fn"]]
+        returns = [e for e in events
+                   if e.kind == "return"
+                   and e.site == f"cf_ret_{recurse['fn']}"]
+        assert len(calls) == len(returns) > 0
+        assert len(calls) % recurse["depth"] == 0
+
+
+def tampered(mutator) -> dict:
+    model = copy.deepcopy(featured("benign", 5))
+    mutator(model)
+    return model
+
+
+def one_op(model: dict, kind: str) -> dict:
+    return next(op for op in model_ops(model) if op["op"] == kind)
+
+
+class TestContractRejections:
+    def test_recurse_depth_out_of_range(self):
+        with pytest.raises(SynthError, match="recurse depth"):
+            check_model(tampered(
+                lambda m: one_op(m, "recurse").update(
+                    depth=MAX_RECURSION_DEPTH + 1)
+            ))
+
+    def test_recurse_reg_outside_pool(self):
+        with pytest.raises(SynthError, match="not in pool"):
+            check_model(tampered(
+                lambda m: one_op(m, "recurse").update(reg="t0")
+            ))
+
+    def test_recurse_into_unknown_function(self):
+        with pytest.raises(SynthError, match="unknown function"):
+            check_model(tampered(
+                lambda m: one_op(m, "recurse").update(fn="fn_ghost")
+            ))
+
+    def test_recurse_target_must_be_unreferenced(self):
+        def add_call(model):
+            target = one_op(model, "recurse")["fn"]
+            model["functions"][0]["body"].append({
+                "op": "call", "uid": 9999, "callee": target,
+                "indirect": False,
+            })
+
+        with pytest.raises(SynthError, match="may not be referenced"):
+            check_model(tampered(add_call))
+
+    def test_recurse_target_must_be_pure_filler(self):
+        def pollute(model):
+            target = one_op(model, "recurse")["fn"]
+            body = next(f for f in model["functions"]
+                        if f["name"] == target)["body"]
+            body.append({"op": "dispatch", "uid": 9998, "handlers": [1, 2]})
+
+        with pytest.raises(SynthError, match="pure-filler"):
+            check_model(tampered(pollute))
+
+    def test_tailcall_must_be_final_op(self):
+        def reorder(model):
+            for function in model["functions"]:
+                body = function["body"]
+                if body and body[-1]["op"] == "tailcall":
+                    body.insert(0, body.pop())
+                    return
+            raise AssertionError("no tail-calling function")
+
+        with pytest.raises(SynthError, match="single final op"):
+            check_model(tampered(reorder))
+
+    def test_main_cannot_tail_call(self):
+        def retail(model):
+            tail = one_op(model, "tailcall")
+            for function in model["functions"]:
+                function["body"] = [
+                    op for op in function["body"] if op is not tail
+                ]
+            main = next(f for f in model["functions"] if f["name"] == "main")
+            main["body"].append(tail)
+
+        with pytest.raises(SynthError, match="main cannot end"):
+            check_model(tampered(retail))
+
+    def test_tail_callee_must_be_pure_filler(self):
+        def retarget(model):
+            model["functions"].append({"name": "fn_fat", "body": [
+                {"op": "dispatch", "uid": 9996, "handlers": [1, 2]},
+            ]})
+            one_op(model, "tailcall").update(callee="fn_fat")
+
+        with pytest.raises(SynthError, match="pure-filler leaf"):
+            check_model(tampered(retarget))
